@@ -1,0 +1,59 @@
+//! Benches for the §3 analyses (Figure 2, Table 1, T0) and the data
+//! machinery they depend on (graph build, splits, MRT codec).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quasar_bench::{Context, Scale};
+use quasar_diversity::prelude::*;
+use quasar_netgen::prelude::*;
+
+fn bench_diversity(c: &mut Criterion) {
+    let ctx = Context::build(Scale::Default, 5);
+    let mut group = c.benchmark_group("diversity");
+    group.sample_size(10);
+    group.bench_function("fig2_histogram", |b| {
+        b.iter(|| PathDiversityHistogram::from_dataset(&ctx.dataset));
+    });
+    group.bench_function("t1_quantiles", |b| {
+        b.iter(|| DiversityQuantiles::from_dataset(&ctx.dataset));
+    });
+    group.bench_function("t0_summary", |b| {
+        b.iter(|| summarize(&ctx.dataset, &ctx.tier1_seeds()));
+    });
+    group.finish();
+}
+
+fn bench_dataset_machinery(c: &mut Criterion) {
+    let ctx = Context::build(Scale::Default, 6);
+    let mut group = c.benchmark_group("dataset");
+    group.sample_size(10);
+    group.bench_function("as_graph", |b| {
+        b.iter(|| ctx.dataset.as_graph());
+    });
+    group.bench_function("split_by_point", |b| {
+        b.iter(|| ctx.dataset.split_by_point(0.5, 7));
+    });
+    group.finish();
+}
+
+fn bench_mrt_codec(c: &mut Criterion) {
+    let ctx = Context::build(Scale::Tiny, 7);
+    let bytes = export_table_dump_v2(&ctx.internet.observation_points, &ctx.internet.observations);
+    let mut group = c.benchmark_group("mrt");
+    group.bench_function("export_table_dump_v2", |b| {
+        b.iter(|| {
+            export_table_dump_v2(&ctx.internet.observation_points, &ctx.internet.observations)
+        });
+    });
+    group.bench_function("import_table_dump_v2", |b| {
+        b.iter(|| import_table_dump_v2(&bytes).expect("well-formed"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_diversity,
+    bench_dataset_machinery,
+    bench_mrt_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E-scale bench: per-prefix steady-state simulation cost as the model
+//! grows (paper §4.1's C-BGP scalability claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quasar_bench::{Context, Scale};
+use quasar_core::model::AsRoutingModel;
+
+fn bench_engine_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_per_prefix");
+    group.sample_size(10);
+    for (name, scale) in [("tiny", Scale::Tiny), ("default", Scale::Default)] {
+        let ctx = Context::build(scale, 1);
+        let graph = ctx.dataset.as_graph();
+        let model = AsRoutingModel::initial(&graph, &ctx.dataset.prefixes());
+        let prefix = *model.prefixes().keys().next().expect("has prefixes");
+        group.bench_with_input(
+            BenchmarkId::new("simulate", name),
+            &(model, prefix),
+            |b, (model, prefix)| {
+                b.iter(|| model.simulate(*prefix).expect("converges"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ground_truth_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ground_truth");
+    group.sample_size(10);
+    group.bench_function("generate_tiny_internet", |b| {
+        b.iter(|| {
+            quasar_netgen::observe::SyntheticInternet::generate(
+                quasar_netgen::config::NetGenConfig::tiny(5),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_scale, bench_ground_truth_generation);
+criterion_main!(benches);

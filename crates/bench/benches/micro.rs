@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the hot inner loops: the BGP decision process,
+//! policy-chain application, and AS-path operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quasar_bgpsim::prelude::*;
+
+fn candidates(n: usize) -> Vec<Route> {
+    (0..n)
+        .map(|i| Route {
+            prefix: Prefix::new(0x0A000000, 8),
+            as_path: AsPath::from_u32s(
+                &(0..(i % 5 + 1))
+                    .map(|k| (k + i) as u32 + 1)
+                    .collect::<Vec<_>>(),
+            ),
+            local_pref: 100,
+            med: if i % 3 == 0 { Some(i as u32) } else { None },
+            origin: Origin::Igp,
+            from_router: Some(RouterId::new(Asn(i as u32 + 1), 0)),
+            from_asn: Some(Asn(i as u32 + 1)),
+            learned: LearnedVia::Ebgp,
+            igp_cost: 0,
+            communities: Vec::new(),
+            originator: None,
+        })
+        .collect()
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision");
+    for n in [2usize, 8, 32] {
+        let routes = candidates(n);
+        group.bench_with_input(BenchmarkId::new("decide", n), &routes, |b, routes| {
+            b.iter(|| decide(routes, &DecisionConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let mut policy = Policy::permit_all();
+    for i in 0..20u32 {
+        policy.push(PolicyRule::new(
+            RouteMatch::prefix(Prefix::for_origin(Asn(i + 1))),
+            Action::SetMed(i),
+        ));
+    }
+    let route = candidates(1).pop().unwrap();
+    c.bench_function("policy_apply_20_rules", |b| {
+        b.iter(|| policy.apply(&route));
+    });
+}
+
+fn bench_aspath(c: &mut Criterion) {
+    let path = AsPath::from_u32s(&[1, 2, 3, 4, 5, 6, 7]);
+    let mut group = c.benchmark_group("aspath");
+    group.bench_function("prepend", |b| b.iter(|| path.prepend(Asn(99))));
+    group.bench_function("suffix", |b| b.iter(|| path.suffix(4)));
+    group.bench_function("has_loop", |b| b.iter(|| path.has_loop()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision, bench_policy, bench_aspath);
+criterion_main!(benches);

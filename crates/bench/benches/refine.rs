@@ -1,0 +1,106 @@
+//! E-train bench: cost of the iterative refinement heuristic (§4.6) and of
+//! its building blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quasar_bench::{train_model, Context, Scale, SplitKind};
+use quasar_core::prelude::*;
+
+fn bench_refinement(c: &mut Criterion) {
+    let ctx = Context::build(Scale::Tiny, 2);
+    let (training, _) = SplitKind::ByPoint.split(&ctx.dataset, 2);
+
+    let mut group = c.benchmark_group("refine");
+    group.sample_size(10);
+    group.bench_function("train_tiny_internet", |b| {
+        b.iter(|| train_model(&ctx, &training, &RefineConfig::default()));
+    });
+    group.finish();
+}
+
+fn bench_single_prefix_refinement(c: &mut Criterion) {
+    let ctx = Context::build(Scale::Tiny, 3);
+    let graph = ctx.dataset.as_graph();
+    let prefixes = ctx.dataset.prefixes();
+    // Pick the prefix with the most observed routes.
+    let (&prefix, _) = prefixes.iter().next().expect("has prefixes");
+    let paths: Vec<_> = ctx
+        .dataset
+        .routes_for(prefix)
+        .map(|r| r.as_path.clone())
+        .collect();
+
+    let mut group = c.benchmark_group("refine_prefix");
+    group.sample_size(20);
+    group.bench_function("one_prefix", |b| {
+        b.iter(|| {
+            let mut model = AsRoutingModel::initial(&graph, &prefixes);
+            let refs: Vec<&_> = paths.iter().collect();
+            refine_prefix(&mut model, prefix, &refs, &RefineConfig::default())
+                .expect("refinement runs")
+        });
+    });
+    group.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let ctx = Context::build(Scale::Tiny, 4);
+    let (training, validation) = SplitKind::ByPoint.split(&ctx.dataset, 4);
+    let (model, _) = train_model(&ctx, &training, &RefineConfig::default());
+
+    let mut group = c.benchmark_group("evaluate");
+    group.sample_size(10);
+    group.bench_function("validation_set", |b| {
+        b.iter(|| evaluate(&model, &validation));
+    });
+    group.finish();
+}
+
+fn bench_whatif(c: &mut Criterion) {
+    use quasar_core::whatif::{Change, Scenario};
+    let ctx = Context::build(Scale::Tiny, 5);
+    let (model, _) = train_model(&ctx, &ctx.dataset, &RefineConfig::default());
+    let t1 = ctx.internet.as_topology.tier1();
+    let (a, b) = (t1[0], t1[1]);
+
+    let mut group = c.benchmark_group("whatif");
+    group.sample_size(10);
+    group.bench_function("depeer_diff_all_prefixes", |bch| {
+        bch.iter(|| {
+            Scenario::new(&model)
+                .apply(Change::Depeer(a, b))
+                .diff()
+                .expect("scenario converges")
+        });
+    });
+    group.finish();
+}
+
+fn bench_atoms(c: &mut Criterion) {
+    use quasar_core::atoms::{refine_with_atoms, PolicyAtoms};
+    let ctx = Context::build(Scale::Tiny, 6);
+    let graph = ctx.dataset.as_graph();
+
+    let mut group = c.benchmark_group("atoms");
+    group.sample_size(10);
+    group.bench_function("compute_atoms", |b| {
+        b.iter(|| PolicyAtoms::compute(&ctx.dataset));
+    });
+    group.bench_function("refine_with_atoms_tiny", |b| {
+        b.iter(|| {
+            let mut model = AsRoutingModel::initial(&graph, &ctx.dataset.prefixes());
+            refine_with_atoms(&mut model, &ctx.dataset, &RefineConfig::default())
+                .expect("refinement runs")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_refinement,
+    bench_single_prefix_refinement,
+    bench_evaluation,
+    bench_whatif,
+    bench_atoms
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! # quasar-bench — the experiment harness
+//!
+//! One function per table/figure of the paper (see DESIGN.md's experiment
+//! index). The `repro` binary prints them; the Criterion benches measure
+//! the computations behind them; EXPERIMENTS.md records paper-vs-measured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod scale;
+
+pub use experiments::*;
+pub use scale::*;
+
+use quasar_core::observed::{Dataset, ObservedRoute};
+use quasar_netgen::config::NetGenConfig;
+use quasar_netgen::observe::SyntheticInternet;
+
+/// Experiment scale presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-fast; used by tests.
+    Tiny,
+    /// The default experiment scale (hundreds of ASes).
+    Default,
+    /// Thousands of ASes — closest to the paper's 14.5k-AS pruned graph
+    /// that a laptop-scale run affords.
+    Paper,
+}
+
+impl Scale {
+    /// Parses a CLI string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "default" => Some(Scale::Default),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The generator configuration for this scale.
+    pub fn config(self, seed: u64) -> NetGenConfig {
+        match self {
+            Scale::Tiny => NetGenConfig::tiny(seed),
+            Scale::Default => NetGenConfig {
+                seed,
+                ..NetGenConfig::default()
+            },
+            Scale::Paper => NetGenConfig::paper_scale(seed),
+        }
+    }
+}
+
+/// Everything the experiments share: the synthetic Internet (the "real
+/// world") and its cleaned observation dataset.
+pub struct Context {
+    /// The ground truth.
+    pub internet: SyntheticInternet,
+    /// Cleaned feeds.
+    pub dataset: Dataset,
+    /// Scale used.
+    pub scale: Scale,
+    /// Seed used.
+    pub seed: u64,
+}
+
+impl Context {
+    /// Generates the synthetic Internet and derives the dataset.
+    pub fn build(scale: Scale, seed: u64) -> Context {
+        Self::build_with_obs(scale, seed, None)
+    }
+
+    /// Like [`Context::build`], overriding the number of observation ASes
+    /// (the E-density lever; the paper's >80 % regime needs vantage
+    /// coverage comparable to RouteViews+RIPE's).
+    pub fn build_with_obs(scale: Scale, seed: u64, obs: Option<usize>) -> Context {
+        let mut cfg = scale.config(seed);
+        if let Some(n) = obs {
+            cfg.num_observation_ases = n;
+        }
+        let internet = SyntheticInternet::generate(cfg);
+        let dataset = Dataset::new(internet.observations.iter().map(|o| ObservedRoute {
+            point: o.point,
+            observer_as: o.observer_as,
+            prefix: o.prefix,
+            as_path: o.as_path.clone(),
+        }));
+        Context {
+            internet,
+            dataset,
+            scale,
+            seed,
+        }
+    }
+
+    /// The true tier-1 ASNs (used as clique seeds, like the paper's
+    /// well-known tier-1 list).
+    pub fn tier1_seeds(&self) -> Vec<quasar_bgpsim::types::Asn> {
+        self.internet.as_topology.tier1()
+    }
+}

@@ -1,0 +1,71 @@
+//! E-scale: the engine-scalability experiment (paper §4.1).
+//!
+//! "it is thus possible to perform large-scale simulations for single
+//! prefixes on topologies with more than 16,500 routers split among 14,500
+//! ASes in 2–45 minutes with 200 MB–2 GB memory" — C-BGP, 2006 hardware.
+//! This experiment measures our engine's per-prefix simulation time and
+//! message volume as the model grows.
+
+use quasar_core::model::AsRoutingModel;
+use quasar_core::observed::Dataset;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One scaling measurement point.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalePoint {
+    /// ASes in the model.
+    pub ases: usize,
+    /// Quasi-routers.
+    pub routers: usize,
+    /// eBGP sessions.
+    pub sessions: usize,
+    /// Prefixes simulated.
+    pub prefixes: usize,
+    /// Mean messages per prefix simulation.
+    pub mean_messages: f64,
+    /// Mean wall time per prefix simulation (µs).
+    pub mean_micros: f64,
+}
+
+/// Simulates up to `max_prefixes` prefixes on the initial model of
+/// `dataset` and reports the means.
+pub fn measure_scale(dataset: &Dataset, max_prefixes: usize) -> ScalePoint {
+    let graph = dataset.as_graph();
+    let model = AsRoutingModel::initial(&graph, &dataset.prefixes());
+    let stats = model.stats();
+    let prefixes: Vec<_> = model.prefixes().keys().copied().collect();
+    let n = prefixes.len().min(max_prefixes).max(1);
+
+    let mut total_msgs = 0u64;
+    let start = Instant::now();
+    for &p in prefixes.iter().take(n) {
+        let res = model.simulate(p).expect("initial model converges");
+        total_msgs += res.stats.messages;
+    }
+    let elapsed = start.elapsed();
+
+    ScalePoint {
+        ases: stats.ases,
+        routers: stats.quasi_routers,
+        sessions: stats.sessions,
+        prefixes: n,
+        mean_messages: total_msgs as f64 / n as f64,
+        mean_micros: elapsed.as_micros() as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Context, Scale};
+
+    #[test]
+    fn scale_measurement_runs() {
+        let ctx = Context::build(Scale::Tiny, 3);
+        let p = measure_scale(&ctx.dataset, 10);
+        assert!(p.mean_messages > 0.0);
+        assert!(p.routers >= p.ases);
+        assert_eq!(p.prefixes, 10);
+    }
+}

@@ -1,0 +1,882 @@
+//! Per-prefix steady-state route propagation.
+//!
+//! This is the C-BGP-equivalent core (§2, §4.1 of the paper): it "models
+//! the propagation of BGP messages and reproduces the selection performed
+//! by each router", computing "the steady-state choice of the BGP routers
+//! after the exchange of the BGP messages has converged". There is no
+//! timer/MRAI machinery — routers are activated sequentially in a fixed
+//! (Gauss-Seidel) order, each draining a latest-update-wins inbox, so a
+//! given (network, prefix, origins) triple always converges to the same
+//! RIBs, and instances with several stable solutions (DISAGREE) settle
+//! deterministically instead of oscillating.
+//!
+//! Semantics implemented:
+//! * **Announce/implicit-withdraw per session**: a session carries at most
+//!   one current route per direction; a new announcement replaces it, a
+//!   withdraw removes it.
+//! * **Import**: eBGP loop detection (own ASN in path), then the import
+//!   policy chain; denied or looped updates clear the session's RIB-In
+//!   entry.
+//! * **Export**: sender-side split horizon (never echo the best route back
+//!   over the session it was learned from), iBGP full-mesh rule (never
+//!   re-advertise an iBGP-learned route over iBGP), then the export policy
+//!   chain applied to the Loc-RIB form of the route (i.e. *before* the
+//!   sender's ASN is prepended), then eBGP attribute scrubbing (prepend own
+//!   ASN, reset local-pref, clear the non-transitive MED).
+//! * **Hot-potato input**: routes received over iBGP are costed with the
+//!   IGP distance from the receiver to the announcing border router.
+
+use crate::aspath::AsPath;
+use crate::decision::{decide, DecisionOutcome};
+use crate::error::SimError;
+use crate::network::{Network, SessionKind};
+use crate::route::{LearnedVia, Route, DEFAULT_LOCAL_PREF, NO_ADVERTISE, NO_EXPORT};
+use crate::types::{Prefix, RouterId};
+use std::collections::{BTreeMap, HashMap};
+
+/// One propagation event, recorded by [`Network::simulate_traced`].
+/// Routes are summarized by their AS-path to keep traces readable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A router drained its inbox and re-ran the decision process.
+    Activate {
+        /// The activated router.
+        router: RouterId,
+        /// Updates consumed from the inbox.
+        inbox: usize,
+    },
+    /// A router's best route changed.
+    BestChanged {
+        /// The router.
+        router: RouterId,
+        /// Previous best AS-path (`None` = no route).
+        old: Option<AsPath>,
+        /// New best AS-path.
+        new: Option<AsPath>,
+    },
+    /// An update was placed in a peer's inbox.
+    Sent {
+        /// Announcing router.
+        from: RouterId,
+        /// Receiving router.
+        to: RouterId,
+        /// Announced AS-path (`None` = withdraw).
+        path: Option<AsPath>,
+    },
+}
+
+/// Counters describing one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// BGP messages delivered (announcements + withdraws).
+    pub messages: u64,
+    /// Messages suppressed because they duplicated the last one sent on
+    /// that session direction.
+    pub suppressed: u64,
+    /// High-water mark of the message queue.
+    pub peak_queue: usize,
+}
+
+/// Final state of one router after convergence.
+#[derive(Debug, Clone)]
+pub struct RouterRib {
+    /// The router.
+    pub router: RouterId,
+    /// Post-import candidate routes: the locally originated route (if any)
+    /// first, then the per-session Adj-RIB-In entries in deterministic
+    /// session order.
+    pub candidates: Vec<Route>,
+    /// Decision-process outcome over `candidates`, including the step at
+    /// which each losing candidate was eliminated.
+    pub outcome: DecisionOutcome,
+}
+
+impl RouterRib {
+    /// The selected best route, if any.
+    pub fn best(&self) -> Option<&Route> {
+        self.outcome.best.map(|i| &self.candidates[i])
+    }
+
+    /// Renders a human-readable account of the decision at this router:
+    /// every candidate with its attributes and the step that eliminated
+    /// it. Useful when debugging why a model disagrees with an observed
+    /// route.
+    pub fn explain(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} candidate(s)",
+            self.router,
+            self.candidates.len()
+        );
+        for (i, c) in self.candidates.iter().enumerate() {
+            let verdict = match self.outcome.eliminated_at[i] {
+                None => "BEST".to_string(),
+                Some(step) => format!("lost at {step:?}"),
+            };
+            let path = if c.as_path.is_empty() {
+                "(local)".to_string()
+            } else {
+                c.as_path.to_string()
+            };
+            let from = c
+                .from_router
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "local".into());
+            let _ = writeln!(
+                out,
+                "  [{i}] path [{path}] from {from} lp={} med={:?} origin={:?} {:?} igp={} -> {verdict}",
+                c.local_pref, c.med, c.origin, c.learned, c.igp_cost
+            );
+        }
+        out
+    }
+}
+
+/// Converged per-prefix routing state for every router of the network.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    /// The simulated prefix.
+    pub prefix: Prefix,
+    index: HashMap<RouterId, usize>,
+    ribs: Vec<RouterRib>,
+    /// Directed announcements in flight at convergence: what `from` last
+    /// announced to `to` (the Adj-RIB-Out content of that direction).
+    sent: HashMap<(RouterId, RouterId), Route>,
+    /// Run counters.
+    pub stats: SimStats,
+}
+
+impl SimulationResult {
+    /// RIB state of `router`, if it exists.
+    pub fn rib(&self, router: RouterId) -> Option<&RouterRib> {
+        self.index.get(&router).map(|&i| &self.ribs[i])
+    }
+
+    /// The best route selected by `router`.
+    pub fn best_route(&self, router: RouterId) -> Option<&Route> {
+        self.rib(router).and_then(|r| r.best())
+    }
+
+    /// What `from` announced to `to` at convergence (`None` = nothing).
+    pub fn announced(&self, from: RouterId, to: RouterId) -> Option<&Route> {
+        self.sent.get(&(from, to))
+    }
+
+    /// Iterates over all router RIBs.
+    pub fn ribs(&self) -> impl Iterator<Item = &RouterRib> {
+        self.ribs.iter()
+    }
+}
+
+struct RunState<'n> {
+    net: &'n Network,
+    /// Per router: session id -> current post-import route.
+    rib_in: Vec<BTreeMap<usize, Route>>,
+    /// Per router: locally originated route.
+    local: Vec<Option<Route>>,
+    /// Per router: currently selected best (full value, for change detection).
+    best: Vec<Option<Route>>,
+    /// Per session: last update sent in each direction
+    /// (`[a_to_b, b_to_a]`; inner `None` = nothing currently announced).
+    last_sent: Vec<[Option<Route>; 2]>,
+    /// Per router: latest unprocessed update per session (BGP implicit
+    /// withdraw: a newer update on a session supersedes the older one).
+    pending: Vec<BTreeMap<usize, Option<Route>>>,
+    /// Routers with pending work.
+    dirty: Vec<bool>,
+    /// Total pending updates across all inboxes (peak tracking).
+    queued: usize,
+    stats: SimStats,
+    /// Event sink when tracing.
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl Network {
+    /// Simulates the propagation of `prefix`, originated at `origins`, to
+    /// steady state. Returns the converged RIBs of every router.
+    ///
+    /// Routers are activated sequentially in a fixed order (Gauss-Seidel
+    /// style), each draining its inbox, re-running the decision process,
+    /// and exporting before the next router activates. Sequential
+    /// activation converges on instances with multiple stable solutions
+    /// (e.g. DISAGREE) where synchronous schedules oscillate, and is
+    /// deterministic: a given (network, prefix, origins) always yields the
+    /// same RIBs.
+    ///
+    /// # Errors
+    /// [`SimError::UnknownRouter`] if an origin is not in the network;
+    /// [`SimError::Divergence`] if the message budget is exhausted — the
+    /// installed policies admit no stable solution (cf. §4.6 of the paper
+    /// on local-pref-induced divergence).
+    pub fn simulate(
+        &self,
+        prefix: Prefix,
+        origins: &[RouterId],
+    ) -> Result<SimulationResult, SimError> {
+        self.simulate_inner(prefix, origins, false)
+            .map(|(res, _)| res)
+    }
+
+    /// Like [`Network::simulate`], additionally recording every router
+    /// activation, best-route change, and sent update — a readable account
+    /// of how the prefix propagated. Traces grow with convergence work;
+    /// intended for debugging and teaching, not bulk runs.
+    pub fn simulate_traced(
+        &self,
+        prefix: Prefix,
+        origins: &[RouterId],
+    ) -> Result<(SimulationResult, Vec<TraceEvent>), SimError> {
+        self.simulate_inner(prefix, origins, true)
+            .map(|(res, t)| (res, t.unwrap_or_default()))
+    }
+
+    fn simulate_inner(
+        &self,
+        prefix: Prefix,
+        origins: &[RouterId],
+        traced: bool,
+    ) -> Result<(SimulationResult, Option<Vec<TraceEvent>>), SimError> {
+        let n = self.routers.len();
+        let mut st = RunState {
+            net: self,
+            rib_in: vec![BTreeMap::new(); n],
+            local: vec![None; n],
+            best: vec![None; n],
+            last_sent: vec![[None, None]; self.sessions.len()],
+            pending: vec![BTreeMap::new(); n],
+            dirty: vec![false; n],
+            queued: 0,
+            stats: SimStats::default(),
+            trace: if traced { Some(Vec::new()) } else { None },
+        };
+
+        // Deterministic origination order.
+        let mut sorted_origins: Vec<RouterId> = origins.to_vec();
+        sorted_origins.sort();
+        sorted_origins.dedup();
+        for o in &sorted_origins {
+            let i = *self.index.get(o).ok_or(SimError::UnknownRouter(*o))?;
+            st.local[i] = Some(Route::originate(prefix));
+            st.dirty[i] = true;
+        }
+
+        let budget = self.effective_budget();
+        loop {
+            let mut any = false;
+            for r in 0..n {
+                if !st.dirty[r] {
+                    continue;
+                }
+                any = true;
+                st.activate(r);
+                if st.stats.messages > budget {
+                    return Err(SimError::Divergence {
+                        prefix,
+                        processed: st.stats.messages,
+                    });
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+
+        let trace = st.trace.take();
+        Ok((st.into_result(prefix), trace))
+    }
+}
+
+impl<'n> RunState<'n> {
+    /// Activates dense router `r`: drains its inbox, re-decides, exports.
+    fn activate(&mut self, r: usize) {
+        self.dirty[r] = false;
+        let inbox = std::mem::take(&mut self.pending[r]);
+        self.queued -= inbox.len();
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::Activate {
+                router: self.net.routers[r],
+                inbox: inbox.len(),
+            });
+        }
+        for (sid, update) in inbox {
+            self.stats.messages += 1;
+            self.install(sid, r, update);
+        }
+        self.recompute_and_export(r);
+    }
+
+    /// Installs one update received by dense router `to` over session
+    /// `sid` into its Adj-RIB-In (post-import).
+    fn install(&mut self, sid: usize, to: usize, update: Option<Route>) {
+        let session = &self.net.sessions[sid];
+        let from = session.peer_of(to);
+        let receiver_id = self.net.routers[to];
+        let sender_id = self.net.routers[from];
+
+        let installed: Option<Route> = update.and_then(|mut route| {
+            // eBGP loop detection: reject a path already containing the
+            // receiver's AS.
+            if session.kind == SessionKind::Ebgp && route.as_path.contains(receiver_id.asn()) {
+                return None;
+            }
+            // RFC 4456 ORIGINATOR_ID loop prevention: a reflected route
+            // must never be re-installed at the router that injected it.
+            if session.kind == SessionKind::Ibgp && route.originator == Some(receiver_id) {
+                return None;
+            }
+            // Fill receiver-side fields *before* the import policy so
+            // matchers can see the announcing neighbor.
+            route.from_router = Some(sender_id);
+            route.from_asn = route.as_path.head();
+            match session.kind {
+                SessionKind::Ebgp => {
+                    route.learned = LearnedVia::Ebgp;
+                    route.igp_cost = 0;
+                }
+                SessionKind::Ibgp => {
+                    route.learned = LearnedVia::Ibgp;
+                    route.igp_cost = self.net.igp_cost(receiver_id.asn(), receiver_id, sender_id);
+                }
+            }
+            session.direction(from).import.apply(&route)
+        });
+
+        match installed {
+            Some(route) => {
+                self.rib_in[to].insert(sid, route);
+            }
+            None => {
+                self.rib_in[to].remove(&sid);
+            }
+        }
+    }
+
+    /// Re-runs the decision process at dense router `r`; if the best route
+    /// changed, delivers (possibly suppressed) updates to every peer's
+    /// inbox.
+    fn recompute_and_export(&mut self, r: usize) {
+        let candidates: Vec<&Route> = self.local[r]
+            .iter()
+            .chain(self.rib_in[r].values())
+            .collect();
+        let owned: Vec<Route> = candidates.into_iter().cloned().collect();
+        let outcome = decide(&owned, &self.net.cfg);
+        let new_best = outcome.best.map(|i| owned[i].clone());
+        if new_best == self.best[r] {
+            return;
+        }
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::BestChanged {
+                router: self.net.routers[r],
+                old: self.best[r].as_ref().map(|b| b.as_path.clone()),
+                new: new_best.as_ref().map(|b| b.as_path.clone()),
+            });
+        }
+        self.best[r] = new_best;
+
+        // Fan out over sessions in deterministic (peer-sorted) order.
+        let adj = self.net.adj[r].clone();
+        for (sid, peer) in adj {
+            let msg = self.export_over(r, sid);
+            let dir = usize::from(self.net.sessions[sid].a != r);
+            if self.last_sent[sid][dir] == msg {
+                self.stats.suppressed += 1;
+                continue;
+            }
+            self.last_sent[sid][dir] = msg.clone();
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent::Sent {
+                    from: self.net.routers[r],
+                    to: self.net.routers[peer],
+                    path: msg.as_ref().map(|m| m.as_path.clone()),
+                });
+            }
+            if self.pending[peer].insert(sid, msg).is_none() {
+                self.queued += 1;
+            }
+            self.dirty[peer] = true;
+            self.stats.peak_queue = self.stats.peak_queue.max(self.queued);
+        }
+    }
+
+    /// Builds the update dense router `r` sends over session `sid`
+    /// (`None` = withdraw).
+    fn export_over(&self, r: usize, sid: usize) -> Option<Route> {
+        let session = &self.net.sessions[sid];
+        let best = self.best[r].as_ref()?;
+        // RFC 1997 well-known communities, honored by the protocol itself.
+        if best.has_community(NO_ADVERTISE) {
+            return None;
+        }
+        if session.kind == SessionKind::Ebgp && best.has_community(NO_EXPORT) {
+            return None;
+        }
+        // Sender-side split horizon: never echo back over the learning
+        // session.
+        if let Some(from_router) = best.from_router {
+            let peer_id = self.net.routers[session.peer_of(r)];
+            if from_router == peer_id {
+                return None;
+            }
+        }
+        // iBGP: internal routes are re-advertised internally only under
+        // RFC 4456 route reflection — client routes to everyone,
+        // non-client routes to clients (plain full mesh reflects nothing).
+        let mut reflected = false;
+        if session.kind == SessionKind::Ibgp && best.learned == LearnedVia::Ibgp {
+            let me = self.net.routers[r];
+            let peer_id = self.net.routers[session.peer_of(r)];
+            let from_client = best
+                .from_router
+                .is_some_and(|f| self.net.is_rr_client(me, f));
+            let to_client = self.net.is_rr_client(me, peer_id);
+            if !(from_client || to_client) {
+                return None;
+            }
+            reflected = true;
+        }
+        // Export policy on the Loc-RIB form.
+        let mut out = session.direction(r).export.apply(best)?;
+        if session.kind == SessionKind::Ebgp {
+            let own = self.net.routers[r].asn();
+            out.as_path = out.as_path.prepend(own);
+            out.local_pref = DEFAULT_LOCAL_PREF;
+            out.med = None; // non-transitive
+        }
+        if reflected {
+            // Stamp the injector on first reflection (RFC 4456 §8).
+            out.originator = out.originator.or(best.from_router);
+        }
+        if session.kind == SessionKind::Ebgp {
+            out.originator = None; // meaningless outside the AS
+        }
+        out.from_router = None;
+        out.from_asn = None;
+        out.igp_cost = 0;
+        Some(out)
+    }
+
+    fn into_result(self, prefix: Prefix) -> SimulationResult {
+        let mut sent = HashMap::new();
+        for (sid, dirs) in self.last_sent.iter().enumerate() {
+            let s = &self.net.sessions[sid];
+            let (a, b) = (self.net.routers[s.a], self.net.routers[s.b]);
+            if let Some(route) = &dirs[0] {
+                sent.insert((a, b), route.clone());
+            }
+            if let Some(route) = &dirs[1] {
+                sent.insert((b, a), route.clone());
+            }
+        }
+        let mut ribs = Vec::with_capacity(self.net.routers.len());
+        for r in 0..self.net.routers.len() {
+            let candidates: Vec<Route> = self.local[r]
+                .iter()
+                .cloned()
+                .chain(self.rib_in[r].values().cloned())
+                .collect();
+            let outcome = decide(&candidates, &self.net.cfg);
+            ribs.push(RouterRib {
+                router: self.net.routers[r],
+                candidates,
+                outcome,
+            });
+        }
+        SimulationResult {
+            prefix,
+            index: self.net.index.clone(),
+            ribs,
+            sent,
+            stats: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::DecisionConfig;
+    use crate::policy::{Action, Policy, PolicyRule, RouteMatch};
+    use crate::types::Asn;
+
+    fn rid(asn: u32, idx: u16) -> RouterId {
+        RouterId::new(Asn(asn), idx)
+    }
+
+    /// Line: AS1 - AS2 - AS3, prefix at AS3.
+    fn line() -> Network {
+        let mut net = Network::new(DecisionConfig::default());
+        for a in 1..=3u32 {
+            net.add_router(rid(a, 0));
+        }
+        net.add_session(rid(1, 0), rid(2, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.add_session(rid(2, 0), rid(3, 0), SessionKind::Ebgp)
+            .unwrap();
+        net
+    }
+
+    #[test]
+    fn propagation_along_line() {
+        let net = line();
+        let p = Prefix::for_origin(Asn(3));
+        let res = net.simulate(p, &[rid(3, 0)]).unwrap();
+        assert_eq!(res.best_route(rid(3, 0)).unwrap().as_path.len(), 0);
+        assert_eq!(res.best_route(rid(2, 0)).unwrap().as_path.to_string(), "3");
+        assert_eq!(
+            res.best_route(rid(1, 0)).unwrap().as_path.to_string(),
+            "2 3"
+        );
+    }
+
+    #[test]
+    fn rib_out_recorded() {
+        let net = line();
+        let p = Prefix::for_origin(Asn(3));
+        let res = net.simulate(p, &[rid(3, 0)]).unwrap();
+        let out = res.announced(rid(2, 0), rid(1, 0)).unwrap();
+        assert_eq!(out.as_path.to_string(), "2 3");
+        // AS1 announces nothing back to AS2 beyond loop-rejected paths:
+        // split horizon keeps the learning session silent.
+        assert!(res.announced(rid(1, 0), rid(2, 0)).is_none());
+    }
+
+    #[test]
+    fn unknown_origin_errors() {
+        let net = line();
+        let p = Prefix::for_origin(Asn(9));
+        assert!(matches!(
+            net.simulate(p, &[rid(9, 0)]),
+            Err(SimError::UnknownRouter(_))
+        ));
+    }
+
+    /// Square: 1-2, 1-4, 2-3, 4-3; origin at 3. AS1 hears two equal-length
+    /// paths (2 3) and (4 3); tie-break picks the lower neighbor id (AS2).
+    #[test]
+    fn tie_break_on_square() {
+        let mut net = Network::new(DecisionConfig::default());
+        for a in 1..=4u32 {
+            net.add_router(rid(a, 0));
+        }
+        net.add_session(rid(1, 0), rid(2, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.add_session(rid(1, 0), rid(4, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.add_session(rid(2, 0), rid(3, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.add_session(rid(4, 0), rid(3, 0), SessionKind::Ebgp)
+            .unwrap();
+        let p = Prefix::for_origin(Asn(3));
+        let res = net.simulate(p, &[rid(3, 0)]).unwrap();
+        let rib1 = res.rib(rid(1, 0)).unwrap();
+        assert_eq!(rib1.candidates.len(), 2);
+        assert_eq!(rib1.best().unwrap().as_path.to_string(), "2 3");
+        // The loser survived to the tie-break.
+        assert_eq!(rib1.outcome.tie_break_survivors().len(), 2);
+    }
+
+    #[test]
+    fn med_import_policy_flips_choice() {
+        // Same square, but AS1 prefers routes announced by AS4 via MED.
+        let mut net = Network::new(DecisionConfig::default());
+        for a in 1..=4u32 {
+            net.add_router(rid(a, 0));
+        }
+        net.add_session(rid(1, 0), rid(2, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.add_session(rid(1, 0), rid(4, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.add_session(rid(2, 0), rid(3, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.add_session(rid(4, 0), rid(3, 0), SessionKind::Ebgp)
+            .unwrap();
+        let p = Prefix::for_origin(Asn(3));
+        let mut prefer4 = Policy::permit_all();
+        prefer4.push(PolicyRule::new(RouteMatch::prefix(p), Action::SetMed(0)));
+        net.set_import_policy(rid(1, 0), rid(4, 0), prefer4)
+            .unwrap();
+        let mut demote2 = Policy::permit_all();
+        demote2.push(PolicyRule::new(RouteMatch::prefix(p), Action::SetMed(10)));
+        net.set_import_policy(rid(1, 0), rid(2, 0), demote2)
+            .unwrap();
+        let res = net.simulate(p, &[rid(3, 0)]).unwrap();
+        assert_eq!(
+            res.best_route(rid(1, 0)).unwrap().as_path.to_string(),
+            "4 3"
+        );
+    }
+
+    #[test]
+    fn export_filter_blocks_propagation() {
+        let mut net = line();
+        let p = Prefix::for_origin(Asn(3));
+        let mut deny = Policy::permit_all();
+        deny.push(PolicyRule::new(RouteMatch::prefix(p), Action::Deny));
+        net.set_export_policy(rid(2, 0), rid(1, 0), deny).unwrap();
+        let res = net.simulate(p, &[rid(3, 0)]).unwrap();
+        assert!(res.best_route(rid(1, 0)).is_none());
+        assert!(res.best_route(rid(2, 0)).is_some());
+    }
+
+    #[test]
+    fn ibgp_full_mesh_no_reflection() {
+        // AS2 has two routers, full iBGP mesh; only r0 has the eBGP session
+        // to the origin AS3. r1 must learn via iBGP; a third router r2 also
+        // connected only to r1 over iBGP must NOT learn the route (no
+        // reflection).
+        let mut net = Network::new(DecisionConfig::default());
+        net.add_router(rid(3, 0));
+        for i in 0..3u16 {
+            net.add_router(rid(2, i));
+        }
+        net.add_session(rid(2, 0), rid(3, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.add_session(rid(2, 0), rid(2, 1), SessionKind::Ibgp)
+            .unwrap();
+        net.add_session(rid(2, 1), rid(2, 2), SessionKind::Ibgp)
+            .unwrap();
+        let p = Prefix::for_origin(Asn(3));
+        let res = net.simulate(p, &[rid(3, 0)]).unwrap();
+        assert!(res.best_route(rid(2, 1)).is_some());
+        assert_eq!(res.best_route(rid(2, 1)).unwrap().learned, LearnedVia::Ibgp);
+        assert!(res.best_route(rid(2, 2)).is_none());
+    }
+
+    #[test]
+    fn ebgp_loop_rejected() {
+        // Triangle 1-2-3 with origin at 1: no router may install a path
+        // containing its own AS.
+        let mut net = Network::new(DecisionConfig::default());
+        for a in 1..=3u32 {
+            net.add_router(rid(a, 0));
+        }
+        net.add_session(rid(1, 0), rid(2, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.add_session(rid(2, 0), rid(3, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.add_session(rid(3, 0), rid(1, 0), SessionKind::Ebgp)
+            .unwrap();
+        let p = Prefix::for_origin(Asn(1));
+        let res = net.simulate(p, &[rid(1, 0)]).unwrap();
+        for rib in res.ribs() {
+            for c in &rib.candidates {
+                assert!(!c.as_path.contains(rib.router.asn()));
+            }
+        }
+        assert_eq!(res.best_route(rid(2, 0)).unwrap().as_path.to_string(), "1");
+        assert_eq!(res.best_route(rid(3, 0)).unwrap().as_path.to_string(), "1");
+    }
+
+    #[test]
+    fn multi_origin_anycast() {
+        let net = line();
+        let p = Prefix::new(0xC0000000, 24);
+        let res = net.simulate(p, &[rid(1, 0), rid(3, 0)]).unwrap();
+        // AS2 hears both origins with 1-hop paths; lower neighbor id wins.
+        let best = res.best_route(rid(2, 0)).unwrap();
+        assert_eq!(best.as_path.to_string(), "1");
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let net = line();
+        let p = Prefix::for_origin(Asn(3));
+        let res = net.simulate(p, &[rid(3, 0)]).unwrap();
+        assert!(res.stats.messages >= 2);
+    }
+
+    /// Griffin's BAD GADGET: three ASes around an origin, each preferring
+    /// the route through its clockwise neighbor (via local-pref) over its
+    /// direct route. No stable solution exists; the engine must detect the
+    /// oscillation instead of spinning forever. This is exactly the
+    /// divergence the paper cites as the reason to avoid local-pref
+    /// ranking (§4.6).
+    #[test]
+    fn bad_gadget_reports_divergence() {
+        let mut net = Network::new(DecisionConfig::default());
+        for a in 0..=3u32 {
+            net.add_router(rid(a + 1, 0)); // ASes 1 (origin), 2, 3, 4
+        }
+        let origin = rid(1, 0);
+        for a in 2..=4u32 {
+            net.add_session(rid(a, 0), origin, SessionKind::Ebgp)
+                .unwrap();
+        }
+        net.add_session(rid(2, 0), rid(3, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.add_session(rid(3, 0), rid(4, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.add_session(rid(4, 0), rid(2, 0), SessionKind::Ebgp)
+            .unwrap();
+        // Each AS prefers the 2-hop route via its clockwise neighbor.
+        for (me, pref) in [(2u32, 3u32), (3, 4), (4, 2)] {
+            let mut p = Policy::permit_all();
+            p.push(PolicyRule::new(
+                RouteMatch::any(),
+                Action::SetLocalPref(200),
+            ));
+            net.set_import_policy(rid(me, 0), rid(pref, 0), p).unwrap();
+        }
+        let prefix = Prefix::for_origin(Asn(1));
+        let err = net.simulate(prefix, &[origin]).unwrap_err();
+        assert!(matches!(err, SimError::Divergence { .. }), "got {err:?}");
+    }
+
+    /// DISAGREE has two stable solutions; the deterministic engine must
+    /// settle on one (and always the same one).
+    #[test]
+    fn disagree_converges_deterministically() {
+        let build = || {
+            let mut net = Network::new(DecisionConfig::default());
+            for a in 1..=3u32 {
+                net.add_router(rid(a, 0));
+            }
+            net.add_session(rid(2, 0), rid(1, 0), SessionKind::Ebgp)
+                .unwrap();
+            net.add_session(rid(3, 0), rid(1, 0), SessionKind::Ebgp)
+                .unwrap();
+            net.add_session(rid(2, 0), rid(3, 0), SessionKind::Ebgp)
+                .unwrap();
+            for (me, pref) in [(2u32, 3u32), (3, 2)] {
+                let mut p = Policy::permit_all();
+                p.push(PolicyRule::new(
+                    RouteMatch::any(),
+                    Action::SetLocalPref(200),
+                ));
+                net.set_import_policy(rid(me, 0), rid(pref, 0), p).unwrap();
+            }
+            net
+        };
+        let prefix = Prefix::for_origin(Asn(1));
+        let a = build().simulate(prefix, &[rid(1, 0)]).unwrap();
+        let b = build().simulate(prefix, &[rid(1, 0)]).unwrap();
+        assert_eq!(a.best_route(rid(2, 0)), b.best_route(rid(2, 0)));
+        assert_eq!(a.best_route(rid(3, 0)), b.best_route(rid(3, 0)));
+        // Exactly one of AS2/AS3 got its preferred indirect route.
+        let via_indirect = [a.best_route(rid(2, 0)), a.best_route(rid(3, 0))]
+            .iter()
+            .filter(|r| r.map(|r| r.as_path.len()) == Some(2))
+            .count();
+        assert_eq!(via_indirect, 1);
+    }
+
+    #[test]
+    fn no_export_stops_at_as_boundary() {
+        // 1 - 2 - 3 line; AS3's export towards AS2 tags NO_EXPORT: AS2
+        // uses the route, AS1 never hears it.
+        let mut net = line();
+        let p = Prefix::for_origin(Asn(3));
+        let mut tag = Policy::permit_all();
+        tag.push(PolicyRule::new(
+            RouteMatch::prefix(p),
+            Action::AddCommunity(crate::route::NO_EXPORT),
+        ));
+        net.set_export_policy(rid(3, 0), rid(2, 0), tag).unwrap();
+        let res = net.simulate(p, &[rid(3, 0)]).unwrap();
+        let at2 = res.best_route(rid(2, 0)).unwrap();
+        assert!(at2.has_community(crate::route::NO_EXPORT));
+        assert!(res.best_route(rid(1, 0)).is_none(), "NO_EXPORT leaked");
+    }
+
+    #[test]
+    fn no_advertise_stays_on_router() {
+        // AS2 has two routers (iBGP); the import at r0 tags NO_ADVERTISE:
+        // r0 keeps the route, r1 never learns it.
+        let mut net = Network::new(DecisionConfig::default());
+        net.add_router(rid(3, 0));
+        net.add_router(rid(2, 0));
+        net.add_router(rid(2, 1));
+        net.add_session(rid(2, 0), rid(3, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.add_session(rid(2, 0), rid(2, 1), SessionKind::Ibgp)
+            .unwrap();
+        let p = Prefix::for_origin(Asn(3));
+        let mut tag = Policy::permit_all();
+        tag.push(PolicyRule::new(
+            RouteMatch::prefix(p),
+            Action::AddCommunity(crate::route::NO_ADVERTISE),
+        ));
+        net.set_import_policy(rid(2, 0), rid(3, 0), tag).unwrap();
+        let res = net.simulate(p, &[rid(3, 0)]).unwrap();
+        assert!(res.best_route(rid(2, 0)).is_some());
+        assert!(res.best_route(rid(2, 1)).is_none(), "NO_ADVERTISE leaked");
+    }
+
+    #[test]
+    fn communities_are_transitive_across_ebgp() {
+        let mut net = line();
+        let p = Prefix::for_origin(Asn(3));
+        let mut tag = Policy::permit_all();
+        tag.push(PolicyRule::new(
+            RouteMatch::prefix(p),
+            Action::AddCommunity(0x00CC_0001),
+        ));
+        net.set_export_policy(rid(3, 0), rid(2, 0), tag).unwrap();
+        let res = net.simulate(p, &[rid(3, 0)]).unwrap();
+        // Two AS hops later the community is still attached.
+        assert!(res
+            .best_route(rid(1, 0))
+            .unwrap()
+            .has_community(0x00CC_0001));
+    }
+
+    #[test]
+    fn explanation_lists_candidates_and_verdicts() {
+        let mut net = Network::new(DecisionConfig::default());
+        for a in 1..=4u32 {
+            net.add_router(rid(a, 0));
+        }
+        net.add_session(rid(1, 0), rid(2, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.add_session(rid(1, 0), rid(4, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.add_session(rid(2, 0), rid(3, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.add_session(rid(4, 0), rid(3, 0), SessionKind::Ebgp)
+            .unwrap();
+        let p = Prefix::for_origin(Asn(3));
+        let res = net.simulate(p, &[rid(3, 0)]).unwrap();
+        let text = res.rib(rid(1, 0)).unwrap().explain();
+        assert!(text.contains("BEST"), "{text}");
+        assert!(text.contains("lost at TieBreak"), "{text}");
+        assert!(text.contains("2 3"), "{text}");
+        // The origin's own explanation shows the local route winning.
+        let origin_text = res.rib(rid(3, 0)).unwrap().explain();
+        assert!(origin_text.contains("(local)"), "{origin_text}");
+    }
+
+    #[test]
+    fn trace_records_propagation_story() {
+        let net = line();
+        let p = Prefix::for_origin(Asn(3));
+        let (res, trace) = net.simulate_traced(p, &[rid(3, 0)]).unwrap();
+        // Same converged result as the untraced run.
+        let plain = net.simulate(p, &[rid(3, 0)]).unwrap();
+        assert_eq!(res.best_route(rid(1, 0)), plain.best_route(rid(1, 0)));
+        // The story contains the origin's best change and sends down the
+        // line.
+        assert!(trace.iter().any(|e| matches!(
+            e,
+            TraceEvent::BestChanged { router, new: Some(p), .. }
+                if *router == rid(3, 0) && p.is_empty()
+        )));
+        assert!(trace.iter().any(|e| matches!(
+            e,
+            TraceEvent::Sent { from, to, path: Some(p) }
+                if *from == rid(2, 0) && *to == rid(1, 0) && p.to_string() == "2 3"
+        )));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Activate { router, .. } if *router == rid(1, 0))));
+    }
+
+    #[test]
+    fn empty_network_simulates_nothing() {
+        let net = Network::new(DecisionConfig::default());
+        let res = net.simulate(Prefix::new(0, 0), &[]).unwrap();
+        assert_eq!(res.ribs().count(), 0);
+    }
+}

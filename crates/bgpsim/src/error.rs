@@ -1,0 +1,50 @@
+//! Error types for the simulator.
+
+use crate::types::{Prefix, RouterId};
+use std::fmt;
+
+/// Errors produced while building a [`crate::network::Network`] or running
+/// a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A referenced router was never added to the network.
+    UnknownRouter(RouterId),
+    /// A session between the two routers was requested twice.
+    DuplicateSession(RouterId, RouterId),
+    /// A session endpoint pair has no session.
+    NoSession(RouterId, RouterId),
+    /// A session between two routers of the same AS was declared eBGP, or
+    /// between different ASes was declared iBGP.
+    SessionKindMismatch(RouterId, RouterId),
+    /// The propagation did not reach a steady state within the message
+    /// budget — the installed policies diverge (cf. the paper's §4.6
+    /// discussion of local-pref-induced divergence).
+    Divergence {
+        /// The prefix whose simulation diverged.
+        prefix: Prefix,
+        /// Messages processed before giving up.
+        processed: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownRouter(r) => write!(f, "unknown router {r}"),
+            SimError::DuplicateSession(a, b) => {
+                write!(f, "duplicate session between {a} and {b}")
+            }
+            SimError::NoSession(a, b) => write!(f, "no session between {a} and {b}"),
+            SimError::SessionKindMismatch(a, b) => write!(
+                f,
+                "session kind inconsistent with AS membership of {a} and {b}"
+            ),
+            SimError::Divergence { prefix, processed } => write!(
+                f,
+                "BGP propagation for {prefix} diverged after {processed} messages"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,203 @@
+//! Intra-domain (IGP) shortest-path substrate.
+//!
+//! The BGP decision process ranks otherwise-equal routes "according to the
+//! IGP cost of the intra-domain path towards the next-hop... This rule
+//! implements hot-potato routing" (§2). Quasi-routers in the paper's model
+//! are deliberately isolated (no iBGP, §4.6) so the *model* never consults
+//! the IGP; the *ground-truth* generator does, because intra-domain routing
+//! is exactly what creates the route diversity the model must capture.
+
+use crate::types::RouterId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BinaryHeap, HashMap};
+
+/// A weighted, undirected intra-AS router graph with Dijkstra queries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IgpTopology {
+    nodes: Vec<RouterId>,
+    #[serde(skip)]
+    index: HashMap<RouterId, usize>,
+    adj: Vec<Vec<(usize, u32)>>,
+}
+
+impl IgpTopology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures `router` exists as a node; returns its dense index.
+    pub fn add_router(&mut self, router: RouterId) -> usize {
+        if let Some(&i) = self.index.get(&router) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(router);
+        self.adj.push(Vec::new());
+        self.index.insert(router, i);
+        i
+    }
+
+    /// Adds an undirected link of weight `w` (parallel links keep the
+    /// cheapest one relevant; both are stored, Dijkstra picks the minimum).
+    pub fn add_link(&mut self, a: RouterId, b: RouterId, w: u32) {
+        let ia = self.add_router(a);
+        let ib = self.add_router(b);
+        self.adj[ia].push((ib, w));
+        self.adj[ib].push((ia, w));
+    }
+
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no routers.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All routers in insertion order.
+    pub fn routers(&self) -> &[RouterId] {
+        &self.nodes
+    }
+
+    /// Rebuilds the index after deserialization (serde skips the map).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i))
+            .collect();
+    }
+
+    /// Dijkstra from `src`: cost to every reachable router.
+    pub fn costs_from(&self, src: RouterId) -> HashMap<RouterId, u32> {
+        let Some(&s) = self.index.get(&src) else {
+            return HashMap::new();
+        };
+        let mut dist = vec![u32::MAX; self.nodes.len()];
+        dist[s] = 0;
+        // Max-heap on Reverse(cost) for a min-queue.
+        let mut heap = BinaryHeap::new();
+        heap.push(std::cmp::Reverse((0u32, s)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &(v, w) in &self.adj[u] {
+                let nd = d.saturating_add(w);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        self.nodes
+            .iter()
+            .zip(dist)
+            .filter(|(_, d)| *d != u32::MAX)
+            .map(|(&r, d)| (r, d))
+            .collect()
+    }
+
+    /// Cost of the shortest path `a -> b`, or `None` if disconnected.
+    pub fn cost(&self, a: RouterId, b: RouterId) -> Option<u32> {
+        self.costs_from(a).get(&b).copied()
+    }
+}
+
+/// Precomputed all-pairs IGP costs for one AS, for cheap repeated lookup
+/// during simulation.
+#[derive(Debug, Clone, Default)]
+pub struct IgpCosts {
+    costs: HashMap<(RouterId, RouterId), u32>,
+}
+
+impl IgpCosts {
+    /// Runs Dijkstra from every node of `topo`.
+    pub fn precompute(topo: &IgpTopology) -> Self {
+        let mut costs = HashMap::new();
+        for &src in topo.routers() {
+            for (dst, c) in topo.costs_from(src) {
+                costs.insert((src, dst), c);
+            }
+        }
+        IgpCosts { costs }
+    }
+
+    /// Cost `a -> b`; `None` when disconnected or unknown.
+    pub fn cost(&self, a: RouterId, b: RouterId) -> Option<u32> {
+        if a == b {
+            return Some(0);
+        }
+        self.costs.get(&(a, b)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Asn;
+
+    fn r(i: u16) -> RouterId {
+        RouterId::new(Asn(65000), i)
+    }
+
+    #[test]
+    fn single_node_costs() {
+        let mut t = IgpTopology::new();
+        t.add_router(r(0));
+        assert_eq!(t.cost(r(0), r(0)), Some(0));
+        assert_eq!(t.cost(r(0), r(1)), None);
+    }
+
+    #[test]
+    fn line_topology_accumulates() {
+        let mut t = IgpTopology::new();
+        t.add_link(r(0), r(1), 2);
+        t.add_link(r(1), r(2), 3);
+        assert_eq!(t.cost(r(0), r(2)), Some(5));
+        assert_eq!(t.cost(r(2), r(0)), Some(5));
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheaper_detour() {
+        let mut t = IgpTopology::new();
+        t.add_link(r(0), r(1), 10);
+        t.add_link(r(0), r(2), 1);
+        t.add_link(r(2), r(1), 1);
+        assert_eq!(t.cost(r(0), r(1)), Some(2));
+    }
+
+    #[test]
+    fn parallel_links_use_minimum() {
+        let mut t = IgpTopology::new();
+        t.add_link(r(0), r(1), 7);
+        t.add_link(r(0), r(1), 3);
+        assert_eq!(t.cost(r(0), r(1)), Some(3));
+    }
+
+    #[test]
+    fn disconnected_component_unreachable() {
+        let mut t = IgpTopology::new();
+        t.add_link(r(0), r(1), 1);
+        t.add_link(r(2), r(3), 1);
+        assert_eq!(t.cost(r(0), r(3)), None);
+    }
+
+    #[test]
+    fn precomputed_costs_match_queries() {
+        let mut t = IgpTopology::new();
+        t.add_link(r(0), r(1), 2);
+        t.add_link(r(1), r(2), 3);
+        t.add_link(r(0), r(2), 10);
+        let all = IgpCosts::precompute(&t);
+        for a in 0..3u16 {
+            for b in 0..3u16 {
+                assert_eq!(all.cost(r(a), r(b)), t.cost(r(a), r(b)), "{a}->{b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Import/export routing policies.
+//!
+//! The paper is deliberately agnostic about policy *semantics*: its
+//! refinement heuristic only ever installs two kinds of rule — a per-prefix
+//! egress **filter** at an announcing neighbor, and a per-prefix **MED
+//! ranking** at the receiving quasi-router (§4.6). The relationship-based
+//! baseline of §3.3 additionally needs local-pref classes and valley-free
+//! export scoping. This module provides a small rule language covering all
+//! of these: an ordered list of [`PolicyRule`]s, each a [`RouteMatch`] plus
+//! an [`Action`], evaluated first-match-modifies, with terminal
+//! accept/deny.
+
+use crate::aspath::AsPathPattern;
+use crate::route::Route;
+use crate::types::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+
+/// Predicate over a route. All present fields must match (conjunction);
+/// absent fields match anything.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteMatch {
+    /// Exact destination prefix.
+    pub prefix: Option<Prefix>,
+    /// AS the route was learned from (import) / the first AS of the path.
+    pub from_asn: Option<Asn>,
+    /// Origin AS of the route's path (its last element). Lets the Gao
+    /// baseline scope rules to routes of a given origin.
+    pub origin_asn: Option<Asn>,
+    /// Exact AS-path-length requirement — the refinement heuristic filters
+    /// "routes with shorter AS-paths than the route we are looking for"
+    /// (§4.6), expressed as a max-length deny.
+    pub path_shorter_than: Option<usize>,
+    /// Matches routes whose local-pref is strictly below this value. Lets
+    /// relationship policies express the valley-free export rule ("only
+    /// customer routes leave towards peers/providers") as a deny on
+    /// lower-preference classes.
+    pub local_pref_below: Option<u32>,
+    /// Matches routes carrying this RFC 1997 community.
+    pub has_community: Option<u32>,
+    /// Matches routes whose AS-path matches this pattern (router-style
+    /// as-path access list, see [`AsPathPattern`]).
+    pub path_pattern: Option<AsPathPattern>,
+}
+
+impl RouteMatch {
+    /// Match any route.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Match routes for an exact prefix.
+    pub fn prefix(prefix: Prefix) -> Self {
+        RouteMatch {
+            prefix: Some(prefix),
+            ..Self::default()
+        }
+    }
+
+    /// True if `route` satisfies every present predicate.
+    pub fn matches(&self, route: &Route) -> bool {
+        if let Some(p) = self.prefix {
+            if route.prefix != p {
+                return false;
+            }
+        }
+        if let Some(a) = self.from_asn {
+            if route.from_asn != Some(a) {
+                return false;
+            }
+        }
+        if let Some(o) = self.origin_asn {
+            if route.as_path.origin() != Some(o) {
+                return false;
+            }
+        }
+        if let Some(n) = self.path_shorter_than {
+            if route.as_path.len() >= n {
+                return false;
+            }
+        }
+        if let Some(lp) = self.local_pref_below {
+            if route.local_pref >= lp {
+                return false;
+            }
+        }
+        if let Some(c) = self.has_community {
+            if !route.has_community(c) {
+                return false;
+            }
+        }
+        if let Some(pat) = &self.path_pattern {
+            if !pat.matches(&route.as_path) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// What to do with a matching route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Drop the route; evaluation stops.
+    Deny,
+    /// Accept the route as-is; evaluation stops.
+    Accept,
+    /// Set local-preference and continue evaluating later rules.
+    SetLocalPref(u32),
+    /// Set MED and continue evaluating later rules.
+    SetMed(u32),
+    /// Attach an RFC 1997 community and continue.
+    AddCommunity(u32),
+    /// Strip an RFC 1997 community and continue.
+    RemoveCommunity(u32),
+}
+
+/// One policy rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyRule {
+    /// Which routes the rule applies to.
+    pub matcher: RouteMatch,
+    /// What happens to them.
+    pub action: Action,
+}
+
+impl PolicyRule {
+    /// Convenience constructor.
+    pub fn new(matcher: RouteMatch, action: Action) -> Self {
+        PolicyRule { matcher, action }
+    }
+}
+
+/// An ordered rule chain applied on import or export.
+///
+/// Evaluation: rules are scanned in order; a matching `Deny` drops the
+/// route, a matching `Accept` stops with the route as modified so far, and
+/// matching `Set*` actions modify the route and continue. A route reaching
+/// the end of the chain is accepted.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Policy {
+    rules: Vec<PolicyRule>,
+}
+
+impl Policy {
+    /// The empty, accept-everything policy.
+    pub fn permit_all() -> Self {
+        Self::default()
+    }
+
+    /// Builds a policy from rules.
+    pub fn new(rules: Vec<PolicyRule>) -> Self {
+        Policy { rules }
+    }
+
+    /// True if the chain has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Read access to the rules (used by the refinement heuristic's
+    /// filter-deletion pass, §4.6).
+    pub fn rules(&self) -> &[PolicyRule] {
+        &self.rules
+    }
+
+    /// Appends a rule at the end of the chain.
+    pub fn push(&mut self, rule: PolicyRule) {
+        self.rules.push(rule);
+    }
+
+    /// Inserts a rule at the front of the chain (highest priority).
+    pub fn push_front(&mut self, rule: PolicyRule) {
+        self.rules.insert(0, rule);
+    }
+
+    /// Removes every rule for which `pred` returns true; returns how many
+    /// were removed. Used to delete blocking filters (§4.6, Figure 7).
+    pub fn remove_rules(&mut self, pred: impl Fn(&PolicyRule) -> bool) -> usize {
+        let before = self.rules.len();
+        self.rules.retain(|r| !pred(r));
+        before - self.rules.len()
+    }
+
+    /// Applies the chain to `route`. Returns the (possibly modified) route,
+    /// or `None` if it was denied.
+    pub fn apply(&self, route: &Route) -> Option<Route> {
+        let mut out = route.clone();
+        for rule in &self.rules {
+            if !rule.matcher.matches(&out) {
+                continue;
+            }
+            match rule.action {
+                Action::Deny => return None,
+                Action::Accept => return Some(out),
+                Action::SetLocalPref(lp) => out.local_pref = lp,
+                Action::SetMed(m) => out.med = Some(m),
+                Action::AddCommunity(c) => out.add_community(c),
+                Action::RemoveCommunity(c) => out.remove_community(c),
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspath::AsPath;
+    use crate::route::{LearnedVia, Origin};
+    use crate::types::RouterId;
+
+    fn route(path: &[u32], prefix: Prefix) -> Route {
+        Route {
+            prefix,
+            as_path: AsPath::from_u32s(path),
+            local_pref: 100,
+            med: None,
+            origin: Origin::Igp,
+            from_router: Some(RouterId::new(Asn(path[0]), 0)),
+            from_asn: Some(Asn(path[0])),
+            learned: LearnedVia::Ebgp,
+            igp_cost: 0,
+            communities: Vec::new(),
+            originator: None,
+        }
+    }
+
+    fn pfx() -> Prefix {
+        Prefix::new(0x0A000000, 8)
+    }
+
+    #[test]
+    fn empty_policy_accepts_unchanged() {
+        let r = route(&[1, 2], pfx());
+        assert_eq!(Policy::permit_all().apply(&r), Some(r));
+    }
+
+    #[test]
+    fn deny_by_prefix() {
+        let mut p = Policy::permit_all();
+        p.push(PolicyRule::new(RouteMatch::prefix(pfx()), Action::Deny));
+        assert_eq!(p.apply(&route(&[1, 2], pfx())), None);
+        let other = Prefix::new(0x0B000000, 8);
+        assert!(p.apply(&route(&[1, 2], other)).is_some());
+    }
+
+    #[test]
+    fn set_med_continues_then_accepts() {
+        let mut p = Policy::permit_all();
+        p.push(PolicyRule::new(
+            RouteMatch {
+                from_asn: Some(Asn(1)),
+                ..RouteMatch::any()
+            },
+            Action::SetMed(5),
+        ));
+        p.push(PolicyRule::new(RouteMatch::any(), Action::SetLocalPref(90)));
+        let out = p.apply(&route(&[1, 2], pfx())).unwrap();
+        assert_eq!(out.med, Some(5));
+        assert_eq!(out.local_pref, 90);
+    }
+
+    #[test]
+    fn accept_short_circuits() {
+        let mut p = Policy::permit_all();
+        p.push(PolicyRule::new(RouteMatch::any(), Action::Accept));
+        p.push(PolicyRule::new(RouteMatch::any(), Action::Deny));
+        assert!(p.apply(&route(&[1, 2], pfx())).is_some());
+    }
+
+    #[test]
+    fn shorter_path_filter_matches_only_shorter() {
+        // The refinement heuristic installs "deny routes for p with AS-path
+        // shorter than n" at the announcing neighbor.
+        let mut p = Policy::permit_all();
+        p.push(PolicyRule::new(
+            RouteMatch {
+                prefix: Some(pfx()),
+                path_shorter_than: Some(3),
+                ..RouteMatch::any()
+            },
+            Action::Deny,
+        ));
+        assert_eq!(p.apply(&route(&[1, 2], pfx())), None); // len 2 < 3: denied
+        assert!(p.apply(&route(&[1, 2, 3], pfx())).is_some()); // len 3: kept
+    }
+
+    #[test]
+    fn origin_asn_match() {
+        let m = RouteMatch {
+            origin_asn: Some(Asn(2)),
+            ..RouteMatch::any()
+        };
+        assert!(m.matches(&route(&[1, 2], pfx())));
+        assert!(!m.matches(&route(&[1, 3], pfx())));
+    }
+
+    #[test]
+    fn community_match_and_actions() {
+        let mut p = Policy::permit_all();
+        p.push(PolicyRule::new(RouteMatch::any(), Action::AddCommunity(77)));
+        p.push(PolicyRule::new(
+            RouteMatch {
+                has_community: Some(77),
+                ..RouteMatch::any()
+            },
+            Action::SetLocalPref(55),
+        ));
+        let out = p.apply(&route(&[1, 2], pfx())).unwrap();
+        assert!(out.has_community(77));
+        assert_eq!(out.local_pref, 55);
+
+        let mut strip = Policy::permit_all();
+        strip.push(PolicyRule::new(
+            RouteMatch::any(),
+            Action::RemoveCommunity(77),
+        ));
+        let stripped = strip.apply(&out).unwrap();
+        assert!(!stripped.has_community(77));
+    }
+
+    #[test]
+    fn deny_by_community() {
+        let mut p = Policy::permit_all();
+        p.push(PolicyRule::new(
+            RouteMatch {
+                has_community: Some(9),
+                ..RouteMatch::any()
+            },
+            Action::Deny,
+        ));
+        let mut r = route(&[1, 2], pfx());
+        assert!(p.apply(&r).is_some());
+        r.add_community(9);
+        assert!(p.apply(&r).is_none());
+    }
+
+    #[test]
+    fn path_pattern_matcher() {
+        let mut p = Policy::permit_all();
+        p.push(PolicyRule::new(
+            RouteMatch {
+                path_pattern: AsPathPattern::parse("_2_"),
+                ..RouteMatch::any()
+            },
+            Action::Deny,
+        ));
+        assert!(p.apply(&route(&[1, 2], pfx())).is_none());
+        assert!(p.apply(&route(&[1, 3], pfx())).is_some());
+    }
+
+    #[test]
+    fn remove_rules_deletes_matching() {
+        let mut p = Policy::permit_all();
+        p.push(PolicyRule::new(RouteMatch::prefix(pfx()), Action::Deny));
+        p.push(PolicyRule::new(RouteMatch::any(), Action::SetMed(1)));
+        let removed = p.remove_rules(|r| r.action == Action::Deny);
+        assert_eq!(removed, 1);
+        assert_eq!(p.rules().len(), 1);
+    }
+}

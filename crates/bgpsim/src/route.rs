@@ -1,0 +1,199 @@
+//! BGP routes and their attributes.
+//!
+//! A [`Route`] bundles the destination prefix with the attribute set the BGP
+//! decision process examines (§2 of the paper, Figure 1): local-preference,
+//! AS-path, origin, MED, the peer the route was learned from, and the
+//! intra-domain (IGP) cost to the exit point used for hot-potato comparison.
+
+use crate::aspath::AsPath;
+use crate::types::{Asn, Prefix, RouterId};
+use serde::{Deserialize, Serialize};
+
+/// Default local-preference assigned when no policy overrides it.
+pub const DEFAULT_LOCAL_PREF: u32 = 100;
+
+/// RFC 1997 well-known community NO_EXPORT: a route carrying it is used
+/// locally but never advertised over eBGP. Honored by the engine itself.
+pub const NO_EXPORT: u32 = 0xFFFF_FF01;
+
+/// RFC 1997 well-known community NO_ADVERTISE: a route carrying it is not
+/// advertised to any peer at all (iBGP included).
+pub const NO_ADVERTISE: u32 = 0xFFFF_FF02;
+
+/// BGP `ORIGIN` attribute. Ranked IGP < EGP < Incomplete by the decision
+/// process (lower wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Origin {
+    /// Route originated via an IGP (value 0).
+    Igp,
+    /// Route originated via EGP (value 1).
+    Egp,
+    /// Origin unknown (value 2).
+    Incomplete,
+}
+
+impl Origin {
+    /// Wire value per RFC 4271.
+    pub fn wire(self) -> u8 {
+        match self {
+            Origin::Igp => 0,
+            Origin::Egp => 1,
+            Origin::Incomplete => 2,
+        }
+    }
+
+    /// Parses the wire value; anything above 2 is treated as Incomplete,
+    /// matching common router behaviour for malformed origins.
+    pub fn from_wire(v: u8) -> Self {
+        match v {
+            0 => Origin::Igp,
+            1 => Origin::Egp,
+            _ => Origin::Incomplete,
+        }
+    }
+}
+
+/// How a route entered the local RIB — over eBGP, over iBGP, or originated
+/// locally. The decision process prefers eBGP over iBGP (step 6) and locally
+/// originated routes over everything learned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LearnedVia {
+    /// Injected at this router (it originates the prefix).
+    Local,
+    /// Learned over an external session from another AS.
+    Ebgp,
+    /// Learned over an internal session from a router in the same AS.
+    Ibgp,
+}
+
+/// A fully attributed BGP route as stored in an Adj-RIB-In.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Route {
+    /// Destination this route reaches.
+    pub prefix: Prefix,
+    /// AS-level path, observer-first; empty for locally originated routes.
+    pub as_path: AsPath,
+    /// Local preference. Non-transitive; set by import policy.
+    pub local_pref: u32,
+    /// Multi-exit discriminator; `None` means "missing MED", which compares
+    /// as the best possible value 0 per the paper's simulator (C-BGP treats
+    /// missing MED as 0).
+    pub med: Option<u32>,
+    /// ORIGIN attribute.
+    pub origin: Origin,
+    /// The quasi-router this route was learned from (`None` for local).
+    pub from_router: Option<RouterId>,
+    /// The neighbor AS this route was learned from (`None` for local).
+    pub from_asn: Option<Asn>,
+    /// How the route entered this router.
+    pub learned: LearnedVia,
+    /// IGP cost from this router to the route's exit point; 0 for eBGP
+    /// and locally originated routes. Used by the hot-potato step.
+    pub igp_cost: u32,
+    /// RFC 1997 communities, kept sorted and deduplicated. Transitive:
+    /// they survive eBGP export (unlike MED).
+    pub communities: Vec<u32>,
+    /// RFC 4456 ORIGINATOR_ID: the router that injected the route into
+    /// this AS, stamped by a route reflector on first reflection. A router
+    /// rejects reflected routes carrying its own id.
+    pub originator: Option<RouterId>,
+}
+
+impl Route {
+    /// A locally originated route for `prefix`.
+    pub fn originate(prefix: Prefix) -> Self {
+        Route {
+            prefix,
+            as_path: AsPath::empty(),
+            local_pref: DEFAULT_LOCAL_PREF,
+            med: None,
+            origin: Origin::Igp,
+            from_router: None,
+            from_asn: None,
+            learned: LearnedVia::Local,
+            igp_cost: 0,
+            communities: Vec::new(),
+            originator: None,
+        }
+    }
+
+    /// True if the route carries `community`.
+    pub fn has_community(&self, community: u32) -> bool {
+        self.communities.binary_search(&community).is_ok()
+    }
+
+    /// Adds `community`, keeping the list sorted and deduplicated.
+    pub fn add_community(&mut self, community: u32) {
+        if let Err(pos) = self.communities.binary_search(&community) {
+            self.communities.insert(pos, community);
+        }
+    }
+
+    /// Removes `community` if present.
+    pub fn remove_community(&mut self, community: u32) {
+        if let Ok(pos) = self.communities.binary_search(&community) {
+            self.communities.remove(pos);
+        }
+    }
+
+    /// Effective MED for comparison: missing MED ranks best (0).
+    pub fn med_value(&self) -> u32 {
+        self.med.unwrap_or(0)
+    }
+
+    /// The neighbor AS to attribute for MED grouping; locally originated
+    /// routes group under the reserved ASN.
+    pub fn neighbor_for_med(&self) -> Asn {
+        self.from_asn.unwrap_or(Asn::RESERVED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_wire_roundtrip() {
+        for o in [Origin::Igp, Origin::Egp, Origin::Incomplete] {
+            assert_eq!(Origin::from_wire(o.wire()), o);
+        }
+        assert_eq!(Origin::from_wire(7), Origin::Incomplete);
+    }
+
+    #[test]
+    fn origin_ranking_prefers_igp() {
+        assert!(Origin::Igp < Origin::Egp);
+        assert!(Origin::Egp < Origin::Incomplete);
+    }
+
+    #[test]
+    fn originated_route_has_empty_path_and_default_pref() {
+        let r = Route::originate(Prefix::new(0x0A000000, 8));
+        assert!(r.as_path.is_empty());
+        assert_eq!(r.local_pref, DEFAULT_LOCAL_PREF);
+        assert_eq!(r.learned, LearnedVia::Local);
+        assert_eq!(r.med_value(), 0);
+    }
+
+    #[test]
+    fn communities_sorted_and_deduped() {
+        let mut r = Route::originate(Prefix::new(0, 8));
+        r.add_community(30);
+        r.add_community(10);
+        r.add_community(30);
+        assert_eq!(r.communities, vec![10, 30]);
+        assert!(r.has_community(10));
+        assert!(!r.has_community(99));
+        r.remove_community(10);
+        assert_eq!(r.communities, vec![30]);
+        r.remove_community(999); // no-op
+    }
+
+    #[test]
+    fn missing_med_compares_as_zero() {
+        let mut r = Route::originate(Prefix::new(0, 8));
+        assert_eq!(r.med_value(), 0);
+        r.med = Some(5);
+        assert_eq!(r.med_value(), 5);
+    }
+}

@@ -1,0 +1,130 @@
+//! RFC 4456 route-reflection semantics.
+
+use quasar_bgpsim::prelude::*;
+
+fn rid(asn: u32, idx: u16) -> RouterId {
+    RouterId::new(Asn(asn), idx)
+}
+
+/// AS 2 with a reflector (r0) and two clients (r1, r2), no client-client
+/// session. The origin AS 3 peers with client r1.
+fn rr_network() -> Network {
+    let mut net = Network::new(DecisionConfig::default());
+    net.add_router(rid(3, 0));
+    for i in 0..3u16 {
+        net.add_router(rid(2, i));
+    }
+    net.add_session(rid(2, 1), rid(3, 0), SessionKind::Ebgp)
+        .unwrap();
+    net.add_session(rid(2, 0), rid(2, 1), SessionKind::Ibgp)
+        .unwrap();
+    net.add_session(rid(2, 0), rid(2, 2), SessionKind::Ibgp)
+        .unwrap();
+    net.set_rr_client(rid(2, 0), rid(2, 1)).unwrap();
+    net.set_rr_client(rid(2, 0), rid(2, 2)).unwrap();
+    net
+}
+
+#[test]
+fn client_route_reflected_to_other_client() {
+    let net = rr_network();
+    let p = Prefix::for_origin(Asn(3));
+    let res = net.simulate(p, &[rid(3, 0)]).unwrap();
+    // r1 learns over eBGP, advertises to the reflector (plain iBGP), the
+    // reflector reflects to r2.
+    assert!(res.best_route(rid(2, 1)).is_some());
+    assert!(res.best_route(rid(2, 0)).is_some());
+    let at_r2 = res
+        .best_route(rid(2, 2))
+        .expect("reflected route reaches r2");
+    assert_eq!(at_r2.as_path.to_string(), "3");
+    assert_eq!(at_r2.learned, LearnedVia::Ibgp);
+    // The reflected copy is stamped with its injector.
+    assert_eq!(at_r2.originator, Some(rid(2, 1)));
+}
+
+#[test]
+fn without_client_marking_no_reflection() {
+    let mut net = Network::new(DecisionConfig::default());
+    net.add_router(rid(3, 0));
+    for i in 0..3u16 {
+        net.add_router(rid(2, i));
+    }
+    net.add_session(rid(2, 1), rid(3, 0), SessionKind::Ebgp)
+        .unwrap();
+    net.add_session(rid(2, 0), rid(2, 1), SessionKind::Ibgp)
+        .unwrap();
+    net.add_session(rid(2, 0), rid(2, 2), SessionKind::Ibgp)
+        .unwrap();
+    let p = Prefix::for_origin(Asn(3));
+    let res = net.simulate(p, &[rid(3, 0)]).unwrap();
+    assert!(
+        res.best_route(rid(2, 2)).is_none(),
+        "full mesh must not reflect"
+    );
+}
+
+#[test]
+fn originator_never_reinstalls_its_own_route() {
+    // Two reflectors in a chain could bounce a route back; ORIGINATOR_ID
+    // must stop it at the injector. Build: client r1 -> RR r0 -> client r2,
+    // and r2 is itself a reflector for r1 (a deliberately bad config).
+    let mut net = rr_network();
+    net.add_session(rid(2, 1), rid(2, 2), SessionKind::Ibgp)
+        .unwrap();
+    net.set_rr_client(rid(2, 2), rid(2, 1)).unwrap();
+    let p = Prefix::for_origin(Asn(3));
+    let res = net.simulate(p, &[rid(3, 0)]).unwrap();
+    // r1's RIB-In must not contain a reflected copy of its own injection.
+    let rib1 = res.rib(rid(2, 1)).unwrap();
+    for c in &rib1.candidates {
+        assert_ne!(c.originator, Some(rid(2, 1)), "originator loop");
+    }
+    // And the whole thing converged (no oscillation).
+    assert!(res.best_route(rid(2, 2)).is_some());
+}
+
+#[test]
+fn non_client_route_reflected_to_clients_only() {
+    // Reflector r0 has client r1 and non-client (mesh) peer r2; a route
+    // learned from r2 must reach r1 but a route learned from r1... is a
+    // client route (goes everywhere). Check the non-client direction.
+    let mut net = Network::new(DecisionConfig::default());
+    net.add_router(rid(3, 0));
+    for i in 0..4u16 {
+        net.add_router(rid(2, i));
+    }
+    // Origin connects to the non-client r2.
+    net.add_session(rid(2, 2), rid(3, 0), SessionKind::Ebgp)
+        .unwrap();
+    net.add_session(rid(2, 0), rid(2, 1), SessionKind::Ibgp)
+        .unwrap(); // client
+    net.add_session(rid(2, 0), rid(2, 2), SessionKind::Ibgp)
+        .unwrap(); // non-client
+    net.add_session(rid(2, 0), rid(2, 3), SessionKind::Ibgp)
+        .unwrap(); // non-client
+    net.set_rr_client(rid(2, 0), rid(2, 1)).unwrap();
+    let p = Prefix::for_origin(Asn(3));
+    let res = net.simulate(p, &[rid(3, 0)]).unwrap();
+    // Non-client route arrives at the reflector, is reflected to the
+    // client r1 but NOT to the other non-client r3.
+    assert!(res.best_route(rid(2, 0)).is_some());
+    assert!(res.best_route(rid(2, 1)).is_some(), "client must hear it");
+    assert!(
+        res.best_route(rid(2, 3)).is_none(),
+        "non-client must not hear a non-client route"
+    );
+}
+
+#[test]
+fn ebgp_export_strips_originator() {
+    let mut net = rr_network();
+    net.add_router(rid(9, 0));
+    net.add_session(rid(2, 2), rid(9, 0), SessionKind::Ebgp)
+        .unwrap();
+    let p = Prefix::for_origin(Asn(3));
+    let res = net.simulate(p, &[rid(3, 0)]).unwrap();
+    let at9 = res.best_route(rid(9, 0)).expect("propagates onwards");
+    assert_eq!(at9.originator, None, "ORIGINATOR_ID is AS-internal");
+    assert_eq!(at9.as_path.to_string(), "2 3");
+}

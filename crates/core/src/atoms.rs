@@ -1,0 +1,193 @@
+//! Policy atoms: prefix groups with identical observed routing.
+//!
+//! The paper refines policies per prefix; its §4.7 and the authors'
+//! follow-up work ("In Search for an Appropriate Granularity to Model
+//! Routing Policies") observe that many prefixes are routed identically
+//! and can share policies. An **atom** is a maximal set of prefixes that
+//! every observation point sees via exactly the same AS-path. Refining one
+//! representative per atom and replicating its learned per-prefix rules to
+//! the other members yields the same model behaviour at a fraction of the
+//! simulation cost.
+
+use crate::model::AsRoutingModel;
+use crate::observed::Dataset;
+use crate::refine::{refine_prefix, PrefixOutcome, RefineConfig, RefineReport};
+use quasar_bgpsim::aspath::AsPath;
+use quasar_bgpsim::error::SimError;
+use quasar_bgpsim::types::Prefix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The atom decomposition of a dataset.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyAtoms {
+    /// Each atom: the member prefixes (sorted), first member is the
+    /// representative.
+    pub atoms: Vec<Vec<Prefix>>,
+}
+
+impl PolicyAtoms {
+    /// Groups the dataset's prefixes into atoms by their full observation
+    /// signature (every `(point, path)` pair must coincide).
+    pub fn compute(dataset: &Dataset) -> Self {
+        let mut signatures: BTreeMap<Prefix, Vec<(u32, &AsPath)>> = BTreeMap::new();
+        for r in dataset.routes() {
+            signatures
+                .entry(r.prefix)
+                .or_default()
+                .push((r.point, &r.as_path));
+        }
+        let mut groups: BTreeMap<Vec<(u32, &AsPath)>, Vec<Prefix>> = BTreeMap::new();
+        for (prefix, mut sig) in signatures {
+            sig.sort();
+            sig.dedup();
+            groups.entry(sig).or_default().push(prefix);
+        }
+        let mut atoms: Vec<Vec<Prefix>> = groups.into_values().collect();
+        for a in &mut atoms {
+            a.sort();
+        }
+        atoms.sort();
+        PolicyAtoms { atoms }
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True if no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Total prefixes covered.
+    pub fn prefixes(&self) -> usize {
+        self.atoms.iter().map(|a| a.len()).sum()
+    }
+
+    /// Prefixes-per-atom compression factor (1.0 = no sharing).
+    pub fn compression(&self) -> f64 {
+        if self.atoms.is_empty() {
+            return 1.0;
+        }
+        self.prefixes() as f64 / self.atoms.len() as f64
+    }
+
+    /// Size of the largest atom.
+    pub fn largest(&self) -> usize {
+        self.atoms.iter().map(|a| a.len()).max().unwrap_or(0)
+    }
+}
+
+/// Atom-accelerated refinement: refines one representative prefix per atom
+/// and replicates the learned rules to the remaining members. Produces a
+/// model with identical training behaviour to per-prefix [`crate::refine::refine`]
+/// at roughly `1/compression` of the simulation cost.
+pub fn refine_with_atoms(
+    model: &mut AsRoutingModel,
+    training: &Dataset,
+    cfg: &RefineConfig,
+) -> Result<(RefineReport, PolicyAtoms), SimError> {
+    let atoms = PolicyAtoms::compute(training);
+    let mut by_prefix: BTreeMap<Prefix, Vec<&AsPath>> = BTreeMap::new();
+    for r in training.routes() {
+        by_prefix.entry(r.prefix).or_default().push(&r.as_path);
+    }
+
+    let mut report = RefineReport::default();
+    for atom in &atoms.atoms {
+        let rep = atom[0];
+        if !model.prefixes().contains_key(&rep) {
+            continue;
+        }
+        let paths = by_prefix.get(&rep).cloned().unwrap_or_default();
+        let outcome = refine_prefix(model, rep, &paths, cfg)?;
+        // Replicate the representative's learned rules to the members.
+        for &member in &atom[1..] {
+            let replicated = model.replicate_prefix_policies(rep, member);
+            report.prefixes.push(PrefixOutcome {
+                prefix: member,
+                targets: outcome.targets,
+                iterations: 0,
+                converged: outcome.converged,
+                quasi_routers_added: 0,
+                filters_deleted: 0,
+                diverged: false,
+            });
+            let _ = replicated;
+        }
+        report.prefixes.push(outcome);
+    }
+    report.prefixes.sort_by_key(|p| p.prefix);
+    Ok((report, atoms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observed::ObservedRoute;
+    use crate::predict::evaluate;
+    use quasar_bgpsim::types::Asn;
+
+    fn route(point: u32, path: &[u32], prefix: Prefix) -> ObservedRoute {
+        ObservedRoute {
+            point,
+            observer_as: Asn(path[0]),
+            prefix,
+            as_path: AsPath::from_u32s(path),
+        }
+    }
+
+    /// Two prefixes of AS 3 observed identically (one atom) plus one routed
+    /// differently (its own atom).
+    fn dataset() -> Dataset {
+        let p0 = Prefix::for_origin_nth(Asn(3), 0);
+        let p1 = Prefix::for_origin_nth(Asn(3), 1);
+        let p2 = Prefix::for_origin_nth(Asn(3), 2);
+        Dataset::new(vec![
+            route(0, &[1, 2, 3], p0),
+            route(0, &[1, 4, 3], p0),
+            route(0, &[1, 2, 3], p1),
+            route(0, &[1, 4, 3], p1),
+            // p2 seen via AS4 only: a different signature.
+            route(0, &[1, 4, 3], p2),
+        ])
+    }
+
+    #[test]
+    fn atoms_group_identical_signatures() {
+        let atoms = PolicyAtoms::compute(&dataset());
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(atoms.prefixes(), 3);
+        assert_eq!(atoms.largest(), 2);
+        assert!((atoms.compression() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atom_refinement_matches_per_prefix_refinement() {
+        let d = dataset();
+        let graph = d.as_graph();
+
+        let mut per_prefix = AsRoutingModel::initial(&graph, &d.prefixes());
+        crate::refine::refine(&mut per_prefix, &d, &RefineConfig::default()).unwrap();
+        let ev_pp = evaluate(&per_prefix, &d);
+
+        let mut atomized = AsRoutingModel::initial(&graph, &d.prefixes());
+        let (report, atoms) =
+            refine_with_atoms(&mut atomized, &d, &RefineConfig::default()).unwrap();
+        assert!(report.converged());
+        assert_eq!(atoms.len(), 2);
+        let ev_at = evaluate(&atomized, &d);
+
+        assert_eq!(ev_pp.counts, ev_at.counts);
+        assert_eq!(ev_at.counts.rib_out, ev_at.counts.total);
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_atoms() {
+        let atoms = PolicyAtoms::compute(&Dataset::default());
+        assert!(atoms.is_empty());
+        assert_eq!(atoms.compression(), 1.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Single-router-per-AS baseline models (paper §3.3, Table 2).
+//!
+//! Two baselines: plain **shortest AS-path** routing over the AS graph, and
+//! **inferred-relationship policies** (customer > peer > provider
+//! local-pref with valley-free exports). The paper uses them to show that
+//! one router per AS — with or without relationship inference — cannot
+//! predict observed routing: 23.5 % / 12.5 % agreement.
+
+use crate::model::AsRoutingModel;
+use crate::observed::Dataset;
+use crate::predict::{evaluate, Evaluation};
+use quasar_bgpsim::policy::{Action, Policy, PolicyRule, RouteMatch};
+use quasar_bgpsim::types::{Asn, Prefix, RouterId};
+use quasar_topology::gao::{neighbor_kind, NeighborKind};
+use quasar_topology::graph::AsGraph;
+use quasar_topology::relationships::Relationships;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Local-pref for customer-learned routes in the relationship baseline.
+pub const BASELINE_LP_CUSTOMER: u32 = 130;
+/// Local-pref for peer-/sibling-/unknown-learned routes (paper fn. 2:
+/// siblings and unknown edges are treated like peerings).
+pub const BASELINE_LP_PEER: u32 = 80;
+/// Local-pref for provider-learned routes.
+pub const BASELINE_LP_PROVIDER: u32 = 60;
+/// Valley-free export threshold: only routes with local-pref at or above
+/// this (locally originated = 100, customer = 130) may reach peers and
+/// providers.
+pub const VALLEY_FREE_THRESHOLD: u32 = 100;
+
+/// The shortest-path baseline: the initial model as-is (no policies), so
+/// the decision process reduces to AS-path length + tie-break.
+pub fn shortest_path_model(
+    graph: &AsGraph,
+    prefix_origins: &BTreeMap<Prefix, Asn>,
+) -> AsRoutingModel {
+    AsRoutingModel::initial(graph, prefix_origins)
+}
+
+/// The relationship baseline: one quasi-router per AS with local-pref
+/// classes per inferred relationship and valley-free export filters.
+pub fn relationship_model(
+    graph: &AsGraph,
+    prefix_origins: &BTreeMap<Prefix, Asn>,
+    rels: &Relationships,
+) -> AsRoutingModel {
+    let mut model = AsRoutingModel::initial(graph, prefix_origins);
+    let edges: Vec<(Asn, Asn)> = graph.edges().collect();
+    let mut rules = 0usize;
+    for (a, b) in edges {
+        for (us, them) in [(a, b), (b, a)] {
+            let r_us = RouterId::new(us, 0);
+            let r_them = RouterId::new(them, 0);
+            let kind = neighbor_kind(rels, us, them);
+            // Import at `us` from `them`.
+            let lp = match kind {
+                NeighborKind::Customer => BASELINE_LP_CUSTOMER,
+                NeighborKind::Peer => BASELINE_LP_PEER,
+                NeighborKind::Provider => BASELINE_LP_PROVIDER,
+            };
+            let mut import = Policy::permit_all();
+            import.push(PolicyRule::new(RouteMatch::any(), Action::SetLocalPref(lp)));
+            model
+                .network_mut()
+                .set_import_policy(r_us, r_them, import)
+                .expect("edge session exists");
+            rules += 1;
+            // Export from `us` towards `them`: valley-free unless `them`
+            // is our customer.
+            if kind != NeighborKind::Customer {
+                let mut export = Policy::permit_all();
+                export.push(PolicyRule::new(
+                    RouteMatch {
+                        local_pref_below: Some(VALLEY_FREE_THRESHOLD),
+                        ..RouteMatch::any()
+                    },
+                    Action::Deny,
+                ));
+                model
+                    .network_mut()
+                    .set_export_policy(r_us, r_them, export)
+                    .expect("edge session exists");
+                rules += 1;
+            }
+        }
+    }
+    model.note_rules_added(rules);
+    model
+}
+
+/// One row of Table 2, as fractions of all evaluated routes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// "AS-Paths which agree" — exact best-route matches.
+    pub agree: f64,
+    /// Disagreements because the path never reached the AS.
+    pub not_available: f64,
+    /// Disagreements where a shorter path was selected instead.
+    pub shorter_exists: f64,
+    /// Disagreements lost in the final lowest-neighbor-id tie-break.
+    pub tie_break: f64,
+    /// Remaining disagreements (eliminated by policy steps).
+    pub other: f64,
+}
+
+impl Table2Row {
+    /// Derives the row from an evaluation.
+    pub fn from_evaluation(ev: &Evaluation) -> Self {
+        let total = ev.counts.total.max(1) as f64;
+        Table2Row {
+            agree: ev.counts.rib_out as f64 / total,
+            not_available: ev.reasons[0] as f64 / total,
+            shorter_exists: ev.reasons[1] as f64 / total,
+            tie_break: ev.reasons[2] as f64 / total,
+            other: ev.reasons[3] as f64 / total,
+        }
+    }
+
+    /// Fraction of disagreements.
+    pub fn disagree(&self) -> f64 {
+        1.0 - self.agree
+    }
+}
+
+/// Evaluates a baseline model against a dataset and summarizes it as a
+/// Table 2 row.
+pub fn table2_row(model: &AsRoutingModel, dataset: &Dataset) -> Table2Row {
+    Table2Row::from_evaluation(&evaluate(model, dataset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observed::ObservedRoute;
+    use quasar_bgpsim::aspath::AsPath;
+    use quasar_topology::relationships::Relationship;
+
+    /// Diamond with a longer observed path: shortest-path baseline cannot
+    /// match it.
+    fn dataset() -> Dataset {
+        let routes = vec![
+            (&[1u32, 2, 3][..], 3u32, 0u32),
+            (&[1, 4, 5, 3], 3, 0), // longer than the direct 1-2-3
+        ];
+        Dataset::new(routes.into_iter().map(|(p, origin, point)| ObservedRoute {
+            point,
+            observer_as: Asn(p[0]),
+            prefix: Prefix::for_origin(Asn(origin)),
+            as_path: AsPath::from_u32s(p),
+        }))
+    }
+
+    #[test]
+    fn shortest_path_baseline_partial_agreement() {
+        let d = dataset();
+        let g = d.as_graph();
+        let m = shortest_path_model(&g, &d.prefixes());
+        let row = table2_row(&m, &d);
+        assert!(row.agree > 0.0 && row.agree < 1.0);
+        assert!(
+            (row.agree + row.not_available + row.shorter_exists + row.tie_break + row.other - 1.0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn relationship_model_installs_policies() {
+        let d = dataset();
+        let g = d.as_graph();
+        let mut rels = Relationships::default();
+        rels.set(
+            Asn(1),
+            Asn(2),
+            Relationship::CustomerProvider {
+                customer: Asn(1),
+                provider: Asn(2),
+            },
+        );
+        let m = relationship_model(&g, &d.prefixes(), &rels);
+        assert!(m.stats().policy_rules > 0);
+        // Still evaluable.
+        let row = table2_row(&m, &d);
+        assert!(row.agree <= 1.0);
+    }
+
+    #[test]
+    fn valley_free_filter_blocks_peer_to_peer() {
+        // 1 -peer- 2, 2 -peer- 3, prefix at 1: AS3 must NOT learn the route
+        // (peer route not exported to a peer).
+        let routes = vec![(&[2u32, 1][..], 1u32, 0u32)];
+        let d = Dataset::new(routes.into_iter().map(|(p, origin, point)| ObservedRoute {
+            point,
+            observer_as: Asn(p[0]),
+            prefix: Prefix::for_origin(Asn(origin)),
+            as_path: AsPath::from_u32s(p),
+        }));
+        let mut g = d.as_graph();
+        g.add_edge(Asn(2), Asn(3));
+        let mut rels = Relationships::default();
+        rels.set(Asn(1), Asn(2), Relationship::PeerPeer);
+        rels.set(Asn(2), Asn(3), Relationship::PeerPeer);
+        let m = relationship_model(&g, &d.prefixes(), &rels);
+        let res = m.simulate(Prefix::for_origin(Asn(1))).unwrap();
+        assert!(res.best_route(RouterId::new(Asn(2), 0)).is_some());
+        assert!(res.best_route(RouterId::new(Asn(3), 0)).is_none());
+    }
+
+    #[test]
+    fn customer_preferred_over_shorter_peer_path() {
+        // AS1 reaches prefix at AS4 via peer 4 directly (1 hop) or via
+        // customer 2 then 4 (2 hops). Relationship policy prefers the
+        // customer route despite its length.
+        let routes = vec![(&[1u32, 2, 4][..], 4u32, 0u32), (&[1, 4], 4, 1)];
+        let d = Dataset::new(routes.into_iter().map(|(p, origin, point)| ObservedRoute {
+            point,
+            observer_as: Asn(p[0]),
+            prefix: Prefix::for_origin(Asn(origin)),
+            as_path: AsPath::from_u32s(p),
+        }));
+        let g = d.as_graph();
+        let mut rels = Relationships::default();
+        rels.set(
+            Asn(1),
+            Asn(2),
+            Relationship::CustomerProvider {
+                customer: Asn(2),
+                provider: Asn(1),
+            },
+        );
+        rels.set(Asn(1), Asn(4), Relationship::PeerPeer);
+        rels.set(
+            Asn(2),
+            Asn(4),
+            Relationship::CustomerProvider {
+                customer: Asn(4),
+                provider: Asn(2),
+            },
+        );
+        let m = relationship_model(&g, &d.prefixes(), &rels);
+        let res = m.simulate(Prefix::for_origin(Asn(4))).unwrap();
+        let best = res.best_route(RouterId::new(Asn(1), 0)).unwrap();
+        assert_eq!(best.as_path.to_string(), "2 4");
+    }
+}

@@ -1,0 +1,82 @@
+//! # quasar-core — an AS-topology model that captures route diversity
+//!
+//! The primary contribution of *"Building an AS-topology model that
+//! captures route diversity"* (Mühlbauer, Feldmann, Maennel, Roughan,
+//! Uhlig — SIGCOMM 2006), reimplemented in Rust:
+//!
+//! * [`observed`] — observation-point datasets with the paper's cleaning
+//!   and training/validation splits (by point, by origin, combined; §4.2);
+//! * [`prep`] — single-homed-stub pruning with path transfer (§3.1);
+//! * [`model`] — the [`model::AsRoutingModel`]: multiple **quasi-routers**
+//!   per AS (logical partitions of its route selection, not physical
+//!   routers), per-prefix MED rankings and filters, the paper's
+//!   `ASN << 16 | index` router-id scheme (§4.1/§4.5);
+//! * [`refine`] — the iterative refinement heuristic that makes the model
+//!   reproduce every training path exactly (§4.4–§4.6);
+//! * [`metrics`] — RIB-In / potential RIB-Out / RIB-Out match levels and
+//!   per-prefix coverage (§4.2);
+//! * [`predict`] — parallel evaluation of predictions on held-out data
+//!   (§4.7);
+//! * [`baseline`] — the §3.3 single-router baselines (shortest path and
+//!   inferred-relationship policies) behind Table 2.
+//!
+//! ## Quick start
+//! ```
+//! use quasar_core::prelude::*;
+//! use quasar_bgpsim::prelude::*;
+//!
+//! // Observed routes: AS1 reaches AS3's prefix via AS4 (not the
+//! // tie-break default AS2).
+//! let routes = vec![
+//!     ObservedRoute {
+//!         point: 0,
+//!         observer_as: Asn(1),
+//!         prefix: Prefix::for_origin(Asn(3)),
+//!         as_path: AsPath::from_u32s(&[1, 4, 3]),
+//!     },
+//!     ObservedRoute {
+//!         point: 1,
+//!         observer_as: Asn(2),
+//!         prefix: Prefix::for_origin(Asn(3)),
+//!         as_path: AsPath::from_u32s(&[2, 3]),
+//!     },
+//! ];
+//! let dataset = Dataset::new(routes);
+//! let mut model = AsRoutingModel::initial(&dataset.as_graph(), &dataset.prefixes());
+//! let report = refine(&mut model, &dataset, &RefineConfig::default()).unwrap();
+//! assert!(report.converged());
+//! let ev = evaluate(&model, &dataset);
+//! assert_eq!(ev.counts.rib_out, ev.counts.total); // exact reproduction
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atoms;
+pub mod baseline;
+pub mod diagnostics;
+pub mod metrics;
+pub mod model;
+pub mod observed;
+pub mod predict;
+pub mod prep;
+pub mod refine;
+pub mod whatif;
+
+/// Commonly used names.
+pub mod prelude {
+    pub use crate::atoms::{refine_with_atoms, PolicyAtoms};
+    pub use crate::baseline::{relationship_model, shortest_path_model, table2_row, Table2Row};
+    pub use crate::diagnostics::{diagnose, MismatchDiagnostics};
+    pub use crate::metrics::{
+        match_level, mismatch_reason, MatchCounts, MatchLevel, MismatchReason, PrefixCoverage,
+    };
+    pub use crate::model::{AsRoutingModel, ModelStats};
+    pub use crate::observed::{Dataset, ObservedRoute};
+    pub use crate::predict::{evaluate, Evaluation};
+    pub use crate::prep::{prune_stub_ases, PrunedDataset};
+    pub use crate::refine::{
+        refine, refine_prefix, PrefixOutcome, RankingAttr, RefineConfig, RefineReport,
+    };
+    pub use crate::whatif::{Change, Impact, RoutingDiff, Scenario};
+}

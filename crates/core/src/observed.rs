@@ -1,0 +1,325 @@
+//! Observed-route datasets and training/validation splits (paper §4.2).
+//!
+//! "For a fair evaluation we need one dataset to derive the AS-routing
+//! model, called training, and another separate one, called validation...
+//! We divide the available BGP data randomly into two subsets by assigning
+//! observation points to either subset." The alternative split — "according
+//! to the originating ASes" — and the combination of both are also
+//! provided.
+
+use quasar_bgpsim::aspath::AsPath;
+use quasar_bgpsim::types::{Asn, Prefix};
+use quasar_topology::graph::AsGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One observed route: `(observation point, prefix, AS-path)`, the path
+/// observer-first (the observer's own AS is the head).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObservedRoute {
+    /// Observation-point (feed) identifier.
+    pub point: u32,
+    /// AS hosting the observation point.
+    pub observer_as: Asn,
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Observer-first AS-path; its last element is the origin AS.
+    pub as_path: AsPath,
+}
+
+/// A cleaned set of observed routes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    routes: Vec<ObservedRoute>,
+}
+
+impl Dataset {
+    /// Builds a dataset, applying the paper's cleaning (§3.1): AS-path
+    /// prepending is stripped, paths with loops are dropped, and paths
+    /// whose head disagrees with the observer AS are dropped (feed
+    /// inconsistency).
+    pub fn new(routes: impl IntoIterator<Item = ObservedRoute>) -> Self {
+        let mut cleaned: Vec<ObservedRoute> = routes
+            .into_iter()
+            .filter_map(|mut r| {
+                r.as_path = r.as_path.strip_prepending();
+                if r.as_path.has_loop() || r.as_path.head() != Some(r.observer_as) {
+                    None
+                } else {
+                    Some(r)
+                }
+            })
+            .collect();
+        cleaned.sort();
+        cleaned.dedup();
+        Dataset { routes: cleaned }
+    }
+
+    /// All routes, sorted.
+    pub fn routes(&self) -> &[ObservedRoute] {
+        &self.routes
+    }
+
+    /// Number of observed routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True if no routes.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// The distinct observation points, ascending.
+    pub fn observation_points(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.routes.iter().map(|r| r.point).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The distinct prefixes with their origin AS (the last AS of any
+    /// observed path for the prefix). Prefixes observed with conflicting
+    /// origins (MOAS) keep the lexicographically smallest origin.
+    pub fn prefixes(&self) -> BTreeMap<Prefix, Asn> {
+        let mut out: BTreeMap<Prefix, Asn> = BTreeMap::new();
+        for r in &self.routes {
+            if let Some(o) = r.as_path.origin() {
+                out.entry(r.prefix)
+                    .and_modify(|e| *e = (*e).min(o))
+                    .or_insert(o);
+            }
+        }
+        out
+    }
+
+    /// The distinct origin ASes.
+    pub fn origins(&self) -> BTreeSet<Asn> {
+        self.prefixes().values().copied().collect()
+    }
+
+    /// All distinct AS-paths in the dataset.
+    pub fn paths(&self) -> Vec<AsPath> {
+        let mut v: Vec<AsPath> = self.routes.iter().map(|r| r.as_path.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// AS graph derived from *all* paths — the paper derives the initial
+    /// model's graph from training and validation feeds together (§4.5).
+    pub fn as_graph(&self) -> AsGraph {
+        AsGraph::from_paths(self.routes.iter().map(|r| &r.as_path))
+    }
+
+    /// Routes for one prefix.
+    pub fn routes_for(&self, prefix: Prefix) -> impl Iterator<Item = &ObservedRoute> {
+        self.routes.iter().filter(move |r| r.prefix == prefix)
+    }
+
+    /// Distinct observed AS-paths per (observer AS, origin AS) pair —
+    /// the quantity behind Figure 2.
+    pub fn paths_per_as_pair(&self) -> BTreeMap<(Asn, Asn), BTreeSet<AsPath>> {
+        let mut out: BTreeMap<(Asn, Asn), BTreeSet<AsPath>> = BTreeMap::new();
+        for r in &self.routes {
+            if let Some(origin) = r.as_path.origin() {
+                out.entry((r.observer_as, origin))
+                    .or_default()
+                    .insert(r.as_path.clone());
+            }
+        }
+        out
+    }
+
+    /// Splits by observation point: each point's routes land wholly in one
+    /// side. `train_fraction` of the points (rounded up) go to training.
+    pub fn split_by_point(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let mut points = self.observation_points();
+        let mut rng = StdRng::seed_from_u64(seed);
+        points.shuffle(&mut rng);
+        let n_train = ((points.len() as f64) * train_fraction).ceil() as usize;
+        let train_points: BTreeSet<u32> = points.into_iter().take(n_train).collect();
+        self.partition(|r| train_points.contains(&r.point))
+    }
+
+    /// Splits by originating AS: all routes towards an origin land wholly
+    /// in one side.
+    pub fn split_by_origin(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let mut origins: Vec<Asn> = self.origins().into_iter().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        origins.shuffle(&mut rng);
+        let n_train = ((origins.len() as f64) * train_fraction).ceil() as usize;
+        let train_origins: BTreeSet<Asn> = origins.into_iter().take(n_train).collect();
+        self.partition(|r| {
+            r.as_path
+                .origin()
+                .is_some_and(|o| train_origins.contains(&o))
+        })
+    }
+
+    /// Combined split (§4.2: "one can combine both approaches"): training =
+    /// training points × training origins; validation = held-out points ×
+    /// held-out origins. Routes in the mixed quadrants are discarded, so
+    /// the validation set shares neither vantage point nor origin with
+    /// training.
+    pub fn split_combined(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let (p_train, _) = self.split_by_point(train_fraction, seed);
+        let train_points: BTreeSet<u32> = p_train.observation_points().into_iter().collect();
+        let mut origins: Vec<Asn> = self.origins().into_iter().collect();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        origins.shuffle(&mut rng);
+        let n_train = ((origins.len() as f64) * train_fraction).ceil() as usize;
+        let train_origins: BTreeSet<Asn> = origins.into_iter().take(n_train).collect();
+
+        let mut train = Vec::new();
+        let mut valid = Vec::new();
+        for r in &self.routes {
+            let Some(o) = r.as_path.origin() else {
+                continue;
+            };
+            let tp = train_points.contains(&r.point);
+            let to = train_origins.contains(&o);
+            if tp && to {
+                train.push(r.clone());
+            } else if !tp && !to {
+                valid.push(r.clone());
+            }
+        }
+        (Dataset { routes: train }, Dataset { routes: valid })
+    }
+
+    fn partition(&self, pred: impl Fn(&ObservedRoute) -> bool) -> (Dataset, Dataset) {
+        let (a, b): (Vec<ObservedRoute>, Vec<ObservedRoute>) =
+            self.routes.iter().cloned().partition(pred);
+        (Dataset { routes: a }, Dataset { routes: b })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(point: u32, path: &[u32], prefix_origin: u32) -> ObservedRoute {
+        ObservedRoute {
+            point,
+            observer_as: Asn(path[0]),
+            prefix: Prefix::for_origin(Asn(prefix_origin)),
+            as_path: AsPath::from_u32s(path),
+        }
+    }
+
+    fn sample() -> Dataset {
+        Dataset::new(vec![
+            route(0, &[1, 2, 3], 3),
+            route(0, &[1, 4, 3], 3),
+            route(1, &[2, 3], 3),
+            route(1, &[2, 5], 5),
+            route(2, &[4, 3], 3),
+            route(2, &[4, 2, 5], 5),
+        ])
+    }
+
+    #[test]
+    fn cleaning_strips_prepending_and_loops() {
+        let d = Dataset::new(vec![
+            ObservedRoute {
+                point: 0,
+                observer_as: Asn(1),
+                prefix: Prefix::for_origin(Asn(3)),
+                as_path: AsPath::from_u32s(&[1, 1, 2, 2, 3]),
+            },
+            ObservedRoute {
+                point: 0,
+                observer_as: Asn(1),
+                prefix: Prefix::for_origin(Asn(3)),
+                as_path: AsPath::from_u32s(&[1, 2, 1, 3]),
+            },
+        ]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.routes()[0].as_path, AsPath::from_u32s(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn head_mismatch_dropped() {
+        let d = Dataset::new(vec![ObservedRoute {
+            point: 0,
+            observer_as: Asn(9),
+            prefix: Prefix::for_origin(Asn(3)),
+            as_path: AsPath::from_u32s(&[1, 2, 3]),
+        }]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn prefixes_and_origins() {
+        let d = sample();
+        let p = d.prefixes();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[&Prefix::for_origin(Asn(3))], Asn(3));
+        assert_eq!(d.origins().len(), 2);
+    }
+
+    #[test]
+    fn split_by_point_is_partition() {
+        let d = sample();
+        let (tr, va) = d.split_by_point(0.5, 7);
+        assert_eq!(tr.len() + va.len(), d.len());
+        // No point straddles the split.
+        let tp: BTreeSet<u32> = tr.observation_points().into_iter().collect();
+        for p in va.observation_points() {
+            assert!(!tp.contains(&p));
+        }
+    }
+
+    #[test]
+    fn split_by_origin_is_partition() {
+        let d = sample();
+        let (tr, va) = d.split_by_origin(0.5, 7);
+        assert_eq!(tr.len() + va.len(), d.len());
+        for o in va.origins() {
+            assert!(!tr.origins().contains(&o));
+        }
+    }
+
+    #[test]
+    fn combined_split_shares_nothing() {
+        let d = sample();
+        let (tr, va) = d.split_combined(0.5, 7);
+        let tp: BTreeSet<u32> = tr.observation_points().into_iter().collect();
+        for p in va.observation_points() {
+            assert!(!tp.contains(&p));
+        }
+        for o in va.origins() {
+            assert!(!tr.origins().contains(&o));
+        }
+    }
+
+    #[test]
+    fn splits_are_deterministic() {
+        let d = sample();
+        assert_eq!(d.split_by_point(0.5, 3), d.split_by_point(0.5, 3));
+        assert_ne!(
+            d.split_by_point(0.5, 3).0.observation_points(),
+            d.split_by_point(0.5, 4).0.observation_points()
+        );
+    }
+
+    #[test]
+    fn as_graph_covers_all_edges() {
+        let d = sample();
+        let g = d.as_graph();
+        assert!(g.has_edge(Asn(1), Asn(2)));
+        assert!(g.has_edge(Asn(4), Asn(3)));
+    }
+
+    #[test]
+    fn pair_diversity_counts() {
+        let d = sample();
+        let pairs = d.paths_per_as_pair();
+        assert_eq!(pairs[&(Asn(1), Asn(3))].len(), 2);
+        assert_eq!(pairs[&(Asn(2), Asn(3))].len(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Prediction and evaluation (paper §4.2/§4.7).
+//!
+//! "The evaluation proceeds by executing a C-BGP simulation for each prefix
+//! and then comparing the predicted AS-path according to the AS-routing
+//! model with the actual observed AS-path in the Internet."
+
+use crate::metrics::{
+    match_level, mismatch_reason, unique_routes_by_prefix, MatchCounts, MatchLevel, MismatchReason,
+    PrefixCoverage,
+};
+use crate::model::AsRoutingModel;
+use crate::observed::Dataset;
+use quasar_bgpsim::types::Prefix;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Full evaluation of a model against a dataset.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Match tallies over all unique (observer AS, path) routes.
+    pub counts: MatchCounts,
+    /// Per-prefix RIB-Out coverage thresholds.
+    pub coverage: PrefixCoverage,
+    /// Mismatch taxonomy: `[not-available, shorter-selected, tie-break,
+    /// other-policy]` counts.
+    pub reasons: [usize; 4],
+}
+
+impl Evaluation {
+    fn record_reason(&mut self, r: MismatchReason) {
+        let i = match r {
+            MismatchReason::NotAvailable => 0,
+            MismatchReason::ShorterPathSelected => 1,
+            MismatchReason::TieBreakLost => 2,
+            MismatchReason::OtherPolicy => 3,
+        };
+        self.reasons[i] += 1;
+    }
+
+    /// Merges a per-prefix evaluation into the total.
+    pub fn merge(&mut self, other: &Evaluation) {
+        self.counts.merge(&other.counts);
+        self.coverage.prefixes += other.coverage.prefixes;
+        self.coverage.at_least_50 += other.coverage.at_least_50;
+        self.coverage.at_least_90 += other.coverage.at_least_90;
+        self.coverage.full += other.coverage.full;
+        for i in 0..4 {
+            self.reasons[i] += other.reasons[i];
+        }
+    }
+}
+
+/// Evaluates `model` against every unique (observer AS, AS-path) route of
+/// `dataset`, one simulation per prefix, in parallel. Prefixes whose origin
+/// is unknown to the model count as unmatched (`MatchLevel::None`) — the
+/// model simply cannot predict them.
+pub fn evaluate(model: &AsRoutingModel, dataset: &Dataset) -> Evaluation {
+    let by_prefix: Vec<(
+        Prefix,
+        Vec<(quasar_bgpsim::types::Asn, quasar_bgpsim::aspath::AsPath)>,
+    )> = unique_routes_by_prefix(dataset).into_iter().collect();
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(by_prefix.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut partials: Vec<Evaluation> = vec![Evaluation::default(); by_prefix.len()];
+    let slots: Vec<parking_lot::Mutex<&mut Evaluation>> =
+        partials.iter_mut().map(parking_lot::Mutex::new).collect();
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= by_prefix.len() {
+                    break;
+                }
+                let (prefix, routes) = &by_prefix[i];
+                let mut ev = Evaluation::default();
+                let sim = if model.prefixes().contains_key(prefix) {
+                    model.simulate(*prefix).ok()
+                } else {
+                    None
+                };
+                if let Some(res) = sim {
+                    let mut matched = 0usize;
+                    for (observer, path) in routes {
+                        let routers = model.quasi_routers_of(*observer);
+                        let level = match_level(&res, &routers, path);
+                        ev.counts.record(level);
+                        if level == MatchLevel::RibOut {
+                            matched += 1;
+                        } else {
+                            ev.record_reason(mismatch_reason(&res, &routers, path));
+                        }
+                    }
+                    ev.coverage.record(matched, routes.len());
+                } else {
+                    // Unknown prefix or diverged simulation: unpredictable.
+                    for _ in routes {
+                        ev.counts.record(MatchLevel::None);
+                        ev.record_reason(MismatchReason::NotAvailable);
+                    }
+                    ev.coverage.record(0, routes.len());
+                }
+                **slots[i].lock() = ev;
+            });
+        }
+    })
+    .expect("worker threads join");
+    drop(slots);
+
+    let mut total = Evaluation::default();
+    for p in &partials {
+        total.merge(p);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observed::ObservedRoute;
+    use crate::refine::{refine, RefineConfig};
+    use quasar_bgpsim::aspath::AsPath;
+    use quasar_bgpsim::types::Asn;
+
+    fn dataset() -> Dataset {
+        let routes = vec![
+            (&[1u32, 2, 3][..], 3u32, 0u32),
+            (&[1, 4, 3], 3, 0),
+            (&[5, 4, 3], 3, 1),
+            (&[1, 2], 2, 0),
+            (&[5, 4, 2, 0x7D0], 0x7D0, 1),
+        ];
+        Dataset::new(routes.into_iter().map(|(p, origin, point)| ObservedRoute {
+            point,
+            observer_as: Asn(p[0]),
+            prefix: Prefix::for_origin(Asn(origin)),
+            as_path: AsPath::from_u32s(p),
+        }))
+    }
+
+    #[test]
+    fn refined_model_scores_perfectly_on_training() {
+        let d = dataset();
+        let graph = d.as_graph();
+        let mut model = AsRoutingModel::initial(&graph, &d.prefixes());
+        refine(&mut model, &d, &RefineConfig::default()).unwrap();
+        let ev = evaluate(&model, &d);
+        assert_eq!(ev.counts.rib_out, ev.counts.total);
+        assert_eq!(ev.coverage.full, ev.coverage.prefixes);
+        assert!((ev.counts.rib_out_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrefined_model_scores_partially() {
+        let d = dataset();
+        let graph = d.as_graph();
+        let model = AsRoutingModel::initial(&graph, &d.prefixes());
+        let ev = evaluate(&model, &d);
+        assert_eq!(ev.counts.total, d.len());
+        assert!(ev.counts.rib_out < ev.counts.total);
+        // Diamond ties show up as potential RIB-Out.
+        assert!(ev.counts.potential_rib_out > 0);
+    }
+
+    #[test]
+    fn unknown_prefix_counts_as_none() {
+        let d = dataset();
+        let graph = d.as_graph();
+        let model = AsRoutingModel::initial(&graph, &d.prefixes());
+        let extra = Dataset::new(vec![ObservedRoute {
+            point: 9,
+            observer_as: Asn(1),
+            prefix: Prefix::for_origin(Asn(777)),
+            as_path: AsPath::from_u32s(&[1, 777]),
+        }]);
+        let ev = evaluate(&model, &extra);
+        assert_eq!(ev.counts.none, 1);
+        assert_eq!(ev.reasons[0], 1);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_despite_parallelism() {
+        let d = dataset();
+        let graph = d.as_graph();
+        let model = AsRoutingModel::initial(&graph, &d.prefixes());
+        let a = evaluate(&model, &d);
+        let b = evaluate(&model, &d);
+        assert_eq!(a, b);
+    }
+}

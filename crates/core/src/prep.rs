@@ -1,0 +1,144 @@
+//! Dataset preprocessing (paper §3.1/§4.1): single-homed stub removal with
+//! path transfer.
+//!
+//! "For similar reasons we again exclude stub-ASes but keep their AS-path
+//! to ensure that we do not loose any path information." ASes that host
+//! observation points are protected from removal — dropping them would
+//! discard whole feeds.
+
+use crate::observed::{Dataset, ObservedRoute};
+use quasar_bgpsim::types::Asn;
+use quasar_topology::classify::classify;
+use quasar_topology::graph::AsGraph;
+use quasar_topology::prune::{prune_single_homed_stubs, PruneResult};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Result of pruning a dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrunedDataset {
+    /// The rewritten dataset (stub origins collapsed onto their
+    /// providers).
+    pub dataset: Dataset,
+    /// The pruned AS graph.
+    pub graph: AsGraph,
+    /// Removed single-homed stub ASes.
+    pub removed: BTreeSet<Asn>,
+    /// Routes dropped entirely (loops or orphaned stubs).
+    pub routes_dropped: usize,
+}
+
+/// Removes single-homed stub ASes from the dataset, transferring their
+/// path information to their provider's prefix. `seeds` are tier-1 hints
+/// for the classification (may be empty).
+pub fn prune_stub_ases(dataset: &Dataset, seeds: &[Asn]) -> PrunedDataset {
+    let graph = dataset.as_graph();
+    let paths = dataset.paths();
+    let mut class = classify(&graph, &paths, seeds);
+
+    // Never remove an AS that hosts an observation point.
+    let observers: BTreeSet<Asn> = dataset.routes().iter().map(|r| r.observer_as).collect();
+    class.single_homed_stubs = class
+        .single_homed_stubs
+        .difference(&observers)
+        .copied()
+        .collect();
+
+    let pruned: PruneResult = prune_single_homed_stubs(&graph, &class);
+
+    let mut rewritten = Vec::new();
+    let mut dropped = 0usize;
+    for r in dataset.routes() {
+        match pruned.rewrite_path(&r.as_path) {
+            Some(path) if !path.is_empty() => rewritten.push(ObservedRoute {
+                point: r.point,
+                observer_as: r.observer_as,
+                prefix: r.prefix,
+                as_path: path,
+            }),
+            _ => dropped += 1,
+        }
+    }
+
+    PrunedDataset {
+        dataset: Dataset::new(rewritten),
+        graph: pruned.graph,
+        removed: pruned.removed,
+        routes_dropped: dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasar_bgpsim::aspath::AsPath;
+    use quasar_bgpsim::types::Prefix;
+
+    fn dataset() -> Dataset {
+        // AS6 is a single-homed stub of AS3; AS5 is multihomed.
+        let routes = vec![
+            (&[1u32, 2][..], 2u32, 0u32),
+            (&[2, 1], 1, 1),
+            (&[1, 3, 6], 6, 0),
+            (&[2, 1, 3, 6], 6, 1),
+            (&[1, 5], 5, 0),
+            (&[2, 5], 5, 1),
+            (&[1, 2, 5], 5, 0),
+        ];
+        Dataset::new(routes.into_iter().map(|(p, origin, point)| ObservedRoute {
+            point,
+            observer_as: Asn(p[0]),
+            prefix: Prefix::for_origin(Asn(origin)),
+            as_path: AsPath::from_u32s(p),
+        }))
+    }
+
+    #[test]
+    fn stub_collapsed_onto_provider() {
+        let d = dataset();
+        let pr = prune_stub_ases(&d, &[Asn(1), Asn(2)]);
+        assert!(pr.removed.contains(&Asn(6)));
+        assert!(!pr.graph.contains(Asn(6)));
+        // The 1-3-6 path became 1-3, now "originating" at AS3.
+        let p6 = Prefix::for_origin(Asn(6));
+        let paths: Vec<String> = pr
+            .dataset
+            .routes_for(p6)
+            .map(|r| r.as_path.to_string())
+            .collect();
+        assert!(paths.contains(&"1 3".to_string()), "{paths:?}");
+        assert_eq!(pr.dataset.prefixes()[&p6], Asn(3));
+    }
+
+    #[test]
+    fn observers_protected() {
+        // AS1/AS2 observe; even if one were a single-homed stub it must
+        // survive. Construct: observer AS9 single-homed to AS1.
+        let routes = vec![(&[9u32, 1, 2][..], 2u32, 0u32), (&[1, 2], 2, 1)];
+        let d = Dataset::new(routes.into_iter().map(|(p, origin, point)| ObservedRoute {
+            point,
+            observer_as: Asn(p[0]),
+            prefix: Prefix::for_origin(Asn(origin)),
+            as_path: AsPath::from_u32s(p),
+        }));
+        let pr = prune_stub_ases(&d, &[]);
+        assert!(!pr.removed.contains(&Asn(9)));
+        assert!(pr.graph.contains(Asn(9)));
+    }
+
+    #[test]
+    fn multihomed_stub_survives() {
+        let d = dataset();
+        let pr = prune_stub_ases(&d, &[Asn(1), Asn(2)]);
+        assert!(!pr.removed.contains(&Asn(5)));
+        assert!(pr.graph.contains(Asn(5)));
+    }
+
+    #[test]
+    fn no_dropped_routes_in_clean_data() {
+        let d = dataset();
+        let pr = prune_stub_ases(&d, &[Asn(1), Asn(2)]);
+        assert_eq!(pr.routes_dropped, 0);
+        assert_eq!(pr.dataset.len(), d.len());
+    }
+}

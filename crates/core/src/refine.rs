@@ -1,0 +1,472 @@
+//! The iterative refinement heuristic (paper §4.4–§4.6, Figure 6).
+//!
+//! For every prefix, every suffix of every observed AS-path is a *target*:
+//! the AS at the suffix's head must have some quasi-router that selects the
+//! rest of the suffix as its best route and propagates it. Each iteration
+//! simulates the prefix, then walks the targets origin-first and fixes the
+//! first discrepancy locally:
+//!
+//! * **RIB-Out match** — reserve the (lowest-id) matching quasi-router for
+//!   this path; it is "not available for matching another observed AS-path
+//!   for the same prefix".
+//! * **RIB-In match, no RIB-Out** — reserve an unreserved quasi-router that
+//!   learned the path (or *duplicate* one if all are reserved) and adjust
+//!   its per-prefix policy: MED-rank the announcing session best and filter
+//!   shorter paths at the announcing neighbors. The paper deliberately uses
+//!   MED + filters, not local-pref, to avoid divergence.
+//! * **No RIB-In** — either delete a previously installed filter that now
+//!   blocks the path at an announcing neighbor with a RIB-Out match
+//!   (Figure 7), or skip: "a route with an appropriate AS-path first has to
+//!   be propagated to this AS".
+//!
+//! "Perfect RIB-Out matches are achieved after a total number of
+//! iterations that is a multiple of the maximum AS-path length."
+
+use crate::model::AsRoutingModel;
+use crate::observed::Dataset;
+use quasar_bgpsim::aspath::AsPath;
+use quasar_bgpsim::engine::SimulationResult;
+use quasar_bgpsim::error::SimError;
+use quasar_bgpsim::types::{Asn, Prefix, RouterId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which attribute the heuristic uses to rank the wanted route at a
+/// quasi-router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RankingAttr {
+    /// MED ranking — the paper's choice: "we take advantage of the next
+    /// step in the BGP decision process that relies on the MED attribute"
+    /// (§4.6).
+    #[default]
+    Med,
+    /// Local-pref ranking — the choice the paper *rejected* because "the
+    /// preference of routes with longer AS-paths over those with shorter
+    /// ones can lead to divergence". Provided as an ablation; expect
+    /// [`PrefixOutcome::diverged`] prefixes.
+    LocalPref,
+}
+
+/// Refinement tunables.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RefineConfig {
+    /// Hard cap on iterations per prefix. The paper's bound is a small
+    /// multiple of the maximum AS-path length; the default leaves ample
+    /// slack.
+    pub max_iterations: usize,
+    /// Allow quasi-router duplication. Disabling it ablates the paper's
+    /// central mechanism: the model degenerates to one router per AS plus
+    /// policies, and concurrent-path targets become unsatisfiable.
+    pub allow_duplication: bool,
+    /// Ranking attribute (see [`RankingAttr`]).
+    pub ranking: RankingAttr,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig {
+            max_iterations: 64,
+            allow_duplication: true,
+            ranking: RankingAttr::Med,
+        }
+    }
+}
+
+/// Outcome of refining one prefix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixOutcome {
+    /// The prefix.
+    pub prefix: Prefix,
+    /// Distinct (AS, suffix) targets derived from the training paths.
+    pub targets: usize,
+    /// Iterations used (1 = matched immediately).
+    pub iterations: usize,
+    /// Whether every target reached a RIB-Out match.
+    pub converged: bool,
+    /// Quasi-routers created while refining this prefix.
+    pub quasi_routers_added: usize,
+    /// Blocking filters deleted (Figure 7 situations).
+    pub filters_deleted: usize,
+    /// True if the installed policies made the BGP propagation oscillate —
+    /// only possible with [`RankingAttr::LocalPref`] (§4.6).
+    pub diverged: bool,
+}
+
+/// Whole-training-set refinement report.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefineReport {
+    /// Per-prefix outcomes, in prefix order.
+    pub prefixes: Vec<PrefixOutcome>,
+}
+
+impl RefineReport {
+    /// True if every prefix converged to full RIB-Out matches.
+    pub fn converged(&self) -> bool {
+        self.prefixes.iter().all(|p| p.converged)
+    }
+
+    /// Total quasi-routers created by refinement.
+    pub fn quasi_routers_added(&self) -> usize {
+        self.prefixes.iter().map(|p| p.quasi_routers_added).sum()
+    }
+
+    /// Total iterations over all prefixes.
+    pub fn total_iterations(&self) -> usize {
+        self.prefixes.iter().map(|p| p.iterations).sum()
+    }
+
+    /// Maximum iterations needed by any prefix.
+    pub fn max_iterations(&self) -> usize {
+        self.prefixes
+            .iter()
+            .map(|p| p.iterations)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One refinement target: the AS `asn` must select & propagate the observed
+/// suffix `o` (which has `asn` at its head).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Target {
+    /// Suffix length — processed ascending so fixes flow origin → observer.
+    len: usize,
+    /// The observed suffix (head = `asn`).
+    o: AsPath,
+    /// The AS responsible for it.
+    asn: Asn,
+}
+
+/// Derives the deduplicated target set for one prefix from its training
+/// paths.
+fn targets_for(paths: &[&AsPath]) -> Vec<Target> {
+    let mut set: BTreeSet<Target> = BTreeSet::new();
+    for p in paths {
+        for n in 1..=p.len() {
+            let o = p.suffix(n);
+            let asn = o.head().expect("non-empty suffix");
+            set.insert(Target { len: n, o, asn });
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// Refines `model` until the simulated routing reproduces every AS-path of
+/// `training` (or the iteration cap is hit).
+pub fn refine(
+    model: &mut AsRoutingModel,
+    training: &Dataset,
+    cfg: &RefineConfig,
+) -> Result<RefineReport, SimError> {
+    let mut report = RefineReport::default();
+    let mut by_prefix: BTreeMap<Prefix, Vec<&AsPath>> = BTreeMap::new();
+    for r in training.routes() {
+        by_prefix.entry(r.prefix).or_default().push(&r.as_path);
+    }
+    for (prefix, paths) in by_prefix {
+        if !model.prefixes().contains_key(&prefix) {
+            continue; // prefix's origin absent from the model graph
+        }
+        let outcome = refine_prefix(model, prefix, &paths, cfg)?;
+        report.prefixes.push(outcome);
+    }
+    Ok(report)
+}
+
+/// Refines a single prefix to convergence.
+pub fn refine_prefix(
+    model: &mut AsRoutingModel,
+    prefix: Prefix,
+    paths: &[&AsPath],
+    cfg: &RefineConfig,
+) -> Result<PrefixOutcome, SimError> {
+    let targets = targets_for(paths);
+    let mut outcome = PrefixOutcome {
+        prefix,
+        targets: targets.len(),
+        iterations: 0,
+        converged: false,
+        quasi_routers_added: 0,
+        filters_deleted: 0,
+        diverged: false,
+    };
+
+    while outcome.iterations < cfg.max_iterations {
+        outcome.iterations += 1;
+        let res = match model.simulate(prefix) {
+            Ok(res) => res,
+            Err(SimError::Divergence { .. }) => {
+                outcome.diverged = true;
+                break;
+            }
+            Err(e) => return Err(e),
+        };
+        let mut reserved: BTreeSet<RouterId> = BTreeSet::new();
+        let mut all_matched = true;
+        let mut changed = false;
+
+        for t in &targets {
+            let target = t.o.suffix(t.o.len() - 1); // Loc-RIB form
+            let routers = model.quasi_routers_of(t.asn);
+
+            // RIB-Out match at an unreserved quasi-router?
+            let rib_out = routers.iter().copied().find(|&r| {
+                !reserved.contains(&r) && res.best_route(r).is_some_and(|b| b.as_path == target)
+            });
+            if let Some(q) = rib_out {
+                reserved.insert(q);
+                continue;
+            }
+            all_matched = false;
+
+            // RIB-In match? (any quasi-router that learned the path)
+            let has_target = |r: RouterId| {
+                res.rib(r)
+                    .map(|rib| rib.candidates.iter().any(|c| c.as_path == target))
+                    .unwrap_or(false)
+            };
+            let rib_in_unreserved = routers
+                .iter()
+                .copied()
+                .find(|&r| !reserved.contains(&r) && has_target(r));
+            let rib_in_any = routers.iter().copied().find(|&r| has_target(r));
+
+            match (rib_in_unreserved, rib_in_any) {
+                (Some(q), _) => {
+                    reserved.insert(q);
+                    adjust_policies(model, &res, q, q, prefix, &target, cfg.ranking);
+                    changed = true;
+                }
+                (None, Some(_)) if !cfg.allow_duplication => {
+                    // Ablation: the path is learned but no router may be
+                    // added — this target is permanently unsatisfiable.
+                }
+                (None, Some(src)) => {
+                    // Everyone who learned it is spoken for: duplicate.
+                    let q = model.duplicate_quasi_router(src);
+                    outcome.quasi_routers_added += 1;
+                    reserved.insert(q);
+                    // The copy's RIB-In mirrors the source's.
+                    adjust_policies(model, &res, q, src, prefix, &target, cfg.ranking);
+                    changed = true;
+                }
+                (None, None) => {
+                    // No RIB-In: the path has not propagated this far yet.
+                    // Figure 7: if the announcing neighbor AS already has a
+                    // RIB-Out match, delete whatever egress filter blocks
+                    // the announcement towards us.
+                    let deleted = delete_blockers(model, &res, t.asn, prefix, &target);
+                    if deleted > 0 {
+                        outcome.filters_deleted += deleted;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        if all_matched {
+            outcome.converged = true;
+            break;
+        }
+        if !changed {
+            // No local fix applies anywhere — progress is impossible.
+            break;
+        }
+    }
+    Ok(outcome)
+}
+
+/// Installs the §4.6 policy pair at quasi-router `q` for `target`:
+/// MED-prefer the sessions that deliver it (read from `rib_src`'s RIB-In,
+/// which equals `q`'s after duplication) and filter shorter paths at the
+/// announcing neighbors.
+fn adjust_policies(
+    model: &mut AsRoutingModel,
+    res: &SimulationResult,
+    q: RouterId,
+    rib_src: RouterId,
+    prefix: Prefix,
+    target: &AsPath,
+    ranking: RankingAttr,
+) {
+    let senders: Vec<RouterId> = res
+        .rib(rib_src)
+        .map(|rib| {
+            rib.candidates
+                .iter()
+                .filter(|c| c.as_path == *target)
+                .filter_map(|c| c.from_router)
+                .collect()
+        })
+        .unwrap_or_default();
+    match ranking {
+        RankingAttr::Med => model.set_med_preference(q, prefix, &senders),
+        RankingAttr::LocalPref => model.set_local_pref_preference(q, prefix, &senders),
+    }
+    model.set_shorter_path_filters(q, prefix, target.len().saturating_sub(1));
+}
+
+/// Figure 7 filter deletion: for target suffix `target` expected at AS
+/// `asn`, if the announcing neighbor AS has a quasi-router already
+/// RIB-Out-matching the next-shorter suffix, remove egress filters on its
+/// sessions towards `asn` that block the announcement.
+fn delete_blockers(
+    model: &mut AsRoutingModel,
+    res: &SimulationResult,
+    asn: Asn,
+    prefix: Prefix,
+    target: &AsPath,
+) -> usize {
+    let Some(nstar) = target.head() else {
+        return 0; // `asn` originates the prefix; nothing upstream
+    };
+    let n_locrib = target.suffix(target.len() - 1);
+    let mut deleted = 0;
+    let neighbors: Vec<RouterId> = model
+        .quasi_routers_of(nstar)
+        .into_iter()
+        .filter(|&rn| res.best_route(rn).is_some_and(|b| b.as_path == n_locrib))
+        .collect();
+    for rn in neighbors {
+        for peer in model.network().peers_of(rn) {
+            if peer.asn() != asn {
+                continue;
+            }
+            deleted += model.delete_blocking_filters(rn, peer, prefix, n_locrib.len());
+        }
+    }
+    deleted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{match_level, MatchLevel};
+    use quasar_topology::graph::AsGraph;
+
+    fn model_from(paths: &[&[u32]], origin: u32) -> (AsRoutingModel, Prefix, Vec<AsPath>) {
+        let aspaths: Vec<AsPath> = paths.iter().map(|p| AsPath::from_u32s(p)).collect();
+        let graph = AsGraph::from_paths(&aspaths);
+        let prefix = Prefix::for_origin(Asn(origin));
+        let mut origins = BTreeMap::new();
+        origins.insert(prefix, Asn(origin));
+        (AsRoutingModel::initial(&graph, &origins), prefix, aspaths)
+    }
+
+    fn assert_all_rib_out(model: &AsRoutingModel, prefix: Prefix, paths: &[AsPath]) {
+        let res = model.simulate(prefix).unwrap();
+        for p in paths {
+            let routers = model.quasi_routers_of(p.head().unwrap());
+            assert_eq!(
+                match_level(&res, &routers, p),
+                MatchLevel::RibOut,
+                "path {p} not RIB-Out matched"
+            );
+        }
+    }
+
+    /// §4.4 Figure 5 scenario (a)→(b): the observed path 1-4-3... here
+    /// simplified: diamond where observation disagrees with the default
+    /// tie-break, fixed by MED ranking alone.
+    #[test]
+    fn fixes_wrong_tie_break() {
+        let (mut model, prefix, _) = model_from(&[&[1, 2, 3], &[1, 4, 3]], 3);
+        // Observed: AS1 uses 1-4-3 (the tie-break loser).
+        let observed = vec![AsPath::from_u32s(&[1, 4, 3])];
+        let refs: Vec<&AsPath> = observed.iter().collect();
+        let out = refine_prefix(&mut model, prefix, &refs, &RefineConfig::default()).unwrap();
+        assert!(out.converged, "did not converge: {out:?}");
+        assert_all_rib_out(&model, prefix, &observed);
+    }
+
+    /// §4.4 Figure 5 (c): two observed paths of different length at the
+    /// same AS require a second quasi-router plus filters.
+    #[test]
+    fn creates_quasi_router_for_second_path() {
+        // AS1 connects to 4 directly and via 5; p2 at AS4; observed both
+        // 1-4 and 1-5-4.
+        let (mut model, prefix, _) = model_from(&[&[1, 4], &[1, 5, 4]], 4);
+        let observed = vec![AsPath::from_u32s(&[1, 4]), AsPath::from_u32s(&[1, 5, 4])];
+        let refs: Vec<&AsPath> = observed.iter().collect();
+        let out = refine_prefix(&mut model, prefix, &refs, &RefineConfig::default()).unwrap();
+        assert!(out.converged, "did not converge: {out:?}");
+        assert!(out.quasi_routers_added >= 1, "no quasi-router added");
+        assert_eq!(model.quasi_routers_of(Asn(1)).len(), 2);
+        assert_all_rib_out(&model, prefix, &observed);
+    }
+
+    /// §4.6 Figure 7: a filter set for a shorter path blocks a longer path
+    /// later; the heuristic must delete it.
+    #[test]
+    fn filter_deletion_unblocks_longer_path() {
+        // Topology: 1-7, 7-4 (direct), 7-6, 6-5, 5-4. Prefix p at AS4.
+        // Observed at AS1: 1-7-4 and 1-7-6-5-4.
+        let (mut model, prefix, _) = model_from(&[&[1, 7, 4], &[1, 7, 6, 5, 4]], 4);
+        let observed = vec![
+            AsPath::from_u32s(&[1, 7, 4]),
+            AsPath::from_u32s(&[1, 7, 6, 5, 4]),
+        ];
+        let refs: Vec<&AsPath> = observed.iter().collect();
+        let out = refine_prefix(&mut model, prefix, &refs, &RefineConfig::default()).unwrap();
+        assert!(out.converged, "did not converge: {out:?}");
+        assert_all_rib_out(&model, prefix, &observed);
+    }
+
+    /// Whole-dataset refinement across several prefixes converges and the
+    /// training set then matches exactly.
+    #[test]
+    fn refine_training_set_to_exact_match() {
+        use crate::observed::ObservedRoute;
+        let routes = vec![
+            (&[1u32, 2, 3][..], 3u32, 0u32),
+            (&[1, 4, 3], 3, 0),
+            (&[5, 4, 3], 3, 1),
+            (&[5, 2, 3], 3, 1),
+            (&[1, 2], 2, 0),
+            (&[5, 4, 2_000], 2_000, 1),
+        ];
+        let dataset = Dataset::new(routes.into_iter().map(|(p, origin, point)| ObservedRoute {
+            point,
+            observer_as: Asn(p[0]),
+            prefix: Prefix::for_origin(Asn(origin)),
+            as_path: AsPath::from_u32s(p),
+        }));
+        let graph = dataset.as_graph();
+        let mut model = AsRoutingModel::initial(&graph, &dataset.prefixes());
+        let report = refine(&mut model, &dataset, &RefineConfig::default()).unwrap();
+        assert!(report.converged(), "not converged: {report:?}");
+        for (prefix, _) in dataset.prefixes() {
+            let res = model.simulate(prefix).unwrap();
+            for r in dataset.routes_for(prefix) {
+                let routers = model.quasi_routers_of(r.observer_as);
+                assert_eq!(
+                    match_level(&res, &routers, &r.as_path),
+                    MatchLevel::RibOut,
+                    "route {} not matched",
+                    r.as_path
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn targets_deduplicate_shared_suffixes() {
+        let p1 = AsPath::from_u32s(&[1, 2, 3]);
+        let p2 = AsPath::from_u32s(&[4, 2, 3]);
+        let t = targets_for(&[&p1, &p2]);
+        // suffixes: [3], [2,3], [1,2,3], [4,2,3] -> 4 targets.
+        assert_eq!(t.len(), 4);
+        assert!(t[0].len <= t[t.len() - 1].len, "targets sorted by length");
+    }
+
+    #[test]
+    fn already_consistent_training_converges_in_one_iteration() {
+        let (mut model, prefix, _) = model_from(&[&[1, 2, 3]], 3);
+        let observed = [AsPath::from_u32s(&[1, 2, 3])];
+        let refs: Vec<&AsPath> = observed.iter().collect();
+        let out = refine_prefix(&mut model, prefix, &refs, &RefineConfig::default()).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.iterations, 1);
+        assert_eq!(out.quasi_routers_added, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the model layer: dataset invariants under cleaning
+//! and splitting, and the paper's central claim — refinement always drives
+//! the training set to an exact RIB-Out reproduction — exercised on random
+//! path systems.
+
+use proptest::prelude::*;
+use quasar_bgpsim::aspath::AsPath;
+use quasar_bgpsim::types::{Asn, Prefix};
+use quasar_core::prelude::*;
+
+/// Random observed-route sets over a small AS universe. Paths are random
+/// walks without repetition, so they are loop-free by construction —
+/// i.e. shaped like real BGP table entries.
+fn arb_routes() -> impl Strategy<Value = Vec<ObservedRoute>> {
+    proptest::collection::vec(
+        (
+            0u32..6,                                   // observation point
+            proptest::collection::vec(1u32..15, 1..5), // walk
+            1u32..15,                                  // origin AS
+        ),
+        1..25,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(point, mut walk, origin)| {
+                walk.dedup();
+                walk.retain(|&a| a != origin);
+                walk.push(origin);
+                // De-duplicate non-adjacent repeats to keep paths loop-free.
+                let mut seen = std::collections::BTreeSet::new();
+                walk.retain(|&a| seen.insert(a));
+                ObservedRoute {
+                    point,
+                    observer_as: Asn(walk[0]),
+                    prefix: Prefix::for_origin(Asn(origin)),
+                    as_path: AsPath::from_u32s(&walk),
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cleaning is idempotent and never yields loops or prepending.
+    #[test]
+    fn dataset_cleaning_idempotent(routes in arb_routes()) {
+        let d = Dataset::new(routes);
+        let d2 = Dataset::new(d.routes().to_vec());
+        prop_assert_eq!(&d, &d2);
+        for r in d.routes() {
+            prop_assert!(!r.as_path.has_loop());
+            prop_assert_eq!(r.as_path.strip_prepending(), r.as_path.clone());
+        }
+    }
+
+    /// Splits partition the routes and never share the split dimension.
+    #[test]
+    fn splits_partition(routes in arb_routes(), seed in 0u64..100) {
+        let d = Dataset::new(routes);
+        let (tr, va) = d.split_by_point(0.5, seed);
+        prop_assert_eq!(tr.len() + va.len(), d.len());
+        let tp: std::collections::BTreeSet<u32> =
+            tr.observation_points().into_iter().collect();
+        for p in va.observation_points() {
+            prop_assert!(!tp.contains(&p));
+        }
+        let (tr2, va2) = d.split_by_origin(0.5, seed);
+        prop_assert_eq!(tr2.len() + va2.len(), d.len());
+    }
+
+    /// The headline invariant (§4.6): after refinement, every observed
+    /// route of the training data is a RIB-Out match. Holds for *any*
+    /// loop-free path system whose paths are realizable one-by-one.
+    #[test]
+    fn refinement_reproduces_any_consistent_dataset(routes in arb_routes()) {
+        let d = Dataset::new(routes);
+        prop_assume!(!d.is_empty());
+        let graph = d.as_graph();
+        let mut model = AsRoutingModel::initial(&graph, &d.prefixes());
+        let report = refine(&mut model, &d, &RefineConfig::default()).unwrap();
+        prop_assert!(report.converged(), "refinement did not converge");
+        let ev = evaluate(&model, &d);
+        prop_assert_eq!(ev.counts.rib_out, ev.counts.total);
+    }
+
+    /// Refinement is deterministic: same inputs, same model statistics and
+    /// same evaluation.
+    #[test]
+    fn refinement_is_deterministic(routes in arb_routes()) {
+        let d = Dataset::new(routes);
+        prop_assume!(!d.is_empty());
+        let graph = d.as_graph();
+        let run = || {
+            let mut model = AsRoutingModel::initial(&graph, &d.prefixes());
+            refine(&mut model, &d, &RefineConfig::default()).unwrap();
+            (model.stats(), evaluate(&model, &d))
+        };
+        let (s1, e1) = run();
+        let (s2, e2) = run();
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(e1, e2);
+    }
+
+    /// Atom-accelerated refinement is behaviourally identical to
+    /// per-prefix refinement on the training set.
+    #[test]
+    fn atom_refinement_equivalent(routes in arb_routes()) {
+        use quasar_core::atoms::refine_with_atoms;
+        let d = Dataset::new(routes);
+        prop_assume!(!d.is_empty());
+        let graph = d.as_graph();
+
+        let mut a = AsRoutingModel::initial(&graph, &d.prefixes());
+        refine(&mut a, &d, &RefineConfig::default()).unwrap();
+        let ev_a = evaluate(&a, &d);
+
+        let mut b = AsRoutingModel::initial(&graph, &d.prefixes());
+        let (report, atoms) = refine_with_atoms(&mut b, &d, &RefineConfig::default()).unwrap();
+        let ev_b = evaluate(&b, &d);
+
+        prop_assert!(report.converged());
+        prop_assert!(atoms.compression() >= 1.0);
+        prop_assert_eq!(ev_a.counts, ev_b.counts);
+        prop_assert_eq!(ev_b.counts.rib_out, ev_b.counts.total);
+    }
+
+    /// Match levels are monotone under refinement: no observed training
+    /// route gets *worse* than in the initial model.
+    #[test]
+    fn refinement_never_hurts_training_matches(routes in arb_routes()) {
+        let d = Dataset::new(routes);
+        prop_assume!(!d.is_empty());
+        let graph = d.as_graph();
+        let initial = AsRoutingModel::initial(&graph, &d.prefixes());
+        let ev0 = evaluate(&initial, &d);
+        let mut model = AsRoutingModel::initial(&graph, &d.prefixes());
+        refine(&mut model, &d, &RefineConfig::default()).unwrap();
+        let ev1 = evaluate(&model, &d);
+        prop_assert!(ev1.counts.rib_out >= ev0.counts.rib_out);
+    }
+}

@@ -1,0 +1,139 @@
+//! AS degree distribution.
+//!
+//! The paper opens with the observation that "high-level features of the
+//! inter-domain topology have been used to make generic inferences about
+//! its behavior, e.g., power-law distributions" (§1, citing Faloutsos et
+//! al.) — and argues such generic features cannot answer specific routing
+//! questions. This module measures the degree distribution of an AS graph
+//! so the synthetic Internet's shape can be compared against the real
+//! one's heavy tail.
+
+use quasar_bgpsim::types::Asn;
+use quasar_topology::graph::AsGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Degree statistics of an AS graph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DegreeDistribution {
+    /// Degree per AS.
+    pub per_as: BTreeMap<Asn, usize>,
+}
+
+impl DegreeDistribution {
+    /// Measures `graph`.
+    pub fn from_graph(graph: &AsGraph) -> Self {
+        DegreeDistribution {
+            per_as: graph.nodes().map(|a| (a, graph.degree(a))).collect(),
+        }
+    }
+
+    /// Mean degree.
+    pub fn mean(&self) -> f64 {
+        if self.per_as.is_empty() {
+            return 0.0;
+        }
+        self.per_as.values().sum::<usize>() as f64 / self.per_as.len() as f64
+    }
+
+    /// Maximum degree.
+    pub fn max(&self) -> usize {
+        self.per_as.values().copied().max().unwrap_or(0)
+    }
+
+    /// Complementary CDF: for each observed degree `d`, the fraction of
+    /// ASes with degree ≥ `d` (descending fractions).
+    pub fn ccdf(&self) -> Vec<(usize, f64)> {
+        if self.per_as.is_empty() {
+            return Vec::new();
+        }
+        let mut hist: BTreeMap<usize, usize> = BTreeMap::new();
+        for &d in self.per_as.values() {
+            *hist.entry(d).or_default() += 1;
+        }
+        let n = self.per_as.len() as f64;
+        let mut remaining = self.per_as.len();
+        let mut out = Vec::with_capacity(hist.len());
+        for (&d, &c) in &hist {
+            out.push((d, remaining as f64 / n));
+            remaining -= c;
+        }
+        out
+    }
+
+    /// Least-squares slope of `log(CCDF)` vs `log(degree)` over degrees
+    /// ≥ 1 — the power-law exponent estimate (expected around −1.2 for the
+    /// real AS graph per Faloutsos et al.). `None` with fewer than two
+    /// distinct positive degrees.
+    pub fn power_law_slope(&self) -> Option<f64> {
+        let pts: Vec<(f64, f64)> = self
+            .ccdf()
+            .into_iter()
+            .filter(|&(d, f)| d >= 1 && f > 0.0)
+            .map(|(d, f)| ((d as f64).ln(), f.ln()))
+            .collect();
+        if pts.len() < 2 {
+            return None;
+        }
+        let n = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            None
+        } else {
+            Some((n * sxy - sx * sy) / denom)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(n: u32) -> AsGraph {
+        let mut g = AsGraph::new();
+        for i in 1..=n {
+            g.add_edge(Asn(0), Asn(i));
+        }
+        g
+    }
+
+    #[test]
+    fn star_degrees() {
+        let d = DegreeDistribution::from_graph(&star(5));
+        assert_eq!(d.max(), 5);
+        assert_eq!(d.per_as[&Asn(0)], 5);
+        assert_eq!(d.per_as[&Asn(3)], 1);
+        assert!((d.mean() - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccdf_monotone_and_complete() {
+        let d = DegreeDistribution::from_graph(&star(5));
+        let c = d.ccdf();
+        assert_eq!(c.first().map(|&(_, f)| f), Some(1.0));
+        for w in c.windows(2) {
+            assert!(w[0].1 >= w[1].1, "CCDF must not increase");
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn slope_negative_on_heavy_tail() {
+        // A crude heavy tail: many degree-1 nodes, one hub.
+        let d = DegreeDistribution::from_graph(&star(40));
+        let s = d.power_law_slope().unwrap();
+        assert!(s < 0.0, "slope {s}");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d = DegreeDistribution::from_graph(&AsGraph::new());
+        assert_eq!(d.mean(), 0.0);
+        assert!(d.ccdf().is_empty());
+        assert!(d.power_law_slope().is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Figure 2: histogram of the number of distinct AS-paths per
+//! (origin AS, observation AS) pair.
+//!
+//! "Note, that for more than 30% of the AS-pairs we see more than one
+//! AS-path. Indeed, there are more than 5,000 pairs with more than 10
+//! different paths." (§3.2)
+
+use quasar_core::observed::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The Figure 2 histogram: `counts[k]` = number of AS pairs observed with
+/// exactly `k` distinct AS-paths.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathDiversityHistogram {
+    /// Frequency per distinct-path count.
+    pub counts: BTreeMap<usize, usize>,
+}
+
+impl PathDiversityHistogram {
+    /// Builds the histogram from a dataset.
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for paths in dataset.paths_per_as_pair().values() {
+            *counts.entry(paths.len()).or_default() += 1;
+        }
+        PathDiversityHistogram { counts }
+    }
+
+    /// Total number of AS pairs.
+    pub fn total_pairs(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Fraction of pairs with strictly more than `k` distinct paths.
+    pub fn fraction_with_more_than(&self, k: usize) -> f64 {
+        let total = self.total_pairs();
+        if total == 0 {
+            return 0.0;
+        }
+        let above: usize = self
+            .counts
+            .iter()
+            .filter(|(&n, _)| n > k)
+            .map(|(_, &f)| f)
+            .sum();
+        above as f64 / total as f64
+    }
+
+    /// Number of pairs with strictly more than `k` distinct paths.
+    pub fn pairs_with_more_than(&self, k: usize) -> usize {
+        self.counts
+            .iter()
+            .filter(|(&n, _)| n > k)
+            .map(|(_, &f)| f)
+            .sum()
+    }
+
+    /// The maximum diversity seen for any pair.
+    pub fn max_diversity(&self) -> usize {
+        self.counts.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Rows `(distinct paths, pair count)` for printing/plotting, dense
+    /// from 1 to the maximum.
+    pub fn rows(&self) -> Vec<(usize, usize)> {
+        (1..=self.max_diversity())
+            .map(|k| (k, self.counts.get(&k).copied().unwrap_or(0)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasar_bgpsim::aspath::AsPath;
+    use quasar_bgpsim::types::{Asn, Prefix};
+    use quasar_core::observed::ObservedRoute;
+
+    fn dataset() -> Dataset {
+        // Pair (1,3): two paths; pair (2,3): one path; pair (1,2): one.
+        let routes = vec![
+            (&[1u32, 2, 3][..], 3u32, 0u32),
+            (&[1, 4, 3], 3, 1),
+            (&[2, 3], 3, 2),
+            (&[1, 2], 2, 0),
+        ];
+        Dataset::new(routes.into_iter().map(|(p, origin, point)| ObservedRoute {
+            point,
+            observer_as: Asn(p[0]),
+            prefix: Prefix::for_origin(Asn(origin)),
+            as_path: AsPath::from_u32s(p),
+        }))
+    }
+
+    #[test]
+    fn histogram_counts_pairs() {
+        let h = PathDiversityHistogram::from_dataset(&dataset());
+        assert_eq!(h.total_pairs(), 3);
+        assert_eq!(h.counts[&1], 2);
+        assert_eq!(h.counts[&2], 1);
+        assert_eq!(h.max_diversity(), 2);
+    }
+
+    #[test]
+    fn fraction_above_threshold() {
+        let h = PathDiversityHistogram::from_dataset(&dataset());
+        assert!((h.fraction_with_more_than(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.pairs_with_more_than(10), 0);
+    }
+
+    #[test]
+    fn rows_are_dense() {
+        let h = PathDiversityHistogram::from_dataset(&dataset());
+        assert_eq!(h.rows(), vec![(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let h = PathDiversityHistogram::from_dataset(&Dataset::default());
+        assert_eq!(h.total_pairs(), 0);
+        assert_eq!(h.fraction_with_more_than(0), 0.0);
+    }
+}

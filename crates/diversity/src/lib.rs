@@ -1,0 +1,41 @@
+//! # quasar-diversity — route-diversity analysis (paper §3)
+//!
+//! The measurements that motivate the whole paper: how many distinct
+//! AS-paths exist between AS pairs (Figure 2), how many distinct paths an
+//! AS receives for a single prefix (Table 1 — "a lower bound on how many
+//! routers are needed inside an AS"), how many prefixes share an AS-path,
+//! and the §3.1 dataset summary.
+//!
+//! ```
+//! use quasar_bgpsim::aspath::AsPath;
+//! use quasar_bgpsim::types::{Asn, Prefix};
+//! use quasar_core::observed::{Dataset, ObservedRoute};
+//! use quasar_diversity::prelude::*;
+//!
+//! let dataset = Dataset::new(vec![
+//!     ObservedRoute { point: 0, observer_as: Asn(1), prefix: Prefix::for_origin(Asn(3)),
+//!                     as_path: AsPath::from_u32s(&[1, 2, 3]) },
+//!     ObservedRoute { point: 1, observer_as: Asn(1), prefix: Prefix::for_origin(Asn(3)),
+//!                     as_path: AsPath::from_u32s(&[1, 4, 3]) },
+//! ]);
+//! let hist = PathDiversityHistogram::from_dataset(&dataset);
+//! assert_eq!(hist.pairs_with_more_than(1), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod degrees;
+pub mod histogram;
+pub mod prefix_spread;
+pub mod quantiles;
+pub mod summary;
+
+/// Commonly used names.
+pub mod prelude {
+    pub use crate::degrees::DegreeDistribution;
+    pub use crate::histogram::PathDiversityHistogram;
+    pub use crate::prefix_spread::PrefixSpread;
+    pub use crate::quantiles::DiversityQuantiles;
+    pub use crate::summary::{summarize, DatasetSummary};
+}

@@ -1,0 +1,128 @@
+//! Prefixes-per-AS-path distribution (§3.2).
+//!
+//! "there are very popular AS-paths used by more than 1,000 different
+//! prefixes while the number of AS-paths that are only used by a single
+//! prefix is less than 50%. When plotting the histogram of how many
+//! prefixes are propagated along an AS-path on a log-log plot, one can see
+//! a linear relationship."
+
+use quasar_bgpsim::aspath::AsPath;
+use quasar_core::observed::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Distribution of how many prefixes each distinct AS-path carries.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixSpread {
+    /// Per distinct AS-path: number of prefixes observed along it.
+    pub per_path: BTreeMap<AsPath, usize>,
+}
+
+impl PrefixSpread {
+    /// Computes the spread from a dataset.
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        let mut sets: BTreeMap<AsPath, BTreeSet<quasar_bgpsim::types::Prefix>> = BTreeMap::new();
+        for r in dataset.routes() {
+            sets.entry(r.as_path.clone()).or_default().insert(r.prefix);
+        }
+        PrefixSpread {
+            per_path: sets.into_iter().map(|(p, s)| (p, s.len())).collect(),
+        }
+    }
+
+    /// Histogram rows `(prefixes per path, number of paths)`.
+    pub fn histogram(&self) -> BTreeMap<usize, usize> {
+        let mut h: BTreeMap<usize, usize> = BTreeMap::new();
+        for &n in self.per_path.values() {
+            *h.entry(n).or_default() += 1;
+        }
+        h
+    }
+
+    /// Fraction of AS-paths used by exactly one prefix (the paper: below
+    /// 50 %).
+    pub fn single_prefix_fraction(&self) -> f64 {
+        if self.per_path.is_empty() {
+            return 0.0;
+        }
+        let n = self.per_path.values().filter(|&&c| c == 1).count();
+        n as f64 / self.per_path.len() as f64
+    }
+
+    /// The busiest path's prefix count.
+    pub fn max_prefixes(&self) -> usize {
+        self.per_path.values().copied().max().unwrap_or(0)
+    }
+
+    /// Least-squares slope of `log(count)` vs `log(frequency)` over the
+    /// histogram — the paper's "linear relationship on a log-log plot"
+    /// (expected negative).
+    pub fn log_log_slope(&self) -> Option<f64> {
+        let h = self.histogram();
+        if h.len() < 2 {
+            return None;
+        }
+        let pts: Vec<(f64, f64)> = h
+            .iter()
+            .map(|(&x, &y)| ((x as f64).ln(), (y as f64).ln()))
+            .collect();
+        let n = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            None
+        } else {
+            Some((n * sxy - sx * sy) / denom)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasar_bgpsim::types::{Asn, Prefix};
+    use quasar_core::observed::ObservedRoute;
+
+    fn dataset() -> Dataset {
+        // The path 1-2 carries two prefixes; 1-3 carries one.
+        let routes = vec![
+            (&[1u32, 2][..], Prefix::for_origin_nth(Asn(2), 0), 0u32),
+            (&[1, 2], Prefix::for_origin_nth(Asn(2), 1), 0),
+            (&[1, 3], Prefix::for_origin_nth(Asn(3), 0), 0),
+        ];
+        Dataset::new(routes.into_iter().map(|(p, prefix, point)| ObservedRoute {
+            point,
+            observer_as: Asn(p[0]),
+            prefix,
+            as_path: quasar_bgpsim::aspath::AsPath::from_u32s(p),
+        }))
+    }
+
+    #[test]
+    fn spread_counts_prefixes_per_path() {
+        let s = PrefixSpread::from_dataset(&dataset());
+        assert_eq!(s.per_path.len(), 2);
+        assert_eq!(s.max_prefixes(), 2);
+        assert!((s.single_prefix_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_shape() {
+        let s = PrefixSpread::from_dataset(&dataset());
+        let h = s.histogram();
+        assert_eq!(h[&1], 1);
+        assert_eq!(h[&2], 1);
+    }
+
+    #[test]
+    fn slope_requires_two_points() {
+        let s = PrefixSpread::from_dataset(&Dataset::default());
+        assert!(s.log_log_slope().is_none());
+        assert!(PrefixSpread::from_dataset(&dataset())
+            .log_log_slope()
+            .is_some());
+    }
+}

@@ -1,0 +1,151 @@
+//! Table 1: quantiles of the maximum route diversity received per AS.
+//!
+//! "To judge how much of the path diversity is due to multiple routes per
+//! ASes ... we determine the distribution of the maximum number of
+//! distinct unique paths each AS receives towards any destination prefix.
+//! This value is a lower bound on how many routers are needed inside an AS
+//! to propagate all these paths" (§3.2). From vantage-point data, the
+//! routes an AS `a` "receives" for prefix `p` are the distinct suffixes
+//! *after* `a` of the observed paths for `p` that traverse `a`.
+
+use quasar_bgpsim::aspath::AsPath;
+use quasar_bgpsim::types::{Asn, Prefix};
+use quasar_core::observed::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-AS maximum received-path diversity.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiversityQuantiles {
+    /// For each AS: the maximum, over prefixes, of the number of distinct
+    /// paths it was observed to receive.
+    pub per_as: BTreeMap<Asn, usize>,
+}
+
+impl DiversityQuantiles {
+    /// Computes the per-AS diversity from a dataset.
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        // (AS, prefix) -> set of received suffixes (the path after the AS).
+        let mut received: BTreeMap<(Asn, Prefix), BTreeSet<AsPath>> = BTreeMap::new();
+        for r in dataset.routes() {
+            let s = r.as_path.as_slice();
+            for (i, &a) in s.iter().enumerate() {
+                if i + 1 < s.len() {
+                    received
+                        .entry((a, r.prefix))
+                        .or_default()
+                        .insert(r.as_path.suffix(s.len() - i - 1));
+                }
+            }
+        }
+        let mut per_as: BTreeMap<Asn, usize> = BTreeMap::new();
+        for ((a, _), set) in received {
+            let e = per_as.entry(a).or_default();
+            *e = (*e).max(set.len());
+        }
+        DiversityQuantiles { per_as }
+    }
+
+    /// The `q`-quantile (0.0..=1.0) of the per-AS maxima, by the
+    /// nearest-rank method.
+    pub fn quantile(&self, q: f64) -> usize {
+        if self.per_as.is_empty() {
+            return 0;
+        }
+        let mut v: Vec<usize> = self.per_as.values().copied().collect();
+        v.sort_unstable();
+        let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+        v[rank - 1]
+    }
+
+    /// The Table 1 row: maxima at the paper's percentiles
+    /// (50/75/90/95/98/99).
+    pub fn table1_row(&self) -> [(u8, usize); 6] {
+        [
+            (50, self.quantile(0.50)),
+            (75, self.quantile(0.75)),
+            (90, self.quantile(0.90)),
+            (95, self.quantile(0.95)),
+            (98, self.quantile(0.98)),
+            (99, self.quantile(0.99)),
+        ]
+    }
+
+    /// Fraction of ASes receiving at least `k` distinct paths for some
+    /// prefix ("more than 50% of the ASes receive two unique AS-paths for
+    /// at least one destination prefix").
+    pub fn fraction_at_least(&self, k: usize) -> f64 {
+        if self.per_as.is_empty() {
+            return 0.0;
+        }
+        let n = self.per_as.values().filter(|&&d| d >= k).count();
+        n as f64 / self.per_as.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasar_core::observed::ObservedRoute;
+
+    fn dataset() -> Dataset {
+        // AS2 receives, for AS4's prefix, paths via 3 and via 5 (as seen
+        // from observer 1): 1-2-3-4 and 1-2-5-4.
+        let routes = vec![
+            (&[1u32, 2, 3, 4][..], 4u32, 0u32),
+            (&[1, 2, 5, 4], 4, 1),
+            (&[1, 2], 2, 0),
+        ];
+        Dataset::new(routes.into_iter().map(|(p, origin, point)| ObservedRoute {
+            point,
+            observer_as: Asn(p[0]),
+            prefix: Prefix::for_origin(Asn(origin)),
+            as_path: AsPath::from_u32s(p),
+        }))
+    }
+
+    #[test]
+    fn received_suffixes_counted() {
+        let q = DiversityQuantiles::from_dataset(&dataset());
+        assert_eq!(q.per_as[&Asn(2)], 2); // {3-4, 5-4}
+        assert_eq!(q.per_as[&Asn(1)], 2); // receives both full paths
+        assert_eq!(q.per_as[&Asn(3)], 1);
+        // AS4 originates; it receives nothing.
+        assert!(!q.per_as.contains_key(&Asn(4)));
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut q = DiversityQuantiles::default();
+        for (i, d) in [1usize, 1, 1, 2, 5].into_iter().enumerate() {
+            q.per_as.insert(Asn(i as u32 + 1), d);
+        }
+        assert_eq!(q.quantile(0.5), 1);
+        assert_eq!(q.quantile(0.8), 2);
+        assert_eq!(q.quantile(1.0), 5);
+        assert_eq!(q.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn fraction_at_least_counts() {
+        let q = DiversityQuantiles::from_dataset(&dataset());
+        // per_as = {AS1: 2, AS2: 2, AS3: 1, AS5: 1} -> exactly half.
+        assert!((q.fraction_at_least(2) - 0.5).abs() < 1e-12);
+        assert_eq!(q.fraction_at_least(100), 0.0);
+    }
+
+    #[test]
+    fn table1_row_is_monotone() {
+        let q = DiversityQuantiles::from_dataset(&dataset());
+        let row = q.table1_row();
+        for w in row.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_zeroes() {
+        let q = DiversityQuantiles::from_dataset(&Dataset::default());
+        assert_eq!(q.quantile(0.9), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! The §3.1 dataset summary ("T0"): everything the paper reports about its
+//! BGP data in one structure.
+
+use quasar_bgpsim::types::Asn;
+use quasar_core::observed::Dataset;
+use quasar_topology::classify::classify;
+use quasar_topology::prune::prune_single_homed_stubs;
+use serde::{Deserialize, Serialize};
+
+/// Counts mirroring the paper's §3.1 narrative.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Observed routes (post-cleaning).
+    pub routes: usize,
+    /// Distinct AS-paths.
+    pub distinct_paths: usize,
+    /// Distinct (observer AS, origin AS) pairs.
+    pub as_pairs: usize,
+    /// Observation points.
+    pub observation_points: usize,
+    /// Distinct observer ASes.
+    pub observer_ases: usize,
+    /// ASes in the graph.
+    pub ases: usize,
+    /// AS-level edges.
+    pub edges: usize,
+    /// The tier-1 clique.
+    pub level1: Vec<Asn>,
+    /// Level-2 ASes (neighbors of level-1).
+    pub level2: usize,
+    /// Remaining ASes.
+    pub other: usize,
+    /// Transit ASes (appear mid-path).
+    pub transit: usize,
+    /// Single-homed stubs.
+    pub single_homed_stubs: usize,
+    /// Multi-homed stubs.
+    pub multi_homed_stubs: usize,
+    /// Nodes after single-homed-stub pruning.
+    pub pruned_nodes: usize,
+    /// Edges after pruning.
+    pub pruned_edges: usize,
+}
+
+/// Computes the summary for a dataset; `seeds` are tier-1 hints.
+pub fn summarize(dataset: &Dataset, seeds: &[Asn]) -> DatasetSummary {
+    let graph = dataset.as_graph();
+    let paths = dataset.paths();
+    let class = classify(&graph, &paths, seeds);
+    let pruned = prune_single_homed_stubs(&graph, &class);
+    let mut observer_ases: Vec<Asn> = dataset.routes().iter().map(|r| r.observer_as).collect();
+    observer_ases.sort();
+    observer_ases.dedup();
+
+    DatasetSummary {
+        routes: dataset.len(),
+        distinct_paths: paths.len(),
+        as_pairs: dataset.paths_per_as_pair().len(),
+        observation_points: dataset.observation_points().len(),
+        observer_ases: observer_ases.len(),
+        ases: graph.num_nodes(),
+        edges: graph.num_edges(),
+        level1: class.level1.clone(),
+        level2: class.level2.len(),
+        other: class.num_other(),
+        transit: class.transit.len(),
+        single_homed_stubs: class.single_homed_stubs.len(),
+        multi_homed_stubs: class.multi_homed_stubs.len(),
+        pruned_nodes: pruned.graph.num_nodes(),
+        pruned_edges: pruned.graph.num_edges(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasar_bgpsim::aspath::AsPath;
+    use quasar_bgpsim::types::Prefix;
+    use quasar_core::observed::ObservedRoute;
+
+    #[test]
+    fn summary_counts_consistent() {
+        let routes = vec![
+            (&[1u32, 2][..], 2u32, 0u32),
+            (&[2, 1], 1, 1),
+            (&[1, 3, 6], 6, 0),
+            (&[1, 5], 5, 0),
+            (&[2, 1, 5], 5, 1),
+        ];
+        let d = Dataset::new(routes.into_iter().map(|(p, origin, point)| ObservedRoute {
+            point,
+            observer_as: Asn(p[0]),
+            prefix: Prefix::for_origin(Asn(origin)),
+            as_path: AsPath::from_u32s(p),
+        }));
+        let s = summarize(&d, &[Asn(1), Asn(2)]);
+        assert_eq!(s.routes, 5);
+        assert_eq!(s.observer_ases, 2);
+        assert_eq!(s.level1, vec![Asn(1), Asn(2)]);
+        assert_eq!(s.ases, 5);
+        assert_eq!(
+            s.transit + s.single_homed_stubs + s.multi_homed_stubs,
+            s.ases
+        );
+        assert!(s.pruned_nodes <= s.ases);
+        assert_eq!(s.level1.len() + s.level2 + s.other, s.ases);
+    }
+}

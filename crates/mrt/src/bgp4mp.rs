@@ -1,0 +1,314 @@
+//! BGP4MP (RFC 6396 §4.4) — per-message captures, used for UPDATE streams.
+//! The paper notes: "In the future we are planning to also incorporate the
+//! AS-path information from BGP updates" (§3.1); this module makes the
+//! pipeline ready for that.
+
+use crate::attributes::{decode_attributes, encode_attributes, AsWidth, PathAttribute};
+use crate::error::{MrtError, Result};
+use crate::nlri::{decode_prefix, encode_prefix, NlriPrefix};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Subtype constants within MRT types 16/17 (BGP4MP / BGP4MP_ET).
+pub mod subtype {
+    /// BGP4MP_MESSAGE (2-byte ASNs).
+    pub const MESSAGE: u16 = 1;
+    /// BGP4MP_MESSAGE_AS4 (4-byte ASNs).
+    pub const MESSAGE_AS4: u16 = 4;
+}
+
+/// A parsed BGP UPDATE.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BgpUpdate {
+    /// Withdrawn prefixes.
+    pub withdrawn: Vec<NlriPrefix>,
+    /// Path attributes of the announced routes.
+    pub attributes: Vec<PathAttribute>,
+    /// Announced prefixes.
+    pub announced: Vec<NlriPrefix>,
+}
+
+/// The BGP message inside a BGP4MP record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpMessage {
+    /// UPDATE (type 2).
+    Update(BgpUpdate),
+    /// KEEPALIVE (type 4).
+    KeepAlive,
+    /// Any other message type, kept raw.
+    Other {
+        /// BGP message type byte.
+        msg_type: u8,
+        /// Raw body after the common header.
+        data: Vec<u8>,
+    },
+}
+
+/// A BGP4MP_MESSAGE / MESSAGE_AS4 record body (IPv4 endpoints).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bgp4mpMessage {
+    /// Announcing peer AS.
+    pub peer_asn: u32,
+    /// Collector-side AS.
+    pub local_asn: u32,
+    /// Interface index (usually 0).
+    pub interface: u16,
+    /// Peer IPv4 address (host order).
+    pub peer_ip: u32,
+    /// Local IPv4 address (host order).
+    pub local_ip: u32,
+    /// True for the MESSAGE_AS4 subtype (4-byte ASNs throughout).
+    pub as4: bool,
+    /// The carried BGP message.
+    pub message: BgpMessage,
+}
+
+const AFI_IPV4: u16 = 1;
+
+impl Bgp4mpMessage {
+    fn as_width(&self) -> AsWidth {
+        if self.as4 {
+            AsWidth::Four
+        } else {
+            AsWidth::Two
+        }
+    }
+
+    /// The MRT subtype this body serializes as.
+    pub fn subtype(&self) -> u16 {
+        if self.as4 {
+            subtype::MESSAGE_AS4
+        } else {
+            subtype::MESSAGE
+        }
+    }
+
+    /// Serializes the body (including the 16-byte BGP marker).
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        if self.as4 {
+            out.put_u32(self.peer_asn);
+            out.put_u32(self.local_asn);
+        } else {
+            out.put_u16(self.peer_asn as u16);
+            out.put_u16(self.local_asn as u16);
+        }
+        out.put_u16(self.interface);
+        out.put_u16(AFI_IPV4);
+        out.put_u32(self.peer_ip);
+        out.put_u32(self.local_ip);
+
+        // BGP message: marker + length + type + body.
+        let (msg_type, body): (u8, Bytes) = match &self.message {
+            BgpMessage::Update(u) => {
+                let mut b = BytesMut::new();
+                let mut wd = BytesMut::new();
+                for p in &u.withdrawn {
+                    encode_prefix(p, &mut wd);
+                }
+                b.put_u16(wd.len() as u16);
+                b.extend_from_slice(&wd);
+                let attrs = encode_attributes(&u.attributes, self.as_width());
+                b.put_u16(attrs.len() as u16);
+                b.extend_from_slice(&attrs);
+                for p in &u.announced {
+                    encode_prefix(p, &mut b);
+                }
+                (2, b.freeze())
+            }
+            BgpMessage::KeepAlive => (4, Bytes::new()),
+            BgpMessage::Other { msg_type, data } => (*msg_type, Bytes::from(data.clone())),
+        };
+        out.extend_from_slice(&[0xFF; 16]);
+        out.put_u16(19 + body.len() as u16);
+        out.put_u8(msg_type);
+        out.extend_from_slice(&body);
+        out.freeze()
+    }
+
+    /// Parses a body given the MRT subtype.
+    pub fn decode(mut data: Bytes, subtype: u16) -> Result<Self> {
+        let as4 = subtype == subtype::MESSAGE_AS4;
+        let head = if as4 { 8 } else { 4 };
+        if data.remaining() < head + 4 {
+            return Err(MrtError::Truncated {
+                context: "BGP4MP header",
+            });
+        }
+        let (peer_asn, local_asn) = if as4 {
+            (data.get_u32(), data.get_u32())
+        } else {
+            (data.get_u16() as u32, data.get_u16() as u32)
+        };
+        let interface = data.get_u16();
+        let afi = data.get_u16();
+        if afi != AFI_IPV4 {
+            return Err(MrtError::UnsupportedAfi(afi));
+        }
+        if data.remaining() < 8 {
+            return Err(MrtError::Truncated {
+                context: "BGP4MP addresses",
+            });
+        }
+        let peer_ip = data.get_u32();
+        let local_ip = data.get_u32();
+
+        if data.remaining() < 19 {
+            return Err(MrtError::Truncated {
+                context: "BGP message header",
+            });
+        }
+        let marker = data.split_to(16);
+        if marker.iter().any(|&b| b != 0xFF) {
+            return Err(MrtError::BadMarker);
+        }
+        let msg_len = data.get_u16() as usize;
+        let msg_type = data.get_u8();
+        if msg_len < 19 || data.remaining() < msg_len - 19 {
+            return Err(MrtError::BadLength {
+                context: "BGP message length",
+                len: msg_len,
+            });
+        }
+        let mut body = data.split_to(msg_len - 19);
+
+        let message = match msg_type {
+            2 => {
+                if body.remaining() < 2 {
+                    return Err(MrtError::Truncated {
+                        context: "UPDATE withdrawn length",
+                    });
+                }
+                let wd_len = body.get_u16() as usize;
+                if body.remaining() < wd_len {
+                    return Err(MrtError::Truncated {
+                        context: "UPDATE withdrawn routes",
+                    });
+                }
+                let mut wd = body.split_to(wd_len);
+                let mut withdrawn = Vec::new();
+                while wd.has_remaining() {
+                    withdrawn.push(decode_prefix(&mut wd)?);
+                }
+                if body.remaining() < 2 {
+                    return Err(MrtError::Truncated {
+                        context: "UPDATE attribute length",
+                    });
+                }
+                let at_len = body.get_u16() as usize;
+                if body.remaining() < at_len {
+                    return Err(MrtError::Truncated {
+                        context: "UPDATE attributes",
+                    });
+                }
+                let attributes = decode_attributes(
+                    body.split_to(at_len),
+                    if as4 { AsWidth::Four } else { AsWidth::Two },
+                )?;
+                let mut announced = Vec::new();
+                while body.has_remaining() {
+                    announced.push(decode_prefix(&mut body)?);
+                }
+                BgpMessage::Update(BgpUpdate {
+                    withdrawn,
+                    attributes,
+                    announced,
+                })
+            }
+            4 => BgpMessage::KeepAlive,
+            t => BgpMessage::Other {
+                msg_type: t,
+                data: body.to_vec(),
+            },
+        };
+
+        Ok(Bgp4mpMessage {
+            peer_asn,
+            local_asn,
+            interface,
+            peer_ip,
+            local_ip,
+            as4,
+            message,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::AsPathSegment;
+
+    fn sample_update(as4: bool) -> Bgp4mpMessage {
+        Bgp4mpMessage {
+            peer_asn: if as4 { 4_200_000_000 } else { 7018 },
+            local_asn: 65000,
+            interface: 0,
+            peer_ip: 0xC0000201,
+            local_ip: 0xC0000202,
+            as4,
+            message: BgpMessage::Update(BgpUpdate {
+                withdrawn: vec![NlriPrefix::new(0x0B000000, 8).unwrap()],
+                attributes: vec![
+                    PathAttribute::Origin(0),
+                    PathAttribute::AsPath(vec![AsPathSegment::sequence(vec![7018, 5511])]),
+                    PathAttribute::NextHop(0xC0000201),
+                ],
+                announced: vec![
+                    NlriPrefix::new(0xC6336400, 24).unwrap(),
+                    NlriPrefix::new(0x0A000000, 8).unwrap(),
+                ],
+            }),
+        }
+    }
+
+    #[test]
+    fn update_roundtrip_2byte() {
+        let m = sample_update(false);
+        let dec = Bgp4mpMessage::decode(m.encode(), m.subtype()).unwrap();
+        assert_eq!(dec, m);
+    }
+
+    #[test]
+    fn update_roundtrip_4byte() {
+        let m = sample_update(true);
+        let dec = Bgp4mpMessage::decode(m.encode(), m.subtype()).unwrap();
+        assert_eq!(dec, m);
+    }
+
+    #[test]
+    fn keepalive_roundtrip() {
+        let m = Bgp4mpMessage {
+            peer_asn: 1,
+            local_asn: 2,
+            interface: 0,
+            peer_ip: 1,
+            local_ip: 2,
+            as4: false,
+            message: BgpMessage::KeepAlive,
+        };
+        assert_eq!(Bgp4mpMessage::decode(m.encode(), m.subtype()).unwrap(), m);
+    }
+
+    #[test]
+    fn bad_marker_rejected() {
+        let m = sample_update(false);
+        let mut enc = m.encode().to_vec();
+        // 2-byte-AS layout: 2+2+2+2+4+4 = 16 header bytes, marker follows.
+        enc[16] = 0;
+        assert!(matches!(
+            Bgp4mpMessage::decode(Bytes::from(enc), m.subtype()),
+            Err(MrtError::BadMarker)
+        ));
+    }
+
+    #[test]
+    fn ipv6_afi_unsupported() {
+        let m = sample_update(false);
+        let mut enc = m.encode().to_vec();
+        enc[7] = 2; // AFI field of the 2-byte-AS layout
+        assert!(matches!(
+            Bgp4mpMessage::decode(Bytes::from(enc), m.subtype()),
+            Err(MrtError::UnsupportedAfi(2))
+        ));
+    }
+}

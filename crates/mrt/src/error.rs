@@ -1,0 +1,61 @@
+//! Error type for MRT parsing and serialization.
+
+use std::fmt;
+
+/// Errors raised while decoding or encoding MRT data.
+#[derive(Debug)]
+pub enum MrtError {
+    /// The input ended before a complete record/field was read.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A length field is inconsistent with the enclosing structure.
+    BadLength {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending length.
+        len: usize,
+    },
+    /// The 16-byte BGP message marker was not all-ones.
+    BadMarker,
+    /// An IPv4-only code path met an IPv6 address family.
+    UnsupportedAfi(u16),
+    /// A prefix length above 32 (IPv4) / 128 (IPv6).
+    BadPrefixLength(u8),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrtError::Truncated { context } => write!(f, "truncated input while reading {context}"),
+            MrtError::BadLength { context, len } => {
+                write!(f, "inconsistent length {len} in {context}")
+            }
+            MrtError::BadMarker => write!(f, "BGP message marker is not all-ones"),
+            MrtError::UnsupportedAfi(afi) => write!(f, "unsupported address family {afi}"),
+            MrtError::BadPrefixLength(l) => write!(f, "invalid prefix length {l}"),
+            MrtError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MrtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrtError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MrtError {
+    fn from(e: std::io::Error) -> Self {
+        MrtError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MrtError>;

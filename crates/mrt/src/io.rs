@@ -1,0 +1,131 @@
+//! Streaming reader/writer over `std::io`.
+
+use crate::error::{MrtError, Result};
+use crate::record::MrtRecord;
+use bytes::Bytes;
+use std::io::{Read, Write};
+
+/// Streaming MRT record reader.
+pub struct MrtReader<R: Read> {
+    inner: R,
+}
+
+impl<R: Read> MrtReader<R> {
+    /// Wraps a byte source.
+    pub fn new(inner: R) -> Self {
+        MrtReader { inner }
+    }
+
+    /// Reads the next record; `Ok(None)` at clean EOF.
+    pub fn next_record(&mut self) -> Result<Option<MrtRecord>> {
+        let mut header = [0u8; 12];
+        match self.inner.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(MrtError::Io(e)),
+        }
+        let len = u32::from_be_bytes([header[8], header[9], header[10], header[11]]) as usize;
+        let mut buf = vec![0u8; 12 + len];
+        buf[..12].copy_from_slice(&header);
+        self.inner.read_exact(&mut buf[12..])?;
+        let mut bytes = Bytes::from(buf);
+        Ok(Some(MrtRecord::decode(&mut bytes)?))
+    }
+
+    /// Reads every remaining record.
+    pub fn read_all(&mut self) -> Result<Vec<MrtRecord>> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next_record()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+impl<R: Read> Iterator for MrtReader<R> {
+    type Item = Result<MrtRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+/// Streaming MRT record writer.
+pub struct MrtWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> MrtWriter<W> {
+    /// Wraps a byte sink.
+    pub fn new(inner: W) -> Self {
+        MrtWriter { inner }
+    }
+
+    /// Serializes and writes one record.
+    pub fn write_record(&mut self, rec: &MrtRecord) -> Result<()> {
+        self.inner.write_all(&rec.encode())?;
+        Ok(())
+    }
+
+    /// Flushes the sink and returns it.
+    pub fn finish(mut self) -> Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::MrtBody;
+
+    fn rec(i: u32) -> MrtRecord {
+        MrtRecord {
+            timestamp: i,
+            body: MrtBody::Unknown {
+                mrt_type: 99,
+                subtype: 1,
+                data: vec![i as u8; i as usize % 5],
+            },
+        }
+    }
+
+    #[test]
+    fn write_then_read_stream() {
+        let mut w = MrtWriter::new(Vec::new());
+        let recs: Vec<MrtRecord> = (0..10).map(rec).collect();
+        for r in &recs {
+            w.write_record(r).unwrap();
+        }
+        let buf = w.finish().unwrap();
+        let mut r = MrtReader::new(&buf[..]);
+        let back = r.read_all().unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let mut w = MrtWriter::new(Vec::new());
+        for i in 0..3 {
+            w.write_record(&rec(i)).unwrap();
+        }
+        let buf = w.finish().unwrap();
+        let count = MrtReader::new(&buf[..]).count();
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn empty_stream_is_clean_eof() {
+        let mut r = MrtReader::new(&[][..]);
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn mid_record_eof_errors() {
+        let mut w = MrtWriter::new(Vec::new());
+        w.write_record(&rec(4)).unwrap();
+        let buf = w.finish().unwrap();
+        let mut r = MrtReader::new(&buf[..buf.len() - 1]);
+        assert!(r.next_record().is_err());
+    }
+}

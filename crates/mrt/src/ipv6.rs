@@ -1,0 +1,205 @@
+//! IPv6 NLRI and RIB_IPV6_UNICAST (RFC 6396 §4.3.2, subtype 4).
+//!
+//! The reproduction pipeline is IPv4 (as the paper's 2005 dataset was),
+//! but real archives carry IPv6 tables too; the codec handles them so a
+//! full RouteViews file parses without `Unknown` fallbacks.
+
+use crate::attributes::{decode_attributes, encode_attributes, AsWidth};
+use crate::error::{MrtError, Result};
+use crate::tabledump2::RibEntry;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Subtype code for RIB_IPV6_UNICAST.
+pub const SUBTYPE_RIB_IPV6_UNICAST: u16 = 4;
+
+/// An IPv6 prefix as carried in NLRI fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NlriPrefix6 {
+    /// Network address (16 octets), masked to `len` bits.
+    pub base: [u8; 16],
+    /// Prefix length (0..=128).
+    pub len: u8,
+}
+
+impl NlriPrefix6 {
+    /// Builds a prefix, masking host bits away.
+    pub fn new(mut base: [u8; 16], len: u8) -> Result<Self> {
+        if len > 128 {
+            return Err(MrtError::BadPrefixLength(len));
+        }
+        for (i, b) in base.iter_mut().enumerate() {
+            let bit_start = (i * 8) as u8;
+            if bit_start >= len {
+                *b = 0;
+            } else if len - bit_start < 8 {
+                *b &= 0xFF << (8 - (len - bit_start));
+            }
+        }
+        Ok(NlriPrefix6 { base, len })
+    }
+
+    fn packed_octets(&self) -> usize {
+        (self.len as usize).div_ceil(8)
+    }
+}
+
+/// Appends the packed `len + bits` form.
+pub fn encode_prefix6(p: &NlriPrefix6, out: &mut BytesMut) {
+    out.put_u8(p.len);
+    out.extend_from_slice(&p.base[..p.packed_octets()]);
+}
+
+/// Reads one packed IPv6 prefix.
+pub fn decode_prefix6(data: &mut Bytes) -> Result<NlriPrefix6> {
+    if !data.has_remaining() {
+        return Err(MrtError::Truncated {
+            context: "IPv6 NLRI length byte",
+        });
+    }
+    let len = data.get_u8();
+    if len > 128 {
+        return Err(MrtError::BadPrefixLength(len));
+    }
+    let octets = (len as usize).div_ceil(8);
+    if data.remaining() < octets {
+        return Err(MrtError::Truncated {
+            context: "IPv6 NLRI prefix bits",
+        });
+    }
+    let mut base = [0u8; 16];
+    data.copy_to_slice(&mut base[..octets]);
+    NlriPrefix6::new(base, len)
+}
+
+/// A RIB_IPV6_UNICAST record body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibIpv6Unicast {
+    /// Monotone record sequence number.
+    pub sequence: u32,
+    /// The destination prefix.
+    pub prefix: NlriPrefix6,
+    /// Per-peer routes (same entry layout as IPv4).
+    pub entries: Vec<RibEntry>,
+}
+
+impl RibIpv6Unicast {
+    /// Serializes the body.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        out.put_u32(self.sequence);
+        encode_prefix6(&self.prefix, &mut out);
+        out.put_u16(self.entries.len() as u16);
+        for e in &self.entries {
+            out.put_u16(e.peer_index);
+            out.put_u32(e.originated_time);
+            let attrs = encode_attributes(&e.attributes, AsWidth::Four);
+            out.put_u16(attrs.len() as u16);
+            out.extend_from_slice(&attrs);
+        }
+        out.freeze()
+    }
+
+    /// Parses the body.
+    pub fn decode(mut data: Bytes) -> Result<Self> {
+        if data.remaining() < 4 {
+            return Err(MrtError::Truncated {
+                context: "IPv6 RIB sequence",
+            });
+        }
+        let sequence = data.get_u32();
+        let prefix = decode_prefix6(&mut data)?;
+        if data.remaining() < 2 {
+            return Err(MrtError::Truncated {
+                context: "IPv6 RIB entry count",
+            });
+        }
+        let count = data.get_u16() as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            if data.remaining() < 8 {
+                return Err(MrtError::Truncated {
+                    context: "IPv6 RIB entry header",
+                });
+            }
+            let peer_index = data.get_u16();
+            let originated_time = data.get_u32();
+            let alen = data.get_u16() as usize;
+            if data.remaining() < alen {
+                return Err(MrtError::Truncated {
+                    context: "IPv6 RIB entry attributes",
+                });
+            }
+            let attributes = decode_attributes(data.split_to(alen), AsWidth::Four)?;
+            entries.push(RibEntry {
+                peer_index,
+                originated_time,
+                attributes,
+            });
+        }
+        Ok(RibIpv6Unicast {
+            sequence,
+            prefix,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::{AsPathSegment, PathAttribute};
+
+    fn v6(s: &[u8], len: u8) -> NlriPrefix6 {
+        let mut base = [0u8; 16];
+        base[..s.len()].copy_from_slice(s);
+        NlriPrefix6::new(base, len).unwrap()
+    }
+
+    #[test]
+    fn prefix_roundtrip_various_lengths() {
+        for (bytes, len) in [
+            (&[0x20u8, 0x01, 0x0d, 0xb8][..], 32u8),
+            (&[0x20, 0x01][..], 16),
+            (&[][..], 0),
+            (&[0xff; 16][..], 128),
+            (&[0x20, 0x01, 0x0d, 0xb8, 0x80][..], 33),
+        ] {
+            let p = v6(bytes, len);
+            let mut buf = BytesMut::new();
+            encode_prefix6(&p, &mut buf);
+            let mut b = buf.freeze();
+            assert_eq!(decode_prefix6(&mut b).unwrap(), p);
+            assert!(!b.has_remaining());
+        }
+    }
+
+    #[test]
+    fn host_bits_masked() {
+        let p = v6(&[0xFF, 0xFF, 0xFF], 17);
+        assert_eq!(p.base[0], 0xFF);
+        assert_eq!(p.base[1], 0xFF);
+        assert_eq!(p.base[2], 0x80);
+    }
+
+    #[test]
+    fn invalid_length_rejected() {
+        assert!(NlriPrefix6::new([0; 16], 129).is_err());
+    }
+
+    #[test]
+    fn rib_roundtrip() {
+        let rib = RibIpv6Unicast {
+            sequence: 9,
+            prefix: v6(&[0x20, 0x01, 0x0d, 0xb8], 32),
+            entries: vec![RibEntry {
+                peer_index: 1,
+                originated_time: 1_131_868_200,
+                attributes: vec![
+                    PathAttribute::Origin(0),
+                    PathAttribute::AsPath(vec![AsPathSegment::sequence(vec![7018, 6939])]),
+                ],
+            }],
+        };
+        assert_eq!(RibIpv6Unicast::decode(rib.encode()).unwrap(), rib);
+    }
+}

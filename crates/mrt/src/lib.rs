@@ -1,0 +1,72 @@
+//! # quasar-mrt — a from-scratch MRT (RFC 6396) codec
+//!
+//! RouteViews and RIPE RIS publish BGP routing tables as MRT files; the
+//! paper's dataset is >1,300 such feeds (§3.1). This crate provides a
+//! dependency-light reader/writer for the relevant record types so the
+//! reproduction pipeline can both **export** its synthetic observation
+//! feeds in the real archive format and **ingest** real dumps when they
+//! are available:
+//!
+//! * `TABLE_DUMP_V2` — `PEER_INDEX_TABLE` + `RIB_IPV4_UNICAST` RIB
+//!   snapshots (the modern format),
+//! * legacy `TABLE_DUMP` (the format of the paper's November 2005 data),
+//! * `BGP4MP` UPDATE message captures,
+//! * the full BGP path-attribute codec (ORIGIN, AS_PATH with 2- and 4-byte
+//!   ASNs, NEXT_HOP, MED, LOCAL_PREF, ATOMIC_AGGREGATE, AGGREGATOR,
+//!   COMMUNITIES, AS4_PATH, unknown-attribute passthrough).
+//!
+//! The crate deliberately has no dependency on the simulator types — it is
+//! a pure wire codec; conversion glue lives in `quasar-netgen`.
+//!
+//! ```
+//! use quasar_mrt::prelude::*;
+//!
+//! let rib = RibIpv4Unicast {
+//!     sequence: 0,
+//!     prefix: NlriPrefix::new(0xC6336400, 24).unwrap(),
+//!     entries: vec![RibEntry {
+//!         peer_index: 0,
+//!         originated_time: 1_131_868_200, // Nov 13 2005, 07:30 UTC
+//!         attributes: vec![
+//!             PathAttribute::Origin(0),
+//!             PathAttribute::AsPath(vec![AsPathSegment::sequence(vec![5511, 4694, 24249])]),
+//!         ],
+//!     }],
+//! };
+//! let rec = MrtRecord { timestamp: 1_131_868_200, body: MrtBody::RibIpv4Unicast(rib) };
+//!
+//! let mut w = MrtWriter::new(Vec::new());
+//! w.write_record(&rec).unwrap();
+//! let buf = w.finish().unwrap();
+//!
+//! let mut r = MrtReader::new(&buf[..]);
+//! assert_eq!(r.next_record().unwrap().unwrap(), rec);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attributes;
+pub mod bgp4mp;
+pub mod error;
+pub mod io;
+pub mod ipv6;
+pub mod nlri;
+pub mod record;
+pub mod tabledump;
+pub mod tabledump2;
+
+/// Commonly used names.
+pub mod prelude {
+    pub use crate::attributes::{
+        decode_attributes, encode_attributes, AsPathSegment, AsWidth, PathAttribute,
+    };
+    pub use crate::bgp4mp::{Bgp4mpMessage, BgpMessage, BgpUpdate};
+    pub use crate::error::{MrtError, Result};
+    pub use crate::io::{MrtReader, MrtWriter};
+    pub use crate::ipv6::{NlriPrefix6, RibIpv6Unicast};
+    pub use crate::nlri::NlriPrefix;
+    pub use crate::record::{MrtBody, MrtRecord};
+    pub use crate::tabledump::TableDumpEntry;
+    pub use crate::tabledump2::{PeerAddress, PeerEntry, PeerIndexTable, RibEntry, RibIpv4Unicast};
+}

@@ -1,0 +1,128 @@
+//! NLRI prefix encoding (RFC 4271 §4.3): one length byte followed by the
+//! minimum number of octets holding that many bits.
+
+use crate::error::{MrtError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// An IPv4 prefix as carried in NLRI fields (host byte order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NlriPrefix {
+    /// Network address, host order, masked to `len` bits.
+    pub base: u32,
+    /// Prefix length (0..=32).
+    pub len: u8,
+}
+
+impl NlriPrefix {
+    /// Builds a prefix, masking host bits away.
+    pub fn new(base: u32, len: u8) -> Result<Self> {
+        if len > 32 {
+            return Err(MrtError::BadPrefixLength(len));
+        }
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        Ok(NlriPrefix {
+            base: base & mask,
+            len,
+        })
+    }
+
+    /// Number of octets the packed form occupies (excluding the length
+    /// byte).
+    pub fn packed_octets(&self) -> usize {
+        (self.len as usize).div_ceil(8)
+    }
+}
+
+/// Appends the packed `len + bits` form.
+pub fn encode_prefix(p: &NlriPrefix, out: &mut BytesMut) {
+    out.put_u8(p.len);
+    let be = p.base.to_be_bytes();
+    out.extend_from_slice(&be[..p.packed_octets()]);
+}
+
+/// Reads one packed prefix.
+pub fn decode_prefix(data: &mut Bytes) -> Result<NlriPrefix> {
+    if !data.has_remaining() {
+        return Err(MrtError::Truncated {
+            context: "NLRI length byte",
+        });
+    }
+    let len = data.get_u8();
+    if len > 32 {
+        return Err(MrtError::BadPrefixLength(len));
+    }
+    let octets = (len as usize).div_ceil(8);
+    if data.remaining() < octets {
+        return Err(MrtError::Truncated {
+            context: "NLRI prefix bits",
+        });
+    }
+    let mut be = [0u8; 4];
+    for b in be.iter_mut().take(octets) {
+        *b = data.get_u8();
+    }
+    NlriPrefix::new(u32::from_be_bytes(be), len)
+}
+
+/// Reads packed prefixes until `data` is exhausted.
+pub fn decode_prefixes(mut data: Bytes) -> Result<Vec<NlriPrefix>> {
+    let mut out = Vec::new();
+    while data.has_remaining() {
+        out.push(decode_prefix(&mut data)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(base: u32, len: u8) {
+        let p = NlriPrefix::new(base, len).unwrap();
+        let mut buf = BytesMut::new();
+        encode_prefix(&p, &mut buf);
+        let mut b = buf.freeze();
+        let q = decode_prefix(&mut b).unwrap();
+        assert_eq!(p, q);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        rt(0x0A000000, 8);
+        rt(0xC0A80100, 24);
+        rt(0xC0A80180, 25);
+        rt(0xFFFFFFFF, 32);
+        rt(0, 0);
+        rt(0x80000000, 1);
+    }
+
+    #[test]
+    fn host_bits_masked() {
+        let p = NlriPrefix::new(0x0A0B0C0D, 16).unwrap();
+        assert_eq!(p.base, 0x0A0B0000);
+        assert_eq!(p.packed_octets(), 2);
+    }
+
+    #[test]
+    fn invalid_length_rejected() {
+        assert!(NlriPrefix::new(0, 33).is_err());
+        let mut data = Bytes::from_static(&[40, 1, 2, 3, 4, 5]);
+        assert!(decode_prefix(&mut data).is_err());
+    }
+
+    #[test]
+    fn multiple_prefixes_decoded() {
+        let mut buf = BytesMut::new();
+        encode_prefix(&NlriPrefix::new(0x0A000000, 8).unwrap(), &mut buf);
+        encode_prefix(&NlriPrefix::new(0xC0A80000, 16).unwrap(), &mut buf);
+        let v = decode_prefixes(buf.freeze()).unwrap();
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn truncated_bits_error() {
+        let data = Bytes::from_static(&[24, 10]); // /24 needs 3 octets
+        assert!(decode_prefixes(data).is_err());
+    }
+}

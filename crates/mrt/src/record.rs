@@ -1,0 +1,180 @@
+//! The MRT common header (RFC 6396 §2) and record-body dispatch.
+
+use crate::bgp4mp::Bgp4mpMessage;
+use crate::error::{MrtError, Result};
+use crate::ipv6::{RibIpv6Unicast, SUBTYPE_RIB_IPV6_UNICAST};
+use crate::tabledump::TableDumpEntry;
+use crate::tabledump2::{self, PeerIndexTable, RibIpv4Unicast};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// MRT type codes handled natively.
+pub mod mrt_type {
+    /// Legacy TABLE_DUMP.
+    pub const TABLE_DUMP: u16 = 12;
+    /// TABLE_DUMP_V2.
+    pub const TABLE_DUMP_V2: u16 = 13;
+    /// BGP4MP.
+    pub const BGP4MP: u16 = 16;
+}
+
+/// A decoded MRT record body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrtBody {
+    /// TABLE_DUMP_V2 / PEER_INDEX_TABLE.
+    PeerIndexTable(PeerIndexTable),
+    /// TABLE_DUMP_V2 / RIB_IPV4_UNICAST.
+    RibIpv4Unicast(RibIpv4Unicast),
+    /// TABLE_DUMP_V2 / RIB_IPV6_UNICAST.
+    RibIpv6Unicast(RibIpv6Unicast),
+    /// Legacy TABLE_DUMP (IPv4).
+    TableDump(TableDumpEntry),
+    /// BGP4MP message.
+    Bgp4mp(Bgp4mpMessage),
+    /// Unhandled type/subtype, payload preserved.
+    Unknown {
+        /// MRT type code.
+        mrt_type: u16,
+        /// MRT subtype.
+        subtype: u16,
+        /// Raw body.
+        data: Vec<u8>,
+    },
+}
+
+/// One MRT record: header timestamp + typed body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrtRecord {
+    /// UNIX timestamp of the record.
+    pub timestamp: u32,
+    /// The body.
+    pub body: MrtBody,
+}
+
+impl MrtRecord {
+    /// `(type, subtype)` codes this record serializes under.
+    pub fn type_codes(&self) -> (u16, u16) {
+        match &self.body {
+            MrtBody::PeerIndexTable(_) => (
+                mrt_type::TABLE_DUMP_V2,
+                tabledump2::subtype::PEER_INDEX_TABLE,
+            ),
+            MrtBody::RibIpv4Unicast(_) => (
+                mrt_type::TABLE_DUMP_V2,
+                tabledump2::subtype::RIB_IPV4_UNICAST,
+            ),
+            MrtBody::RibIpv6Unicast(_) => (mrt_type::TABLE_DUMP_V2, SUBTYPE_RIB_IPV6_UNICAST),
+            MrtBody::TableDump(_) => (mrt_type::TABLE_DUMP, crate::tabledump::SUBTYPE_AFI_IPV4),
+            MrtBody::Bgp4mp(m) => (mrt_type::BGP4MP, m.subtype()),
+            MrtBody::Unknown {
+                mrt_type, subtype, ..
+            } => (*mrt_type, *subtype),
+        }
+    }
+
+    /// Serializes the full record (header + body).
+    pub fn encode(&self) -> Bytes {
+        let body: Bytes = match &self.body {
+            MrtBody::PeerIndexTable(t) => t.encode(),
+            MrtBody::RibIpv4Unicast(r) => r.encode(),
+            MrtBody::RibIpv6Unicast(r) => r.encode(),
+            MrtBody::TableDump(t) => t.encode(),
+            MrtBody::Bgp4mp(m) => m.encode(),
+            MrtBody::Unknown { data, .. } => Bytes::from(data.clone()),
+        };
+        let (t, s) = self.type_codes();
+        let mut out = BytesMut::with_capacity(12 + body.len());
+        out.put_u32(self.timestamp);
+        out.put_u16(t);
+        out.put_u16(s);
+        out.put_u32(body.len() as u32);
+        out.extend_from_slice(&body);
+        out.freeze()
+    }
+
+    /// Parses one record from the front of `data`, advancing it.
+    pub fn decode(data: &mut Bytes) -> Result<Self> {
+        if data.remaining() < 12 {
+            return Err(MrtError::Truncated {
+                context: "MRT common header",
+            });
+        }
+        let timestamp = data.get_u32();
+        let t = data.get_u16();
+        let s = data.get_u16();
+        let len = data.get_u32() as usize;
+        if data.remaining() < len {
+            return Err(MrtError::Truncated {
+                context: "MRT record body",
+            });
+        }
+        let body_bytes = data.split_to(len);
+        let body = match (t, s) {
+            (mrt_type::TABLE_DUMP_V2, tabledump2::subtype::PEER_INDEX_TABLE) => {
+                MrtBody::PeerIndexTable(PeerIndexTable::decode(body_bytes)?)
+            }
+            (mrt_type::TABLE_DUMP_V2, tabledump2::subtype::RIB_IPV4_UNICAST) => {
+                MrtBody::RibIpv4Unicast(RibIpv4Unicast::decode(body_bytes)?)
+            }
+            (mrt_type::TABLE_DUMP_V2, SUBTYPE_RIB_IPV6_UNICAST) => {
+                MrtBody::RibIpv6Unicast(RibIpv6Unicast::decode(body_bytes)?)
+            }
+            (mrt_type::TABLE_DUMP, crate::tabledump::SUBTYPE_AFI_IPV4) => {
+                MrtBody::TableDump(TableDumpEntry::decode(body_bytes)?)
+            }
+            (mrt_type::BGP4MP, sub)
+                if sub == crate::bgp4mp::subtype::MESSAGE
+                    || sub == crate::bgp4mp::subtype::MESSAGE_AS4 =>
+            {
+                MrtBody::Bgp4mp(Bgp4mpMessage::decode(body_bytes, sub)?)
+            }
+            _ => MrtBody::Unknown {
+                mrt_type: t,
+                subtype: s,
+                data: body_bytes.to_vec(),
+            },
+        };
+        Ok(MrtRecord { timestamp, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_record_roundtrip() {
+        let rec = MrtRecord {
+            timestamp: 1_131_868_200,
+            body: MrtBody::Unknown {
+                mrt_type: 99,
+                subtype: 7,
+                data: vec![1, 2, 3, 4],
+            },
+        };
+        let mut bytes = rec.encode();
+        let dec = MrtRecord::decode(&mut bytes).unwrap();
+        assert_eq!(dec, rec);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn truncated_header_errors() {
+        let mut data = Bytes::from_static(&[0, 0, 0]);
+        assert!(MrtRecord::decode(&mut data).is_err());
+    }
+
+    #[test]
+    fn truncated_body_errors() {
+        let rec = MrtRecord {
+            timestamp: 1,
+            body: MrtBody::Unknown {
+                mrt_type: 99,
+                subtype: 7,
+                data: vec![1, 2, 3, 4],
+            },
+        };
+        let enc = rec.encode();
+        let mut cut = enc.slice(0..enc.len() - 2);
+        assert!(MrtRecord::decode(&mut cut).is_err());
+    }
+}

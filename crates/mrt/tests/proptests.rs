@@ -1,0 +1,168 @@
+//! Round-trip property tests for the MRT codec.
+
+use proptest::prelude::*;
+use quasar_mrt::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = NlriPrefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(base, len)| NlriPrefix::new(base, len).unwrap())
+}
+
+fn arb_segment() -> impl Strategy<Value = AsPathSegment> {
+    (1u8..=2, proptest::collection::vec(1u32..100_000, 1..6))
+        .prop_map(|(t, asns)| AsPathSegment { seg_type: t, asns })
+}
+
+fn arb_attrs() -> impl Strategy<Value = Vec<PathAttribute>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..3).prop_map(PathAttribute::Origin),
+            proptest::collection::vec(arb_segment(), 0..3).prop_map(PathAttribute::AsPath),
+            any::<u32>().prop_map(PathAttribute::NextHop),
+            any::<u32>().prop_map(PathAttribute::Med),
+            any::<u32>().prop_map(PathAttribute::LocalPref),
+            Just(PathAttribute::AtomicAggregate),
+            proptest::collection::vec(any::<u32>(), 0..5).prop_map(PathAttribute::Communities),
+        ],
+        0..6,
+    )
+}
+
+proptest! {
+    /// Attribute lists round-trip in 4-byte mode.
+    #[test]
+    fn attributes_roundtrip(attrs in arb_attrs()) {
+        let enc = encode_attributes(&attrs, AsWidth::Four);
+        let dec = decode_attributes(enc, AsWidth::Four).unwrap();
+        prop_assert_eq!(dec, attrs);
+    }
+
+    /// Attribute lists with 16-bit ASNs round-trip in 2-byte mode.
+    #[test]
+    fn attributes_roundtrip_2byte(attrs in arb_attrs()) {
+        // Clamp ASNs to 16 bits for the legacy encoding.
+        let attrs: Vec<PathAttribute> = attrs.into_iter().map(|a| match a {
+            PathAttribute::AsPath(segs) => PathAttribute::AsPath(
+                segs.into_iter()
+                    .map(|s| AsPathSegment {
+                        seg_type: s.seg_type,
+                        asns: s.asns.into_iter().map(|x| x & 0xFFFF).collect(),
+                    })
+                    .collect(),
+            ),
+            other => other,
+        }).collect();
+        let enc = encode_attributes(&attrs, AsWidth::Two);
+        let dec = decode_attributes(enc, AsWidth::Two).unwrap();
+        prop_assert_eq!(dec, attrs);
+    }
+
+    /// RIB records round-trip through the full record + stream layers.
+    #[test]
+    fn rib_records_roundtrip(
+        seq in any::<u32>(),
+        prefix in arb_prefix(),
+        entries in proptest::collection::vec((any::<u16>(), any::<u32>(), arb_attrs()), 0..5),
+        ts in any::<u32>(),
+    ) {
+        let rib = RibIpv4Unicast {
+            sequence: seq,
+            prefix,
+            entries: entries
+                .into_iter()
+                .map(|(p, t, attributes)| RibEntry {
+                    peer_index: p,
+                    originated_time: t,
+                    attributes,
+                })
+                .collect(),
+        };
+        let rec = MrtRecord { timestamp: ts, body: MrtBody::RibIpv4Unicast(rib) };
+        let mut w = MrtWriter::new(Vec::new());
+        w.write_record(&rec).unwrap();
+        let buf = w.finish().unwrap();
+        let mut r = MrtReader::new(&buf[..]);
+        prop_assert_eq!(r.next_record().unwrap().unwrap(), rec);
+        prop_assert!(r.next_record().unwrap().is_none());
+    }
+
+    /// Whole streams of mixed records round-trip.
+    #[test]
+    fn streams_roundtrip(
+        specs in proptest::collection::vec((any::<u32>(), arb_prefix(), arb_attrs()), 0..10)
+    ) {
+        let recs: Vec<MrtRecord> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (ts, prefix, attributes))| MrtRecord {
+                timestamp: ts,
+                body: MrtBody::RibIpv4Unicast(RibIpv4Unicast {
+                    sequence: i as u32,
+                    prefix,
+                    entries: vec![RibEntry {
+                        peer_index: 0,
+                        originated_time: ts,
+                        attributes,
+                    }],
+                }),
+            })
+            .collect();
+        let mut w = MrtWriter::new(Vec::new());
+        for r in &recs {
+            w.write_record(r).unwrap();
+        }
+        let buf = w.finish().unwrap();
+        let back = MrtReader::new(&buf[..]).read_all().unwrap();
+        prop_assert_eq!(back, recs);
+    }
+
+    /// Arbitrary truncation never panics: it either parses a shorter
+    /// stream or reports an error.
+    #[test]
+    fn truncation_never_panics(
+        prefix in arb_prefix(),
+        attrs in arb_attrs(),
+        cut in 0usize..200,
+    ) {
+        let rec = MrtRecord {
+            timestamp: 1,
+            body: MrtBody::RibIpv4Unicast(RibIpv4Unicast {
+                sequence: 0,
+                prefix,
+                entries: vec![RibEntry { peer_index: 0, originated_time: 0, attributes: attrs }],
+            }),
+        };
+        let enc = rec.encode();
+        let cut = cut.min(enc.len());
+        let mut r = MrtReader::new(&enc[..cut]);
+        let _ = r.read_all(); // must not panic
+    }
+
+    /// Peer index tables with mixed v4/v6 and 2/4-byte peers round-trip.
+    #[test]
+    fn peer_table_roundtrip(
+        peers in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<bool>(), any::<bool>()), 0..10),
+        name in "[a-z]{0,12}",
+    ) {
+        let table = PeerIndexTable {
+            collector_id: 7,
+            view_name: name,
+            peers: peers
+                .into_iter()
+                .map(|(id, asn, v6, as4)| PeerEntry {
+                    bgp_id: id,
+                    address: if v6 {
+                        PeerAddress::V6([id as u8; 16])
+                    } else {
+                        PeerAddress::V4(id)
+                    },
+                    asn: if as4 { asn } else { asn & 0xFFFF },
+                    as4,
+                })
+                .collect(),
+        };
+        let rec = MrtRecord { timestamp: 0, body: MrtBody::PeerIndexTable(table) };
+        let mut bytes = rec.encode();
+        prop_assert_eq!(MrtRecord::decode(&mut bytes).unwrap(), rec);
+    }
+}

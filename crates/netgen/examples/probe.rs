@@ -1,0 +1,32 @@
+use quasar_netgen::prelude::*;
+use std::collections::BTreeMap;
+fn main() {
+    for seed in [1u64, 6, 42] {
+        for (name, cfg) in [
+            ("tiny", NetGenConfig::tiny(seed)),
+            (
+                "default",
+                NetGenConfig {
+                    seed,
+                    ..NetGenConfig::default()
+                },
+            ),
+        ] {
+            let t0 = std::time::Instant::now();
+            let net = SyntheticInternet::generate(cfg);
+            let mut by_pair: BTreeMap<(u32, u32), std::collections::BTreeSet<String>> =
+                BTreeMap::new();
+            for o in &net.observations {
+                by_pair
+                    .entry((o.observer_as.0, o.as_path.origin().unwrap().0))
+                    .or_default()
+                    .insert(o.as_path.to_string());
+            }
+            let total = by_pair.len();
+            let diverse = by_pair.values().filter(|s| s.len() > 1).count();
+            let maxd = by_pair.values().map(|s| s.len()).max().unwrap_or(0);
+            println!("{name} seed={seed}: obs={} points={} pairs={total} diverse={diverse} ({:.1}%) maxdiv={maxd} elapsed={:?}",
+                net.observations.len(), net.observation_points.len(), 100.0*diverse as f64/total as f64, t0.elapsed());
+        }
+    }
+}

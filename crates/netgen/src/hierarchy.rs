@@ -1,0 +1,356 @@
+//! AS-level hierarchy generation with ground-truth relationships.
+//!
+//! The generator substitutes for the real Internet of the paper's dataset:
+//! a clique of tier-1 providers, tier-2 transits homed to them, tier-3
+//! transits homed to tier-2, and a large stub population with the paper's
+//! observed single-/multi-homed split. Because we generate it, the *true*
+//! relationships are known — which the paper never has — so relationship-
+//! inference accuracy becomes measurable (see `quasar-topology`).
+
+use crate::config::NetGenConfig;
+use quasar_bgpsim::types::Asn;
+use quasar_topology::relationships::{Relationship, Relationships};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tier of a generated AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Tier {
+    /// Member of the top clique.
+    Tier1,
+    /// Large transit provider.
+    Tier2,
+    /// Small transit provider.
+    Tier3,
+    /// Stub (no customers).
+    Stub,
+}
+
+/// A generated AS and its true relationships.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenAs {
+    /// AS number.
+    pub asn: Asn,
+    /// Tier.
+    pub tier: Tier,
+    /// ASes this AS buys transit from.
+    pub providers: BTreeSet<Asn>,
+    /// Settlement-free peers.
+    pub peers: BTreeSet<Asn>,
+    /// ASes buying transit from this AS.
+    pub customers: BTreeSet<Asn>,
+}
+
+impl GenAs {
+    fn new(asn: Asn, tier: Tier) -> Self {
+        GenAs {
+            asn,
+            tier,
+            providers: BTreeSet::new(),
+            peers: BTreeSet::new(),
+            customers: BTreeSet::new(),
+        }
+    }
+
+    /// All neighbors (providers ∪ peers ∪ customers).
+    pub fn neighbors(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.providers
+            .iter()
+            .chain(self.peers.iter())
+            .chain(self.customers.iter())
+            .copied()
+    }
+
+    /// Number of neighbors.
+    pub fn degree(&self) -> usize {
+        self.providers.len() + self.peers.len() + self.customers.len()
+    }
+}
+
+/// The generated AS-level topology.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AsLevelTopology {
+    /// All ASes by number.
+    pub ases: BTreeMap<Asn, GenAs>,
+}
+
+impl AsLevelTopology {
+    /// Generates the hierarchy from `cfg` using `rng`.
+    pub fn generate(cfg: &NetGenConfig, rng: &mut StdRng) -> Self {
+        let mut topo = AsLevelTopology::default();
+
+        // ASN ranges per tier, disjoint by construction.
+        let tier1: Vec<Asn> = (0..cfg.num_tier1).map(|i| Asn(10 + i as u32)).collect();
+        let tier2: Vec<Asn> = (0..cfg.num_tier2).map(|i| Asn(100 + i as u32)).collect();
+        let tier3: Vec<Asn> = (0..cfg.num_tier3).map(|i| Asn(1000 + i as u32)).collect();
+        let stubs: Vec<Asn> = (0..cfg.num_stubs).map(|i| Asn(10_000 + i as u32)).collect();
+
+        for &a in &tier1 {
+            topo.ases.insert(a, GenAs::new(a, Tier::Tier1));
+        }
+        for &a in &tier2 {
+            topo.ases.insert(a, GenAs::new(a, Tier::Tier2));
+        }
+        for &a in &tier3 {
+            topo.ases.insert(a, GenAs::new(a, Tier::Tier3));
+        }
+        for &a in &stubs {
+            topo.ases.insert(a, GenAs::new(a, Tier::Stub));
+        }
+
+        // Tier-1 clique of peerings.
+        for (i, &a) in tier1.iter().enumerate() {
+            for &b in &tier1[i + 1..] {
+                topo.add_peering(a, b);
+            }
+        }
+
+        // Tier-2: 1..=max_providers tier-1 providers plus optional tier-2
+        // peerings.
+        for &a in &tier2 {
+            let n = rng.gen_range(1..=cfg.max_providers.min(tier1.len()));
+            for &p in pick(rng, &tier1, n).iter() {
+                topo.add_customer_provider(a, p);
+            }
+        }
+        for (i, &a) in tier2.iter().enumerate() {
+            for &b in &tier2[i + 1..] {
+                if rng.gen_bool(cfg.tier2_peering_prob) {
+                    topo.add_peering(a, b);
+                }
+            }
+        }
+
+        // Tier-3: providers drawn mostly from tier-2, occasionally tier-1.
+        for &a in &tier3 {
+            let n = rng.gen_range(1..=cfg.max_providers);
+            for _ in 0..n {
+                let p = if rng.gen_bool(0.85) {
+                    tier2[rng.gen_range(0..tier2.len())]
+                } else {
+                    tier1[rng.gen_range(0..tier1.len())]
+                };
+                topo.add_customer_provider(a, p);
+            }
+        }
+        for (i, &a) in tier3.iter().enumerate() {
+            for &b in &tier3[i + 1..] {
+                if rng.gen_bool(cfg.tier3_peering_prob) {
+                    topo.add_peering(a, b);
+                }
+            }
+        }
+
+        // Stubs: single- or multi-homed to tier-2/tier-3 providers.
+        let transits: Vec<Asn> = tier2.iter().chain(tier3.iter()).copied().collect();
+        for &a in &stubs {
+            let n = if rng.gen_bool(cfg.single_homed_fraction) {
+                1
+            } else {
+                rng.gen_range(2..=cfg.max_providers.max(2))
+            };
+            for &p in pick(rng, &transits, n).iter() {
+                topo.add_customer_provider(a, p);
+            }
+        }
+
+        topo
+    }
+
+    fn add_peering(&mut self, a: Asn, b: Asn) {
+        if a == b || self.related(a, b) {
+            return;
+        }
+        self.ases.get_mut(&a).expect("known AS").peers.insert(b);
+        self.ases.get_mut(&b).expect("known AS").peers.insert(a);
+    }
+
+    fn add_customer_provider(&mut self, customer: Asn, provider: Asn) {
+        if customer == provider || self.related(customer, provider) {
+            return;
+        }
+        self.ases
+            .get_mut(&customer)
+            .expect("known AS")
+            .providers
+            .insert(provider);
+        self.ases
+            .get_mut(&provider)
+            .expect("known AS")
+            .customers
+            .insert(customer);
+    }
+
+    fn related(&self, a: Asn, b: Asn) -> bool {
+        self.ases
+            .get(&a)
+            .is_some_and(|g| g.neighbors().any(|n| n == b))
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.ases.len()
+    }
+
+    /// True if no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.ases.is_empty()
+    }
+
+    /// All undirected AS edges, each once (low ASN first).
+    pub fn edges(&self) -> Vec<(Asn, Asn)> {
+        let mut out = Vec::new();
+        for (&a, g) in &self.ases {
+            for b in g.neighbors() {
+                if a < b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// The tier-1 members, ascending.
+    pub fn tier1(&self) -> Vec<Asn> {
+        self.ases
+            .values()
+            .filter(|g| g.tier == Tier::Tier1)
+            .map(|g| g.asn)
+            .collect()
+    }
+
+    /// Exports the true relationships in the `quasar-topology`
+    /// representation, to score inference against.
+    pub fn ground_truth_relationships(&self) -> Relationships {
+        let mut rels = Relationships::default();
+        for (&a, g) in &self.ases {
+            for &p in &g.providers {
+                rels.set(
+                    a,
+                    p,
+                    Relationship::CustomerProvider {
+                        customer: a,
+                        provider: p,
+                    },
+                );
+            }
+            for &q in &g.peers {
+                rels.set(a, q, Relationship::PeerPeer);
+            }
+        }
+        rels
+    }
+}
+
+/// Chooses `n` distinct elements from `pool` (deterministic given `rng`).
+fn pick(rng: &mut StdRng, pool: &[Asn], n: usize) -> Vec<Asn> {
+    let mut v: Vec<Asn> = pool.to_vec();
+    v.shuffle(rng);
+    v.truncate(n.min(pool.len()));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gen(seed: u64) -> AsLevelTopology {
+        let cfg = NetGenConfig::tiny(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        AsLevelTopology::generate(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn all_tiers_populated() {
+        let t = gen(1);
+        let cfg = NetGenConfig::tiny(1);
+        assert_eq!(t.len(), cfg.total_ases());
+        assert_eq!(t.tier1().len(), cfg.num_tier1);
+    }
+
+    #[test]
+    fn tier1_forms_a_clique_of_peers() {
+        let t = gen(2);
+        let t1 = t.tier1();
+        for (i, &a) in t1.iter().enumerate() {
+            for &b in &t1[i + 1..] {
+                assert!(t.ases[&a].peers.contains(&b), "{a} !~ {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_tier1_has_a_provider() {
+        let t = gen(3);
+        for g in t.ases.values() {
+            if g.tier != Tier::Tier1 {
+                assert!(!g.providers.is_empty(), "{} lacks a provider", g.asn);
+            }
+        }
+    }
+
+    #[test]
+    fn stubs_have_no_customers() {
+        let t = gen(4);
+        for g in t.ases.values() {
+            if g.tier == Tier::Stub {
+                assert!(g.customers.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn relationships_are_mutual() {
+        let t = gen(5);
+        for (&a, g) in &t.ases {
+            for &p in &g.providers {
+                assert!(t.ases[&p].customers.contains(&a));
+            }
+            for &q in &g.peers {
+                assert!(t.ases[&q].peers.contains(&a));
+            }
+            for &c in &g.customers {
+                assert!(t.ases[&c].providers.contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen(7);
+        let b = gen(7);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(gen(1).edges(), gen(2).edges());
+    }
+
+    #[test]
+    fn ground_truth_export_consistent() {
+        let t = gen(8);
+        let rels = t.ground_truth_relationships();
+        assert_eq!(rels.len(), t.edges().len());
+        for (&a, g) in &t.ases {
+            for &p in &g.providers {
+                assert!(rels.is_provider(p, a));
+            }
+        }
+    }
+
+    #[test]
+    fn single_homed_fraction_roughly_respected() {
+        let cfg = NetGenConfig::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = AsLevelTopology::generate(&cfg, &mut rng);
+        let stubs: Vec<&GenAs> = t.ases.values().filter(|g| g.tier == Tier::Stub).collect();
+        let single = stubs.iter().filter(|g| g.providers.len() == 1).count();
+        let frac = single as f64 / stubs.len() as f64;
+        assert!((0.25..0.5).contains(&frac), "fraction {frac}");
+    }
+}

@@ -1,0 +1,287 @@
+//! Export/import of observation feeds in RouteViews' MRT TABLE_DUMP_V2
+//! format.
+//!
+//! Writing the synthetic feeds in the real archive format keeps the whole
+//! downstream pipeline format-compatible with actual RouteViews/RIPE data:
+//! swap the file, keep the code.
+
+use crate::observe::{ObservationPoint, RouteObservation};
+use quasar_bgpsim::aspath::AsPath;
+use quasar_bgpsim::types::{Asn, Prefix, RouterId};
+use quasar_mrt::prelude::*;
+use std::collections::BTreeMap;
+
+/// The snapshot timestamp used for exports: Sun Nov 13 2005, 07:30 UTC —
+/// the paper's snapshot instant (§3.1).
+pub const SNAPSHOT_TIME: u32 = 1_131_867_000;
+
+/// Serializes feeds as one PEER_INDEX_TABLE followed by one
+/// RIB_IPV4_UNICAST record per prefix.
+pub fn export_table_dump_v2(
+    points: &[ObservationPoint],
+    observations: &[RouteObservation],
+) -> Vec<u8> {
+    let peers: Vec<PeerEntry> = points
+        .iter()
+        .map(|p| PeerEntry {
+            bgp_id: p.router.0,
+            address: PeerAddress::V4(p.router.0),
+            asn: p.observer_as().0,
+            as4: true,
+        })
+        .collect();
+    let index: BTreeMap<u32, u16> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.id, i as u16))
+        .collect();
+
+    let mut w = MrtWriter::new(Vec::new());
+    w.write_record(&MrtRecord {
+        timestamp: SNAPSHOT_TIME,
+        body: MrtBody::PeerIndexTable(PeerIndexTable {
+            collector_id: 0x7F000001,
+            view_name: "quasar".into(),
+            peers,
+        }),
+    })
+    .expect("in-memory write");
+
+    // Group observations by prefix, preserving first-seen order.
+    let mut by_prefix: BTreeMap<Prefix, Vec<&RouteObservation>> = BTreeMap::new();
+    for o in observations {
+        by_prefix.entry(o.prefix).or_default().push(o);
+    }
+    for (seq, (prefix, group)) in by_prefix.into_iter().enumerate() {
+        let entries: Vec<RibEntry> = group
+            .iter()
+            .map(|o| RibEntry {
+                peer_index: index[&o.point],
+                // One hour of stability before the snapshot (§3.1).
+                originated_time: SNAPSHOT_TIME - 3_600,
+                attributes: vec![
+                    PathAttribute::Origin(0),
+                    PathAttribute::AsPath(vec![AsPathSegment::sequence(
+                        o.as_path.iter().map(|a| a.0).collect(),
+                    )]),
+                    PathAttribute::NextHop(o.point),
+                ],
+            })
+            .collect();
+        w.write_record(&MrtRecord {
+            timestamp: SNAPSHOT_TIME,
+            body: MrtBody::RibIpv4Unicast(RibIpv4Unicast {
+                sequence: seq as u32,
+                prefix: NlriPrefix::new(prefix.base, prefix.len).expect("valid prefix"),
+                entries,
+            }),
+        })
+        .expect("in-memory write");
+    }
+    w.finish().expect("in-memory flush")
+}
+
+/// Parses a TABLE_DUMP_V2 dump back into feeds. Routes whose attributes
+/// lack an AS_PATH, or whose paths contain AS_SETs, are skipped — matching
+/// the paper's data cleaning. Prepending is stripped (§3.1 fn. 1).
+pub fn import_table_dump_v2(data: &[u8]) -> Result<(Vec<ObservationPoint>, Vec<RouteObservation>)> {
+    let mut reader = MrtReader::new(data);
+    let mut points: Vec<ObservationPoint> = Vec::new();
+    let mut observations = Vec::new();
+
+    while let Some(rec) = reader.next_record()? {
+        match rec.body {
+            MrtBody::PeerIndexTable(t) => {
+                points = t
+                    .peers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| ObservationPoint {
+                        id: i as u32,
+                        router: RouterId(p.bgp_id),
+                    })
+                    .collect();
+            }
+            MrtBody::RibIpv4Unicast(rib) => {
+                let prefix = Prefix::new(rib.prefix.base, rib.prefix.len);
+                for e in rib.entries {
+                    let Some(segments) = e.attributes.iter().find_map(|a| match a {
+                        PathAttribute::AsPath(s) => Some(s),
+                        _ => None,
+                    }) else {
+                        continue;
+                    };
+                    if segments.iter().any(|s| s.seg_type != 2) {
+                        continue; // AS_SET-bearing path: dropped
+                    }
+                    let flat = PathAttribute::flatten_as_path(segments);
+                    let as_path =
+                        AsPath::new(flat.into_iter().map(Asn).collect()).strip_prepending();
+                    let point = e.peer_index as u32;
+                    let observer_as = points
+                        .get(e.peer_index as usize)
+                        .map(|p| p.observer_as())
+                        .unwrap_or(Asn::RESERVED);
+                    observations.push(RouteObservation {
+                        point,
+                        observer_as,
+                        prefix,
+                        as_path,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok((points, observations))
+}
+
+/// Parses a *legacy* TABLE_DUMP archive (the format RouteViews used in
+/// November 2005, when the paper's snapshot was taken). Each record is one
+/// (prefix, peer) route; peers are identified by their IP and assigned
+/// feed ids in order of first appearance. AS-paths are cleaned like the
+/// V2 importer (sets dropped, prepending stripped).
+pub fn import_table_dump(data: &[u8]) -> Result<(Vec<ObservationPoint>, Vec<RouteObservation>)> {
+    let mut reader = MrtReader::new(data);
+    let mut peer_ids: BTreeMap<u32, (u32, Asn)> = BTreeMap::new(); // ip -> (id, asn)
+    let mut observations = Vec::new();
+
+    while let Some(rec) = reader.next_record()? {
+        let MrtBody::TableDump(entry) = rec.body else {
+            continue;
+        };
+        let next_id = peer_ids.len() as u32;
+        let (point, observer_as) = *peer_ids
+            .entry(entry.peer_ip)
+            .or_insert((next_id, Asn(entry.peer_asn as u32)));
+        let Some(segments) = entry.attributes.iter().find_map(|a| match a {
+            PathAttribute::AsPath(s) => Some(s),
+            _ => None,
+        }) else {
+            continue;
+        };
+        if segments.iter().any(|s| s.seg_type != 2) {
+            continue; // AS_SET-bearing path: dropped
+        }
+        let flat = PathAttribute::flatten_as_path(segments);
+        let as_path = AsPath::new(flat.into_iter().map(Asn).collect()).strip_prepending();
+        observations.push(RouteObservation {
+            point,
+            observer_as,
+            prefix: Prefix::new(entry.prefix.base, entry.prefix.len),
+            as_path,
+        });
+    }
+    let points = peer_ids
+        .into_iter()
+        .map(|(ip, (id, _asn))| ObservationPoint {
+            id,
+            router: RouterId(ip),
+        })
+        .collect();
+    Ok((points, observations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetGenConfig;
+    use crate::observe::SyntheticInternet;
+
+    #[test]
+    fn export_import_roundtrip() {
+        let net = SyntheticInternet::generate(NetGenConfig::tiny(11));
+        let bytes = export_table_dump_v2(&net.observation_points, &net.observations);
+        let (points, obs) = import_table_dump_v2(&bytes).unwrap();
+        assert_eq!(points.len(), net.observation_points.len());
+        // Observations survive modulo ordering (export groups by prefix).
+        assert_eq!(obs.len(), net.observations.len());
+        let mut a: Vec<_> = obs
+            .iter()
+            .map(|o| (o.prefix, o.point, o.as_path.clone()))
+            .collect();
+        let mut b: Vec<_> = net
+            .observations
+            .iter()
+            .map(|o| (o.prefix, o.point, o.as_path.clone()))
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn import_strips_prepending() {
+        let points = vec![ObservationPoint {
+            id: 0,
+            router: RouterId::new(Asn(10), 0),
+        }];
+        let obs = vec![RouteObservation {
+            point: 0,
+            observer_as: Asn(10),
+            prefix: Prefix::for_origin(Asn(20)),
+            as_path: AsPath::from_u32s(&[10, 20]),
+        }];
+        let mut bytes = export_table_dump_v2(&points, &obs);
+        // Re-export with artificial prepending by round-tripping through a
+        // hand-built record is overkill; instead check idempotence here.
+        let (_, back) = import_table_dump_v2(&bytes).unwrap();
+        assert_eq!(back[0].as_path, obs[0].as_path);
+        bytes.clear();
+    }
+
+    #[test]
+    fn legacy_table_dump_import() {
+        // Hand-build a legacy archive: two peers, three routes.
+        let mk = |seq: u16, peer_ip: u32, peer_asn: u16, path: &[u32], base: u32| MrtRecord {
+            timestamp: SNAPSHOT_TIME,
+            body: MrtBody::TableDump(TableDumpEntry {
+                view: 0,
+                sequence: seq,
+                prefix: NlriPrefix::new(base, 24).unwrap(),
+                status: 1,
+                originated_time: SNAPSHOT_TIME - 7_200,
+                peer_ip,
+                peer_asn,
+                attributes: vec![
+                    PathAttribute::Origin(0),
+                    PathAttribute::AsPath(vec![AsPathSegment::sequence(path.to_vec())]),
+                ],
+            }),
+        };
+        let mut w = MrtWriter::new(Vec::new());
+        for rec in [
+            mk(0, 0xC0000201, 10, &[10, 20, 30], 0x0A000000),
+            mk(1, 0xC0000202, 11, &[11, 11, 30], 0x0A000000), // prepended
+            mk(2, 0xC0000201, 10, &[10, 40], 0x0B000000),
+        ] {
+            w.write_record(&rec).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let (points, obs) = import_table_dump(&bytes).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(obs.len(), 3);
+        // Prepending was stripped; observer ASes follow the peer ASN.
+        let prepended = obs
+            .iter()
+            .find(|o| o.observer_as == Asn(11))
+            .expect("peer 11 present");
+        assert_eq!(prepended.as_path.to_string(), "11 30");
+        // Both routes of peer 10 share a feed id.
+        let ids: Vec<u32> = obs
+            .iter()
+            .filter(|o| o.observer_as == Asn(10))
+            .map(|o| o.point)
+            .collect();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0], ids[1]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let bytes = export_table_dump_v2(&[], &[]);
+        let (points, obs) = import_table_dump_v2(&bytes).unwrap();
+        assert!(points.is_empty());
+        assert!(obs.is_empty());
+    }
+}

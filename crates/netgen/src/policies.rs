@@ -1,0 +1,499 @@
+//! Ground-truth policy assignment.
+//!
+//! The generated Internet routes with Gao-Rexford-style policies — customer
+//! routes preferred over peer routes over provider routes, valley-free
+//! exports — plus a configurable minority of "weird" per-prefix policies,
+//! because "not all policies fit these simple rules" (§1) and it is exactly
+//! those deviations the paper's agnostic model must capture and a
+//! relationship-based model cannot.
+//!
+//! Local-pref classes: customer 130, self/unclassified 100 (the engine's
+//! default), peer 80, provider 60. The valley-free export rule becomes
+//! "deny routes with local-pref below 100 towards peers and providers":
+//! locally originated (100) and customer (130) routes pass, peer/provider
+//! routes do not.
+
+use crate::config::NetGenConfig;
+use crate::hierarchy::{AsLevelTopology, Tier};
+use crate::routers::RouterLevel;
+use quasar_bgpsim::network::Network;
+use quasar_bgpsim::policy::{Action, Policy, PolicyRule, RouteMatch};
+use quasar_bgpsim::types::{Asn, Prefix, RouterId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Local-pref assigned to customer-learned routes.
+pub const LP_CUSTOMER: u32 = 130;
+/// Local-pref assigned to peer-learned routes.
+pub const LP_PEER: u32 = 80;
+/// Local-pref assigned to provider-learned routes.
+pub const LP_PROVIDER: u32 = 60;
+/// Valley-free export threshold: routes below this never reach
+/// peers/providers.
+pub const LP_EXPORTABLE: u32 = 100;
+
+/// Kinds of non-standard policy the generator injects.
+///
+/// All three keep the ground truth convergent: local-pref is only ever
+/// *raised for customer routes* (Gao-Rexford-safe), tie-level steering uses
+/// MED — the same safety argument the paper makes when it rejects
+/// local-pref-based ranking because it "can lead to divergence" (§4.6) —
+/// and filters only remove routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WeirdKind {
+    /// For one prefix, routes via a specific neighbor win every tie:
+    /// announcements from every *other* neighbor get a worse (higher) MED.
+    PreferNeighbor,
+    /// For one prefix, announcements towards a specific neighbor are
+    /// suppressed (selective announcement).
+    SelectiveExport,
+    /// For one prefix from a specific *customer*, local-pref is raised
+    /// above the normal customer class (traffic-engineering override).
+    CustomerBoost,
+    /// Origin-side inbound traffic engineering: the origin announces the
+    /// prefix to only one of its providers (`neighbor` is the provider the
+    /// announcement is withheld from).
+    OriginTe,
+    /// The origin tags the prefix with RFC 1997 NO_EXPORT towards one
+    /// provider: the provider's own routers use the route but never
+    /// propagate it — a scoped announcement only visible one AS deep.
+    ScopedAnnouncement,
+}
+
+/// Record of one injected weird policy (kept so experiments can report how
+/// much "weirdness" the model had to absorb).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeirdPolicyRecord {
+    /// The AS whose policy deviates.
+    pub asn: Asn,
+    /// The neighbor AS involved.
+    pub neighbor: Asn,
+    /// The affected prefix.
+    pub prefix: Prefix,
+    /// What kind of deviation.
+    pub kind: WeirdKind,
+}
+
+/// From `us`'s viewpoint, the relationship class of neighbor `them`.
+fn import_pref(topo: &AsLevelTopology, us: Asn, them: Asn) -> u32 {
+    let g = &topo.ases[&us];
+    if g.customers.contains(&them) {
+        LP_CUSTOMER
+    } else if g.peers.contains(&them) {
+        LP_PEER
+    } else {
+        LP_PROVIDER
+    }
+}
+
+fn is_customer(topo: &AsLevelTopology, us: Asn, them: Asn) -> bool {
+    topo.ases[&us].customers.contains(&them)
+}
+
+/// Installs Gao-Rexford import/export policies on every eBGP session of
+/// `net`.
+pub fn apply_gao_policies(net: &mut Network, topo: &AsLevelTopology, rl: &RouterLevel) {
+    for link in &rl.ebgp_links {
+        install_direction(net, topo, link.a, link.b);
+        install_direction(net, topo, link.b, link.a);
+    }
+}
+
+/// Installs the import policy at `at` and the export policy at `from`
+/// for the `from -> at` direction.
+fn install_direction(net: &mut Network, topo: &AsLevelTopology, from: RouterId, at: RouterId) {
+    let (us, them) = (at.asn(), from.asn());
+    // Import: classify by relationship.
+    let mut import = Policy::permit_all();
+    import.push(PolicyRule::new(
+        RouteMatch::any(),
+        Action::SetLocalPref(import_pref(topo, us, them)),
+    ));
+    net.set_import_policy(at, from, import)
+        .expect("session exists");
+
+    // Export from `from`'s AS towards `at`'s AS: valley-free unless the
+    // recipient is a customer.
+    if !is_customer(topo, them, us) {
+        let mut export = Policy::permit_all();
+        export.push(PolicyRule::new(
+            RouteMatch {
+                local_pref_below: Some(LP_EXPORTABLE),
+                ..RouteMatch::any()
+            },
+            Action::Deny,
+        ));
+        net.set_export_policy(from, at, export)
+            .expect("session exists");
+    }
+}
+
+/// Injects weird per-prefix policies into transit ASes; returns the records
+/// of what was injected. `prefixes` is the full `(prefix, origin)` list of
+/// the synthetic Internet.
+pub fn inject_weird_policies(
+    net: &mut Network,
+    topo: &AsLevelTopology,
+    rl: &RouterLevel,
+    cfg: &NetGenConfig,
+    rng: &mut StdRng,
+    prefixes: &[(Prefix, Asn)],
+) -> Vec<WeirdPolicyRecord> {
+    let mut records = Vec::new();
+    if prefixes.is_empty() {
+        return records;
+    }
+    let mut transit_ases: Vec<Asn> = topo
+        .ases
+        .values()
+        .filter(|g| g.tier != Tier::Stub && g.degree() >= 2)
+        .map(|g| g.asn)
+        .collect();
+    transit_ases.shuffle(rng);
+    let weird_count = ((transit_ases.len() as f64) * cfg.weird_policy_fraction) as usize;
+
+    for &asn in transit_ases.iter().take(weird_count) {
+        let neighbors: Vec<Asn> = topo.ases[&asn].neighbors().collect();
+        let customers: Vec<Asn> = topo.ases[&asn].customers.iter().copied().collect();
+        for _ in 0..cfg.weird_prefixes_per_as {
+            let (prefix, _origin) = prefixes[rng.gen_range(0..prefixes.len())];
+            let kind = match rng.gen_range(0..3u8) {
+                0 => WeirdKind::PreferNeighbor,
+                1 => WeirdKind::SelectiveExport,
+                _ if !customers.is_empty() => WeirdKind::CustomerBoost,
+                _ => WeirdKind::PreferNeighbor,
+            };
+            let neighbor = match kind {
+                WeirdKind::CustomerBoost => customers[rng.gen_range(0..customers.len())],
+                _ => neighbors[rng.gen_range(0..neighbors.len())],
+            };
+            match kind {
+                WeirdKind::PreferNeighbor => {
+                    // Demote this prefix on every *other* neighbor's
+                    // sessions via MED (missing MED ranks best, so the
+                    // preferred neighbor needs no rule).
+                    for &other in &neighbors {
+                        if other == neighbor {
+                            continue;
+                        }
+                        for (at, from) in sessions_between(rl, asn, other) {
+                            let policy = net.import_policy_mut(at, from).expect("session exists");
+                            // Appended: runs after the relationship class
+                            // rule.
+                            policy.push(PolicyRule::new(
+                                RouteMatch::prefix(prefix),
+                                Action::SetMed(40),
+                            ));
+                        }
+                    }
+                }
+                WeirdKind::SelectiveExport => {
+                    for (to, from) in sessions_between(rl, neighbor, asn) {
+                        let policy = net.export_policy_mut(from, to).expect("session exists");
+                        policy
+                            .push_front(PolicyRule::new(RouteMatch::prefix(prefix), Action::Deny));
+                    }
+                }
+                WeirdKind::CustomerBoost => {
+                    for (at, from) in sessions_between(rl, asn, neighbor) {
+                        let policy = net.import_policy_mut(at, from).expect("session exists");
+                        // Safe: still a customer route, still the top class.
+                        policy.push(PolicyRule::new(
+                            RouteMatch::prefix(prefix),
+                            Action::SetLocalPref(LP_CUSTOMER + 20),
+                        ));
+                    }
+                }
+                WeirdKind::OriginTe | WeirdKind::ScopedAnnouncement => {
+                    unreachable!("injected by inject_origin_te")
+                }
+            }
+            records.push(WeirdPolicyRecord {
+                asn,
+                neighbor,
+                prefix,
+                kind,
+            });
+        }
+    }
+    records
+}
+
+/// Installs origin-side selective announcement for multihomed origins:
+/// with probability `cfg.origin_te_fraction`, an origin with `k >= 2`
+/// prefixes and `>= 2` providers announces each prefix to exactly one
+/// provider (round-robin), withholding it from the rest. This reproduces
+/// the inbound traffic engineering responsible for much of the per-prefix
+/// path diversity in real feeds.
+pub fn inject_origin_te(
+    net: &mut Network,
+    topo: &AsLevelTopology,
+    rl: &RouterLevel,
+    cfg: &NetGenConfig,
+    rng: &mut StdRng,
+    prefixes: &[(Prefix, Asn)],
+) -> Vec<WeirdPolicyRecord> {
+    use std::collections::BTreeMap;
+    let mut by_origin: BTreeMap<Asn, Vec<Prefix>> = BTreeMap::new();
+    for &(p, o) in prefixes {
+        by_origin.entry(o).or_default().push(p);
+    }
+
+    let mut records = Vec::new();
+    for (&origin, plist) in &by_origin {
+        let providers: Vec<Asn> = topo.ases[&origin].providers.iter().copied().collect();
+        if plist.len() < 2 || providers.len() < 2 || !rng.gen_bool(cfg.origin_te_fraction) {
+            continue;
+        }
+        for (i, &prefix) in plist.iter().enumerate() {
+            let keep = providers[i % providers.len()];
+            for &prov in &providers {
+                if prov == keep {
+                    continue;
+                }
+                // Mostly withhold the announcement entirely; sometimes
+                // scope it with NO_EXPORT instead (the provider may use
+                // the route itself but not propagate it).
+                let scoped = rng.gen_bool(0.25);
+                for (to, from) in sessions_between(rl, prov, origin) {
+                    let policy = net.export_policy_mut(from, to).expect("session exists");
+                    let action = if scoped {
+                        Action::AddCommunity(quasar_bgpsim::route::NO_EXPORT)
+                    } else {
+                        Action::Deny
+                    };
+                    policy.push_front(PolicyRule::new(RouteMatch::prefix(prefix), action));
+                }
+                records.push(WeirdPolicyRecord {
+                    asn: origin,
+                    neighbor: prov,
+                    prefix,
+                    kind: if scoped {
+                        WeirdKind::ScopedAnnouncement
+                    } else {
+                        WeirdKind::OriginTe
+                    },
+                });
+            }
+        }
+    }
+    records
+}
+
+/// All `(router_of_a, router_of_b)` eBGP pairs between the two ASes.
+fn sessions_between(rl: &RouterLevel, a: Asn, b: Asn) -> Vec<(RouterId, RouterId)> {
+    rl.ebgp_links
+        .iter()
+        .filter_map(|l| {
+            if l.a.asn() == a && l.b.asn() == b {
+                Some((l.a, l.b))
+            } else if l.b.asn() == a && l.a.asn() == b {
+                Some((l.b, l.a))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::AsLevelTopology;
+    use rand::SeedableRng;
+
+    fn build(
+        seed: u64,
+    ) -> (
+        AsLevelTopology,
+        RouterLevel,
+        Network,
+        Vec<WeirdPolicyRecord>,
+    ) {
+        let cfg = NetGenConfig::tiny(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = AsLevelTopology::generate(&cfg, &mut rng);
+        let rl = RouterLevel::expand(&topo, &cfg, &mut rng);
+        let mut net = rl.network.clone();
+        apply_gao_policies(&mut net, &topo, &rl);
+        let prefixes: Vec<(Prefix, Asn)> = topo
+            .ases
+            .keys()
+            .map(|&a| (Prefix::for_origin(a), a))
+            .collect();
+        let weird = inject_weird_policies(&mut net, &topo, &rl, &cfg, &mut rng, &prefixes);
+        (topo, rl, net, weird)
+    }
+
+    #[test]
+    fn import_classes_follow_relationships() {
+        let (topo, rl, net, _) = build(1);
+        let link = rl.ebgp_links[0];
+        let d = net.direction_policies(link.a, link.b).unwrap();
+        // Import at b for routes from a.
+        let expect = import_pref(&topo, link.b.asn(), link.a.asn());
+        let has = d
+            .import
+            .rules()
+            .iter()
+            .any(|r| r.action == Action::SetLocalPref(expect));
+        assert!(has, "import policy missing class {expect}");
+    }
+
+    #[test]
+    fn provider_link_filters_nonexportable() {
+        let (topo, rl, net, _) = build(2);
+        // Find a link where b is a provider of a: exports a->b must be
+        // valley-free filtered. Check both orientations of the stored link.
+        for link in &rl.ebgp_links {
+            for (a, b) in [(link.a, link.b), (link.b, link.a)] {
+                if topo.ases[&a.asn()].providers.contains(&b.asn()) {
+                    let d = net.direction_policies(a, b).unwrap();
+                    assert!(
+                        d.export.rules().iter().any(|r| r.action == Action::Deny),
+                        "missing valley-free filter"
+                    );
+                    return;
+                }
+            }
+        }
+        panic!("no provider link found");
+    }
+
+    #[test]
+    fn customer_link_exports_everything() {
+        // Weirdness off so no selective-export filters muddy the check.
+        let cfg = NetGenConfig {
+            weird_policy_fraction: 0.0,
+            ..NetGenConfig::tiny(3)
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let topo = AsLevelTopology::generate(&cfg, &mut rng);
+        let rl = RouterLevel::expand(&topo, &cfg, &mut rng);
+        let mut net = rl.network.clone();
+        apply_gao_policies(&mut net, &topo, &rl);
+        for link in &rl.ebgp_links {
+            for (a, b) in [(link.a, link.b), (link.b, link.a)] {
+                if topo.ases[&a.asn()].customers.contains(&b.asn()) {
+                    let d = net.direction_policies(a, b).unwrap();
+                    assert!(
+                        d.export.rules().iter().all(|r| r.action != Action::Deny),
+                        "customer-facing export must be open"
+                    );
+                    return;
+                }
+            }
+        }
+        panic!("no customer link found");
+    }
+
+    #[test]
+    fn scoped_announcement_stops_at_provider() {
+        use quasar_bgpsim::route::NO_EXPORT;
+        // Find a generated internet containing a ScopedAnnouncement and
+        // verify RFC 1997 semantics end to end: the withheld provider's
+        // routers may use the route; nothing beyond them hears it via that
+        // provider.
+        for seed in 0..40u64 {
+            let cfg = NetGenConfig {
+                origin_te_fraction: 1.0,
+                ..NetGenConfig::tiny(seed)
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = AsLevelTopology::generate(&cfg, &mut rng);
+            let rl = RouterLevel::expand(&topo, &cfg, &mut rng);
+            let mut net = rl.network.clone();
+            apply_gao_policies(&mut net, &topo, &rl);
+            // Build the prefix plan the same way observe::generate does.
+            let mut prefixes: Vec<(Prefix, Asn)> = Vec::new();
+            for (&asn, g) in &topo.ases {
+                let k = if g.providers.len() >= 2 { 2 } else { 1 };
+                for n in 0..k {
+                    prefixes.push((Prefix::for_origin_nth(asn, n), asn));
+                }
+            }
+            let records = inject_origin_te(&mut net, &topo, &rl, &cfg, &mut rng, &prefixes);
+            let Some(rec) = records
+                .iter()
+                .find(|r| r.kind == WeirdKind::ScopedAnnouncement)
+            else {
+                continue;
+            };
+            let origins = &rl.routers[&rec.asn];
+            let res = net.simulate(rec.prefix, origins).unwrap();
+            // The withheld provider's routers hold the scoped route (or a
+            // route via another provider); any directly-held scoped copy
+            // carries NO_EXPORT and must not appear beyond the provider
+            // with the provider as first hop.
+            for rib in res.ribs() {
+                let asn = rib.router.asn();
+                if asn == rec.neighbor || asn == rec.asn {
+                    continue;
+                }
+                for c in &rib.candidates {
+                    // A path whose first two hops are [provider, origin]
+                    // could only exist if the provider re-exported the
+                    // scoped announcement.
+                    let s = c.as_path.as_slice();
+                    let leaked = s.len() >= 2
+                        && s[s.len() - 1] == rec.asn
+                        && s[s.len() - 2] == rec.neighbor
+                        && c.has_community(NO_EXPORT);
+                    assert!(!leaked, "NO_EXPORT leaked beyond {}", rec.neighbor);
+                }
+            }
+            return; // one verified instance suffices
+        }
+        panic!("no ScopedAnnouncement generated across seeds");
+    }
+
+    #[test]
+    fn weird_policies_recorded_and_installed() {
+        let (_, _, _, weird) = build(4);
+        assert!(!weird.is_empty(), "tiny config should still inject some");
+    }
+
+    #[test]
+    fn valley_free_routing_holds_without_weirdness() {
+        use quasar_bgpsim::types::Prefix;
+        // With weird policies disabled, any converged best path must be
+        // valley-free wrt the ground-truth relationships.
+        let cfg = NetGenConfig {
+            weird_policy_fraction: 0.0,
+            ..NetGenConfig::tiny(5)
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let topo = AsLevelTopology::generate(&cfg, &mut rng);
+        let rl = RouterLevel::expand(&topo, &cfg, &mut rng);
+        let mut net = rl.network.clone();
+        apply_gao_policies(&mut net, &topo, &rl);
+
+        let origin = *topo.ases.keys().next().unwrap();
+        let prefix = Prefix::for_origin(origin);
+        let res = net.simulate(prefix, &rl.routers[&origin]).unwrap();
+        for rib in res.ribs() {
+            let Some(best) = rib.best() else { continue };
+            // Path origin-first; classify each step as up (customer ->
+            // provider), peer, or down. Once we go peer or down, we may
+            // never go up or peer again.
+            let seq: Vec<Asn> = best
+                .as_path
+                .iter()
+                .rev()
+                .chain(std::iter::once(rib.router.asn()))
+                .collect();
+            let mut descended = false;
+            for w in seq.windows(2) {
+                let (x, y) = (w[0], w[1]);
+                let up = topo.ases[&x].providers.contains(&y);
+                if up {
+                    assert!(!descended, "valley in path {:?}", seq);
+                } else {
+                    descended = true;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Router-level expansion of the AS hierarchy.
+//!
+//! The paper's central observation is that "ASes are not simple nodes in a
+//! graph — they are comprised of routers" whose interplay (iBGP, IGP
+//! hot-potato, multiple inter-AS connections) produces route diversity.
+//! This module builds exactly that substrate for the ground truth: each AS
+//! becomes 1..k border routers joined by an iBGP full mesh over a weighted
+//! IGP ring, and each AS-level adjacency becomes one (sometimes two) eBGP
+//! sessions between concrete router pairs.
+
+use crate::config::NetGenConfig;
+use crate::hierarchy::{AsLevelTopology, Tier};
+use quasar_bgpsim::decision::DecisionConfig;
+use quasar_bgpsim::igp::IgpTopology;
+use quasar_bgpsim::network::{Network, SessionKind};
+use quasar_bgpsim::types::{Asn, RouterId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// One eBGP adjacency between concrete routers, remembering the AS edge it
+/// realizes (policies are attached per AS relationship).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EbgpLink {
+    /// Router on the lower-ASN side.
+    pub a: RouterId,
+    /// Router on the higher-ASN side.
+    pub b: RouterId,
+}
+
+/// The expanded router-level topology.
+#[derive(Debug)]
+pub struct RouterLevel {
+    /// The simulator network: routers, iBGP/eBGP sessions, IGP costs.
+    pub network: Network,
+    /// Border routers of each AS, ascending by index.
+    pub routers: BTreeMap<Asn, Vec<RouterId>>,
+    /// All eBGP sessions created.
+    pub ebgp_links: Vec<EbgpLink>,
+}
+
+impl RouterLevel {
+    /// Expands `topo` according to `cfg`.
+    pub fn expand(topo: &AsLevelTopology, cfg: &NetGenConfig, rng: &mut StdRng) -> Self {
+        let mut network = Network::new(DecisionConfig::default());
+        let mut routers: BTreeMap<Asn, Vec<RouterId>> = BTreeMap::new();
+
+        // Create routers per AS.
+        for (&asn, gen) in &topo.ases {
+            let (lo, hi) = match gen.tier {
+                Tier::Tier1 => cfg.tier1_routers,
+                Tier::Tier2 => cfg.tier2_routers,
+                Tier::Tier3 => cfg.tier3_routers,
+                Tier::Stub => (1, 1),
+            };
+            let k = rng.gen_range(lo..=hi.max(lo));
+            let ids: Vec<RouterId> = (0..k).map(|i| RouterId::new(asn, i)).collect();
+            for &r in &ids {
+                network.add_router(r);
+            }
+            // iBGP: full mesh, or (opt-in, ASes with >= 4 routers) RFC 4456
+            // route reflection with router 0 as the reflector. The IGP ring
+            // below provides hot-potato cost diversity either way.
+            if cfg.use_route_reflection && ids.len() >= 4 {
+                for &client in &ids[1..] {
+                    network
+                        .add_session(ids[0], client, SessionKind::Ibgp)
+                        .expect("fresh iBGP session");
+                    network
+                        .set_rr_client(ids[0], client)
+                        .expect("session just created");
+                }
+            } else {
+                for (i, &r) in ids.iter().enumerate() {
+                    for &s in &ids[i + 1..] {
+                        network
+                            .add_session(r, s, SessionKind::Ibgp)
+                            .expect("fresh iBGP session");
+                    }
+                }
+            }
+            if ids.len() > 1 {
+                let mut igp = IgpTopology::new();
+                for i in 0..ids.len() {
+                    let j = (i + 1) % ids.len();
+                    if ids.len() == 2 && j == 0 {
+                        break; // a 2-ring would duplicate the single link
+                    }
+                    igp.add_link(ids[i], ids[j], rng.gen_range(1..=cfg.max_igp_weight));
+                }
+                if ids.len() >= 4 {
+                    igp.add_link(ids[0], ids[2], rng.gen_range(1..=cfg.max_igp_weight));
+                }
+                network.set_igp(asn, &igp);
+            }
+            routers.insert(asn, ids);
+        }
+
+        // Realize each AS edge with one or two eBGP sessions.
+        let mut ebgp_links = Vec::new();
+        for (a, b) in topo.edges() {
+            let ra_pool = &routers[&a];
+            let rb_pool = &routers[&b];
+            let ra = ra_pool[rng.gen_range(0..ra_pool.len())];
+            let rb = rb_pool[rng.gen_range(0..rb_pool.len())];
+            network
+                .add_session(ra, rb, SessionKind::Ebgp)
+                .expect("fresh eBGP session");
+            ebgp_links.push(EbgpLink { a: ra, b: rb });
+
+            // Optional second, disjoint session — the source of much of the
+            // observed path diversity.
+            if rng.gen_bool(cfg.parallel_link_prob) && (ra_pool.len() > 1 || rb_pool.len() > 1) {
+                let ra2 = if ra_pool.len() > 1 {
+                    *ra_pool.iter().find(|&&r| r != ra).expect(">=2 routers")
+                } else {
+                    ra
+                };
+                let rb2 = if rb_pool.len() > 1 {
+                    *rb_pool.iter().find(|&&r| r != rb).expect(">=2 routers")
+                } else {
+                    rb
+                };
+                if (ra2, rb2) != (ra, rb) && !network.has_session(ra2, rb2) {
+                    network
+                        .add_session(ra2, rb2, SessionKind::Ebgp)
+                        .expect("checked fresh");
+                    ebgp_links.push(EbgpLink { a: ra2, b: rb2 });
+                }
+            }
+        }
+
+        // Transient path exploration in the FIFO propagation model can
+        // far exceed the engine's conservative default budget on large
+        // topologies; raise it so only genuine policy oscillation trips
+        // the divergence guard.
+        network.message_budget = (network.num_sessions() as u64 * 5_000).max(1_000_000);
+
+        RouterLevel {
+            network,
+            routers,
+            ebgp_links,
+        }
+    }
+
+    /// Total number of routers.
+    pub fn num_routers(&self) -> usize {
+        self.network.num_routers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn expand(seed: u64) -> (AsLevelTopology, RouterLevel) {
+        let cfg = NetGenConfig::tiny(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = AsLevelTopology::generate(&cfg, &mut rng);
+        let rl = RouterLevel::expand(&topo, &cfg, &mut rng);
+        (topo, rl)
+    }
+
+    #[test]
+    fn every_as_has_routers() {
+        let (topo, rl) = expand(1);
+        for &asn in topo.ases.keys() {
+            assert!(!rl.routers[&asn].is_empty());
+        }
+        assert!(rl.num_routers() >= topo.len());
+    }
+
+    #[test]
+    fn every_as_edge_realized() {
+        let (topo, rl) = expand(2);
+        for (a, b) in topo.edges() {
+            let found = rl
+                .ebgp_links
+                .iter()
+                .any(|l| (l.a.asn() == a && l.b.asn() == b) || (l.a.asn() == b && l.b.asn() == a));
+            assert!(found, "AS edge {a}-{b} has no session");
+        }
+    }
+
+    #[test]
+    fn stub_ases_have_one_router() {
+        let (topo, rl) = expand(3);
+        for (asn, g) in &topo.ases {
+            if g.tier == Tier::Stub {
+                assert_eq!(rl.routers[asn].len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_deterministic() {
+        let (_, a) = expand(4);
+        let (_, b) = expand(4);
+        assert_eq!(a.ebgp_links, b.ebgp_links);
+        assert_eq!(a.num_routers(), b.num_routers());
+    }
+
+    #[test]
+    fn route_reflection_mode_builds_and_routes() {
+        use quasar_bgpsim::types::Prefix;
+        let cfg = NetGenConfig {
+            use_route_reflection: true,
+            tier1_routers: (4, 5),
+            ..NetGenConfig::tiny(9)
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let topo = AsLevelTopology::generate(&cfg, &mut rng);
+        let rl = RouterLevel::expand(&topo, &cfg, &mut rng);
+        // Some tier-1 AS has >= 4 routers with a reflector config.
+        let t1 = topo.tier1()[0];
+        let routers = &rl.routers[&t1];
+        assert!(routers.len() >= 4);
+        assert!(rl.network.is_rr_client(routers[0], routers[1]));
+        // Routing still works end to end through reflected iBGP.
+        let stub = topo
+            .ases
+            .values()
+            .find(|g| g.tier == Tier::Stub)
+            .expect("has stubs");
+        let prefix = Prefix::for_origin(stub.asn);
+        let res = rl.network.simulate(prefix, &rl.routers[&stub.asn]).unwrap();
+        let reached = routers
+            .iter()
+            .filter(|&&r| res.best_route(r).is_some())
+            .count();
+        assert_eq!(reached, routers.len(), "reflection must reach all routers");
+    }
+
+    #[test]
+    fn routes_propagate_on_ground_truth() {
+        use quasar_bgpsim::types::Prefix;
+        let (topo, rl) = expand(5);
+        // Pick a stub and check that a tier-1 hears its prefix.
+        let stub = topo
+            .ases
+            .values()
+            .find(|g| g.tier == Tier::Stub)
+            .expect("has stubs");
+        let prefix = Prefix::for_origin(stub.asn);
+        let res = rl.network.simulate(prefix, &rl.routers[&stub.asn]).unwrap();
+        let t1 = topo.tier1()[0];
+        let best = res.best_route(rl.routers[&t1][0]);
+        assert!(best.is_some(), "tier-1 cannot reach stub prefix");
+        assert_eq!(best.unwrap().as_path.origin(), Some(stub.asn));
+    }
+}

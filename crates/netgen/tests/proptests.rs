@@ -1,0 +1,103 @@
+//! Property tests over randomly seeded synthetic Internets: structural
+//! invariants of the generator and of the feeds it produces.
+
+use proptest::prelude::*;
+use quasar_netgen::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every generated Internet satisfies the §3.1 structural facts the
+    /// model pipeline depends on.
+    #[test]
+    fn internet_structural_invariants(seed in 0u64..200) {
+        let net = SyntheticInternet::generate(NetGenConfig::tiny(seed));
+
+        // (1) Hierarchy: tier-1 clique of peers; every non-tier-1 has a
+        // provider; stubs have no customers.
+        let t1 = net.as_topology.tier1();
+        for (i, &a) in t1.iter().enumerate() {
+            for &b in &t1[i + 1..] {
+                prop_assert!(net.as_topology.ases[&a].peers.contains(&b));
+            }
+        }
+        for g in net.as_topology.ases.values() {
+            match g.tier {
+                Tier::Tier1 => prop_assert!(g.providers.is_empty()),
+                _ => prop_assert!(!g.providers.is_empty()),
+            }
+            if g.tier == Tier::Stub {
+                prop_assert!(g.customers.is_empty());
+            }
+        }
+
+        // (2) Feeds: every observation starts at its observer, ends at the
+        // prefix's origin, and is loop-free.
+        let origin_of: BTreeMap<_, _> = net.prefixes.iter().copied().collect();
+        for o in &net.observations {
+            prop_assert_eq!(o.as_path.head(), Some(o.observer_as));
+            prop_assert_eq!(o.as_path.origin().unwrap(), origin_of[&o.prefix]);
+            prop_assert!(!o.as_path.has_loop());
+        }
+
+        // (3) Every adjacent pair on every observed path is a true AS edge.
+        for o in &net.observations {
+            for (a, b) in o.as_path.edges() {
+                prop_assert!(
+                    net.as_topology.ases[&a].neighbors().any(|n| n == b),
+                    "observed path uses non-edge {a}-{b}"
+                );
+            }
+        }
+    }
+
+    /// Observed paths are valley-free against the ground-truth
+    /// relationships whenever no weird policy touches their prefix (origin
+    /// TE only removes announcements; it cannot create valleys).
+    #[test]
+    fn observed_paths_valley_free_modulo_weirdness(seed in 0u64..100) {
+        use quasar_topology::gao::is_valley_free;
+        let cfg = NetGenConfig {
+            weird_policy_fraction: 0.0,
+            ..NetGenConfig::tiny(seed)
+        };
+        let net = SyntheticInternet::generate(cfg);
+        let truth = net.as_topology.ground_truth_relationships();
+        for o in &net.observations {
+            prop_assert!(
+                is_valley_free(&o.as_path, &truth),
+                "valley in {}",
+                o.as_path
+            );
+        }
+    }
+
+    /// MRT export/import is lossless for any seed.
+    #[test]
+    fn mrt_roundtrip_any_seed(seed in 0u64..100) {
+        let net = SyntheticInternet::generate(NetGenConfig::tiny(seed));
+        let bytes = export_table_dump_v2(&net.observation_points, &net.observations);
+        let (points, obs) = import_table_dump_v2(&bytes).unwrap();
+        prop_assert_eq!(points.len(), net.observation_points.len());
+        let mut a: Vec<_> = obs.iter().map(|o| (o.point, o.prefix, o.as_path.clone())).collect();
+        let mut b: Vec<_> = net.observations.iter().map(|o| (o.point, o.prefix, o.as_path.clone())).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Update-stream reconstruction with no flapping is the identity.
+    #[test]
+    fn update_stream_identity(seed in 0u64..50) {
+        let net = SyntheticInternet::generate(NetGenConfig::tiny(seed));
+        let cfg = UpdateStreamConfig { flap_fraction: 0.0, ..UpdateStreamConfig::default() };
+        let recs = generate_update_stream(&net.observation_points, &net.observations, &cfg, seed);
+        let (_, obs) = reconstruct_stable(&recs, cfg.snapshot_time, cfg.stability_window);
+        let mut a: Vec<_> = obs.iter().map(|o| (o.point, o.prefix, o.as_path.clone())).collect();
+        let mut b: Vec<_> = net.observations.iter().map(|o| (o.point, o.prefix, o.as_path.clone())).collect();
+        a.sort(); a.dedup();
+        b.sort(); b.dedup();
+        prop_assert_eq!(a, b);
+    }
+}

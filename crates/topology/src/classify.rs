@@ -1,0 +1,190 @@
+//! AS classification (paper §3.1): tier levels, transit vs stub,
+//! single- vs multi-homed.
+
+use crate::clique::tier1_clique;
+use crate::graph::AsGraph;
+use quasar_bgpsim::aspath::AsPath;
+use quasar_bgpsim::types::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Tier level of an AS in the paper's three-way partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Level {
+    /// Member of the tier-1 clique.
+    Level1,
+    /// Direct neighbor of a level-1 provider.
+    Level2,
+    /// Everything else.
+    Other,
+}
+
+/// Full §3.1 classification of an AS-path dataset.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Classification {
+    /// The tier-1 clique, ascending.
+    pub level1: Vec<Asn>,
+    /// Neighbors of level-1 providers (excluding level-1 themselves).
+    pub level2: BTreeSet<Asn>,
+    /// ASes appearing in the middle of at least one AS-path.
+    pub transit: BTreeSet<Asn>,
+    /// Non-transit ASes with exactly one observed neighbor.
+    pub single_homed_stubs: BTreeSet<Asn>,
+    /// Non-transit ASes with two or more observed neighbors.
+    pub multi_homed_stubs: BTreeSet<Asn>,
+    /// Total number of ASes seen.
+    pub num_ases: usize,
+}
+
+impl Classification {
+    /// Level of `asn`.
+    pub fn level(&self, asn: Asn) -> Level {
+        if self.level1.binary_search(&asn).is_ok() {
+            Level::Level1
+        } else if self.level2.contains(&asn) {
+            Level::Level2
+        } else {
+            Level::Other
+        }
+    }
+
+    /// True if the AS provides transit (appears mid-path somewhere).
+    pub fn is_transit(&self, asn: Asn) -> bool {
+        self.transit.contains(&asn)
+    }
+
+    /// True if the AS is a stub (single- or multi-homed).
+    pub fn is_stub(&self, asn: Asn) -> bool {
+        self.single_homed_stubs.contains(&asn) || self.multi_homed_stubs.contains(&asn)
+    }
+
+    /// Count of "other" ASes (neither level-1 nor level-2).
+    pub fn num_other(&self) -> usize {
+        self.num_ases - self.level1.len() - self.level2.len()
+    }
+}
+
+/// Classifies every AS of `graph` given the observed `paths` and tier-1
+/// `seeds` (the paper seeds with well-known tier-1 ASNs such as 701, 1239,
+/// 3356, 7018, ...).
+pub fn classify<'a>(
+    graph: &AsGraph,
+    paths: impl IntoIterator<Item = &'a AsPath>,
+    seeds: &[Asn],
+) -> Classification {
+    let level1 = tier1_clique(graph, seeds);
+
+    let mut transit: BTreeSet<Asn> = BTreeSet::new();
+    for p in paths {
+        let s = p.as_slice();
+        for &mid in s.iter().take(s.len().saturating_sub(1)).skip(1) {
+            transit.insert(mid);
+        }
+    }
+
+    let mut level2 = BTreeSet::new();
+    for &l1 in &level1 {
+        for n in graph.neighbors(l1) {
+            if level1.binary_search(&n).is_err() {
+                level2.insert(n);
+            }
+        }
+    }
+
+    let mut single = BTreeSet::new();
+    let mut multi = BTreeSet::new();
+    for a in graph.nodes() {
+        if transit.contains(&a) {
+            continue;
+        }
+        match graph.degree(a) {
+            0 | 1 => {
+                single.insert(a);
+            }
+            _ => {
+                multi.insert(a);
+            }
+        }
+    }
+
+    Classification {
+        level1,
+        level2,
+        transit,
+        single_homed_stubs: single,
+        multi_homed_stubs: multi,
+        num_ases: graph.num_nodes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(v: &[u32]) -> AsPath {
+        AsPath::from_u32s(v)
+    }
+
+    /// Clique {1,2}; 3 hangs off 1 (transit for 4); 4 single-homed stub;
+    /// 5 multi-homed stub (to 1 and 3 — not to the whole clique, so it
+    /// cannot join it).
+    fn dataset() -> (AsGraph, Vec<AsPath>) {
+        let paths = vec![
+            path(&[1, 2]),
+            path(&[2, 1]),
+            path(&[2, 1, 3, 4]),
+            path(&[1, 3, 4]),
+            path(&[1, 5]),
+            path(&[2, 1, 3, 5]),
+            path(&[3, 5]),
+        ];
+        let g = AsGraph::from_paths(&paths);
+        (g, paths)
+    }
+
+    #[test]
+    fn levels_assigned() {
+        let (g, paths) = dataset();
+        let c = classify(&g, &paths, &[Asn(1), Asn(2)]);
+        assert_eq!(c.level1, vec![Asn(1), Asn(2)]);
+        assert_eq!(c.level(Asn(3)), Level::Level2);
+        assert_eq!(c.level(Asn(5)), Level::Level2);
+        assert_eq!(c.level(Asn(4)), Level::Other);
+    }
+
+    #[test]
+    fn transit_detected_mid_path() {
+        let (g, paths) = dataset();
+        let c = classify(&g, &paths, &[Asn(1), Asn(2)]);
+        assert!(c.is_transit(Asn(3)));
+        assert!(c.is_transit(Asn(1)));
+        assert!(!c.is_transit(Asn(4)));
+        assert!(!c.is_transit(Asn(5)));
+    }
+
+    #[test]
+    fn stub_homing_split() {
+        let (g, paths) = dataset();
+        let c = classify(&g, &paths, &[Asn(1), Asn(2)]);
+        assert!(c.single_homed_stubs.contains(&Asn(4)));
+        assert!(c.multi_homed_stubs.contains(&Asn(5)));
+        assert!(c.is_stub(Asn(4)));
+        assert!(!c.is_stub(Asn(3)));
+    }
+
+    #[test]
+    fn counts_consistent() {
+        let (g, paths) = dataset();
+        let c = classify(&g, &paths, &[Asn(1), Asn(2)]);
+        assert_eq!(c.num_ases, 5);
+        assert_eq!(c.num_other(), 1); // AS4
+    }
+
+    #[test]
+    fn two_hop_paths_have_no_transit() {
+        let paths = vec![path(&[1, 2])];
+        let g = AsGraph::from_paths(&paths);
+        let c = classify(&g, &paths, &[Asn(1)]);
+        assert!(c.transit.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Tier-1 ("level-1") clique detection.
+//!
+//! "We identify level-1 providers by starting with a small list of providers
+//! that are known to be tier-1. An AS is added to the list of level-1
+//! providers if the resulting AS-subgraph between level-1 providers is
+//! complete, that is, we derive the AS-subgraph to be the largest clique of
+//! ASes including our seed ASes." (§3.1)
+//!
+//! This is a greedy maximal-clique expansion around a seed set: candidates
+//! are considered in descending degree (big transit providers first), ties
+//! broken by ascending ASN for determinism.
+
+use crate::graph::AsGraph;
+use quasar_bgpsim::types::Asn;
+
+/// Expands `seeds` to a maximal clique of `graph`.
+///
+/// Returns the clique in ascending ASN order. Seeds that are not mutually
+/// connected are reduced first: seeds are inserted greedily (highest degree
+/// first) and a seed conflicting with already-kept seeds is dropped — the
+/// paper assumes a consistent seed list, but measured data can be noisy.
+pub fn tier1_clique(graph: &AsGraph, seeds: &[Asn]) -> Vec<Asn> {
+    let by_degree = |list: &mut Vec<Asn>| {
+        list.sort_by_key(|&a| (std::cmp::Reverse(graph.degree(a)), a.0));
+    };
+
+    // Keep a consistent subset of the seeds.
+    let mut clique: Vec<Asn> = Vec::new();
+    let mut seed_order: Vec<Asn> = seeds
+        .iter()
+        .copied()
+        .filter(|&a| graph.contains(a))
+        .collect();
+    by_degree(&mut seed_order);
+    for s in seed_order {
+        if clique.iter().all(|&c| graph.has_edge(c, s)) {
+            clique.push(s);
+        }
+    }
+
+    // Greedy expansion: any AS adjacent to the whole current clique joins.
+    let mut candidates: Vec<Asn> = graph.nodes().filter(|a| !clique.contains(a)).collect();
+    by_degree(&mut candidates);
+    for c in candidates {
+        if clique.iter().all(|&m| graph.has_edge(m, c)) {
+            clique.push(c);
+        }
+    }
+
+    clique.sort();
+    clique
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(edges: &[(u32, u32)]) -> AsGraph {
+        let mut g = AsGraph::new();
+        for &(a, b) in edges {
+            g.add_edge(Asn(a), Asn(b));
+        }
+        g
+    }
+
+    #[test]
+    fn seed_clique_expands_to_maximal() {
+        // 1,2,3 form a triangle; 4 connects to all three; 5 only to 1.
+        let g = graph(&[(1, 2), (1, 3), (2, 3), (4, 1), (4, 2), (4, 3), (5, 1)]);
+        let c = tier1_clique(&g, &[Asn(1), Asn(2)]);
+        assert_eq!(c, vec![Asn(1), Asn(2), Asn(3), Asn(4)]);
+    }
+
+    #[test]
+    fn inconsistent_seed_dropped() {
+        // Seeds 1 and 9 are not connected; 9 has lower degree and is dropped.
+        let g = graph(&[(1, 2), (1, 3), (2, 3), (9, 5)]);
+        let c = tier1_clique(&g, &[Asn(1), Asn(9)]);
+        assert!(c.contains(&Asn(1)));
+        assert!(!c.contains(&Asn(9)));
+    }
+
+    #[test]
+    fn missing_seed_ignored() {
+        let g = graph(&[(1, 2)]);
+        let c = tier1_clique(&g, &[Asn(1), Asn(777)]);
+        assert_eq!(c, vec![Asn(1), Asn(2)]);
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_clique() {
+        let g = AsGraph::new();
+        assert!(tier1_clique(&g, &[Asn(1)]).is_empty());
+    }
+
+    #[test]
+    fn expansion_prefers_high_degree() {
+        // Triangle 1-2-3 plus two mutually exclusive extensions: 4 (degree 5)
+        // and 5 (degree 3), not connected to each other.
+        let g = graph(&[
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (4, 1),
+            (4, 2),
+            (4, 3),
+            (4, 10),
+            (4, 11),
+            (5, 1),
+            (5, 2),
+            (5, 3),
+        ]);
+        let c = tier1_clique(&g, &[Asn(1)]);
+        // 4 joins first (higher degree); 5 then conflicts with nothing? 5 is
+        // not adjacent to 4, so it cannot join.
+        assert!(c.contains(&Asn(4)));
+        assert!(!c.contains(&Asn(5)));
+    }
+}

@@ -1,0 +1,212 @@
+//! Policy realization of inferred relationships (paper §3.3).
+//!
+//! "We then realized appropriate policies based on the local-pref BGP
+//! attribute and route filters in the simulator" — customer routes get the
+//! highest local-pref, peer/sibling/unknown routes an intermediate one,
+//! provider routes the lowest ("We treat siblings in the same manner as
+//! peerings relationships and set the same local-preference for unknown AS
+//! edges as for peerings", fn. 2), and exports follow the valley-free rule:
+//! routes learned from a provider or peer are announced to customers only.
+
+use crate::relationships::{Relationship, Relationships};
+use quasar_bgpsim::types::Asn;
+use serde::{Deserialize, Serialize};
+
+/// How a neighbor relates to us, from our own point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NeighborKind {
+    /// The neighbor pays us.
+    Customer,
+    /// Settlement-free peer (also used for siblings and unknown edges,
+    /// following the paper's footnote 2).
+    Peer,
+    /// We pay the neighbor.
+    Provider,
+}
+
+/// Local-preference classes used by the relationship baseline.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LocalPrefClasses {
+    /// Routes learned from customers.
+    pub customer: u32,
+    /// Routes learned from peers / siblings / unknown neighbors.
+    pub peer: u32,
+    /// Routes learned from providers.
+    pub provider: u32,
+}
+
+impl Default for LocalPrefClasses {
+    fn default() -> Self {
+        LocalPrefClasses {
+            customer: 130,
+            peer: 110,
+            provider: 90,
+        }
+    }
+}
+
+/// Classifies neighbor `them` from the viewpoint of `us`. Unknown and
+/// sibling edges collapse to [`NeighborKind::Peer`] per the paper.
+pub fn neighbor_kind(rels: &Relationships, us: Asn, them: Asn) -> NeighborKind {
+    match rels.get(us, them) {
+        Some(Relationship::CustomerProvider { customer, provider }) => {
+            if provider == us && customer == them {
+                NeighborKind::Customer
+            } else {
+                NeighborKind::Provider
+            }
+        }
+        Some(Relationship::PeerPeer) | Some(Relationship::Sibling) | None => NeighborKind::Peer,
+    }
+}
+
+/// Local-pref assigned to routes learned from a neighbor of this kind.
+pub fn import_local_pref(classes: &LocalPrefClasses, kind: NeighborKind) -> u32 {
+    match kind {
+        NeighborKind::Customer => classes.customer,
+        NeighborKind::Peer => classes.peer,
+        NeighborKind::Provider => classes.provider,
+    }
+}
+
+/// The valley-free export rule: a route learned from `learned_from` may be
+/// announced to `toward` only if the route came from a customer (or is
+/// locally originated, handled by the caller) *or* the recipient is a
+/// customer.
+pub fn may_export(learned_from: NeighborKind, toward: NeighborKind) -> bool {
+    learned_from == NeighborKind::Customer || toward == NeighborKind::Customer
+}
+
+/// Checks the valley-free property of an AS-path (observer-first, as
+/// stored) against a relationship assignment: walking **origin-first**, the
+/// path must be a sequence of customer→provider steps, at most one peer
+/// step, then provider→customer steps — "the valley-free assumption"
+/// (§3.3). Unknown edges are treated as peer steps (paper fn. 2).
+pub fn is_valley_free(path: &quasar_bgpsim::aspath::AsPath, rels: &Relationships) -> bool {
+    // Phases: 0 = climbing (uphill), 1 = descended/peered (only downhill
+    // allowed from here on).
+    let mut phase = 0u8;
+    let mut peer_steps = 0usize;
+    let seq: Vec<_> = path.iter().rev().collect();
+    for w in seq.windows(2) {
+        let (from, to) = (w[0], w[1]);
+        let step = match rels.get(from, to) {
+            Some(Relationship::CustomerProvider { customer, .. }) if customer == from => 0u8, // up
+            Some(Relationship::CustomerProvider { .. }) => 2, // down
+            Some(Relationship::PeerPeer) | Some(Relationship::Sibling) | None => 1, // flat
+        };
+        match step {
+            0 if phase == 0 => {}
+            0 => return false, // up after descending: a valley
+            1 => {
+                peer_steps += 1;
+                if peer_steps > 1 || phase == 1 {
+                    return false; // more than one peer step, or peer after descent
+                }
+                phase = 1;
+            }
+            _ => phase = 1,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relationships::Relationship;
+
+    fn rels() -> Relationships {
+        let mut r = Relationships::default();
+        r.set(
+            Asn(1),
+            Asn(2),
+            Relationship::CustomerProvider {
+                customer: Asn(2),
+                provider: Asn(1),
+            },
+        );
+        r.set(Asn(1), Asn(3), Relationship::PeerPeer);
+        r.set(Asn(1), Asn(4), Relationship::Sibling);
+        r
+    }
+
+    #[test]
+    fn neighbor_kinds() {
+        let r = rels();
+        assert_eq!(neighbor_kind(&r, Asn(1), Asn(2)), NeighborKind::Customer);
+        assert_eq!(neighbor_kind(&r, Asn(2), Asn(1)), NeighborKind::Provider);
+        assert_eq!(neighbor_kind(&r, Asn(1), Asn(3)), NeighborKind::Peer);
+        assert_eq!(neighbor_kind(&r, Asn(1), Asn(4)), NeighborKind::Peer);
+        // Unknown edge defaults to peer (paper fn. 2).
+        assert_eq!(neighbor_kind(&r, Asn(1), Asn(99)), NeighborKind::Peer);
+    }
+
+    #[test]
+    fn local_pref_ordering() {
+        let c = LocalPrefClasses::default();
+        assert!(
+            import_local_pref(&c, NeighborKind::Customer)
+                > import_local_pref(&c, NeighborKind::Peer)
+        );
+        assert!(
+            import_local_pref(&c, NeighborKind::Peer)
+                > import_local_pref(&c, NeighborKind::Provider)
+        );
+    }
+
+    #[test]
+    fn valley_free_paths() {
+        use quasar_bgpsim::aspath::AsPath;
+        let mut r = Relationships::default();
+        // 1 provider of 2 provider of 3; 1 peers with 4; 4 provider of 5.
+        for (c, p) in [(2u32, 1u32), (3, 2), (5, 4)] {
+            r.set(
+                Asn(c),
+                Asn(p),
+                Relationship::CustomerProvider {
+                    customer: Asn(c),
+                    provider: Asn(p),
+                },
+            );
+        }
+        r.set(Asn(1), Asn(4), Relationship::PeerPeer);
+        // Pure uphill (origin-first 3->2->1): valid.
+        assert!(is_valley_free(&AsPath::from_u32s(&[1, 2, 3]), &r));
+        // Uphill, one peer step, downhill (3->2->1, 1~4, 4->5): valid.
+        assert!(is_valley_free(&AsPath::from_u32s(&[5, 4, 1, 2, 3]), &r));
+        // Peer step first, then downhill (4~1, 1->2, 2->3): valid.
+        assert!(is_valley_free(&AsPath::from_u32s(&[3, 2, 1, 4]), &r));
+        // Uphill, peer, downhill across both branches: valid.
+        assert!(is_valley_free(&AsPath::from_u32s(&[3, 2, 1, 4, 5]), &r));
+        // Peer step after a descent (1->2 down, then 2~6): a valley.
+        r.set(Asn(2), Asn(6), Relationship::PeerPeer);
+        assert!(!is_valley_free(&AsPath::from_u32s(&[6, 2, 1]), &r));
+        // Climbing after a descent (1->2 down, then 2->7 up): a valley.
+        r.set(
+            Asn(2),
+            Asn(7),
+            Relationship::CustomerProvider {
+                customer: Asn(2),
+                provider: Asn(7),
+            },
+        );
+        assert!(!is_valley_free(&AsPath::from_u32s(&[7, 2, 1]), &r));
+    }
+
+    #[test]
+    fn valley_free_matrix() {
+        use NeighborKind::*;
+        // Customer routes go everywhere.
+        assert!(may_export(Customer, Customer));
+        assert!(may_export(Customer, Peer));
+        assert!(may_export(Customer, Provider));
+        // Peer/provider routes only to customers.
+        assert!(may_export(Peer, Customer));
+        assert!(!may_export(Peer, Peer));
+        assert!(!may_export(Peer, Provider));
+        assert!(may_export(Provider, Customer));
+        assert!(!may_export(Provider, Peer));
+        assert!(!may_export(Provider, Provider));
+    }
+}

@@ -1,0 +1,206 @@
+//! The AS-level adjacency graph.
+//!
+//! "We derive an AS-level topology from the AS-paths. If two ASes are next
+//! to each other on a path we assume that they have an agreement to exchange
+//! data and are therefore neighbors in the AS-topology graph." (§3.1)
+//!
+//! Deterministic by construction: adjacency is kept in ordered sets, so
+//! iteration order never depends on hash seeds.
+
+use quasar_bgpsim::aspath::AsPath;
+use quasar_bgpsim::types::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Undirected AS-level graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsGraph {
+    adj: BTreeMap<Asn, BTreeSet<Asn>>,
+}
+
+impl AsGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the graph from a collection of AS-paths, adding one edge per
+    /// adjacent pair. Paths with loops contribute their edges too (they are
+    /// filtered at the dataset level, not here).
+    pub fn from_paths<'a>(paths: impl IntoIterator<Item = &'a AsPath>) -> Self {
+        let mut g = Self::new();
+        for p in paths {
+            for (a, b) in p.edges() {
+                g.add_edge(a, b);
+            }
+            // A one-element path still witnesses the AS itself.
+            if let Some(o) = p.origin() {
+                g.add_node(o);
+            }
+        }
+        g
+    }
+
+    /// Ensures `a` exists as a node.
+    pub fn add_node(&mut self, a: Asn) {
+        self.adj.entry(a).or_default();
+    }
+
+    /// Adds the undirected edge `a -- b` (self-loops register the node but
+    /// no edge).
+    pub fn add_edge(&mut self, a: Asn, b: Asn) {
+        if a == b {
+            self.add_node(a);
+            return;
+        }
+        self.adj.entry(a).or_default().insert(b);
+        self.adj.entry(b).or_default().insert(a);
+    }
+
+    /// Removes a node and all incident edges.
+    pub fn remove_node(&mut self, a: Asn) {
+        if let Some(nbrs) = self.adj.remove(&a) {
+            for n in nbrs {
+                if let Some(s) = self.adj.get_mut(&n) {
+                    s.remove(&a);
+                }
+            }
+        }
+    }
+
+    /// True if the node exists.
+    pub fn contains(&self, a: Asn) -> bool {
+        self.adj.contains_key(&a)
+    }
+
+    /// True if the edge exists.
+    pub fn has_edge(&self, a: Asn, b: Asn) -> bool {
+        self.adj.get(&a).is_some_and(|s| s.contains(&b))
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.values().map(|s| s.len()).sum::<usize>() / 2
+    }
+
+    /// Degree of `a` (0 if absent).
+    pub fn degree(&self, a: Asn) -> usize {
+        self.adj.get(&a).map_or(0, |s| s.len())
+    }
+
+    /// Neighbors of `a` in ascending ASN order.
+    pub fn neighbors(&self, a: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.adj.get(&a).into_iter().flatten().copied()
+    }
+
+    /// All nodes in ascending ASN order.
+    pub fn nodes(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// All undirected edges, each once, `(low, high)` ordered.
+    pub fn edges(&self) -> impl Iterator<Item = (Asn, Asn)> + '_ {
+        self.adj.iter().flat_map(|(&a, s)| {
+            s.iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
+        })
+    }
+
+    /// True if every pair of the given ASes is connected (used by the
+    /// tier-1 clique search).
+    pub fn is_clique(&self, asns: &[Asn]) -> bool {
+        for (i, &a) in asns.iter().enumerate() {
+            for &b in &asns[i + 1..] {
+                if !self.has_edge(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(v: &[u32]) -> AsPath {
+        AsPath::from_u32s(v)
+    }
+
+    #[test]
+    fn from_paths_builds_edges() {
+        let paths = vec![path(&[1, 2, 3]), path(&[2, 4])];
+        let g = AsGraph::from_paths(&paths);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(Asn(1), Asn(2)));
+        assert!(g.has_edge(Asn(2), Asn(3)));
+        assert!(g.has_edge(Asn(2), Asn(4)));
+        assert!(!g.has_edge(Asn(1), Asn(3)));
+    }
+
+    #[test]
+    fn edges_are_undirected_and_deduped() {
+        let paths = vec![path(&[1, 2]), path(&[2, 1])];
+        let g = AsGraph::from_paths(&paths);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(Asn(1)), 1);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = AsGraph::new();
+        g.add_edge(Asn(1), Asn(1));
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_nodes(), 1);
+    }
+
+    #[test]
+    fn remove_node_cleans_incident_edges() {
+        let mut g = AsGraph::new();
+        g.add_edge(Asn(1), Asn(2));
+        g.add_edge(Asn(2), Asn(3));
+        g.remove_node(Asn(2));
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_nodes(), 2);
+        assert!(!g.contains(Asn(2)));
+    }
+
+    #[test]
+    fn singleton_path_adds_origin_node() {
+        let paths = vec![path(&[7])];
+        let g = AsGraph::from_paths(&paths);
+        assert!(g.contains(Asn(7)));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn clique_detection() {
+        let mut g = AsGraph::new();
+        for (a, b) in [(1, 2), (1, 3), (2, 3), (3, 4)] {
+            g.add_edge(Asn(a), Asn(b));
+        }
+        assert!(g.is_clique(&[Asn(1), Asn(2), Asn(3)]));
+        assert!(!g.is_clique(&[Asn(1), Asn(2), Asn(4)]));
+        assert!(g.is_clique(&[Asn(1)]));
+        assert!(g.is_clique(&[]));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut g = AsGraph::new();
+        g.add_edge(Asn(5), Asn(9));
+        g.add_edge(Asn(5), Asn(2));
+        g.add_edge(Asn(5), Asn(7));
+        let n: Vec<Asn> = g.neighbors(Asn(5)).collect();
+        assert_eq!(n, vec![Asn(2), Asn(7), Asn(9)]);
+    }
+}

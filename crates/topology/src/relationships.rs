@@ -1,0 +1,335 @@
+//! Inter-AS business-relationship inference (paper §3.3).
+//!
+//! "Relying on the BGP data we use a simple heuristic for inferring
+//! customer-provider relationship utilizing the valley-free assumption. We
+//! start by declaring all links between the level-1 ASes as peering and
+//! then iteratively infer customer-provider relationships."
+//!
+//! The implementation is a Gao-style degree-peak voting pass: for every
+//! loop-free path (origin-first) the maximum-degree AS is taken as the
+//! "peak"; edges before it vote customer→provider, edges after it vote
+//! provider→customer. Edges voted in both directions within a factor of two
+//! become siblings; the top edge of each path whose endpoints have
+//! comparable degree becomes a peering candidate, and candidates with weak
+//! transit evidence are classified as peerings. Tier-1 clique edges are
+//! always peerings.
+//!
+//! The paper stresses that such inference is *insufficient* for accurate
+//! prediction (Table 2) — this module exists to reproduce that baseline and
+//! to provide the local-pref/export realization (see [`crate::gao`]).
+
+use crate::graph::AsGraph;
+use quasar_bgpsim::aspath::AsPath;
+use quasar_bgpsim::types::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Relationship of an AS pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relationship {
+    /// `customer` pays `provider` for transit.
+    CustomerProvider {
+        /// The paying AS.
+        customer: Asn,
+        /// The transit-providing AS.
+        provider: Asn,
+    },
+    /// Settlement-free peering.
+    PeerPeer,
+    /// Same organization; treated like peering by the paper (§3.3 fn. 2).
+    Sibling,
+}
+
+/// Inferred relationships for the edges of an AS graph. Edges without an
+/// entry are *unknown* ("All other edges cannot be classified", §3.3).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relationships {
+    map: BTreeMap<(Asn, Asn), Relationship>,
+}
+
+/// Tuning knobs of the inference heuristic.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct InferenceConfig {
+    /// Maximum degree ratio between the endpoints of a path's top edge for
+    /// it to be considered a peering candidate.
+    pub peer_degree_ratio: f64,
+    /// A peering candidate stays customer-provider if one direction
+    /// collected strictly more transit votes than this.
+    pub peer_vote_ceiling: u32,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        InferenceConfig {
+            peer_degree_ratio: 10.0,
+            peer_vote_ceiling: 2,
+        }
+    }
+}
+
+impl Relationships {
+    fn key(a: Asn, b: Asn) -> (Asn, Asn) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Sets the relationship of an edge.
+    pub fn set(&mut self, a: Asn, b: Asn, rel: Relationship) {
+        self.map.insert(Self::key(a, b), rel);
+    }
+
+    /// Relationship of the edge `a -- b`, if classified.
+    pub fn get(&self, a: Asn, b: Asn) -> Option<Relationship> {
+        self.map.get(&Self::key(a, b)).copied()
+    }
+
+    /// True if `p` was inferred to be a provider of `c`.
+    pub fn is_provider(&self, p: Asn, c: Asn) -> bool {
+        matches!(
+            self.get(p, c),
+            Some(Relationship::CustomerProvider { customer, provider })
+                if provider == p && customer == c
+        )
+    }
+
+    /// Counts per class: `(customer_provider, peer_peer, sibling)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut cp = 0;
+        let mut pp = 0;
+        let mut sib = 0;
+        for r in self.map.values() {
+            match r {
+                Relationship::CustomerProvider { .. } => cp += 1,
+                Relationship::PeerPeer => pp += 1,
+                Relationship::Sibling => sib += 1,
+            }
+        }
+        (cp, pp, sib)
+    }
+
+    /// Number of classified edges.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing was classified.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over all classified edges.
+    pub fn iter(&self) -> impl Iterator<Item = (&(Asn, Asn), &Relationship)> {
+        self.map.iter()
+    }
+}
+
+/// Infers relationships from observed AS-paths (observer-first, as stored),
+/// the AS graph, and the tier-1 clique.
+pub fn infer_relationships<'a>(
+    graph: &AsGraph,
+    paths: impl IntoIterator<Item = &'a AsPath>,
+    level1: &[Asn],
+    cfg: &InferenceConfig,
+) -> Relationships {
+    // transit_votes[(x, y)]: evidence that y provides transit to x.
+    let mut transit_votes: BTreeMap<(Asn, Asn), u32> = BTreeMap::new();
+    let mut peer_candidates: BTreeSet<(Asn, Asn)> = BTreeSet::new();
+
+    for path in paths {
+        if path.has_loop() || path.len() < 2 {
+            continue;
+        }
+        // Work origin-first: reverse of the stored observer-first order.
+        let seq: Vec<Asn> = path.iter().rev().collect();
+        let peak = seq
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, &a)| (graph.degree(a), std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
+            .expect("non-empty path");
+        // Uphill: each AS before the peak is a customer of its successor.
+        for w in seq[..=peak].windows(2) {
+            *transit_votes.entry((w[0], w[1])).or_default() += 1;
+        }
+        // Downhill: each AS after the peak is a customer of its predecessor.
+        for w in seq[peak..].windows(2) {
+            *transit_votes.entry((w[1], w[0])).or_default() += 1;
+        }
+        // Top edge: candidate peering if endpoint degrees are comparable.
+        let neighbor = match (peak.checked_sub(1), seq.get(peak + 1)) {
+            (Some(l), Some(&r)) => {
+                if graph.degree(seq[l]) >= graph.degree(r) {
+                    Some(seq[l])
+                } else {
+                    Some(r)
+                }
+            }
+            (Some(l), None) => Some(seq[l]),
+            (None, Some(&r)) => Some(r),
+            (None, None) => None,
+        };
+        if let Some(n) = neighbor {
+            let (dp, dn) = (graph.degree(seq[peak]) as f64, graph.degree(n) as f64);
+            if dn > 0.0
+                && dp / dn <= cfg.peer_degree_ratio
+                && dn / dp.max(1.0) <= cfg.peer_degree_ratio
+            {
+                let k = if seq[peak] <= n {
+                    (seq[peak], n)
+                } else {
+                    (n, seq[peak])
+                };
+                peer_candidates.insert(k);
+            }
+        }
+    }
+
+    let mut rels = Relationships::default();
+    for (a, b) in graph.edges() {
+        let up = transit_votes.get(&(a, b)).copied().unwrap_or(0); // b provides for a
+        let down = transit_votes.get(&(b, a)).copied().unwrap_or(0); // a provides for b
+        let rel = if up > 0 && down > 0 && up.min(down) * 2 >= up.max(down) {
+            Some(Relationship::Sibling)
+        } else if up > down {
+            Some(Relationship::CustomerProvider {
+                customer: a,
+                provider: b,
+            })
+        } else if down > up {
+            Some(Relationship::CustomerProvider {
+                customer: b,
+                provider: a,
+            })
+        } else if up > 0 {
+            // up == down > 0 but not sibling-balanced is impossible
+            // (equal values are within a factor of two); kept for clarity.
+            Some(Relationship::Sibling)
+        } else {
+            None
+        };
+        // Weak customer-provider evidence on a candidate top edge is
+        // reinterpreted as peering.
+        let rel = match rel {
+            Some(Relationship::CustomerProvider { .. })
+                if peer_candidates.contains(&(a, b)) && up.max(down) <= cfg.peer_vote_ceiling =>
+            {
+                Some(Relationship::PeerPeer)
+            }
+            other => other,
+        };
+        if let Some(r) = rel {
+            rels.set(a, b, r);
+        }
+    }
+
+    // Tier-1 clique edges are peerings by definition.
+    for (i, &a) in level1.iter().enumerate() {
+        for &b in &level1[i + 1..] {
+            if graph.has_edge(a, b) {
+                rels.set(a, b, Relationship::PeerPeer);
+            }
+        }
+    }
+
+    rels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(v: &[u32]) -> AsPath {
+        AsPath::from_u32s(v)
+    }
+
+    /// Two tier-1s (1, 2) with customers 3 (of 1) and 4 (of 2); stub 5 is a
+    /// customer of 3. Observed paths cross the core.
+    fn dataset() -> (AsGraph, Vec<AsPath>) {
+        let paths = vec![
+            // observer-first; e.g. observed at 4: 4 2 1 3 5.
+            path(&[4, 2, 1, 3, 5]),
+            path(&[3, 1, 2, 4]),
+            path(&[4, 2, 1, 3]),
+            path(&[5, 3, 1, 2]),
+            path(&[1, 2]),
+            path(&[2, 1]),
+            // Extra degree for the core.
+            path(&[6, 1]),
+            path(&[7, 2]),
+            path(&[6, 1, 2, 7]),
+        ];
+        let g = AsGraph::from_paths(&paths);
+        (g, paths)
+    }
+
+    #[test]
+    fn clique_edges_are_peer() {
+        let (g, paths) = dataset();
+        let rels = infer_relationships(&g, &paths, &[Asn(1), Asn(2)], &InferenceConfig::default());
+        assert_eq!(rels.get(Asn(1), Asn(2)), Some(Relationship::PeerPeer));
+    }
+
+    #[test]
+    fn customers_inferred_below_core() {
+        let (g, paths) = dataset();
+        let rels = infer_relationships(&g, &paths, &[Asn(1), Asn(2)], &InferenceConfig::default());
+        assert!(rels.is_provider(Asn(3), Asn(5)));
+        assert!(rels.is_provider(Asn(1), Asn(3)));
+        assert!(rels.is_provider(Asn(2), Asn(4)));
+    }
+
+    #[test]
+    fn counts_tally() {
+        let (g, paths) = dataset();
+        let rels = infer_relationships(&g, &paths, &[Asn(1), Asn(2)], &InferenceConfig::default());
+        let (cp, pp, sib) = rels.counts();
+        assert_eq!(cp + pp + sib, rels.len());
+        assert!(pp >= 1);
+        assert!(cp >= 3);
+    }
+
+    #[test]
+    fn sibling_on_balanced_votes() {
+        // 1 and 2 mutually transit for each other's customers.
+        let paths = vec![
+            path(&[3, 1, 2, 4]),
+            path(&[4, 2, 1, 3]),
+            path(&[3, 1]),
+            path(&[4, 2]),
+            path(&[9, 1]),
+            path(&[9, 1, 2]),
+            path(&[8, 2]),
+            path(&[8, 2, 1]),
+        ];
+        let g = AsGraph::from_paths(&paths);
+        let rels = infer_relationships(&g, &paths, &[], &InferenceConfig::default());
+        // Votes 1->2 and 2->1 both present and balanced.
+        let r = rels.get(Asn(1), Asn(2));
+        assert!(
+            matches!(
+                r,
+                Some(Relationship::Sibling) | Some(Relationship::PeerPeer)
+            ),
+            "expected sibling/peer, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn get_is_symmetric() {
+        let mut rels = Relationships::default();
+        rels.set(
+            Asn(10),
+            Asn(20),
+            Relationship::CustomerProvider {
+                customer: Asn(10),
+                provider: Asn(20),
+            },
+        );
+        assert_eq!(rels.get(Asn(20), Asn(10)), rels.get(Asn(10), Asn(20)));
+        assert!(rels.is_provider(Asn(20), Asn(10)));
+        assert!(!rels.is_provider(Asn(10), Asn(20)));
+    }
+}

@@ -1,0 +1,105 @@
+//! Provider-choice scenario — the second motivating task from §1: an AS
+//! weighing its upstream options ("making decisions about peering
+//! relationships, choice of upstream providers, inter-domain traffic
+//! engineering").
+//!
+//! A multihomed stub asks: if I dropped one of my providers, how many of
+//! the Internet's vantage points would still reach me, and how would their
+//! paths shift? The refined model answers without touching the real
+//! network — this is exactly the "tweak and pray" (§1) loop the paper
+//! wants to replace.
+//!
+//! Run: `cargo run --release --example provider_choice`
+
+use quasar::bgpsim::prelude::*;
+use quasar::model::prelude::*;
+use quasar::netgen::prelude::*;
+
+fn main() {
+    let internet = SyntheticInternet::generate(NetGenConfig::tiny(99));
+    let dataset = quasar::dataset_from(&internet);
+
+    // Find a multihomed stub with at least two providers.
+    let stub = internet
+        .as_topology
+        .ases
+        .values()
+        .find(|g| g.tier == Tier::Stub && g.providers.len() >= 2)
+        .expect("generator produces multihomed stubs");
+    let providers: Vec<Asn> = stub.providers.iter().copied().collect();
+    println!(
+        "subject: {} (multihomed stub, providers {:?})",
+        stub.asn, providers
+    );
+
+    // Refine the model on all observed data.
+    let mut model = AsRoutingModel::initial(&dataset.as_graph(), &dataset.prefixes());
+    refine(&mut model, &dataset, &RefineConfig::default()).expect("refinement converges");
+
+    // The stub's prefixes.
+    let prefixes: Vec<Prefix> = model
+        .prefixes()
+        .iter()
+        .filter(|(_, &o)| o == stub.asn)
+        .map(|(&p, _)| p)
+        .collect();
+    println!("prefixes announced: {}", prefixes.len());
+
+    // Reachability from every observer AS, per scenario.
+    let observers: Vec<Asn> = internet
+        .observation_points
+        .iter()
+        .map(|p| p.observer_as())
+        .collect();
+    // Per scenario: best path at each observer's first quasi-router, for
+    // each of the stub's prefixes.
+    let snapshot = |m: &AsRoutingModel| -> Vec<Option<String>> {
+        let mut out = Vec::new();
+        for &p in &prefixes {
+            let res = m.simulate(p).expect("converges");
+            for &obs in &observers {
+                let best = m
+                    .quasi_routers_of(obs)
+                    .first()
+                    .and_then(|&r| res.best_route(r))
+                    .map(|r| r.as_path.to_string());
+                out.push(best);
+            }
+        }
+        out
+    };
+
+    let base = snapshot(&model);
+    let reachable = base.iter().filter(|b| b.is_some()).count();
+    println!(
+        "\nbaseline: {reachable}/{} (observer, prefix) pairs reachable",
+        base.len()
+    );
+
+    for &dropped in &providers {
+        let mut scenario = model.clone();
+        scenario.depeer(stub.asn, dropped);
+        let now = snapshot(&scenario);
+        let lost = base
+            .iter()
+            .zip(&now)
+            .filter(|(b, n)| b.is_some() && n.is_none())
+            .count();
+        let moved = base
+            .iter()
+            .zip(&now)
+            .filter(|(b, n)| b.is_some() && n.is_some() && b != n)
+            .count();
+        println!(
+            "drop provider {dropped:>9}: {lost} pairs lose reachability, {moved} pairs re-route"
+        );
+    }
+
+    println!(
+        "\ninterpretation: dropping a provider rarely costs reachability (the\n\
+         other providers absorb the announcements) but forces the inbound\n\
+         paths of many vantage points to shift — exactly the traffic-\n\
+         engineering consequence an operator wants to preview before\n\
+         touching the real network."
+    );
+}

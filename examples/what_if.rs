@@ -1,0 +1,69 @@
+//! What-if analysis — the paper's motivating application (§1): "what if a
+//! certain peering link was removed, or what-if we change policies thus?"
+//!
+//! We refine a model against observed feeds, then *edit the model* — remove
+//! an AS adjacency (de-peering) — and re-simulate to predict how routing
+//! shifts: which observer/prefix pairs change paths and which lose
+//! reachability entirely.
+//!
+//! Run: `cargo run --release --example what_if`
+
+use quasar::bgpsim::prelude::*;
+use quasar::model::prelude::*;
+use quasar::netgen::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() {
+    let internet = SyntheticInternet::generate(NetGenConfig::tiny(7));
+    let dataset = quasar::dataset_from(&internet);
+
+    // Train on everything: the what-if question is about the future, not
+    // about held-out data.
+    let mut model = AsRoutingModel::initial(&dataset.as_graph(), &dataset.prefixes());
+    refine(&mut model, &dataset, &RefineConfig::default()).expect("refinement converges");
+    println!(
+        "model: {} quasi-routers over {} ASes (refined against {} routes)",
+        model.stats().quasi_routers,
+        model.stats().ases,
+        dataset.len()
+    );
+
+    // Pick the busiest AS adjacency touched by observed paths.
+    let mut edge_use: BTreeMap<(Asn, Asn), usize> = BTreeMap::new();
+    for r in dataset.routes() {
+        for (a, b) in r.as_path.edges() {
+            let key = if a < b { (a, b) } else { (b, a) };
+            *edge_use.entry(key).or_default() += 1;
+        }
+    }
+    let (&(a, b), &uses) = edge_use
+        .iter()
+        .max_by_key(|(_, &n)| n)
+        .expect("non-empty dataset");
+    println!("what-if: de-peer {a} -- {b} (carries {uses} observed routes)");
+
+    // The structured what-if API: copy, edit, diff.
+    let diff = Scenario::new(&model)
+        .apply(Change::Depeer(a, b))
+        .diff()
+        .expect("scenario simulations converge");
+
+    println!(
+        "predicted impact over every (router, prefix) pair: {} unchanged, {} re-routed, {} lost reachability",
+        diff.unchanged(),
+        diff.rerouted(),
+        diff.lost()
+    );
+    println!("sample changes:");
+    for (router, prefix, impact) in diff.impacts.iter().take(5) {
+        match impact {
+            Impact::Rerouted(x, y) => println!("  {router} -> {prefix}: {x}  ==>  {y}"),
+            Impact::Lost(x) => println!("  {router} -> {prefix}: {x}  ==>  UNREACHABLE"),
+            Impact::Gained(y) => println!("  {router} -> {prefix}: (none)  ==>  {y}"),
+        }
+    }
+    println!("most affected ASes:");
+    for (asn, n) in diff.most_affected_ases().into_iter().take(5) {
+        println!("  {asn}: {n} (router, prefix) pairs");
+    }
+}

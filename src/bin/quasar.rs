@@ -1,0 +1,382 @@
+//! `quasar` — command-line frontend for the AS-routing-model pipeline.
+//!
+//! Subcommands:
+//!   generate  --out FILE [--scale tiny|default|paper] [--seed N]
+//!             synthesize an Internet and write its feeds as MRT
+//!             TABLE_DUMP_V2 (plus FILE.updates.mrt with an UPDATE stream)
+//!   analyze   FILE            §3 analyses of an MRT feed file
+//!   train     FILE --out MODEL.json
+//!             refine a model against ALL feeds and persist it
+//!   predict   FILE [--split point|origin|both] [--seed N]
+//!             train on half the feeds, predict the other half
+//!   diagnose  FILE [--seed N]
+//!             train on half the feeds and attribute validation
+//!             mismatches to the AS where reproduction first breaks
+//!   stable    FILE [--snapshot T] [--window SECS]
+//!             replay RIB+updates, keep the stable snapshot routes,
+//!             print the dataset summary
+//!   whatif    FILE --depeer A:B [--model MODEL.json]
+//!             train on all feeds (or load a persisted model) and report
+//!             the predicted impact of removing the A--B adjacency
+
+use quasar::bgpsim::types::Asn;
+use quasar::diversity::prelude::*;
+use quasar::model::prelude::*;
+use quasar::netgen::prelude::*;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage("missing subcommand")
+    };
+    match cmd.as_str() {
+        "generate" => cmd_generate(&args[1..]),
+        "train" => cmd_train(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
+        "predict" => cmd_predict(&args[1..]),
+        "diagnose" => cmd_diagnose(&args[1..]),
+        "stable" => cmd_stable(&args[1..]),
+        "whatif" => cmd_whatif(&args[1..]),
+        other => usage(&format!("unknown subcommand {other}")),
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: quasar generate --out FILE [--scale tiny|default|paper] [--seed N]\n\
+         \x20      quasar train FILE --out MODEL.json\n\
+         \x20      quasar analyze FILE\n\
+         \x20      quasar predict FILE [--split point|origin|both] [--seed N]\n\
+         \x20      quasar diagnose FILE [--seed N]\n\
+         \x20      quasar stable FILE [--snapshot T] [--window SECS]\n\
+         \x20      quasar whatif FILE --depeer A:B [--model MODEL.json]"
+    );
+    exit(2)
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn positional(args: &[String]) -> Option<String> {
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        return Some(a.clone());
+    }
+    None
+}
+
+fn load_dataset(path: &str) -> (Vec<ObservationPoint>, Dataset) {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    // Prefer TABLE_DUMP_V2; fall back to the legacy 2005-era TABLE_DUMP
+    // format if the file contains no V2 records.
+    match import_table_dump_v2(&bytes) {
+        Ok((points, obs)) if !obs.is_empty() => (points, quasar::dataset_from_observations(&obs)),
+        _ => {
+            let (points, obs) = import_table_dump(&bytes).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path} as TABLE_DUMP_V2 or TABLE_DUMP: {e}");
+                exit(1)
+            });
+            if obs.is_empty() {
+                eprintln!("{path}: no routes found in either MRT RIB format");
+                exit(1)
+            }
+            eprintln!("{path}: legacy TABLE_DUMP format detected");
+            (points, quasar::dataset_from_observations(&obs))
+        }
+    }
+}
+
+fn cmd_generate(args: &[String]) {
+    let out = flag(args, "--out").unwrap_or_else(|| usage("generate requires --out"));
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20051113);
+    let scale = flag(args, "--scale").unwrap_or_else(|| "default".into());
+    let cfg = match scale.as_str() {
+        "tiny" => NetGenConfig::tiny(seed),
+        "default" => NetGenConfig {
+            seed,
+            ..NetGenConfig::default()
+        },
+        "paper" => NetGenConfig::paper_scale(seed),
+        _ => usage("bad --scale"),
+    };
+    eprintln!("generating {scale} internet (seed {seed}) ...");
+    let net = SyntheticInternet::generate(cfg);
+    let bytes = export_table_dump_v2(&net.observation_points, &net.observations);
+    std::fs::write(&out, &bytes).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1)
+    });
+    println!(
+        "wrote {out}: {} feeds, {} routes, {} bytes",
+        net.observation_points.len(),
+        net.observations.len(),
+        bytes.len()
+    );
+
+    // Companion archive: RIB dump + UPDATE stream with flapping.
+    let ucfg = UpdateStreamConfig::default();
+    let records = generate_update_stream(&net.observation_points, &net.observations, &ucfg, seed);
+    let mut w = quasar::mrt::io::MrtWriter::new(Vec::new());
+    for r in &records {
+        w.write_record(r).expect("in-memory write");
+    }
+    let ubytes = w.finish().expect("in-memory flush");
+    let upath = format!("{out}.updates.mrt");
+    std::fs::write(&upath, &ubytes).unwrap_or_else(|e| {
+        eprintln!("cannot write {upath}: {e}");
+        exit(1)
+    });
+    println!(
+        "wrote {upath}: {} records, {} bytes",
+        records.len(),
+        ubytes.len()
+    );
+}
+
+fn cmd_train(args: &[String]) {
+    let path = positional(args).unwrap_or_else(|| usage("train requires FILE"));
+    let out = flag(args, "--out").unwrap_or_else(|| usage("train requires --out"));
+    let (_, dataset) = load_dataset(&path);
+    eprintln!("refining against all {} routes ...", dataset.len());
+    let mut model = AsRoutingModel::initial(&dataset.as_graph(), &dataset.prefixes());
+    let report = refine(&mut model, &dataset, &RefineConfig::default()).unwrap_or_else(|e| {
+        eprintln!("refinement failed: {e}");
+        exit(1)
+    });
+    model.generalize_med_preferences();
+    let json = model.to_json().unwrap_or_else(|e| {
+        eprintln!("cannot serialize model: {e}");
+        exit(1)
+    });
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1)
+    });
+    let stats = model.stats();
+    println!(
+        "wrote {out}: converged={} | {} quasi-routers | {} rules | {} bytes",
+        report.converged(),
+        stats.quasi_routers,
+        stats.policy_rules,
+        json.len()
+    );
+}
+
+fn load_model(path: &str) -> AsRoutingModel {
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    AsRoutingModel::from_json(&json).unwrap_or_else(|e| {
+        eprintln!("cannot parse model {path}: {e}");
+        exit(1)
+    })
+}
+
+fn cmd_analyze(args: &[String]) {
+    let path = positional(args).unwrap_or_else(|| usage("analyze requires FILE"));
+    let (points, dataset) = load_dataset(&path);
+    let s = summarize(&dataset, &[]);
+    println!("{path}: {} feeds, {} routes", points.len(), dataset.len());
+    println!(
+        "ASes {} | edges {} | level-1 {:?} | transit {} | stubs {}+{}",
+        s.ases,
+        s.edges,
+        s.level1.iter().map(|a| a.0).collect::<Vec<_>>(),
+        s.transit,
+        s.single_homed_stubs,
+        s.multi_homed_stubs
+    );
+    let h = PathDiversityHistogram::from_dataset(&dataset);
+    println!(
+        "diversity: {:.1}% of AS pairs see >1 path (max {})",
+        100.0 * h.fraction_with_more_than(1),
+        h.max_diversity()
+    );
+    let q = DiversityQuantiles::from_dataset(&dataset);
+    print!("max received paths per AS, percentiles:");
+    for (pct, v) in q.table1_row() {
+        print!(" p{pct}={v}");
+    }
+    println!();
+}
+
+fn cmd_predict(args: &[String]) {
+    let path = positional(args).unwrap_or_else(|| usage("predict requires FILE"));
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let split = flag(args, "--split").unwrap_or_else(|| "point".into());
+    let (_, dataset) = load_dataset(&path);
+    let (training, validation) = match split.as_str() {
+        "point" => dataset.split_by_point(0.5, seed),
+        "origin" => dataset.split_by_origin(0.5, seed),
+        "both" => dataset.split_combined(0.5, seed),
+        _ => usage("bad --split"),
+    };
+    eprintln!(
+        "training on {} routes, validating on {} ...",
+        training.len(),
+        validation.len()
+    );
+    let mut model = AsRoutingModel::initial(&dataset.as_graph(), &dataset.prefixes());
+    let report = refine(&mut model, &training, &RefineConfig::default()).unwrap_or_else(|e| {
+        eprintln!("refinement failed: {e}");
+        exit(1)
+    });
+    if split != "point" {
+        // Unseen prefixes benefit from the §4.7 generalization.
+        model.generalize_med_preferences();
+    }
+    let stats = model.stats();
+    println!(
+        "model: converged={} | {} quasi-routers over {} ASes | {} rules",
+        report.converged(),
+        stats.quasi_routers,
+        stats.ases,
+        stats.policy_rules
+    );
+    let ev = evaluate(&model, &validation);
+    println!(
+        "prediction: RIB-Out {:.1}% | down-to-tie-break {:.1}% | RIB-In bound {:.1}%",
+        100.0 * ev.counts.rib_out_rate(),
+        100.0 * ev.counts.tie_break_rate(),
+        100.0 * ev.counts.rib_in_rate()
+    );
+}
+
+fn cmd_diagnose(args: &[String]) {
+    let path = positional(args).unwrap_or_else(|| usage("diagnose requires FILE"));
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let (_, dataset) = load_dataset(&path);
+    let (training, validation) = dataset.split_by_point(0.5, seed);
+    eprintln!(
+        "training on {} routes, diagnosing {} ...",
+        training.len(),
+        validation.len()
+    );
+    let mut model = AsRoutingModel::initial(&dataset.as_graph(), &dataset.prefixes());
+    refine(&mut model, &training, &RefineConfig::default()).unwrap_or_else(|e| {
+        eprintln!("refinement failed: {e}");
+        exit(1)
+    });
+    let diag = diagnose(&model, &validation);
+    println!(
+        "{} of {} validation routes fully reproduced",
+        diag.matched, diag.routes
+    );
+    println!("ASes where reproduction first breaks (top 10):");
+    for (asn, n) in diag.top_offenders(10) {
+        println!("  {asn:<10} {n} routes");
+    }
+    println!(
+        "(interpretation: these ASes carry observed diversity the training\n\
+         feeds never exposed — more vantage points there would help most)"
+    );
+}
+
+fn cmd_stable(args: &[String]) {
+    let path = positional(args).unwrap_or_else(|| usage("stable requires FILE"));
+    let snapshot: u32 = flag(args, "--snapshot")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SNAPSHOT_TIME);
+    let window: u32 = flag(args, "--window")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_600);
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    let records = quasar::mrt::io::MrtReader::new(&bytes[..])
+        .read_all()
+        .unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            exit(1)
+        });
+    let (points, obs) = reconstruct_stable(&records, snapshot, window);
+    let dataset = quasar::dataset_from_observations(&obs);
+    println!(
+        "{path}: {} records -> {} feeds, {} stable routes at t={snapshot} (window {window}s)",
+        records.len(),
+        points.len(),
+        dataset.len()
+    );
+    let s = summarize(&dataset, &[]);
+    println!(
+        "ASes {} | edges {} | distinct paths {}",
+        s.ases, s.edges, s.distinct_paths
+    );
+}
+
+fn cmd_whatif(args: &[String]) {
+    let path = positional(args).unwrap_or_else(|| usage("whatif requires FILE"));
+    let spec = flag(args, "--depeer").unwrap_or_else(|| usage("whatif requires --depeer A:B"));
+    let (a, b) = spec
+        .split_once(':')
+        .and_then(|(x, y)| Some((x.parse::<u32>().ok()?, y.parse::<u32>().ok()?)))
+        .unwrap_or_else(|| usage("bad --depeer, want A:B"));
+    let (points, dataset) = load_dataset(&path);
+
+    let model = if let Some(mp) = flag(args, "--model") {
+        load_model(&mp)
+    } else {
+        let mut m = AsRoutingModel::initial(&dataset.as_graph(), &dataset.prefixes());
+        refine(&mut m, &dataset, &RefineConfig::default()).unwrap_or_else(|e| {
+            eprintln!("refinement failed: {e}");
+            exit(1)
+        });
+        m
+    };
+    let mut edited = model.clone();
+    let silenced = edited.depeer(Asn(a), Asn(b));
+    if silenced == 0 {
+        eprintln!("no sessions between AS{a} and AS{b}");
+        exit(1)
+    }
+    let observers: Vec<Asn> = {
+        let mut v: Vec<Asn> = points.iter().map(|p| p.observer_as()).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let (mut same, mut moved, mut lost) = (0usize, 0usize, 0usize);
+    for &prefix in model.prefixes().keys() {
+        let before = model.simulate(prefix).expect("converges");
+        let after = edited.simulate(prefix).expect("converges");
+        for &obs in &observers {
+            for r in model.quasi_routers_of(obs) {
+                let x = before.best_route(r).map(|r| r.as_path.clone());
+                let y = after.best_route(r).map(|r| r.as_path.clone());
+                match (x, y) {
+                    (Some(p), Some(q)) if p == q => same += 1,
+                    (Some(_), Some(_)) => moved += 1,
+                    (Some(_), None) => lost += 1,
+                    (None, _) => {}
+                }
+            }
+        }
+    }
+    println!(
+        "de-peering AS{a} -- AS{b} ({silenced} sessions): {same} unchanged, {moved} re-routed, {lost} unreachable"
+    );
+}

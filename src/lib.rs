@@ -1,0 +1,62 @@
+//! # quasar — an AS-topology model that captures route diversity
+//!
+//! A full Rust reproduction of *"Building an AS-topology model that
+//! captures route diversity"* (Mühlbauer, Feldmann, Maennel, Roughan,
+//! Uhlig — SIGCOMM 2006). This façade crate re-exports the workspace
+//! members and provides the glue between them:
+//!
+//! * [`bgpsim`] — per-prefix steady-state BGP simulator (C-BGP
+//!   equivalent),
+//! * [`topology`] — AS-graph machinery: clique, classification,
+//!   relationships,
+//! * [`mrt`] — RouteViews-compatible MRT codec,
+//! * [`netgen`] — synthetic Internet with ground-truth routing and
+//!   observation feeds,
+//! * [`model`] — the paper's contribution: quasi-router model, iterative
+//!   refinement, prediction metrics,
+//! * [`diversity`] — the §3 route-diversity analyses.
+//!
+//! See `examples/quickstart.rs` for the end-to-end pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use quasar_bgpsim as bgpsim;
+pub use quasar_core as model;
+pub use quasar_diversity as diversity;
+pub use quasar_mrt as mrt;
+pub use quasar_netgen as netgen;
+pub use quasar_topology as topology;
+
+use quasar_core::observed::{Dataset, ObservedRoute};
+use quasar_netgen::observe::{RouteObservation, SyntheticInternet};
+
+/// Converts a synthetic Internet's feeds into the model's observed-route
+/// dataset (with the paper's cleaning applied).
+pub fn dataset_from(net: &SyntheticInternet) -> Dataset {
+    dataset_from_observations(&net.observations)
+}
+
+/// Converts raw feed observations (e.g. re-imported from an MRT dump) into
+/// a cleaned dataset.
+pub fn dataset_from_observations(observations: &[RouteObservation]) -> Dataset {
+    Dataset::new(observations.iter().map(|o| ObservedRoute {
+        point: o.point,
+        observer_as: o.observer_as,
+        prefix: o.prefix,
+        as_path: o.as_path.clone(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasar_netgen::config::NetGenConfig;
+
+    #[test]
+    fn facade_conversion_preserves_routes() {
+        let net = SyntheticInternet::generate(NetGenConfig::tiny(1));
+        let d = dataset_from(&net);
+        assert_eq!(d.len(), net.observations.len());
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end CLI test: generate → analyze → train → whatif → stable, all
+//! through the real binary, exchanging real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn quasar() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_quasar"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("quasar-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn full_cli_workflow() {
+    let feeds = tmp("feeds.mrt");
+    let model = tmp("model.json");
+    let updates = PathBuf::from(format!("{}.updates.mrt", feeds.display()));
+
+    // generate
+    let out = quasar()
+        .args([
+            "generate",
+            "--out",
+            feeds.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(feeds.exists());
+    assert!(updates.exists());
+
+    // analyze
+    let out = quasar()
+        .args(["analyze", feeds.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("feeds"), "{text}");
+    assert!(text.contains("diversity"), "{text}");
+
+    // train -> model.json
+    let out = quasar()
+        .args([
+            "train",
+            feeds.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("converged=true"), "{text}");
+    assert!(model.exists());
+
+    // whatif using the persisted model
+    let out = quasar()
+        .args([
+            "whatif",
+            feeds.to_str().unwrap(),
+            "--depeer",
+            "10:101",
+            "--model",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("de-peering"));
+
+    // stable snapshot reconstruction from the update archive
+    let out = quasar()
+        .args(["stable", updates.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("stable routes"));
+
+    // predict on the generated feeds
+    let out = quasar()
+        .args(["predict", feeds.to_str().unwrap(), "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("prediction:"));
+
+    // bad usage exits non-zero
+    let out = quasar().args(["bogus"]).output().unwrap();
+    assert!(!out.status.success());
+
+    for f in [feeds, model, updates] {
+        let _ = std::fs::remove_file(f);
+    }
+}

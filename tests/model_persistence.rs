@@ -1,0 +1,41 @@
+//! A trained model must survive JSON persistence with identical routing
+//! and identical prediction metrics — "train once, what-if forever".
+
+use quasar::model::prelude::*;
+use quasar::netgen::prelude::*;
+
+#[test]
+fn trained_model_roundtrips_through_json() {
+    let net = SyntheticInternet::generate(NetGenConfig::tiny(606));
+    let dataset = quasar::dataset_from(&net);
+    let (training, validation) = dataset.split_by_point(0.5, 3);
+
+    let mut model = AsRoutingModel::initial(&dataset.as_graph(), &dataset.prefixes());
+    refine(&mut model, &training, &RefineConfig::default()).unwrap();
+
+    let json = model.to_json().expect("serializes");
+    let restored = AsRoutingModel::from_json(&json).expect("deserializes");
+
+    assert_eq!(restored.stats(), model.stats());
+    assert_eq!(
+        evaluate(&restored, &validation),
+        evaluate(&model, &validation)
+    );
+    assert_eq!(evaluate(&restored, &training), evaluate(&model, &training));
+
+    // The restored model is still refinable and editable.
+    let mut editable = restored.clone();
+    let (a, b) = {
+        let mut edges = dataset
+            .routes()
+            .iter()
+            .flat_map(|r| r.as_path.edges())
+            .collect::<Vec<_>>();
+        edges.sort();
+        edges[0]
+    };
+    editable.depeer(a, b);
+    for &p in editable.prefixes().keys().take(3) {
+        editable.simulate(p).expect("edited model still converges");
+    }
+}
