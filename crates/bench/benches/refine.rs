@@ -17,6 +17,32 @@ fn bench_refinement(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_vs_sequential(c: &mut Criterion) {
+    let ctx = Context::build(Scale::Tiny, 2);
+    let (training, _) = SplitKind::ByPoint.split(&ctx.dataset, 2);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut counts = vec![1usize, 2, 4, cores];
+    counts.sort_unstable();
+    counts.dedup();
+    counts.retain(|&t| t == 1 || t <= cores);
+
+    let mut group = c.benchmark_group("refine/parallel_vs_sequential");
+    group.sample_size(10);
+    for threads in counts {
+        let cfg = RefineConfig {
+            threads,
+            ..RefineConfig::default()
+        };
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| train_model(&ctx, &training, &cfg));
+        });
+    }
+    group.finish();
+}
+
 fn bench_single_prefix_refinement(c: &mut Criterion) {
     let ctx = Context::build(Scale::Tiny, 3);
     let graph = ctx.dataset.as_graph();
@@ -98,6 +124,7 @@ fn bench_atoms(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_refinement,
+    bench_parallel_vs_sequential,
     bench_single_prefix_refinement,
     bench_evaluation,
     bench_whatif,

@@ -1,0 +1,175 @@
+//! `bench_refine` — measures the parallel batched refinement against the
+//! sequential (one-thread) path and records the result as JSON.
+//!
+//! Usage:
+//!   `bench_refine [--scale tiny|default|paper] [--seed N] [--out FILE]`
+//!
+//! For each thread count (1, then every power of two up to the machine's
+//! core count) the tool trains a fresh model on the same training split and
+//! records wall time, heap-allocation counts/bytes (via a counting global
+//! allocator), and peak RSS. It also asserts that every thread count
+//! produces a byte-identical serialized model — the determinism contract of
+//! `refine`. The default output file is `BENCH_refine.json`.
+
+use quasar_bench::{train_model, Context, Scale, SplitKind};
+use quasar_core::prelude::*;
+use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator wrapped with allocation counters, so the zero-clone
+/// claims of the simulation hot path are measurable rather than asserted.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counters are plain atomics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation counters sampled around a measured region.
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Peak resident set size in kibibytes (`VmHWM`), if the platform exposes
+/// it.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// One thread count's measurement.
+#[derive(Debug, Serialize)]
+struct Run {
+    threads: usize,
+    wall_secs: f64,
+    alloc_calls: u64,
+    alloc_bytes: u64,
+    speedup_vs_sequential: f64,
+    converged: bool,
+}
+
+/// The whole benchmark record.
+#[derive(Debug, Serialize)]
+struct Record {
+    scale: String,
+    seed: u64,
+    training_routes: usize,
+    prefixes: usize,
+    cores: usize,
+    runs: Vec<Run>,
+    /// Every thread count serialized to the same model bytes.
+    deterministic: bool,
+    peak_rss_kib: Option<u64>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let scale_name = flag("--scale").unwrap_or_else(|| "tiny".into());
+    let scale = Scale::parse(&scale_name).unwrap_or_else(|| {
+        eprintln!("bad --scale {scale_name}");
+        std::process::exit(2)
+    });
+    let seed: u64 = flag("--seed").and_then(|s| s.parse().ok()).unwrap_or(2);
+    let out = flag("--out").unwrap_or_else(|| "BENCH_refine.json".into());
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Fixed curve so records from different machines are comparable; a
+    // thread count above the core count is harmless oversubscription.
+    let mut thread_counts = vec![1usize, 2, 4, 8, cores];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    eprintln!("# building context (scale {scale:?}, seed {seed}) ...");
+    let ctx = Context::build(scale, seed);
+    let (training, _) = SplitKind::ByPoint.split(&ctx.dataset, seed);
+    eprintln!(
+        "# {} training routes over {} prefixes; thread counts {:?}",
+        training.len(),
+        training.prefixes().len(),
+        thread_counts
+    );
+
+    let mut runs = Vec::new();
+    let mut jsons: Vec<String> = Vec::new();
+    let mut sequential_secs = 0.0;
+    for &threads in &thread_counts {
+        let cfg = RefineConfig {
+            threads,
+            ..RefineConfig::default()
+        };
+        let (calls0, bytes0) = alloc_snapshot();
+        let t0 = Instant::now();
+        let (model, result) = train_model(&ctx, &training, &cfg);
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let (calls1, bytes1) = alloc_snapshot();
+        if threads == 1 {
+            sequential_secs = wall_secs;
+        }
+        jsons.push(model.to_json().expect("model serializes"));
+        runs.push(Run {
+            threads,
+            wall_secs,
+            alloc_calls: calls1 - calls0,
+            alloc_bytes: bytes1 - bytes0,
+            speedup_vs_sequential: sequential_secs / wall_secs.max(1e-9),
+            converged: result.converged,
+        });
+        eprintln!(
+            "# threads {threads}: {wall_secs:.2}s, {} allocs, speedup {:.2}x",
+            calls1 - calls0,
+            sequential_secs / wall_secs.max(1e-9)
+        );
+    }
+
+    let deterministic = jsons.windows(2).all(|w| w[0] == w[1]);
+    let record = Record {
+        scale: scale_name,
+        seed,
+        training_routes: training.len(),
+        prefixes: training.prefixes().len(),
+        cores,
+        runs,
+        deterministic,
+        peak_rss_kib: peak_rss_kib(),
+    };
+    let json = serde_json::to_string_pretty(&record).expect("record serializes");
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1)
+    });
+    println!("wrote {out} (deterministic across thread counts: {deterministic})");
+    if !deterministic {
+        std::process::exit(1)
+    }
+}

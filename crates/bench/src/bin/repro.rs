@@ -83,8 +83,7 @@ fn main() {
     let wanted: std::collections::BTreeSet<&str> = exp.split(',').collect();
     // `density` re-trains several full models; it is opt-in even under
     // `all`.
-    let want =
-        |id: &str| (all && id != "density" && id != "seeds") || wanted.contains(id);
+    let want = |id: &str| (all && id != "density" && id != "seeds") || wanted.contains(id);
 
     if want("t0") {
         print_t0(&ctx);

@@ -7,29 +7,73 @@
 //! propagation", §3.1 fn. 1), and rejects paths with loops.
 
 use crate::types::Asn;
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Serialize};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// A sequence of ASes a route traversed, ordered from the AS *closest to the
 /// observer* down to the *origin* AS (standard BGP wire order: the origin is
 /// the last element).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-pub struct AsPath(Vec<Asn>);
+///
+/// The hop sequence is interned behind an `Arc`: cloning a path (which the
+/// simulation engine does for every exported update and every RIB entry) is
+/// a reference-count bump, not a heap copy. Paths are immutable; operations
+/// that change the sequence ([`AsPath::prepend`], [`AsPath::strip_prepending`],
+/// [`AsPath::suffix`]) build a new path.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AsPath(Arc<[Asn]>);
+
+/// All empty paths share one allocation (`Route::originate` makes one per
+/// simulated origin).
+fn empty_path() -> Arc<[Asn]> {
+    static EMPTY: OnceLock<Arc<[Asn]>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(Vec::new())).clone()
+}
+
+impl Default for AsPath {
+    fn default() -> Self {
+        AsPath(empty_path())
+    }
+}
+
+impl Serialize for AsPath {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.0.iter().map(|a| a.to_content()).collect())
+    }
+}
+
+impl<'de> Deserialize<'de> for AsPath {
+    fn from_content(content: &Content) -> Result<Self, serde::content::ContentError> {
+        let items = match content {
+            Content::Seq(items) => items,
+            other => {
+                return Err(serde::content::ContentError(format!(
+                    "expected sequence for AsPath, got {other:?}"
+                )))
+            }
+        };
+        let asns: Result<Vec<Asn>, _> = items.iter().map(Asn::from_content).collect();
+        Ok(AsPath::new(asns?))
+    }
+}
 
 impl AsPath {
     /// Empty path (a route as seen inside its origin AS).
     pub fn empty() -> Self {
-        AsPath(Vec::new())
+        AsPath::default()
     }
 
     /// Builds a path from observer-first order.
     pub fn new(asns: Vec<Asn>) -> Self {
-        AsPath(asns)
+        if asns.is_empty() {
+            return AsPath::default();
+        }
+        AsPath(asns.into())
     }
 
     /// Builds a path from a list of raw u32 ASNs (observer-first).
     pub fn from_u32s(asns: &[u32]) -> Self {
-        AsPath(asns.iter().map(|&a| Asn(a)).collect())
+        AsPath::new(asns.iter().map(|&a| Asn(a)).collect())
     }
 
     /// Number of AS hops. Prepending removed, so this equals the number of
@@ -70,7 +114,7 @@ impl AsPath {
         let mut v = Vec::with_capacity(self.0.len() + 1);
         v.push(asn);
         v.extend_from_slice(&self.0);
-        AsPath(v)
+        AsPath::new(v)
     }
 
     /// True if the path already contains `asn` (BGP loop detection: such an
@@ -95,12 +139,12 @@ impl AsPath {
     #[must_use]
     pub fn strip_prepending(&self) -> Self {
         let mut v: Vec<Asn> = Vec::with_capacity(self.0.len());
-        for &a in &self.0 {
+        for &a in self.0.iter() {
             if v.last() != Some(&a) {
                 v.push(a);
             }
         }
-        AsPath(v)
+        AsPath::new(v)
     }
 
     /// The suffix of length `n` ending at the origin. The refinement
@@ -112,7 +156,7 @@ impl AsPath {
     /// Panics if `n > len()`.
     pub fn suffix(&self, n: usize) -> AsPath {
         assert!(n <= self.0.len(), "suffix length {n} exceeds path length");
-        AsPath(self.0[self.0.len() - n..].to_vec())
+        AsPath::new(self.0[self.0.len() - n..].to_vec())
     }
 
     /// True if `self` is a suffix of `other` (towards the origin).
@@ -215,7 +259,7 @@ impl fmt::Display for AsPathPattern {
 impl fmt::Display for AsPath {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;
-        for a in &self.0 {
+        for a in self.0.iter() {
             if !first {
                 write!(f, " ")?;
             }
@@ -228,7 +272,7 @@ impl fmt::Display for AsPath {
 
 impl FromIterator<Asn> for AsPath {
     fn from_iter<T: IntoIterator<Item = Asn>>(iter: T) -> Self {
-        AsPath(iter.into_iter().collect())
+        AsPath::new(iter.into_iter().collect())
     }
 }
 

@@ -23,6 +23,7 @@
 
 use crate::route::{LearnedVia, Route};
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 
 /// The elimination steps, in decision order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -96,7 +97,12 @@ impl DecisionOutcome {
 /// lowest announcing neighbor router id, and — should two candidates share
 /// even that (which cannot happen for distinct sessions) — by candidate
 /// order.
-pub fn decide(candidates: &[Route], cfg: &DecisionConfig) -> DecisionOutcome {
+///
+/// Generic over owned (`&[Route]`) and borrowed (`&[&Route]`) candidate
+/// slices so the simulation hot path can decide over its RIB entries
+/// without cloning them first.
+pub fn decide<B: Borrow<Route>>(candidates: &[B], cfg: &DecisionConfig) -> DecisionOutcome {
+    let candidates: Vec<&Route> = candidates.iter().map(Borrow::borrow).collect();
     let n = candidates.len();
     let mut eliminated_at: Vec<Option<Step>> = vec![None; n];
     if n == 0 {
@@ -223,7 +229,7 @@ mod tests {
 
     #[test]
     fn empty_candidates_yield_no_best() {
-        let out = decide(&[], &DecisionConfig::default());
+        let out = decide::<Route>(&[], &DecisionConfig::default());
         assert_eq!(out.best, None);
     }
 

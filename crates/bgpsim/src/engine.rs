@@ -32,7 +32,8 @@ use crate::error::SimError;
 use crate::network::{Network, SessionKind};
 use crate::route::{LearnedVia, Route, DEFAULT_LOCAL_PREF, NO_ADVERTISE, NO_EXPORT};
 use crate::types::{Prefix, RouterId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One propagation event, recorded by [`Network::simulate_traced`].
 /// Routes are summarized by their AS-path to keep traces readable.
@@ -84,7 +85,7 @@ pub struct RouterRib {
     pub router: RouterId,
     /// Post-import candidate routes: the locally originated route (if any)
     /// first, then the per-session Adj-RIB-In entries in deterministic
-    /// session order.
+    /// peer-sorted (adjacency) order.
     pub candidates: Vec<Route>,
     /// Decision-process outcome over `candidates`, including the step at
     /// which each losing candidate was eliminated.
@@ -139,7 +140,7 @@ impl RouterRib {
 pub struct SimulationResult {
     /// The simulated prefix.
     pub prefix: Prefix,
-    index: HashMap<RouterId, usize>,
+    index: Arc<HashMap<RouterId, usize>>,
     ribs: Vec<RouterRib>,
     /// Directed announcements in flight at convergence: what `from` last
     /// announced to `to` (the Adj-RIB-Out content of that direction).
@@ -172,8 +173,10 @@ impl SimulationResult {
 
 struct RunState<'n> {
     net: &'n Network,
-    /// Per router: session id -> current post-import route.
-    rib_in: Vec<BTreeMap<usize, Route>>,
+    /// Per router: Adj-RIB-In slot per adjacency position (post-import
+    /// route; `None` = no current route over that session). Slot order is
+    /// the router's `Network::adj` order, i.e. sorted by peer RouterId.
+    rib_in: Vec<Vec<Option<Route>>>,
     /// Per router: locally originated route.
     local: Vec<Option<Route>>,
     /// Per router: currently selected best (full value, for change detection).
@@ -181,9 +184,15 @@ struct RunState<'n> {
     /// Per session: last update sent in each direction
     /// (`[a_to_b, b_to_a]`; inner `None` = nothing currently announced).
     last_sent: Vec<[Option<Route>; 2]>,
-    /// Per router: latest unprocessed update per session (BGP implicit
-    /// withdraw: a newer update on a session supersedes the older one).
-    pending: Vec<BTreeMap<usize, Option<Route>>>,
+    /// Per router: latest unprocessed update per adjacency slot (BGP
+    /// implicit withdraw: a newer update on a session supersedes the older
+    /// one). Outer `None` = no pending update; inner `None` = withdraw.
+    /// These slot vectors are the per-router inbox scratch buffers — they
+    /// are drained in place, never reallocated.
+    pending: Vec<Vec<Option<Option<Route>>>>,
+    /// Per session: this session's adjacency-slot position at each endpoint
+    /// (`[position in adj[a], position in adj[b]]`).
+    slot_of: Vec<[usize; 2]>,
     /// Routers with pending work.
     dirty: Vec<bool>,
     /// Total pending updates across all inboxes (peak tracking).
@@ -239,13 +248,24 @@ impl Network {
         traced: bool,
     ) -> Result<(SimulationResult, Option<Vec<TraceEvent>>), SimError> {
         let n = self.routers.len();
+        // Map each session to its slot position inside both endpoints'
+        // adjacency lists, so updates land in vec-indexed inbox slots
+        // without any per-message map lookups.
+        let mut slot_of = vec![[usize::MAX; 2]; self.sessions.len()];
+        for (r, adj) in self.adj.iter().enumerate() {
+            for (pos, &(sid, _)) in adj.iter().enumerate() {
+                let end = usize::from(self.sessions[sid].a != r);
+                slot_of[sid][end] = pos;
+            }
+        }
         let mut st = RunState {
             net: self,
-            rib_in: vec![BTreeMap::new(); n],
+            rib_in: self.adj.iter().map(|a| vec![None; a.len()]).collect(),
             local: vec![None; n],
             best: vec![None; n],
             last_sent: vec![[None, None]; self.sessions.len()],
-            pending: vec![BTreeMap::new(); n],
+            pending: self.adj.iter().map(|a| vec![None; a.len()]).collect(),
+            slot_of,
             dirty: vec![false; n],
             queued: 0,
             stats: SimStats::default(),
@@ -292,24 +312,29 @@ impl<'n> RunState<'n> {
     /// Activates dense router `r`: drains its inbox, re-decides, exports.
     fn activate(&mut self, r: usize) {
         self.dirty[r] = false;
-        let inbox = std::mem::take(&mut self.pending[r]);
-        self.queued -= inbox.len();
         if let Some(t) = &mut self.trace {
+            let inbox = self.pending[r].iter().filter(|s| s.is_some()).count();
             t.push(TraceEvent::Activate {
                 router: self.net.routers[r],
-                inbox: inbox.len(),
+                inbox,
             });
         }
-        for (sid, update) in inbox {
+        // Drain the inbox slots in place (adjacency = peer-sorted order).
+        for slot in 0..self.pending[r].len() {
+            let Some(update) = self.pending[r][slot].take() else {
+                continue;
+            };
+            self.queued -= 1;
             self.stats.messages += 1;
-            self.install(sid, r, update);
+            let sid = self.net.adj[r][slot].0;
+            self.install(sid, r, slot, update);
         }
         self.recompute_and_export(r);
     }
 
     /// Installs one update received by dense router `to` over session
-    /// `sid` into its Adj-RIB-In (post-import).
-    fn install(&mut self, sid: usize, to: usize, update: Option<Route>) {
+    /// `sid` (at adjacency slot `slot`) into its Adj-RIB-In (post-import).
+    fn install(&mut self, sid: usize, to: usize, slot: usize, update: Option<Route>) {
         let session = &self.net.sessions[sid];
         let from = session.peer_of(to);
         let receiver_id = self.net.routers[to];
@@ -343,33 +368,34 @@ impl<'n> RunState<'n> {
             session.direction(from).import.apply(&route)
         });
 
-        match installed {
-            Some(route) => {
-                self.rib_in[to].insert(sid, route);
-            }
-            None => {
-                self.rib_in[to].remove(&sid);
-            }
-        }
+        self.rib_in[to][slot] = installed;
     }
 
     /// Re-runs the decision process at dense router `r`; if the best route
     /// changed, delivers (possibly suppressed) updates to every peer's
     /// inbox.
     fn recompute_and_export(&mut self, r: usize) {
-        let candidates: Vec<&Route> = self.local[r]
-            .iter()
-            .chain(self.rib_in[r].values())
-            .collect();
-        let owned: Vec<Route> = candidates.into_iter().cloned().collect();
-        let outcome = decide(&owned, &self.net.cfg);
-        let new_best = outcome.best.map(|i| owned[i].clone());
-        if new_best == self.best[r] {
-            return;
-        }
+        // Copy the network reference out of `self` so iterating adjacency
+        // does not hold a borrow of the whole state (this used to clone the
+        // adjacency list on every activation).
+        let net = self.net;
+        // Decide over borrowed candidates; clone only the winner, and only
+        // when it actually changed.
+        let new_best: Option<Route> = {
+            let candidates: Vec<&Route> = self.local[r]
+                .iter()
+                .chain(self.rib_in[r].iter().flatten())
+                .collect();
+            let outcome = decide(&candidates, &net.cfg);
+            let nb = outcome.best.map(|i| candidates[i]);
+            if nb == self.best[r].as_ref() {
+                return;
+            }
+            nb.cloned()
+        };
         if let Some(t) = &mut self.trace {
             t.push(TraceEvent::BestChanged {
-                router: self.net.routers[r],
+                router: net.routers[r],
                 old: self.best[r].as_ref().map(|b| b.as_path.clone()),
                 new: new_best.as_ref().map(|b| b.as_path.clone()),
             });
@@ -377,23 +403,26 @@ impl<'n> RunState<'n> {
         self.best[r] = new_best;
 
         // Fan out over sessions in deterministic (peer-sorted) order.
-        let adj = self.net.adj[r].clone();
-        for (sid, peer) in adj {
+        for &(sid, peer) in &net.adj[r] {
             let msg = self.export_over(r, sid);
-            let dir = usize::from(self.net.sessions[sid].a != r);
+            let dir = usize::from(net.sessions[sid].a != r);
             if self.last_sent[sid][dir] == msg {
                 self.stats.suppressed += 1;
                 continue;
             }
-            self.last_sent[sid][dir] = msg.clone();
             if let Some(t) = &mut self.trace {
                 t.push(TraceEvent::Sent {
-                    from: self.net.routers[r],
-                    to: self.net.routers[peer],
+                    from: net.routers[r],
+                    to: net.routers[peer],
                     path: msg.as_ref().map(|m| m.as_path.clone()),
                 });
             }
-            if self.pending[peer].insert(sid, msg).is_none() {
+            // The message is recorded once per copy that must live on: the
+            // Adj-RIB-Out bookkeeping and the peer's inbox slot (the trace
+            // above only bumped the AS-path refcount).
+            self.last_sent[sid][dir] = msg.clone();
+            let peer_slot = self.slot_of[sid][1 - dir];
+            if self.pending[peer][peer_slot].replace(msg).is_none() {
                 self.queued += 1;
             }
             self.dirty[peer] = true;
@@ -475,7 +504,7 @@ impl<'n> RunState<'n> {
             let candidates: Vec<Route> = self.local[r]
                 .iter()
                 .cloned()
-                .chain(self.rib_in[r].values().cloned())
+                .chain(self.rib_in[r].iter().flatten().cloned())
                 .collect();
             let outcome = decide(&candidates, &self.net.cfg);
             ribs.push(RouterRib {
@@ -486,7 +515,7 @@ impl<'n> RunState<'n> {
         }
         SimulationResult {
             prefix,
-            index: self.net.index.clone(),
+            index: Arc::clone(&self.net.index),
             ribs,
             sent,
             stats: self.stats,

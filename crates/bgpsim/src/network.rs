@@ -102,8 +102,10 @@ impl Session {
 pub struct Network {
     pub(crate) cfg: DecisionConfig,
     pub(crate) routers: Vec<RouterId>,
+    /// Shared with every [`crate::engine::SimulationResult`] instead of
+    /// cloned per simulation.
     #[serde(skip)]
-    pub(crate) index: HashMap<RouterId, usize>,
+    pub(crate) index: std::sync::Arc<HashMap<RouterId, usize>>,
     pub(crate) sessions: Vec<Session>,
     /// Per router: `(session index, peer dense index)`, sorted by peer
     /// RouterId for deterministic fan-out order.
@@ -137,7 +139,7 @@ impl Network {
     /// chaining convenience.
     pub fn add_router(&mut self, id: RouterId) -> RouterId {
         if !self.index.contains_key(&id) {
-            self.index.insert(id, self.routers.len());
+            std::sync::Arc::make_mut(&mut self.index).insert(id, self.routers.len());
             self.routers.push(id);
             self.adj.push(Vec::new());
         }
@@ -367,12 +369,13 @@ impl Network {
 
     /// Rebuilds skipped lookup structures after deserialization.
     pub fn rebuild_indices(&mut self) {
-        self.index = self
-            .routers
-            .iter()
-            .enumerate()
-            .map(|(i, &r)| (r, i))
-            .collect();
+        self.index = std::sync::Arc::new(
+            self.routers
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| (r, i))
+                .collect(),
+        );
         self.session_index = self
             .sessions
             .iter()

@@ -301,9 +301,11 @@ mod tests {
     fn splits_are_deterministic() {
         let d = sample();
         assert_eq!(d.split_by_point(0.5, 3), d.split_by_point(0.5, 3));
+        // Only three 2-of-3 point splits exist, so the seed pair must be
+        // chosen to land on different ones for the RNG in use.
         assert_ne!(
             d.split_by_point(0.5, 3).0.observation_points(),
-            d.split_by_point(0.5, 4).0.observation_points()
+            d.split_by_point(0.5, 2).0.observation_points()
         );
     }
 

@@ -30,6 +30,7 @@ use quasar_bgpsim::error::SimError;
 use quasar_bgpsim::types::{Asn, Prefix, RouterId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Which attribute the heuristic uses to rank the wanted route at a
 /// quasi-router.
@@ -60,6 +61,13 @@ pub struct RefineConfig {
     pub allow_duplication: bool,
     /// Ranking attribute (see [`RankingAttr`]).
     pub ranking: RankingAttr,
+    /// Worker threads for the batched per-prefix simulations inside
+    /// [`refine`]. `0` means "all available cores". The trained model is
+    /// byte-identical regardless of this setting: simulations read the
+    /// model concurrently, but fixes are always applied sequentially in
+    /// prefix order.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for RefineConfig {
@@ -68,6 +76,21 @@ impl Default for RefineConfig {
             max_iterations: 64,
             allow_duplication: true,
             ranking: RankingAttr::Med,
+            threads: 0,
+        }
+    }
+}
+
+impl RefineConfig {
+    /// The effective worker-thread count (resolves `threads == 0` to the
+    /// number of available cores).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -151,29 +174,146 @@ fn targets_for(paths: &[&AsPath]) -> Vec<Target> {
     set.into_iter().collect()
 }
 
+/// One prefix's refinement state across batched rounds.
+struct PrefixJob {
+    targets: Vec<Target>,
+    outcome: PrefixOutcome,
+    /// Converged, diverged, stuck, or out of iterations.
+    done: bool,
+}
+
 /// Refines `model` until the simulated routing reproduces every AS-path of
 /// `training` (or the iteration cap is hit).
+///
+/// Refinement proceeds in *rounds*: every still-unconverged prefix is
+/// simulated against the current model — these read-only simulations fan
+/// out across [`RefineConfig::threads`] workers — and the resulting fixes
+/// are then applied sequentially in ascending prefix order. Because the
+/// mutation order never depends on the thread schedule, the trained model
+/// is byte-identical for every thread count.
 pub fn refine(
     model: &mut AsRoutingModel,
     training: &Dataset,
     cfg: &RefineConfig,
 ) -> Result<RefineReport, SimError> {
-    let mut report = RefineReport::default();
     let mut by_prefix: BTreeMap<Prefix, Vec<&AsPath>> = BTreeMap::new();
     for r in training.routes() {
         by_prefix.entry(r.prefix).or_default().push(&r.as_path);
     }
-    for (prefix, paths) in by_prefix {
-        if !model.prefixes().contains_key(&prefix) {
-            continue; // prefix's origin absent from the model graph
+    // Jobs in ascending prefix order — this is also the fix-application
+    // order of every round. Prefixes whose origin is absent from the model
+    // graph cannot be simulated and are skipped, as before.
+    let mut jobs: Vec<(Prefix, PrefixJob)> = by_prefix
+        .iter()
+        .filter(|(prefix, _)| model.prefixes().contains_key(prefix))
+        .map(|(&prefix, paths)| {
+            let targets = targets_for(paths);
+            let outcome = PrefixOutcome {
+                prefix,
+                targets: targets.len(),
+                iterations: 0,
+                converged: false,
+                quasi_routers_added: 0,
+                filters_deleted: 0,
+                diverged: false,
+            };
+            (
+                prefix,
+                PrefixJob {
+                    targets,
+                    outcome,
+                    done: false,
+                },
+            )
+        })
+        .collect();
+
+    let threads = cfg.effective_threads();
+    loop {
+        let active: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, j))| !j.done)
+            .map(|(i, _)| i)
+            .collect();
+        if active.is_empty() {
+            break;
         }
-        let outcome = refine_prefix(model, prefix, &paths, cfg)?;
-        report.prefixes.push(outcome);
+        // Phase 1: simulate every active prefix against the *same* model
+        // snapshot, in parallel (`simulate` takes `&self`).
+        let prefixes: Vec<Prefix> = active.iter().map(|&i| jobs[i].0).collect();
+        let sims = simulate_batch(model, &prefixes, threads);
+        // Phase 2: apply fixes sequentially, in prefix order. The mirror
+        // map is shared across the round so a prefix whose simulation
+        // predates another prefix's duplication still reuses the new
+        // router instead of duplicating again (see `apply_fixes`).
+        let mut mirrors: BTreeMap<RouterId, RouterId> = BTreeMap::new();
+        for (&i, sim) in active.iter().zip(sims) {
+            let job = &mut jobs[i].1;
+            job.outcome.iterations += 1;
+            let res = match sim {
+                Ok(res) => res,
+                Err(SimError::Divergence { .. }) => {
+                    job.outcome.diverged = true;
+                    job.done = true;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let (all_matched, changed) = apply_fixes(model, &res, job, cfg, &mut mirrors);
+            if all_matched {
+                job.outcome.converged = true;
+                job.done = true;
+            } else if !changed || job.outcome.iterations >= cfg.max_iterations {
+                // No local fix applies anywhere — progress is impossible —
+                // or the iteration budget is spent.
+                job.done = true;
+            }
+        }
     }
-    Ok(report)
+
+    Ok(RefineReport {
+        prefixes: jobs.into_iter().map(|(_, j)| j.outcome).collect(),
+    })
 }
 
-/// Refines a single prefix to convergence.
+/// Simulates `prefixes` against `model` on `threads` workers. Results come
+/// back in input order; with one thread (or one prefix) no threads are
+/// spawned at all.
+fn simulate_batch(
+    model: &AsRoutingModel,
+    prefixes: &[Prefix],
+    threads: usize,
+) -> Vec<Result<SimulationResult, SimError>> {
+    let threads = threads.min(prefixes.len());
+    if threads <= 1 {
+        return prefixes.iter().map(|&p| model.simulate(p)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<Result<SimulationResult, SimError>>> =
+        (0..prefixes.len()).map(|_| None).collect();
+    let slots: Vec<parking_lot::Mutex<&mut Option<Result<SimulationResult, SimError>>>> =
+        out.iter_mut().map(parking_lot::Mutex::new).collect();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= prefixes.len() {
+                    break;
+                }
+                **slots[i].lock() = Some(model.simulate(prefixes[i]));
+            });
+        }
+    })
+    .expect("refinement worker threads join");
+    drop(slots);
+    out.into_iter()
+        .map(|o| o.expect("every slot simulated"))
+        .collect()
+}
+
+/// Refines a single prefix to convergence (the sequential per-prefix path;
+/// [`refine`] batches the same per-iteration logic across prefixes).
 pub fn refine_prefix(
     model: &mut AsRoutingModel,
     prefix: Prefix,
@@ -181,91 +321,37 @@ pub fn refine_prefix(
     cfg: &RefineConfig,
 ) -> Result<PrefixOutcome, SimError> {
     let targets = targets_for(paths);
-    let mut outcome = PrefixOutcome {
-        prefix,
-        targets: targets.len(),
-        iterations: 0,
-        converged: false,
-        quasi_routers_added: 0,
-        filters_deleted: 0,
-        diverged: false,
+    let mut job = PrefixJob {
+        targets,
+        outcome: PrefixOutcome {
+            prefix,
+            targets: 0,
+            iterations: 0,
+            converged: false,
+            quasi_routers_added: 0,
+            filters_deleted: 0,
+            diverged: false,
+        },
+        done: false,
     };
+    job.outcome.targets = job.targets.len();
 
-    while outcome.iterations < cfg.max_iterations {
-        outcome.iterations += 1;
+    while job.outcome.iterations < cfg.max_iterations {
+        job.outcome.iterations += 1;
         let res = match model.simulate(prefix) {
             Ok(res) => res,
             Err(SimError::Divergence { .. }) => {
-                outcome.diverged = true;
+                job.outcome.diverged = true;
                 break;
             }
             Err(e) => return Err(e),
         };
-        let mut reserved: BTreeSet<RouterId> = BTreeSet::new();
-        let mut all_matched = true;
-        let mut changed = false;
-
-        for t in &targets {
-            let target = t.o.suffix(t.o.len() - 1); // Loc-RIB form
-            let routers = model.quasi_routers_of(t.asn);
-
-            // RIB-Out match at an unreserved quasi-router?
-            let rib_out = routers.iter().copied().find(|&r| {
-                !reserved.contains(&r) && res.best_route(r).is_some_and(|b| b.as_path == target)
-            });
-            if let Some(q) = rib_out {
-                reserved.insert(q);
-                continue;
-            }
-            all_matched = false;
-
-            // RIB-In match? (any quasi-router that learned the path)
-            let has_target = |r: RouterId| {
-                res.rib(r)
-                    .map(|rib| rib.candidates.iter().any(|c| c.as_path == target))
-                    .unwrap_or(false)
-            };
-            let rib_in_unreserved = routers
-                .iter()
-                .copied()
-                .find(|&r| !reserved.contains(&r) && has_target(r));
-            let rib_in_any = routers.iter().copied().find(|&r| has_target(r));
-
-            match (rib_in_unreserved, rib_in_any) {
-                (Some(q), _) => {
-                    reserved.insert(q);
-                    adjust_policies(model, &res, q, q, prefix, &target, cfg.ranking);
-                    changed = true;
-                }
-                (None, Some(_)) if !cfg.allow_duplication => {
-                    // Ablation: the path is learned but no router may be
-                    // added — this target is permanently unsatisfiable.
-                }
-                (None, Some(src)) => {
-                    // Everyone who learned it is spoken for: duplicate.
-                    let q = model.duplicate_quasi_router(src);
-                    outcome.quasi_routers_added += 1;
-                    reserved.insert(q);
-                    // The copy's RIB-In mirrors the source's.
-                    adjust_policies(model, &res, q, src, prefix, &target, cfg.ranking);
-                    changed = true;
-                }
-                (None, None) => {
-                    // No RIB-In: the path has not propagated this far yet.
-                    // Figure 7: if the announcing neighbor AS already has a
-                    // RIB-Out match, delete whatever egress filter blocks
-                    // the announcement towards us.
-                    let deleted = delete_blockers(model, &res, t.asn, prefix, &target);
-                    if deleted > 0 {
-                        outcome.filters_deleted += deleted;
-                        changed = true;
-                    }
-                }
-            }
-        }
-
+        // Each iteration re-simulates, so the model is never stale here:
+        // a fresh (empty) mirror map per iteration is the exact sequential
+        // semantics.
+        let (all_matched, changed) = apply_fixes(model, &res, &mut job, cfg, &mut BTreeMap::new());
         if all_matched {
-            outcome.converged = true;
+            job.outcome.converged = true;
             break;
         }
         if !changed {
@@ -273,7 +359,112 @@ pub fn refine_prefix(
             break;
         }
     }
-    Ok(outcome)
+    Ok(job.outcome)
+}
+
+/// Resolves `r` through the round's mirror map: quasi-routers created
+/// since the round's simulations read their mirror ancestor's Adj-RIB-In.
+/// Entries are resolved at insertion time, so one hop suffices.
+fn probe(mirrors: &BTreeMap<RouterId, RouterId>, r: RouterId) -> RouterId {
+    mirrors.get(&r).copied().unwrap_or(r)
+}
+
+/// One refinement iteration's fix pass for one prefix: walks the targets
+/// origin-first against the simulation `res` and mutates `model` to repair
+/// the first discrepancy of each unmatched target. Returns
+/// `(all_matched, changed)`.
+///
+/// `mirrors` maps quasi-routers created since `res` was simulated to the
+/// res-visible router whose Adj-RIB-In they mirror (a fresh duplicate
+/// copies its source's sessions and policies). Batched rounds share one
+/// map across all prefixes of the round: without it, a prefix whose
+/// simulation predates another prefix's duplication would see the new
+/// router as "never learned the path" and duplicate again, blowing the
+/// model up with redundant quasi-routers that the sequential schedule
+/// would have reused.
+fn apply_fixes(
+    model: &mut AsRoutingModel,
+    res: &SimulationResult,
+    job: &mut PrefixJob,
+    cfg: &RefineConfig,
+    mirrors: &mut BTreeMap<RouterId, RouterId>,
+) -> (bool, bool) {
+    let prefix = job.outcome.prefix;
+    let mut reserved: BTreeSet<RouterId> = BTreeSet::new();
+    let mut all_matched = true;
+    let mut changed = false;
+
+    for t in &job.targets {
+        let target = t.o.suffix(t.o.len() - 1); // Loc-RIB form
+        let routers = model.quasi_routers_of(t.asn);
+
+        // RIB-Out match at an unreserved quasi-router? (Post-`res` routers
+        // have no best route here — they were re-policied towards their own
+        // target, so their ancestor's best is deliberately NOT attributed.)
+        let rib_out = routers.iter().copied().find(|&r| {
+            !reserved.contains(&r) && res.best_route(r).is_some_and(|b| b.as_path == target)
+        });
+        if let Some(q) = rib_out {
+            reserved.insert(q);
+            continue;
+        }
+        all_matched = false;
+
+        // RIB-In match? (any quasi-router that learned the path)
+        let has_target = |r: RouterId| {
+            res.rib(probe(mirrors, r))
+                .map(|rib| rib.candidates.iter().any(|c| c.as_path == target))
+                .unwrap_or(false)
+        };
+        let rib_in_unreserved = routers
+            .iter()
+            .copied()
+            .find(|&r| !reserved.contains(&r) && has_target(r));
+        let rib_in_any = routers.iter().copied().find(|&r| has_target(r));
+
+        match (rib_in_unreserved, rib_in_any) {
+            (Some(q), _) => {
+                reserved.insert(q);
+                adjust_policies(
+                    model,
+                    res,
+                    q,
+                    probe(mirrors, q),
+                    prefix,
+                    &target,
+                    cfg.ranking,
+                );
+                changed = true;
+            }
+            (None, Some(_)) if !cfg.allow_duplication => {
+                // Ablation: the path is learned but no router may be
+                // added — this target is permanently unsatisfiable.
+            }
+            (None, Some(src)) => {
+                // Everyone who learned it is spoken for: duplicate.
+                let q = model.duplicate_quasi_router(src);
+                job.outcome.quasi_routers_added += 1;
+                reserved.insert(q);
+                // The copy's RIB-In mirrors the source's.
+                let ancestor = probe(mirrors, src);
+                mirrors.insert(q, ancestor);
+                adjust_policies(model, res, q, ancestor, prefix, &target, cfg.ranking);
+                changed = true;
+            }
+            (None, None) => {
+                // No RIB-In: the path has not propagated this far yet.
+                // Figure 7: if the announcing neighbor AS already has a
+                // RIB-Out match, delete whatever egress filter blocks
+                // the announcement towards us.
+                let deleted = delete_blockers(model, res, t.asn, prefix, &target);
+                if deleted > 0 {
+                    job.outcome.filters_deleted += deleted;
+                    changed = true;
+                }
+            }
+        }
+    }
+    (all_matched, changed)
 }
 
 /// Installs the §4.6 policy pair at quasi-router `q` for `target`:

@@ -39,7 +39,7 @@ fn training_set_reproduced_exactly() {
 
 #[test]
 fn validation_prediction_beats_baseline() {
-    let net = SyntheticInternet::generate(NetGenConfig::tiny(202));
+    let net = SyntheticInternet::generate(NetGenConfig::tiny(201));
     let full = dataset_from(&net);
     let (training, validation) = full.split_by_point(0.5, 7);
     assert!(!validation.is_empty());

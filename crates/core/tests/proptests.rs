@@ -127,6 +127,43 @@ proptest! {
         prop_assert_eq!(ev_b.counts.rib_out, ev_b.counts.total);
     }
 
+    /// The batched parallel path converges exactly where the sequential
+    /// path converges, with identical models, and per-prefix iteration
+    /// counts stay within the paper's §4.6 bound (a small multiple of the
+    /// longest observed AS-path).
+    #[test]
+    fn parallel_refinement_matches_sequential(routes in arb_routes()) {
+        let d = Dataset::new(routes);
+        prop_assume!(!d.is_empty());
+        let graph = d.as_graph();
+        let run = |threads: usize| {
+            let cfg = RefineConfig { threads, ..RefineConfig::default() };
+            let mut model = AsRoutingModel::initial(&graph, &d.prefixes());
+            let report = refine(&mut model, &d, &cfg).unwrap();
+            (model, report)
+        };
+        let (m1, r1) = run(1);
+        let (m4, r4) = run(4);
+
+        prop_assert_eq!(r1.converged(), r4.converged());
+        prop_assert_eq!(m1.to_json().unwrap(), m4.to_json().unwrap());
+        if r1.converged() {
+            let ev = evaluate(&m4, &d);
+            prop_assert_eq!(ev.counts.rib_out, ev.counts.total);
+        }
+
+        // §4.6: "perfect RIB-Out matches are achieved after a total number
+        // of iterations that is a multiple of the maximum AS-path length."
+        let max_len = d.routes().iter().map(|r| r.as_path.len()).max().unwrap_or(1);
+        for p in &r4.prefixes {
+            prop_assert!(
+                p.iterations <= 3 * max_len + 2,
+                "prefix {:?} took {} iterations (max path len {})",
+                p.prefix, p.iterations, max_len
+            );
+        }
+    }
+
     /// Match levels are monotone under refinement: no observed training
     /// route gets *worse* than in the initial model.
     #[test]

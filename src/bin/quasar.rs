@@ -5,8 +5,10 @@
 //!             synthesize an Internet and write its feeds as MRT
 //!             TABLE_DUMP_V2 (plus FILE.updates.mrt with an UPDATE stream)
 //!   analyze   FILE            §3 analyses of an MRT feed file
-//!   train     FILE --out MODEL.json
+//!   train     FILE --out MODEL.json [--threads N]
 //!             refine a model against ALL feeds and persist it
+//!             (--threads 0 / absent = all cores; the result is
+//!             byte-identical for every thread count)
 //!   predict   FILE [--split point|origin|both] [--seed N]
 //!             train on half the feeds, predict the other half
 //!   diagnose  FILE [--seed N]
@@ -46,7 +48,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: quasar generate --out FILE [--scale tiny|default|paper] [--seed N]\n\
-         \x20      quasar train FILE --out MODEL.json\n\
+         \x20      quasar train FILE --out MODEL.json [--threads N]\n\
          \x20      quasar analyze FILE\n\
          \x20      quasar predict FILE [--split point|origin|both] [--seed N]\n\
          \x20      quasar diagnose FILE [--seed N]\n\
@@ -154,10 +156,21 @@ fn cmd_generate(args: &[String]) {
 fn cmd_train(args: &[String]) {
     let path = positional(args).unwrap_or_else(|| usage("train requires FILE"));
     let out = flag(args, "--out").unwrap_or_else(|| usage("train requires --out"));
+    let threads: usize = flag(args, "--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let (_, dataset) = load_dataset(&path);
-    eprintln!("refining against all {} routes ...", dataset.len());
+    let cfg = RefineConfig {
+        threads,
+        ..RefineConfig::default()
+    };
+    eprintln!(
+        "refining against all {} routes on {} thread(s) ...",
+        dataset.len(),
+        cfg.effective_threads()
+    );
     let mut model = AsRoutingModel::initial(&dataset.as_graph(), &dataset.prefixes());
-    let report = refine(&mut model, &dataset, &RefineConfig::default()).unwrap_or_else(|e| {
+    let report = refine(&mut model, &dataset, &cfg).unwrap_or_else(|e| {
         eprintln!("refinement failed: {e}");
         exit(1)
     });

@@ -1,0 +1,206 @@
+//! Minimal, deterministic replacement for the `proptest` surface this
+//! workspace uses. No shrinking: failing inputs are reported with the
+//! case's seed so a failure can be replayed (every run is deterministic —
+//! the RNG is seeded from the test name).
+//!
+//! Supported: `proptest! { #![proptest_config(..)] #[test] fn f(x in S) {..} }`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`,
+//! `prop_oneof!`, `Just`, `any::<T>()`, integer range strategies, tuple
+//! strategies, `prop_map`, `collection::vec`, `option::of`, `prop::bool::ANY`.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy for `Vec`s with element strategy `elem` and length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies.
+
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// Strategy producing `None` about a quarter of the time, `Some`
+    /// otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    /// Uniform boolean strategy.
+    pub const ANY: crate::strategy::BoolAny = crate::strategy::BoolAny;
+}
+
+pub mod arbitrary {
+    //! Canonical strategies per type.
+
+    use crate::strategy::BoolAny;
+    use std::ops::RangeInclusive;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: crate::strategy::Strategy<Value = Self>;
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = RangeInclusive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    <$t>::MIN..=<$t>::MAX
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        type Strategy = BoolAny;
+        fn arbitrary() -> Self::Strategy {
+            BoolAny
+        }
+    }
+}
+
+/// Canonical whole-domain strategy for `T`.
+pub fn any<T: arbitrary::Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod prop {
+    //! Namespaced re-exports matching `proptest::prelude::prop::*`.
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+    pub use crate::any;
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Each function body runs for `config.cases`
+/// freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@impl ($cfg) $($rest)*}
+    };
+    (@impl ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run(__config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                    let mut __case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*}
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($a), stringify!($b), __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($a),
+            stringify!($b),
+            __a
+        );
+    }};
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// Uniform choice between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(
+            ::std::vec![$(($weight as u32, $crate::strategy::Strategy::boxed($arm))),+]
+        )
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(
+            ::std::vec![$($crate::strategy::Strategy::boxed($arm)),+]
+        )
+    };
+}

@@ -1,0 +1,225 @@
+//! Minimal, deterministic replacement for the `rand 0.8` surface this
+//! workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::{gen_range, gen_bool}` over integer ranges, and
+//! `seq::SliceRandom::{shuffle, choose}`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — high quality
+//! and fully deterministic, which is all the workspace requires (every call
+//! site seeds explicitly with `seed_from_u64`).
+
+/// Core random number generation.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Standard generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator (stand-in for rand's `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + (uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(uniform_u64(rng, span) as i64) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i64).wrapping_add(uniform_u64(rng, span + 1) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_signed!(i8, i16, i32, i64, isize);
+
+/// Uniform draw in `[0, span)` by rejection sampling (no modulo bias).
+fn uniform_u64(rng: &mut dyn RngCore, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+/// Convenience methods over any RNG.
+pub trait Rng: RngCore + Sized {
+    /// Uniform draw from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+pub mod seq {
+    //! Slice sampling helpers.
+
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` on an empty slice.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5u32..=9);
+            assert!((5..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,593 @@
+//! Minimal, self-contained replacement for the public `serde` surface this
+//! workspace uses. The build environment has no network access, so the real
+//! crates cannot be fetched; this vendored stand-in keeps the same trait
+//! names and call shapes (`Serialize`, `Deserialize`, `Serializer`,
+//! `Deserializer`, `#[derive(Serialize, Deserialize)]`, `#[serde(skip)]`,
+//! `#[serde(with = "module")]`) over a simple content-tree data model.
+//!
+//! Everything serializes into a [`Content`] tree first; format crates (the
+//! vendored `serde_json`) render that tree. Determinism matters here:
+//! unordered containers (`HashMap`, `HashSet`) are sorted by key content
+//! before serialization so repeated runs produce byte-identical output.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Self-describing serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered key/value entries.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Total order over content trees (floats via `total_cmp`), used to give
+    /// unordered containers a canonical serialization order.
+    pub fn total_cmp(&self, other: &Content) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        fn rank(c: &Content) -> u8 {
+            match c {
+                Content::Null => 0,
+                Content::Bool(_) => 1,
+                Content::U64(_) => 2,
+                Content::I64(_) => 3,
+                Content::F64(_) => 4,
+                Content::Str(_) => 5,
+                Content::Seq(_) => 6,
+                Content::Map(_) => 7,
+            }
+        }
+        match (self, other) {
+            (Content::Bool(a), Content::Bool(b)) => a.cmp(b),
+            (Content::U64(a), Content::U64(b)) => a.cmp(b),
+            (Content::I64(a), Content::I64(b)) => a.cmp(b),
+            (Content::F64(a), Content::F64(b)) => a.total_cmp(b),
+            (Content::Str(a), Content::Str(b)) => a.cmp(b),
+            (Content::Seq(a), Content::Seq(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.total_cmp(y) {
+                        Ordering::Equal => {}
+                        ord => return ord,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Content::Map(a), Content::Map(b)) => {
+                for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+                    match ka.total_cmp(kb) {
+                        Ordering::Equal => {}
+                        ord => return ord,
+                    }
+                    match va.total_cmp(vb) {
+                        Ordering::Equal => {}
+                        ord => return ord,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+/// Error constructors every `Deserializer::Error` must provide so the
+/// blanket [`Deserialize::deserialize`] can surface content errors.
+pub trait DeserializeError: Sized {
+    /// Wraps a content-level error into the format error type.
+    fn from_content_error(e: content::ContentError) -> Self;
+}
+
+/// Output side of a serialization format.
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Format error type.
+    type Error;
+    /// Consumes a content tree, producing the format's output.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Input side of a serialization format.
+pub trait Deserializer<'de>: Sized {
+    /// Format error type.
+    type Error: DeserializeError;
+    /// Produces the content tree carried by this deserializer.
+    fn into_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A type that can be serialized.
+pub trait Serialize {
+    /// Converts `self` into a content tree.
+    fn to_content(&self) -> Content;
+
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.to_content())
+    }
+}
+
+/// A type that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from a content tree.
+    fn from_content(content: &Content) -> Result<Self, content::ContentError>;
+
+    /// Deserializes `Self` out of `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let c = deserializer.into_content()?;
+        Self::from_content(&c).map_err(D::Error::from_content_error)
+    }
+}
+
+/// Owned-deserializable marker, mirroring serde's `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub mod content {
+    //! Content-tree plumbing used by the derive macros and `with`-modules.
+
+    use super::{Content, DeserializeError, Deserializer, Serializer};
+
+    /// Error produced while converting content trees to values.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ContentError(pub String);
+
+    impl ContentError {
+        /// Builds an error from a message.
+        pub fn msg(m: impl Into<String>) -> Self {
+            ContentError(m.into())
+        }
+    }
+
+    impl std::fmt::Display for ContentError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for ContentError {}
+
+    impl DeserializeError for ContentError {
+        fn from_content_error(e: ContentError) -> Self {
+            e
+        }
+    }
+
+    /// Serializer that just hands back the content tree (for `with`-modules).
+    pub struct ContentSerializer;
+
+    impl Serializer for ContentSerializer {
+        type Ok = Content;
+        type Error = ContentError;
+        fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+            Ok(content)
+        }
+    }
+
+    /// Deserializer over a borrowed content tree (for `with`-modules).
+    pub struct ContentDeserializer<'a>(pub &'a Content);
+
+    impl<'de, 'a> Deserializer<'de> for ContentDeserializer<'a> {
+        type Error = ContentError;
+        fn into_content(self) -> Result<Content, ContentError> {
+            Ok(self.0.clone())
+        }
+    }
+
+    /// Looks up a struct field by name in a `Content::Map`.
+    pub fn field<'a>(c: &'a Content, name: &str) -> Result<Option<&'a Content>, ContentError> {
+        match c {
+            Content::Map(entries) => Ok(entries
+                .iter()
+                .find(|(k, _)| matches!(k, Content::Str(s) if s == name))
+                .map(|(_, v)| v)),
+            other => Err(ContentError::msg(format!(
+                "expected map while reading field `{name}`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Splits enum content into `(variant_name, payload)`.
+    pub fn enum_parts(c: &Content) -> Result<(&str, Option<&Content>), ContentError> {
+        match c {
+            Content::Str(s) => Ok((s.as_str(), None)),
+            Content::Map(entries) if entries.len() == 1 => match &entries[0] {
+                (Content::Str(name), payload) => Ok((name.as_str(), Some(payload))),
+                (k, _) => Err(ContentError::msg(format!(
+                    "enum variant key must be a string, got {k:?}"
+                ))),
+            },
+            other => Err(ContentError::msg(format!(
+                "expected enum content, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Returns the items of a `Content::Seq` of exactly `n` elements.
+    pub fn seq_items(c: &Content, n: usize) -> Result<&[Content], ContentError> {
+        match c {
+            Content::Seq(items) if items.len() == n => Ok(items),
+            Content::Seq(items) => Err(ContentError::msg(format!(
+                "expected sequence of {n} elements, got {}",
+                items.len()
+            ))),
+            other => Err(ContentError::msg(format!(
+                "expected sequence, got {other:?}"
+            ))),
+        }
+    }
+}
+
+use content::ContentError;
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(c: &Content) -> Result<Self, ContentError> {
+                let v = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    Content::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    Content::Str(s) => s
+                        .parse::<u64>()
+                        .map_err(|_| ContentError::msg(format!("invalid integer `{s}`")))?,
+                    other => {
+                        return Err(ContentError::msg(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| ContentError::msg(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(c: &Content) -> Result<Self, ContentError> {
+                let v = match c {
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| ContentError::msg(format!("integer {v} out of range")))?,
+                    Content::I64(v) => *v,
+                    Content::F64(f) if f.fract() == 0.0 => *f as i64,
+                    Content::Str(s) => s
+                        .parse::<i64>()
+                        .map_err(|_| ContentError::msg(format!("invalid integer `{s}`")))?,
+                    other => {
+                        return Err(ContentError::msg(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| ContentError::msg(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(c: &Content) -> Result<Self, ContentError> {
+                match c {
+                    Content::F64(f) => Ok(*f as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::Null => Ok(<$t>::NAN),
+                    Content::Str(s) => s
+                        .parse::<$t>()
+                        .map_err(|_| ContentError::msg(format!("invalid float `{s}`"))),
+                    other => Err(ContentError::msg(format!(
+                        "expected float, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn from_content(c: &Content) -> Result<Self, ContentError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(ContentError::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn from_content(c: &Content) -> Result<Self, ContentError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(ContentError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, ContentError> {
+        Ok(Box::new(T::from_content(c)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, ContentError> {
+        match c {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, ContentError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(ContentError::msg(format!(
+                "expected sequence, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, ContentError> {
+        let items = content::seq_items(c, N)?;
+        let mut out = Vec::with_capacity(N);
+        for item in items {
+            out.push(T::from_content(item)?);
+        }
+        out.try_into()
+            .map_err(|_| ContentError::msg("array length mismatch"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, ContentError> {
+                const LEN: usize = [$(stringify!($idx)),+].len();
+                let items = content::seq_items(c, LEN)?;
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+fn map_to_content<'a, K, V, I>(entries: I) -> Content
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    Content::Map(
+        entries
+            .map(|(k, v)| (k.to_content(), v.to_content()))
+            .collect(),
+    )
+}
+
+fn map_from_content<'de, K, V, M>(c: &Content) -> Result<M, ContentError>
+where
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+    M: FromIterator<(K, V)>,
+{
+    match c {
+        Content::Map(entries) => entries
+            .iter()
+            .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+            .collect(),
+        // Maps with structured keys serialize as sequences of [k, v] pairs.
+        Content::Seq(items) => items
+            .iter()
+            .map(|pair| {
+                let kv = content::seq_items(pair, 2)?;
+                Ok((K::from_content(&kv[0])?, V::from_content(&kv[1])?))
+            })
+            .collect(),
+        other => Err(ContentError::msg(format!("expected map, got {other:?}"))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, ContentError> {
+        map_from_content(c)
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(Content, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.to_content(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, ContentError> {
+        map_from_content(c)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, ContentError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(ContentError::msg(format!(
+                "expected sequence, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_content(&self) -> Content {
+        let mut items: Vec<Content> = self.iter().map(Serialize::to_content).collect();
+        items.sort_by(|a, b| a.total_cmp(b));
+        Content::Seq(items)
+    }
+}
+impl<'de, T, S> Deserialize<'de> for HashSet<T, S>
+where
+    T: Deserialize<'de> + Eq + std::hash::Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, ContentError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(ContentError::msg(format!(
+                "expected sequence, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+impl<'de> Deserialize<'de> for () {
+    fn from_content(_: &Content) -> Result<Self, ContentError> {
+        Ok(())
+    }
+}

@@ -1,0 +1,621 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` for the vendored `serde`.
+//!
+//! The build environment has no network access, so `syn`/`quote` are not
+//! available; the input item is parsed from its token-stream text with a
+//! small hand-rolled scanner. Supported shapes are exactly what this
+//! workspace uses: non-generic named structs, tuple structs, and enums with
+//! unit / tuple / struct variants, plus the field attributes
+//! `#[serde(skip)]`, `#[serde(default)]` and `#[serde(with = "module")]`.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_def(&input.to_string());
+    emit_serialize(&def)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_def(&input.to_string());
+    emit_deserialize(&def)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Def {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+// ---------------------------------------------------------------------------
+// Scanner
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+}
+
+impl Cursor {
+    fn new(s: &str) -> Self {
+        Cursor {
+            chars: s.chars().collect(),
+            i: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.i += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+                self.i += 1;
+            }
+            // Doc comments survive in the token-stream text; skip them.
+            if self.peek() == Some('/') && self.chars.get(self.i + 1) == Some(&'/') {
+                while !matches!(self.peek(), None | Some('\n')) {
+                    self.i += 1;
+                }
+            } else if self.peek() == Some('/') && self.chars.get(self.i + 1) == Some(&'*') {
+                self.i += 2;
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (self.peek(), self.chars.get(self.i + 1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            self.i += 2;
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            self.i += 2;
+                        }
+                        (Some(_), _) => self.i += 1,
+                        (None, _) => panic!("unterminated block comment"),
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn read_ident(&mut self) -> String {
+        self.skip_ws();
+        let start = self.i;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.i += 1;
+        }
+        self.chars[start..self.i].iter().collect()
+    }
+
+    /// Consumes a string literal body (opening quote already consumed).
+    fn skip_string(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Reads a balanced `open`..`close` group (cursor on `open`), returning
+    /// the inner text. String literals are honoured; `'` is treated as a
+    /// char literal only when it closes within two characters (otherwise it
+    /// is a lifetime).
+    fn read_balanced(&mut self, open: char, close: char) -> String {
+        self.skip_ws();
+        assert_eq!(self.bump(), Some(open), "expected `{open}`");
+        let start = self.i;
+        let mut depth = 1usize;
+        loop {
+            if self.peek() == Some('/')
+                && matches!(self.chars.get(self.i + 1), Some(&'/') | Some(&'*'))
+            {
+                self.skip_ws();
+            }
+            let Some(c) = self.bump() else { break };
+            match c {
+                '"' => self.skip_string(),
+                // char literal: 'x' or '\n' (a bare ' is a lifetime —
+                // nothing to skip then)
+                '\'' if self.chars.get(self.i + 1) == Some(&'\'') || self.peek() == Some('\\') => {
+                    if self.peek() == Some('\\') {
+                        self.bump();
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                c if c == open => depth += 1,
+                c if c == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return self.chars[start..self.i - 1].iter().collect();
+                    }
+                }
+                _ => {}
+            }
+        }
+        panic!("unbalanced `{open}`..`{close}` group");
+    }
+
+    /// Reads one `#[...]` attribute (cursor on `#`) and returns its inner
+    /// text.
+    fn read_attr(&mut self) -> String {
+        assert_eq!(self.bump(), Some('#'));
+        self.skip_ws();
+        if self.peek() == Some('!') {
+            self.bump();
+            self.skip_ws();
+        }
+        self.read_balanced('[', ']')
+    }
+}
+
+/// Splits `s` on top-level commas (depth-aware across `()[]{}<>`, string
+/// aware).
+fn split_top_commas(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0isize;
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '/' && matches!(chars.peek(), Some('/')) {
+            // Doc comment: keep it (attr parsing ignores it) but neutralize
+            // its text so commas/brackets inside do not confuse splitting.
+            cur.push(' ');
+            for sc in chars.by_ref() {
+                if sc == '\n' {
+                    break;
+                }
+            }
+            continue;
+        }
+        match c {
+            '(' | '[' | '{' | '<' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' | ']' | '}' | '>' => {
+                // `->` never appears in field position; `>` only closes `<`.
+                depth -= 1;
+                cur.push(c);
+            }
+            '"' => {
+                cur.push(c);
+                while let Some(sc) = chars.next() {
+                    cur.push(sc);
+                    match sc {
+                        '\\' => {
+                            if let Some(esc) = chars.next() {
+                                cur.push(esc);
+                            }
+                        }
+                        '"' => break,
+                        _ => {}
+                    }
+                }
+            }
+            ',' if depth == 0 => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts.retain(|p| !p.trim().is_empty());
+    parts
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+fn parse_def(src: &str) -> Def {
+    let mut c = Cursor::new(src);
+    loop {
+        c.skip_ws();
+        match c.peek() {
+            Some('#') => {
+                c.read_attr();
+            }
+            Some(_) => {
+                let word = c.read_ident();
+                match word.as_str() {
+                    "pub" => {
+                        c.skip_ws();
+                        if c.peek() == Some('(') {
+                            c.read_balanced('(', ')');
+                        }
+                    }
+                    "struct" => {
+                        let name = c.read_ident();
+                        c.skip_ws();
+                        if c.peek() == Some('<') {
+                            panic!("generic types are not supported by the vendored derive");
+                        }
+                        let fields = match c.peek() {
+                            Some('{') => Fields::Named(parse_fields(&c.read_balanced('{', '}'))),
+                            Some('(') => {
+                                Fields::Tuple(split_top_commas(&c.read_balanced('(', ')')).len())
+                            }
+                            _ => Fields::Unit,
+                        };
+                        return Def {
+                            name,
+                            kind: Kind::Struct(fields),
+                        };
+                    }
+                    "enum" => {
+                        let name = c.read_ident();
+                        c.skip_ws();
+                        if c.peek() == Some('<') {
+                            panic!("generic types are not supported by the vendored derive");
+                        }
+                        let body = c.read_balanced('{', '}');
+                        return Def {
+                            name,
+                            kind: Kind::Enum(parse_variants(&body)),
+                        };
+                    }
+                    "" => panic!("unexpected character in derive input"),
+                    _ => {} // `union` unsupported; other words (e.g. nothing) skipped
+                }
+            }
+            None => panic!("no struct or enum found in derive input"),
+        }
+    }
+}
+
+struct SerdeAttrs {
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+}
+
+fn parse_serde_attrs(attrs: &[String]) -> SerdeAttrs {
+    let mut out = SerdeAttrs {
+        skip: false,
+        default: false,
+        with: None,
+    };
+    for attr in attrs {
+        let trimmed = attr.trim_start();
+        if !trimmed.starts_with("serde") {
+            continue;
+        }
+        let rest = trimmed["serde".len()..].trim_start();
+        let inner = rest
+            .strip_prefix('(')
+            .and_then(|r| r.strip_suffix(')'))
+            .unwrap_or("");
+        for item in split_top_commas(inner) {
+            let item = item.trim();
+            if item == "skip" || item == "skip_serializing" || item == "skip_deserializing" {
+                out.skip = true;
+            } else if item == "default" {
+                out.default = true;
+            } else if let Some(rest) = item.strip_prefix("with") {
+                let path = rest
+                    .trim_start()
+                    .strip_prefix('=')
+                    .map(|p| p.trim())
+                    .unwrap_or("");
+                let path = path.trim_matches('"').trim();
+                if !path.is_empty() {
+                    out.with = Some(path.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+fn leading_attrs(c: &mut Cursor) -> Vec<String> {
+    let mut attrs = Vec::new();
+    loop {
+        c.skip_ws();
+        if c.peek() == Some('#') {
+            attrs.push(c.read_attr());
+        } else {
+            return attrs;
+        }
+    }
+}
+
+fn parse_fields(body: &str) -> Vec<Field> {
+    split_top_commas(body)
+        .iter()
+        .map(|chunk| {
+            let mut c = Cursor::new(chunk);
+            let attrs = leading_attrs(&mut c);
+            let serde = parse_serde_attrs(&attrs);
+            let mut name = c.read_ident();
+            if name == "pub" {
+                c.skip_ws();
+                if c.peek() == Some('(') {
+                    c.read_balanced('(', ')');
+                }
+                name = c.read_ident();
+            }
+            c.skip_ws();
+            assert_eq!(c.bump(), Some(':'), "expected `:` after field `{name}`");
+            let ty: String = c.chars[c.i..].iter().collect();
+            Field {
+                name,
+                ty: ty.trim().to_string(),
+                skip: serde.skip,
+                default: serde.default,
+                with: serde.with,
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(body: &str) -> Vec<Variant> {
+    split_top_commas(body)
+        .iter()
+        .map(|chunk| {
+            let mut c = Cursor::new(chunk);
+            leading_attrs(&mut c);
+            let name = c.read_ident();
+            c.skip_ws();
+            let fields = match c.peek() {
+                Some('(') => Fields::Tuple(split_top_commas(&c.read_balanced('(', ')')).len()),
+                Some('{') => Fields::Named(parse_fields(&c.read_balanced('{', '}'))),
+                Some('=') => panic!("explicit discriminants are not supported"),
+                _ => Fields::Unit,
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+fn is_option(ty: &str) -> bool {
+    let t = ty.trim_start();
+    t.starts_with("Option ")
+        || t.starts_with("Option<")
+        || t.starts_with("Option :")
+        || t == "Option"
+        || t.starts_with("std :: option :: Option")
+        || t.starts_with("core :: option :: Option")
+}
+
+// ---------------------------------------------------------------------------
+// Emitters
+// ---------------------------------------------------------------------------
+
+fn emit_serialize(def: &Def) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(::serde::Content, ::serde::Content)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                s.push_str(&field_push(&f.name, &format!("self.{}", f.name), &f.with));
+            }
+            s.push_str("::serde::Content::Map(__fields)\n");
+            s
+        }
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_content(&self.0)\n".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])\n", items.join(", "))
+        }
+        Kind::Struct(Fields::Unit) => "::serde::Content::Null\n".to_string(),
+        Kind::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => s.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Tuple(1) => s.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Content::Map(::std::vec![(::serde::Content::Str(::std::string::String::from(\"{vn}\")), ::serde::Serialize::to_content(__f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        s.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(::std::vec![(::serde::Content::Str(::std::string::String::from(\"{vn}\")), ::serde::Content::Seq(::std::vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut __fields: ::std::vec::Vec<(::serde::Content, ::serde::Content)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            if f.skip {
+                                continue;
+                            }
+                            inner.push_str(&field_push(&f.name, &f.name.clone(), &f.with));
+                        }
+                        s.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {inner} ::serde::Content::Map(::std::vec![(::serde::Content::Str(::std::string::String::from(\"{vn}\")), ::serde::Content::Map(__fields))]) }},\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push_str("}\n");
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all)]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}}}\n}}\n"
+    )
+}
+
+/// One `__fields.push((name, value))` statement for serialization.
+fn field_push(fname: &str, access: &str, with: &Option<String>) -> String {
+    let value = match with {
+        Some(module) => format!(
+            "match {module}::serialize(&{access}, ::serde::content::ContentSerializer) {{ ::std::result::Result::Ok(__v) => __v, ::std::result::Result::Err(_) => ::serde::Content::Null }}"
+        ),
+        None => format!("::serde::Serialize::to_content(&{access})"),
+    };
+    format!(
+        "__fields.push((::serde::Content::Str(::std::string::String::from(\"{fname}\")), {value}));\n"
+    )
+}
+
+fn emit_deserialize(def: &Def) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f.name, named_field_init(name, f, "__c")))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})\n",
+                inits.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))\n")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = ::serde::content::seq_items(__c, {n})?;\n\
+                 ::std::result::Result::Ok({name}({}))\n",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})\n"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Fields::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_content(__payload)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __items = ::serde::content::seq_items(__payload, {n})?; ::std::result::Result::Ok({name}::{vn}({})) }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{}: {}", f.name, named_field_init(name, f, "__payload"))
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match ::serde::content::enum_parts(__c)? {{\n\
+                 (__name, ::std::option::Option::None) => match __name {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::content::ContentError::msg(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 (__name, ::std::option::Option::Some(__payload)) => match __name {{\n{payload_arms}\
+                 __other => ::std::result::Result::Err(::serde::content::ContentError::msg(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n}}\n"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all)]\nimpl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::content::ContentError> {{\n{body}}}\n}}\n"
+    )
+}
+
+/// Initializer expression for one named field during deserialization.
+fn named_field_init(type_name: &str, f: &Field, content_var: &str) -> String {
+    if f.skip {
+        return "::std::default::Default::default()".to_string();
+    }
+    let fname = &f.name;
+    let found = match &f.with {
+        Some(module) => {
+            format!("{module}::deserialize(::serde::content::ContentDeserializer(__v))?")
+        }
+        None => "::serde::Deserialize::from_content(__v)?".to_string(),
+    };
+    let missing = if f.default || is_option(&f.ty) {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::content::ContentError::msg(\"missing field `{fname}` in {type_name}\"))"
+        )
+    };
+    format!(
+        "match ::serde::content::field({content_var}, \"{fname}\")? {{ ::std::option::Option::Some(__v) => {found}, ::std::option::Option::None => {missing} }}"
+    )
+}

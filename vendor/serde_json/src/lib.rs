@@ -1,0 +1,424 @@
+//! Minimal JSON format over the vendored `serde` content model.
+//!
+//! Supports exactly what the workspace needs: `to_string`, `to_string_pretty`,
+//! `from_str`, and a `Result`/`Error` pair. Maps whose keys are strings or
+//! integers render as JSON objects (integer keys are stringified, as real
+//! serde_json does); maps with structured keys render as arrays of
+//! `[key, value]` pairs, which the vendored `serde` accepts back.
+
+use serde::content::ContentError;
+use serde::{Content, Deserialize, DeserializeError, Serialize, Serializer};
+
+/// JSON error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl DeserializeError for Error {
+    fn from_content_error(e: ContentError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// JSON result.
+pub type Result<T> = std::result::Result<T, Error>;
+
+struct JsonSerializer;
+
+impl Serializer for JsonSerializer {
+    type Ok = String;
+    type Error = Error;
+    fn serialize_content(self, content: Content) -> Result<String> {
+        let mut out = String::new();
+        write_content(&mut out, &content);
+        Ok(out)
+    }
+}
+
+/// Serializes `value` to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    value.serialize(JsonSerializer)
+}
+
+/// Serializes `value` to indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.to_content(), 0);
+    Ok(out)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<'de, T: Deserialize<'de>>(s: &str) -> Result<T> {
+    let content = parse(s)?;
+    T::from_content(&content).map_err(Error::from_content_error)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_content(out: &mut String, c: &Content) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(out, item);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if let Some(keys) = object_keys(entries) {
+                out.push('{');
+                for (i, (key, (_, v))) in keys.iter().zip(entries.iter()).enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    write_content(out, v);
+                }
+                out.push('}');
+            } else {
+                // Structured keys: render as array of [key, value] pairs.
+                out.push('[');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('[');
+                    write_content(out, k);
+                    out.push(',');
+                    write_content(out, v);
+                    out.push(']');
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, c: &Content, indent: usize) {
+    match c {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            if let Some(keys) = object_keys(entries) {
+                out.push_str("{\n");
+                for (i, (key, (_, v))) in keys.iter().zip(entries.iter()).enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    write_pretty(out, v, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            } else {
+                write_content(out, c);
+            }
+        }
+        other => write_content(out, other),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// If every key is a string or integer, returns the stringified keys.
+fn object_keys(entries: &[(Content, Content)]) -> Option<Vec<String>> {
+    entries
+        .iter()
+        .map(|(k, _)| match k {
+            Content::Str(s) => Some(s.clone()),
+            Content::U64(v) => Some(v.to_string()),
+            Content::I64(v) => Some(v.to_string()),
+            Content::Bool(b) => Some(b.to_string()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    i: usize,
+}
+
+/// Parses JSON text into a content tree.
+pub fn parse(s: &str) -> Result<Content> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at offset {}", p.i)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.bytes.get(self.i) == Some(&b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at offset {}",
+                b as char, self.i
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Content> {
+        self.skip_ws();
+        match self.bytes.get(self.i) {
+            Some(b'n') => self.literal("null", Content::Null),
+            Some(b't') => self.literal("true", Content::Bool(true)),
+            Some(b'f') => self.literal("false", Content::Bool(false)),
+            Some(b'"') => Ok(Content::Str(self.string()?)),
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.i) == Some(&b']') {
+                    self.i += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bytes.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => return Err(Error::msg(format!("expected `,` or `]` at {}", self.i))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.i += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.i) == Some(&b'}') {
+                    self.i += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.value()?;
+                    entries.push((Content::Str(key), value));
+                    self.skip_ws();
+                    match self.bytes.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        _ => return Err(Error::msg(format!("expected `,` or `}}` at {}", self.i))),
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(Error::msg(format!("unexpected input at offset {}", self.i))),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Content) -> Result<Content> {
+        if self.bytes[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::msg(format!("invalid literal at offset {}", self.i)))
+        }
+    }
+
+    fn number(&mut self) -> Result<Content> {
+        let start = self.i;
+        if self.bytes.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.i) {
+            match b {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.i])
+            .map_err(|_| Error::msg("invalid number"))?;
+        if !float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.i) {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.bytes.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.i += 1;
+                                if self.bytes.get(self.i) != Some(&b'\\') {
+                                    return Err(Error::msg("invalid surrogate pair"));
+                                }
+                                self.i += 1;
+                                if self.bytes.get(self.i) != Some(&b'u') {
+                                    return Err(Error::msg("invalid surrogate pair"));
+                                }
+                                let lo = self.hex4()?;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error::msg("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(Error::msg("invalid escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.i..])
+                        .map_err(|_| Error::msg("invalid utf-8"))?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+                None => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+
+    /// Reads 4 hex digits following `\u` (cursor on `u`).
+    fn hex4(&mut self) -> Result<u32> {
+        let start = self.i + 1;
+        let end = start + 4;
+        if end > self.bytes.len() {
+            return Err(Error::msg("truncated unicode escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..end])
+            .map_err(|_| Error::msg("invalid unicode escape"))?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| Error::msg("invalid unicode escape"))?;
+        self.i = end - 1;
+        Ok(v)
+    }
+}
