@@ -1,0 +1,264 @@
+//! `bench_serve` — measures `quasar-serve` query throughput over real TCP
+//! and records the result as JSON.
+//!
+//! Usage:
+//!   `bench_serve [--scale tiny|default|paper] [--seed N] [--out FILE]
+//!                [--warm-iters N]`
+//!
+//! For each client-thread count (1, 4, 8) the tool starts a fresh
+//! in-process server on an ephemeral port and drives it through two
+//! phases:
+//!
+//! * **cold** — every prefix predicted exactly once (each request pays a
+//!   full steady-state simulation and populates the per-prefix cache),
+//! * **warm** — `--warm-iters` further passes over the same prefixes
+//!   (each request is answered from the cache).
+//!
+//! Client-side latencies give qps / p50 / p99 per phase; the headline
+//! `warm_speedup` (mean cold / mean warm latency on the single-client
+//! run) must be ≥ 10x — the acceptance bar for the steady-state cache.
+//! The default output file is `BENCH_serve.json`.
+
+use quasar_bench::{train_model, Context, Scale};
+use quasar_core::prelude::*;
+use quasar_serve::protocol::Request;
+use quasar_serve::server::{serve, ServeConfig, ServerState};
+use serde::Serialize;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One phase's client-side measurement.
+#[derive(Debug, Serialize)]
+struct Phase {
+    requests: usize,
+    wall_secs: f64,
+    qps: f64,
+    mean_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// One client-thread count's cold/warm pair.
+#[derive(Debug, Serialize)]
+struct Run {
+    client_threads: usize,
+    cold: Phase,
+    warm: Phase,
+}
+
+/// The whole benchmark record.
+#[derive(Debug, Serialize)]
+struct Record {
+    scale: String,
+    seed: u64,
+    prefixes: usize,
+    observers: usize,
+    server_workers: usize,
+    warm_iters: usize,
+    runs: Vec<Run>,
+    /// Mean cold / mean warm latency with a single client.
+    warm_speedup: f64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn phase_stats(mut latencies_us: Vec<f64>, wall_secs: f64) -> Phase {
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let requests = latencies_us.len();
+    let mean_us = latencies_us.iter().sum::<f64>() / requests.max(1) as f64;
+    Phase {
+        requests,
+        wall_secs,
+        qps: requests as f64 / wall_secs.max(1e-9),
+        mean_us,
+        p50_us: percentile(&latencies_us, 0.50),
+        p99_us: percentile(&latencies_us, 0.99),
+    }
+}
+
+/// Sends each request in lockstep over one connection, returning the
+/// per-request latencies in microseconds.
+fn drive(addr: std::net::SocketAddr, requests: &[String]) -> Vec<f64> {
+    let stream = TcpStream::connect(addr).expect("connect to bench server");
+    stream.set_nodelay(true).expect("disable Nagle");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    let mut latencies = Vec::with_capacity(requests.len());
+    let mut line = String::new();
+    for req in requests {
+        line.clear();
+        line.push_str(req);
+        line.push('\n');
+        let t0 = Instant::now();
+        writer.write_all(line.as_bytes()).expect("send request");
+        reply.clear();
+        reader.read_line(&mut reply).expect("read reply");
+        latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+        assert!(
+            !reply.contains(r#""type":"error""#),
+            "server error for {req}: {reply}"
+        );
+    }
+    latencies
+}
+
+/// Runs one phase: `threads` clients, each with its own request slice.
+fn run_phase(addr: std::net::SocketAddr, per_client: Vec<Vec<String>>) -> Phase {
+    let t0 = Instant::now();
+    let handles: Vec<_> = per_client
+        .into_iter()
+        .map(|reqs| std::thread::spawn(move || drive(addr, &reqs)))
+        .collect();
+    let mut latencies = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    phase_stats(latencies, t0.elapsed().as_secs_f64())
+}
+
+/// Splits `requests` round-robin into `threads` slices.
+fn partition(requests: &[String], threads: usize) -> Vec<Vec<String>> {
+    let mut out = vec![Vec::new(); threads];
+    for (i, r) in requests.iter().enumerate() {
+        out[i % threads].push(r.clone());
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let scale_name = flag("--scale").unwrap_or_else(|| "tiny".into());
+    let scale = Scale::parse(&scale_name).unwrap_or_else(|| {
+        eprintln!("bad --scale {scale_name}");
+        std::process::exit(2)
+    });
+    let seed: u64 = flag("--seed").and_then(|s| s.parse().ok()).unwrap_or(2);
+    let out = flag("--out").unwrap_or_else(|| "BENCH_serve.json".into());
+    let warm_iters: usize = flag("--warm-iters")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    eprintln!("# building context (scale {scale:?}, seed {seed}) ...");
+    let ctx = Context::build(scale, seed);
+    eprintln!("# training model on the full dataset ...");
+    let (model, _) = train_model(&ctx, &ctx.dataset, &RefineConfig::default());
+
+    let prefixes: Vec<String> = model.prefixes().keys().map(|p| p.to_string()).collect();
+    let observers: Vec<u32> = ctx
+        .dataset
+        .routes()
+        .iter()
+        .map(|r| r.observer_as.0)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    eprintln!(
+        "# {} prefixes, {} observer ASes; warm iters {warm_iters}",
+        prefixes.len(),
+        observers.len()
+    );
+
+    // One predict per prefix, observers cycled deterministically. The
+    // cold pass sends each exactly once; warm passes repeat the list.
+    let cold_requests: Vec<String> = prefixes
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let req = Request::Predict {
+                prefix: p.clone(),
+                observer: observers[i % observers.len()],
+                observed_path: None,
+            };
+            serde_json::to_string(&req).expect("request serializes")
+        })
+        .collect();
+
+    let server_workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+    let mut runs = Vec::new();
+    let mut warm_speedup = 0.0;
+    for &client_threads in &[1usize, 4, 8] {
+        // Fresh server per thread count so the cold phase is really cold.
+        let state = Arc::new(ServerState::new(
+            model.clone(),
+            ServeConfig {
+                workers: server_workers,
+                ..ServeConfig::default()
+            },
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().expect("local addr");
+        let server = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || serve(state, listener))
+        };
+
+        let cold = run_phase(addr, partition(&cold_requests, client_threads));
+        let mut warm_requests = Vec::with_capacity(cold_requests.len() * warm_iters);
+        for _ in 0..warm_iters {
+            warm_requests.extend(cold_requests.iter().cloned());
+        }
+        let warm = run_phase(addr, partition(&warm_requests, client_threads));
+
+        let snap = state.base_cache().snapshot();
+        assert_eq!(
+            snap.misses,
+            prefixes.len() as u64,
+            "every prefix simulated exactly once"
+        );
+        eprintln!(
+            "# {client_threads} client(s): cold {:.0} qps (p99 {:.0}us), warm {:.0} qps (p99 {:.0}us)",
+            cold.qps, cold.p99_us, warm.qps, warm.p99_us
+        );
+        if client_threads == 1 {
+            warm_speedup = cold.mean_us / warm.mean_us.max(1e-9);
+        }
+
+        drive(addr, &[r#"{"type":"shutdown"}"#.to_string()]);
+        server
+            .join()
+            .expect("server thread")
+            .expect("server drained cleanly");
+        runs.push(Run {
+            client_threads,
+            cold,
+            warm,
+        });
+    }
+
+    let record = Record {
+        scale: scale_name,
+        seed,
+        prefixes: prefixes.len(),
+        observers: observers.len(),
+        server_workers,
+        warm_iters,
+        runs,
+        warm_speedup,
+    };
+    let json = serde_json::to_string_pretty(&record).expect("record serializes");
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1)
+    });
+    println!("wrote {out} (warm speedup {warm_speedup:.1}x)");
+    if warm_speedup < 10.0 {
+        eprintln!("FAIL: warm cache speedup {warm_speedup:.1}x below the 10x acceptance bar");
+        std::process::exit(1)
+    }
+}

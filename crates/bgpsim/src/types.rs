@@ -34,6 +34,22 @@ impl fmt::Display for Asn {
     }
 }
 
+impl std::str::FromStr for Asn {
+    type Err = String;
+
+    /// Parses `"7018"` or `"AS7018"` (case-insensitive prefix).
+    fn from_str(s: &str) -> Result<Self, String> {
+        let digits = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| format!("invalid AS number `{s}`"))
+    }
+}
+
 impl From<u32> for Asn {
     fn from(v: u32) -> Self {
         Asn(v)
@@ -164,6 +180,37 @@ impl fmt::Display for Prefix {
     }
 }
 
+impl std::str::FromStr for Prefix {
+    type Err = String;
+
+    /// Parses dotted-quad CIDR notation (`"10.0.4.0/24"`), masking host
+    /// bits like [`Prefix::new`]. This is the wire form used by the
+    /// `quasar-serve` protocol and the CLI.
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| format!("prefix `{s}` is missing its /length"))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| format!("invalid prefix length in `{s}`"))?;
+        if len > 32 {
+            return Err(format!("prefix length {len} out of range in `{s}`"));
+        }
+        let octets: Vec<&str> = addr.split('.').collect();
+        if octets.len() != 4 {
+            return Err(format!("prefix address `{addr}` is not a dotted quad"));
+        }
+        let mut base = 0u32;
+        for o in octets {
+            let v: u8 = o
+                .parse()
+                .map_err(|_| format!("invalid octet `{o}` in prefix `{s}`"))?;
+            base = (base << 8) | v as u32;
+        }
+        Ok(Prefix::new(base, len))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,5 +288,38 @@ mod tests {
     fn asn_display() {
         assert_eq!(Asn(7018).to_string(), "AS7018");
         assert_eq!(RouterId::new(Asn(7018), 2).to_string(), "r7018.2");
+    }
+
+    #[test]
+    fn asn_parses_with_and_without_prefix() {
+        assert_eq!("7018".parse::<Asn>().unwrap(), Asn(7018));
+        assert_eq!("AS7018".parse::<Asn>().unwrap(), Asn(7018));
+        assert_eq!("as7018".parse::<Asn>().unwrap(), Asn(7018));
+        assert!("ASx".parse::<Asn>().is_err());
+        assert!("".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn prefix_roundtrips_through_display_and_fromstr() {
+        for p in [
+            Prefix::for_origin(Asn(5)),
+            Prefix::new(0x0A0B0C00, 24),
+            Prefix::new(0, 0),
+            Prefix::new(0xFFFFFFFF, 32),
+        ] {
+            let parsed: Prefix = p.to_string().parse().unwrap();
+            assert_eq!(parsed, p);
+        }
+    }
+
+    #[test]
+    fn prefix_fromstr_masks_host_bits_and_rejects_garbage() {
+        let p: Prefix = "10.11.12.13/16".parse().unwrap();
+        assert_eq!(p, Prefix::new(0x0A0B0000, 16));
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+        assert!("10.0.0/24".parse::<Prefix>().is_err());
+        assert!("10.0.0.256/24".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("a.b.c.d/8".parse::<Prefix>().is_err());
     }
 }

@@ -73,10 +73,12 @@ pub mod prelude {
     };
     pub use crate::model::{AsRoutingModel, ModelStats};
     pub use crate::observed::{Dataset, ObservedRoute};
-    pub use crate::predict::{evaluate, Evaluation};
+    pub use crate::predict::{
+        evaluate, evaluate_prefix, predict_route, Evaluation, RoutePrediction,
+    };
     pub use crate::prep::{prune_stub_ases, PrunedDataset};
     pub use crate::refine::{
         refine, refine_prefix, PrefixOutcome, RankingAttr, RefineConfig, RefineReport,
     };
-    pub use crate::whatif::{Change, Impact, RoutingDiff, Scenario};
+    pub use crate::whatif::{apply_change, Change, Impact, RoutingDiff, Scenario};
 }

@@ -8,6 +8,7 @@
 
 use crate::model::AsRoutingModel;
 use quasar_bgpsim::aspath::AsPath;
+use quasar_bgpsim::engine::SimulationResult;
 use quasar_bgpsim::error::SimError;
 use quasar_bgpsim::policy::{Action, PolicyRule, RouteMatch};
 use quasar_bgpsim::types::{Asn, Prefix, RouterId};
@@ -57,6 +58,43 @@ pub struct RoutingDiff {
 }
 
 impl RoutingDiff {
+    /// Folds one prefix's base/scenario simulation pair into the diff —
+    /// the per-prefix unit behind [`Scenario::diff`], exposed so a serving
+    /// layer can drive it from cached simulations. `after` is `None` when
+    /// the scenario simulation diverged (counted, routers skipped). Pairs
+    /// are recorded in `before`'s deterministic RIB order, so folding
+    /// prefixes in ascending order reproduces [`Scenario::diff_for`]
+    /// exactly.
+    pub fn record_prefix(
+        &mut self,
+        prefix: Prefix,
+        before: &SimulationResult,
+        after: Option<&SimulationResult>,
+    ) {
+        let Some(after) = after else {
+            self.diverged_prefixes += 1;
+            return;
+        };
+        for rib in before.ribs() {
+            self.pairs += 1;
+            let old = rib.best().map(|r| r.as_path.clone());
+            let new = after
+                .rib(rib.router)
+                .and_then(|r| r.best())
+                .map(|r| r.as_path.clone());
+            let impact = match (old, new) {
+                (Some(a), Some(b)) if a == b => None,
+                (Some(a), Some(b)) => Some(Impact::Rerouted(a, b)),
+                (Some(a), None) => Some(Impact::Lost(a)),
+                (None, Some(b)) => Some(Impact::Gained(b)),
+                (None, None) => None,
+            };
+            if let Some(i) = impact {
+                self.impacts.push((rib.router, prefix, i));
+            }
+        }
+    }
+
     /// Pairs that kept their route.
     pub fn unchanged(&self) -> usize {
         self.pairs - self.impacts.len()
@@ -98,6 +136,37 @@ impl RoutingDiff {
     }
 }
 
+/// Applies one hypothetical [`Change`] directly to a model — the editing
+/// primitive behind [`Scenario::apply`], exposed so a serving layer can
+/// build a scenario model without cloning the base twice.
+pub fn apply_change(model: &mut AsRoutingModel, change: &Change) {
+    match *change {
+        Change::Depeer(a, b) => {
+            model.depeer(a, b);
+        }
+        Change::AddPeering(a, b) => {
+            model.add_peering(a, b);
+        }
+        Change::FilterPrefix {
+            asn,
+            neighbor,
+            prefix,
+        } => {
+            for q in model.quasi_routers_of(asn) {
+                for peer in model.network().peers_of(q) {
+                    if peer.asn() != neighbor {
+                        continue;
+                    }
+                    if let Ok(policy) = model.network_mut().export_policy_mut(q, peer) {
+                        policy
+                            .push_front(PolicyRule::new(RouteMatch::prefix(prefix), Action::Deny));
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// A what-if scenario over a base model.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -118,33 +187,7 @@ impl Scenario {
 
     /// Applies a change to the scenario copy. Returns `self` for chaining.
     pub fn apply(mut self, change: Change) -> Self {
-        match change {
-            Change::Depeer(a, b) => {
-                self.edited.depeer(a, b);
-            }
-            Change::AddPeering(a, b) => {
-                self.edited.add_peering(a, b);
-            }
-            Change::FilterPrefix {
-                asn,
-                neighbor,
-                prefix,
-            } => {
-                for q in self.edited.quasi_routers_of(asn) {
-                    for peer in self.edited.network().peers_of(q) {
-                        if peer.asn() != neighbor {
-                            continue;
-                        }
-                        if let Ok(policy) = self.edited.network_mut().export_policy_mut(q, peer) {
-                            policy.push_front(PolicyRule::new(
-                                RouteMatch::prefix(prefix),
-                                Action::Deny,
-                            ));
-                        }
-                    }
-                }
-            }
-        }
+        apply_change(&mut self.edited, &change);
         self.changes.push(change);
         self
     }
@@ -174,31 +217,11 @@ impl Scenario {
         for prefix in prefixes {
             let before = self.base.simulate(prefix)?;
             let after = match self.edited.simulate(prefix) {
-                Ok(r) => r,
-                Err(SimError::Divergence { .. }) => {
-                    out.diverged_prefixes += 1;
-                    continue;
-                }
+                Ok(r) => Some(r),
+                Err(SimError::Divergence { .. }) => None,
                 Err(e) => return Err(e),
             };
-            for rib in before.ribs() {
-                out.pairs += 1;
-                let old = rib.best().map(|r| r.as_path.clone());
-                let new = after
-                    .rib(rib.router)
-                    .and_then(|r| r.best())
-                    .map(|r| r.as_path.clone());
-                let impact = match (old, new) {
-                    (Some(a), Some(b)) if a == b => None,
-                    (Some(a), Some(b)) => Some(Impact::Rerouted(a, b)),
-                    (Some(a), None) => Some(Impact::Lost(a)),
-                    (None, Some(b)) => Some(Impact::Gained(b)),
-                    (None, None) => None,
-                };
-                if let Some(i) = impact {
-                    out.impacts.push((rib.router, prefix, i));
-                }
-            }
+            out.record_prefix(prefix, &before, after.as_ref());
         }
         Ok(out)
     }

@@ -1,0 +1,211 @@
+//! The per-prefix steady-state cache.
+//!
+//! Per-prefix simulation is deterministic for a fixed model (DESIGN.md
+//! §7) and independent across prefixes, which makes the converged RIBs
+//! perfectly memoizable: the first query touching a prefix pays for a
+//! full `bgpsim` run to convergence, every later query for *any*
+//! observation point of that prefix reuses the stored
+//! [`SimulationResult`].
+//!
+//! Concurrency: the prefix → slot map is guarded by a
+//! [`parking_lot::RwLock`]; each slot carries its own mutex so that two
+//! threads racing on the *same* cold prefix compute it once (the loser
+//! blocks on the slot, not on the whole map), while simulations of
+//! *different* prefixes proceed in parallel.
+
+use parking_lot::{Mutex, RwLock};
+use quasar_bgpsim::engine::SimulationResult;
+use quasar_bgpsim::error::SimError;
+use quasar_bgpsim::types::Prefix;
+use quasar_core::model::AsRoutingModel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A memoized per-prefix outcome: the converged RIBs, or the simulation
+/// error (e.g. policy divergence) that run produced. Errors are cached
+/// too — re-simulating a diverging prefix on every query would be the
+/// slowest possible way to keep failing.
+pub type CachedSim = Result<Arc<SimulationResult>, SimError>;
+
+/// One prefix's compute-once cell.
+#[derive(Default)]
+struct Slot(Mutex<Option<CachedSim>>);
+
+/// Compute-once, read-many cache of converged per-prefix simulations.
+#[derive(Default)]
+pub struct SteadyStateCache {
+    slots: RwLock<HashMap<Prefix, Arc<Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Point-in-time counters of one cache, as reported by the `metrics`
+/// request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    /// Prefixes with a memoized steady state.
+    pub entries: usize,
+    /// Queries answered from memory.
+    pub hits: u64,
+    /// Queries that had to run (or wait for) a simulation.
+    pub misses: u64,
+}
+
+impl SteadyStateCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the converged simulation of `prefix` under `model`,
+    /// computing and memoizing it on first use. A query counts as a hit
+    /// when the slot already existed (even if its computation is still in
+    /// flight on another thread), as a miss when this call created it.
+    pub fn get_or_simulate(&self, model: &AsRoutingModel, prefix: Prefix) -> CachedSim {
+        let slot = {
+            let map = self.slots.read();
+            map.get(&prefix).cloned()
+        };
+        let slot = match slot {
+            Some(s) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                s
+            }
+            None => {
+                let mut map = self.slots.write();
+                // Double-checked: another thread may have created the slot
+                // between our read unlock and write lock.
+                if let Some(s) = map.get(&prefix) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    s.clone()
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let s = Arc::new(Slot::default());
+                    map.insert(prefix, s.clone());
+                    s
+                }
+            }
+        };
+        let mut cell = slot.0.lock();
+        if let Some(cached) = cell.as_ref() {
+            return cached.clone();
+        }
+        let computed = model.simulate(prefix).map(Arc::new);
+        *cell = Some(computed.clone());
+        computed
+    }
+
+    /// Number of prefixes with a slot (computed or in flight).
+    pub fn len(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// True when no prefix has been queried yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Queries answered from an existing slot.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that created a slot (triggered a simulation).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Current counters.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            entries: self.len(),
+            hits: self.hits(),
+            misses: self.misses(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasar_bgpsim::aspath::AsPath;
+    use quasar_bgpsim::types::Asn;
+    use quasar_topology::graph::AsGraph;
+    use std::collections::BTreeMap;
+
+    fn model() -> AsRoutingModel {
+        let paths = vec![AsPath::from_u32s(&[1, 2, 3]), AsPath::from_u32s(&[1, 4, 3])];
+        let graph = AsGraph::from_paths(&paths);
+        let mut origins = BTreeMap::new();
+        origins.insert(Prefix::for_origin(Asn(3)), Asn(3));
+        origins.insert(Prefix::for_origin(Asn(2)), Asn(2));
+        AsRoutingModel::initial(&graph, &origins)
+    }
+
+    #[test]
+    fn first_query_misses_then_hits() {
+        let m = model();
+        let cache = SteadyStateCache::new();
+        let p = Prefix::for_origin(Asn(3));
+        let a = cache.get_or_simulate(&m, p).unwrap();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 0);
+        let b = cache.get_or_simulate(&m, p).unwrap();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        // Same memoized steady state, not a re-simulation.
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn distinct_prefixes_get_distinct_slots() {
+        let m = model();
+        let cache = SteadyStateCache::new();
+        cache
+            .get_or_simulate(&m, Prefix::for_origin(Asn(3)))
+            .unwrap();
+        cache
+            .get_or_simulate(&m, Prefix::for_origin(Asn(2)))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.snapshot().misses, 2);
+    }
+
+    #[test]
+    fn cached_result_equals_direct_simulation() {
+        let m = model();
+        let cache = SteadyStateCache::new();
+        let p = Prefix::for_origin(Asn(3));
+        let cached = cache.get_or_simulate(&m, p).unwrap();
+        let direct = m.simulate(p).unwrap();
+        for rib in direct.ribs() {
+            let c = cached.rib(rib.router).unwrap();
+            assert_eq!(
+                c.best().map(|r| r.as_path.clone()),
+                rib.best().map(|r| r.as_path.clone())
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_cold_queries_simulate_once() {
+        let m = model();
+        let cache = SteadyStateCache::new();
+        let p = Prefix::for_origin(Asn(3));
+        let results: Vec<Arc<SimulationResult>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|_| cache.get_or_simulate(&m, p).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        // Every thread observed the same Arc: exactly one simulation ran.
+        for r in &results[1..] {
+            assert!(Arc::ptr_eq(&results[0], r));
+        }
+        assert_eq!(cache.misses() + cache.hits(), 8);
+        assert_eq!(cache.misses(), 1);
+    }
+}

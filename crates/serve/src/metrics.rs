@@ -1,0 +1,283 @@
+//! Server-side observability: request counters, latency histograms, and
+//! cache statistics, all lock-free atomics so the hot path never blocks
+//! on a metrics mutex.
+
+use crate::cache::CacheSnapshot;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (microseconds) of the latency histogram buckets; an
+/// implicit final bucket catches everything slower.
+pub const BUCKET_BOUNDS_US: [u64; 7] = [10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+const NUM_BUCKETS: usize = BUCKET_BOUNDS_US.len() + 1;
+
+/// The request types the server distinguishes in its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// `predict` requests.
+    Predict,
+    /// `diff` (what-if) requests.
+    Diff,
+    /// `explain` requests.
+    Explain,
+    /// `stats` requests.
+    Stats,
+    /// `metrics` requests.
+    Metrics,
+    /// `shutdown` requests.
+    Shutdown,
+    /// Malformed or failed requests (answered with an error response).
+    Error,
+}
+
+impl RequestKind {
+    const ALL: [RequestKind; 7] = [
+        RequestKind::Predict,
+        RequestKind::Diff,
+        RequestKind::Explain,
+        RequestKind::Stats,
+        RequestKind::Metrics,
+        RequestKind::Shutdown,
+        RequestKind::Error,
+    ];
+
+    /// Stable wire name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequestKind::Predict => "predict",
+            RequestKind::Diff => "diff",
+            RequestKind::Explain => "explain",
+            RequestKind::Stats => "stats",
+            RequestKind::Metrics => "metrics",
+            RequestKind::Shutdown => "shutdown",
+            RequestKind::Error => "error",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            RequestKind::Predict => 0,
+            RequestKind::Diff => 1,
+            RequestKind::Explain => 2,
+            RequestKind::Stats => 3,
+            RequestKind::Metrics => 4,
+            RequestKind::Shutdown => 5,
+            RequestKind::Error => 6,
+        }
+    }
+}
+
+/// Log-scale latency histogram with atomic buckets.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    count: AtomicU64,
+    total_us: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Records one observation in microseconds.
+    pub fn record(&self, us: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us < b)
+            .unwrap_or(NUM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current state of the histogram.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let total_us = self.total_us.load(Ordering::Relaxed);
+        let buckets: Vec<(u64, u64)> = (0..NUM_BUCKETS)
+            .map(|i| {
+                let bound = BUCKET_BOUNDS_US.get(i).copied().unwrap_or(u64::MAX);
+                (bound, self.buckets[i].load(Ordering::Relaxed))
+            })
+            .collect();
+        LatencySnapshot {
+            count,
+            total_us,
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                total_us as f64 / count as f64
+            },
+            p50_us: percentile(&buckets, count, 0.50),
+            p99_us: percentile(&buckets, count, 0.99),
+            buckets,
+        }
+    }
+}
+
+/// Bucket upper bound containing the q-th quantile (an upper-bound
+/// estimate — exact percentiles would need every sample).
+fn percentile(buckets: &[(u64, u64)], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0;
+    for &(bound, n) in buckets {
+        seen += n;
+        if seen >= rank {
+            return bound;
+        }
+    }
+    u64::MAX
+}
+
+/// Serializable state of one latency histogram.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySnapshot {
+    /// Requests recorded.
+    pub count: u64,
+    /// Sum of latencies (µs).
+    pub total_us: u64,
+    /// Mean latency (µs).
+    pub mean_us: f64,
+    /// Upper-bound estimate of the median latency (µs).
+    pub p50_us: u64,
+    /// Upper-bound estimate of the 99th-percentile latency (µs).
+    pub p99_us: u64,
+    /// `(upper_bound_us, count)` per bucket; the last bound is `u64::MAX`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// All server counters.
+#[derive(Default)]
+pub struct ServeMetrics {
+    per_kind: [LatencyHistogram; 7],
+    connections: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one handled request of `kind` taking `us` microseconds.
+    pub fn record(&self, kind: RequestKind, us: u64) {
+        self.per_kind[kind.index()].record(us);
+    }
+
+    /// Records one accepted connection.
+    pub fn connection_opened(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Requests served of one kind.
+    pub fn count(&self, kind: RequestKind) -> u64 {
+        self.per_kind[kind.index()].snapshot().count
+    }
+
+    /// Builds the full snapshot served by the `metrics` request.
+    pub fn snapshot(
+        &self,
+        base_cache: CacheSnapshot,
+        overlay_cache: CacheSnapshot,
+        active_sessions: usize,
+    ) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: RequestKind::ALL
+                .iter()
+                .map(|k| (k.as_str().to_string(), self.per_kind[k.index()].snapshot()))
+                .collect(),
+            connections: self.connections(),
+            base_cache,
+            overlay_cache,
+            active_sessions,
+        }
+    }
+}
+
+/// The `metrics` response payload.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Per-request-type latency histograms (`predict`, `diff`, `explain`,
+    /// `stats`, `metrics`, `shutdown`, `error`).
+    pub requests: Vec<(String, LatencySnapshot)>,
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Base steady-state cache counters.
+    pub base_cache: CacheSnapshot,
+    /// Aggregated overlay-cache counters over resident sessions.
+    pub overlay_cache: CacheSnapshot,
+    /// Resident what-if sessions.
+    pub active_sessions: usize,
+}
+
+impl MetricsSnapshot {
+    /// The latency snapshot of one request kind, if present.
+    pub fn for_kind(&self, kind: &str) -> Option<&LatencySnapshot> {
+        self.requests
+            .iter()
+            .find(|(k, _)| k == kind)
+            .map(|(_, s)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = LatencyHistogram::default();
+        for us in [5, 50, 50, 500, 5_000, 50_000] {
+            h.record(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.total_us, 55_555 + 50);
+        // Bucket counts: <10 → 1, <100 → 2, <1k → 1, <10k → 1, <100k → 1.
+        assert_eq!(s.buckets[0].1, 1);
+        assert_eq!(s.buckets[1].1, 2);
+        assert_eq!(s.p50_us, 100); // 3rd of 6 samples falls in the <100µs bucket
+        assert_eq!(s.p99_us, 100_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let s = LatencyHistogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.p99_us, 0);
+        assert_eq!(s.mean_us, 0.0);
+    }
+
+    #[test]
+    fn metrics_snapshot_reports_all_kinds() {
+        let m = ServeMetrics::new();
+        m.record(RequestKind::Predict, 42);
+        m.record(RequestKind::Predict, 43);
+        m.record(RequestKind::Diff, 1_000_000);
+        m.connection_opened();
+        let s = m.snapshot(CacheSnapshot::default(), CacheSnapshot::default(), 3);
+        assert_eq!(s.requests.len(), 7);
+        assert_eq!(s.for_kind("predict").unwrap().count, 2);
+        assert_eq!(s.for_kind("diff").unwrap().count, 1);
+        assert_eq!(s.for_kind("explain").unwrap().count, 0);
+        assert_eq!(s.connections, 1);
+        assert_eq!(s.active_sessions, 3);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_slow_requests() {
+        let h = LatencyHistogram::default();
+        h.record(u64::MAX / 2);
+        let s = h.snapshot();
+        assert_eq!(s.buckets.last().unwrap().0, u64::MAX);
+        assert_eq!(s.buckets.last().unwrap().1, 1);
+        assert_eq!(s.p50_us, u64::MAX);
+    }
+}

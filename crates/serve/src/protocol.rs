@@ -1,0 +1,797 @@
+//! The wire protocol: newline-delimited JSON, one request object in, one
+//! response object out, over a plain TCP stream.
+//!
+//! Requests and responses are JSON objects tagged by a `"type"` field:
+//!
+//! ```text
+//! → {"type":"predict","prefix":"10.0.4.0/24","observer":5}
+//! ← {"type":"predict","prefix":"10.0.4.0/24","observer":5,
+//!    "routes":[{"router":"r5.0","path":[4,3]}], ...}
+//! → {"type":"diff","changes":[{"action":"depeer","a":2,"b":3}]}
+//! ← {"type":"diff","scenario":"c0ffee...","pairs":12,"rerouted":2,...}
+//! → {"type":"explain","prefix":"10.0.4.0/24","observer":5}
+//! → {"type":"stats"}      → {"type":"metrics"}      → {"type":"shutdown"}
+//! ```
+//!
+//! The reply builders ([`predict_reply`], [`diff_reply`], [`explain_reply`],
+//! [`stats_reply`]) are shared by the server and by the one-shot
+//! `quasar predict`/`quasar whatif` CLI paths, so a served answer is
+//! byte-identical to the answer the same question gets from a fresh
+//! process — the cache can never change an answer, only its latency.
+
+use quasar_bgpsim::aspath::AsPath;
+use quasar_bgpsim::engine::SimulationResult;
+use quasar_bgpsim::types::{Asn, Prefix, RouterId};
+use quasar_core::metrics::{MatchLevel, MismatchReason};
+use quasar_core::model::AsRoutingModel;
+use quasar_core::predict::predict_route;
+use quasar_core::whatif::{Change, Impact, RoutingDiff};
+use serde::content::{field, ContentError};
+use serde::{Content, Deserialize, Serialize};
+
+use crate::metrics::{MetricsSnapshot, RequestKind};
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Best route + match class for a (prefix, observation AS) pair.
+    Predict {
+        /// Queried prefix in CIDR notation (`"10.0.4.0/24"`).
+        prefix: String,
+        /// The observing AS number.
+        observer: u32,
+        /// Optional observed AS-path (observer first, origin last) to
+        /// classify against (RIB-In / potential-RIB-Out / RIB-Out).
+        observed_path: Option<Vec<u32>>,
+    },
+    /// What-if scenario: apply `changes` as a copy-on-write overlay and
+    /// report the routing diff.
+    Diff {
+        /// Hypothetical changes, applied in order.
+        changes: Vec<ChangeSpec>,
+        /// Restrict the diff to these prefixes (default: all model
+        /// prefixes).
+        prefixes: Option<Vec<String>>,
+    },
+    /// Decision-process narration for every quasi-router of an AS.
+    Explain {
+        /// Queried prefix in CIDR notation.
+        prefix: String,
+        /// The AS whose quasi-routers are narrated.
+        observer: u32,
+    },
+    /// Model size counters.
+    Stats,
+    /// Server counters (requests, latencies, cache hits/misses).
+    Metrics,
+    /// Graceful shutdown: drain in-flight work, then exit.
+    Shutdown,
+}
+
+impl Request {
+    /// The metrics bucket this request is tallied under.
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            Request::Predict { .. } => RequestKind::Predict,
+            Request::Diff { .. } => RequestKind::Diff,
+            Request::Explain { .. } => RequestKind::Explain,
+            Request::Stats => RequestKind::Stats,
+            Request::Metrics => RequestKind::Metrics,
+            Request::Shutdown => RequestKind::Shutdown,
+        }
+    }
+}
+
+/// One hypothetical change, in wire form (see
+/// [`quasar_core::whatif::Change`] for semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChangeSpec {
+    /// Remove the adjacency between ASes `a` and `b`.
+    Depeer {
+        /// First AS.
+        a: u32,
+        /// Second AS.
+        b: u32,
+    },
+    /// Add an adjacency between ASes `a` and `b`.
+    AddPeering {
+        /// First AS.
+        a: u32,
+        /// Second AS.
+        b: u32,
+    },
+    /// AS `asn` stops announcing `prefix` towards `neighbor`.
+    FilterPrefix {
+        /// The filtering AS.
+        asn: u32,
+        /// The neighbor the announcement is withheld from.
+        neighbor: u32,
+        /// The filtered prefix in CIDR notation.
+        prefix: String,
+    },
+}
+
+impl ChangeSpec {
+    /// Converts the wire form into a model [`Change`].
+    pub fn to_change(&self) -> Result<Change, String> {
+        Ok(match self {
+            ChangeSpec::Depeer { a, b } => Change::Depeer(Asn(*a), Asn(*b)),
+            ChangeSpec::AddPeering { a, b } => Change::AddPeering(Asn(*a), Asn(*b)),
+            ChangeSpec::FilterPrefix {
+                asn,
+                neighbor,
+                prefix,
+            } => Change::FilterPrefix {
+                asn: Asn(*asn),
+                neighbor: Asn(*neighbor),
+                prefix: prefix.parse()?,
+            },
+        })
+    }
+
+    /// The wire form of a model [`Change`].
+    pub fn from_change(c: &Change) -> Self {
+        match *c {
+            Change::Depeer(a, b) => ChangeSpec::Depeer { a: a.0, b: b.0 },
+            Change::AddPeering(a, b) => ChangeSpec::AddPeering { a: a.0, b: b.0 },
+            Change::FilterPrefix {
+                asn,
+                neighbor,
+                prefix,
+            } => ChangeSpec::FilterPrefix {
+                asn: asn.0,
+                neighbor: neighbor.0,
+                prefix: prefix.to_string(),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Best route at one quasi-router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterBest {
+    /// Quasi-router id (`"r5.0"`).
+    pub router: String,
+    /// Selected best AS-path towards the prefix, origin last (`None` =
+    /// no route).
+    pub path: Option<Vec<u32>>,
+}
+
+/// Answer to a `predict` request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictReply {
+    /// Queried prefix.
+    pub prefix: String,
+    /// Observing AS.
+    pub observer: u32,
+    /// Best route per quasi-router of the observing AS.
+    pub routes: Vec<RouterBest>,
+    /// Match class of the observed path, when one was supplied:
+    /// `"rib_out"`, `"potential_rib_out"`, `"rib_in"` or `"none"`.
+    pub match_level: Option<String>,
+    /// Mismatch taxonomy when not a RIB-Out match: `"not_available"`,
+    /// `"shorter_path_selected"`, `"tie_break_lost"` or `"other_policy"`.
+    pub mismatch: Option<String>,
+}
+
+/// One affected (router, prefix) pair in a diff.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImpactEntry {
+    /// Affected quasi-router.
+    pub router: String,
+    /// Affected prefix.
+    pub prefix: String,
+    /// `"rerouted"`, `"lost"` or `"gained"`.
+    pub kind: String,
+    /// Best path before the change (`None` = unreachable before).
+    pub before: Option<Vec<u32>>,
+    /// Best path after the change (`None` = unreachable after).
+    pub after: Option<Vec<u32>>,
+}
+
+/// Answer to a `diff` request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffReply {
+    /// Scenario hash (16 hex digits) — the overlay-cache key.
+    pub scenario: String,
+    /// Number of changes applied.
+    pub changes: usize,
+    /// (router, prefix) pairs evaluated.
+    pub pairs: usize,
+    /// Pairs that kept their route.
+    pub unchanged: usize,
+    /// Pairs whose best route changed.
+    pub rerouted: usize,
+    /// Pairs that lost reachability.
+    pub lost: usize,
+    /// Pairs that gained reachability.
+    pub gained: usize,
+    /// Prefixes whose scenario simulation diverged.
+    pub diverged_prefixes: usize,
+    /// Every affected pair with before/after paths.
+    pub impacts: Vec<ImpactEntry>,
+}
+
+/// One quasi-router's decision narration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterExplanation {
+    /// The quasi-router.
+    pub router: String,
+    /// Human-readable account of every candidate and the decision step
+    /// that eliminated it.
+    pub text: String,
+}
+
+/// Answer to an `explain` request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplainReply {
+    /// Queried prefix.
+    pub prefix: String,
+    /// The AS whose quasi-routers are narrated.
+    pub observer: u32,
+    /// Narration per quasi-router, ascending by router id.
+    pub routers: Vec<RouterExplanation>,
+}
+
+/// Answer to a `stats` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// ASes in the model.
+    pub ases: usize,
+    /// Total quasi-routers.
+    pub quasi_routers: usize,
+    /// Total eBGP sessions.
+    pub sessions: usize,
+    /// Policy rules installed by refinement.
+    pub policy_rules: usize,
+    /// Prefixes the model routes.
+    pub prefixes: usize,
+}
+
+/// Answer to a `shutdown` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShutdownReply {
+    /// Always true: the server is draining and will exit.
+    pub draining: bool,
+}
+
+/// Error answer (malformed request, unknown prefix/AS, diverged base
+/// simulation, ...).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// What went wrong.
+    pub message: String,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to `predict`.
+    Predict(PredictReply),
+    /// Answer to `diff`.
+    Diff(DiffReply),
+    /// Answer to `explain`.
+    Explain(ExplainReply),
+    /// Answer to `stats`.
+    Stats(StatsReply),
+    /// Answer to `metrics`.
+    Metrics(MetricsSnapshot),
+    /// Answer to `shutdown`.
+    Shutdown(ShutdownReply),
+    /// Error answer.
+    Error(ErrorReply),
+}
+
+impl Response {
+    /// Builds an error response.
+    pub fn error(message: impl Into<String>) -> Self {
+        Response::Error(ErrorReply {
+            message: message.into(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reply builders (shared with the one-shot CLI)
+// ---------------------------------------------------------------------------
+
+fn path_to_u32s(p: &AsPath) -> Vec<u32> {
+    p.iter().map(|a| a.0).collect()
+}
+
+fn match_level_str(l: MatchLevel) -> &'static str {
+    match l {
+        MatchLevel::RibOut => "rib_out",
+        MatchLevel::PotentialRibOut => "potential_rib_out",
+        MatchLevel::RibIn => "rib_in",
+        MatchLevel::None => "none",
+    }
+}
+
+fn mismatch_str(m: MismatchReason) -> &'static str {
+    match m {
+        MismatchReason::NotAvailable => "not_available",
+        MismatchReason::ShorterPathSelected => "shorter_path_selected",
+        MismatchReason::TieBreakLost => "tie_break_lost",
+        MismatchReason::OtherPolicy => "other_policy",
+    }
+}
+
+/// Builds the `predict` answer for a (prefix, observation AS) pair from a
+/// converged simulation of the prefix.
+pub fn predict_reply(
+    result: &SimulationResult,
+    routers: &[RouterId],
+    prefix: Prefix,
+    observer: Asn,
+    observed: Option<&AsPath>,
+) -> PredictReply {
+    let p = predict_route(result, routers, observed);
+    PredictReply {
+        prefix: prefix.to_string(),
+        observer: observer.0,
+        routes: p
+            .best
+            .iter()
+            .map(|(r, path)| RouterBest {
+                router: r.to_string(),
+                path: path.as_ref().map(path_to_u32s),
+            })
+            .collect(),
+        match_level: p.match_level.map(|l| match_level_str(l).to_string()),
+        mismatch: p.mismatch.map(|m| mismatch_str(m).to_string()),
+    }
+}
+
+/// Builds the `diff` answer from a computed [`RoutingDiff`].
+pub fn diff_reply(scenario_key: u64, changes: usize, diff: &RoutingDiff) -> DiffReply {
+    DiffReply {
+        scenario: format!("{scenario_key:016x}"),
+        changes,
+        pairs: diff.pairs,
+        unchanged: diff.unchanged(),
+        rerouted: diff.rerouted(),
+        lost: diff.lost(),
+        gained: diff.gained(),
+        diverged_prefixes: diff.diverged_prefixes,
+        impacts: diff
+            .impacts
+            .iter()
+            .map(|(router, prefix, impact)| {
+                let (kind, before, after) = match impact {
+                    Impact::Rerouted(a, b) => {
+                        ("rerouted", Some(path_to_u32s(a)), Some(path_to_u32s(b)))
+                    }
+                    Impact::Lost(a) => ("lost", Some(path_to_u32s(a)), None),
+                    Impact::Gained(b) => ("gained", None, Some(path_to_u32s(b))),
+                };
+                ImpactEntry {
+                    router: router.to_string(),
+                    prefix: prefix.to_string(),
+                    kind: kind.to_string(),
+                    before,
+                    after,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Builds the `explain` answer: the engine's decision narration at every
+/// quasi-router of the observing AS.
+pub fn explain_reply(
+    result: &SimulationResult,
+    routers: &[RouterId],
+    prefix: Prefix,
+    observer: Asn,
+) -> ExplainReply {
+    ExplainReply {
+        prefix: prefix.to_string(),
+        observer: observer.0,
+        routers: routers
+            .iter()
+            .filter_map(|&r| {
+                result.rib(r).map(|rib| RouterExplanation {
+                    router: r.to_string(),
+                    text: rib.explain(),
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Builds the `stats` answer from the served model.
+pub fn stats_reply(model: &AsRoutingModel) -> StatsReply {
+    let s = model.stats();
+    StatsReply {
+        ases: s.ases,
+        quasi_routers: s.quasi_routers,
+        sessions: s.sessions,
+        policy_rules: s.policy_rules,
+        prefixes: model.prefixes().len(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manual serde: `"type"`- / `"action"`-tagged objects
+// ---------------------------------------------------------------------------
+
+fn key(name: &str) -> Content {
+    Content::Str(name.to_string())
+}
+
+fn tagged(tag_field: &str, tag: &str, fields: Vec<(Content, Content)>) -> Content {
+    let mut entries = vec![(key(tag_field), Content::Str(tag.to_string()))];
+    entries.extend(fields);
+    Content::Map(entries)
+}
+
+fn req_field<T: for<'de> Deserialize<'de>>(c: &Content, name: &str) -> Result<T, ContentError> {
+    match field(c, name)? {
+        Some(v) => T::from_content(v),
+        None => Err(ContentError::msg(format!("missing field `{name}`"))),
+    }
+}
+
+fn opt_field<T: for<'de> Deserialize<'de>>(
+    c: &Content,
+    name: &str,
+) -> Result<Option<T>, ContentError> {
+    match field(c, name)? {
+        None | Some(Content::Null) => Ok(None),
+        Some(v) => Ok(Some(T::from_content(v)?)),
+    }
+}
+
+fn tag_of<'a>(c: &'a Content, tag_field: &str) -> Result<&'a str, ContentError> {
+    match field(c, tag_field)? {
+        Some(Content::Str(s)) => Ok(s.as_str()),
+        Some(other) => Err(ContentError::msg(format!(
+            "`{tag_field}` must be a string, got {other:?}"
+        ))),
+        None => Err(ContentError::msg(format!("missing `{tag_field}` field"))),
+    }
+}
+
+impl Serialize for ChangeSpec {
+    fn to_content(&self) -> Content {
+        match self {
+            ChangeSpec::Depeer { a, b } => tagged(
+                "action",
+                "depeer",
+                vec![(key("a"), a.to_content()), (key("b"), b.to_content())],
+            ),
+            ChangeSpec::AddPeering { a, b } => tagged(
+                "action",
+                "add_peering",
+                vec![(key("a"), a.to_content()), (key("b"), b.to_content())],
+            ),
+            ChangeSpec::FilterPrefix {
+                asn,
+                neighbor,
+                prefix,
+            } => tagged(
+                "action",
+                "filter_prefix",
+                vec![
+                    (key("asn"), asn.to_content()),
+                    (key("neighbor"), neighbor.to_content()),
+                    (key("prefix"), prefix.to_content()),
+                ],
+            ),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for ChangeSpec {
+    fn from_content(c: &Content) -> Result<Self, ContentError> {
+        match tag_of(c, "action")? {
+            "depeer" => Ok(ChangeSpec::Depeer {
+                a: req_field(c, "a")?,
+                b: req_field(c, "b")?,
+            }),
+            "add_peering" => Ok(ChangeSpec::AddPeering {
+                a: req_field(c, "a")?,
+                b: req_field(c, "b")?,
+            }),
+            "filter_prefix" => Ok(ChangeSpec::FilterPrefix {
+                asn: req_field(c, "asn")?,
+                neighbor: req_field(c, "neighbor")?,
+                prefix: req_field(c, "prefix")?,
+            }),
+            other => Err(ContentError::msg(format!("unknown action `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for Request {
+    fn to_content(&self) -> Content {
+        match self {
+            Request::Predict {
+                prefix,
+                observer,
+                observed_path,
+            } => {
+                let mut fields = vec![
+                    (key("prefix"), prefix.to_content()),
+                    (key("observer"), observer.to_content()),
+                ];
+                if let Some(p) = observed_path {
+                    fields.push((key("observed_path"), p.to_content()));
+                }
+                tagged("type", "predict", fields)
+            }
+            Request::Diff { changes, prefixes } => {
+                let mut fields = vec![(key("changes"), changes.to_content())];
+                if let Some(p) = prefixes {
+                    fields.push((key("prefixes"), p.to_content()));
+                }
+                tagged("type", "diff", fields)
+            }
+            Request::Explain { prefix, observer } => tagged(
+                "type",
+                "explain",
+                vec![
+                    (key("prefix"), prefix.to_content()),
+                    (key("observer"), observer.to_content()),
+                ],
+            ),
+            Request::Stats => tagged("type", "stats", vec![]),
+            Request::Metrics => tagged("type", "metrics", vec![]),
+            Request::Shutdown => tagged("type", "shutdown", vec![]),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Request {
+    fn from_content(c: &Content) -> Result<Self, ContentError> {
+        match tag_of(c, "type")? {
+            "predict" => Ok(Request::Predict {
+                prefix: req_field(c, "prefix")?,
+                observer: req_field(c, "observer")?,
+                observed_path: opt_field(c, "observed_path")?,
+            }),
+            "diff" => Ok(Request::Diff {
+                changes: req_field(c, "changes")?,
+                prefixes: opt_field(c, "prefixes")?,
+            }),
+            "explain" => Ok(Request::Explain {
+                prefix: req_field(c, "prefix")?,
+                observer: req_field(c, "observer")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ContentError::msg(format!("unknown request type `{other}`"))),
+        }
+    }
+}
+
+impl Response {
+    fn tag(&self) -> &'static str {
+        match self {
+            Response::Predict(_) => "predict",
+            Response::Diff(_) => "diff",
+            Response::Explain(_) => "explain",
+            Response::Stats(_) => "stats",
+            Response::Metrics(_) => "metrics",
+            Response::Shutdown(_) => "shutdown",
+            Response::Error(_) => "error",
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_content(&self) -> Content {
+        let inner = match self {
+            Response::Predict(r) => r.to_content(),
+            Response::Diff(r) => r.to_content(),
+            Response::Explain(r) => r.to_content(),
+            Response::Stats(r) => r.to_content(),
+            Response::Metrics(r) => r.to_content(),
+            Response::Shutdown(r) => r.to_content(),
+            Response::Error(r) => r.to_content(),
+        };
+        let fields = match inner {
+            Content::Map(entries) => entries,
+            other => vec![(key("value"), other)],
+        };
+        tagged("type", self.tag(), fields)
+    }
+}
+
+impl<'de> Deserialize<'de> for Response {
+    fn from_content(c: &Content) -> Result<Self, ContentError> {
+        match tag_of(c, "type")? {
+            "predict" => Ok(Response::Predict(PredictReply::from_content(c)?)),
+            "diff" => Ok(Response::Diff(DiffReply::from_content(c)?)),
+            "explain" => Ok(Response::Explain(ExplainReply::from_content(c)?)),
+            "stats" => Ok(Response::Stats(StatsReply::from_content(c)?)),
+            "metrics" => Ok(Response::Metrics(MetricsSnapshot::from_content(c)?)),
+            "shutdown" => Ok(Response::Shutdown(ShutdownReply::from_content(c)?)),
+            "error" => Ok(Response::Error(ErrorReply::from_content(c)?)),
+            other => Err(ContentError::msg(format!(
+                "unknown response type `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_through_json() {
+        let reqs = vec![
+            Request::Predict {
+                prefix: "10.0.4.0/24".into(),
+                observer: 5,
+                observed_path: Some(vec![5, 4, 3]),
+            },
+            Request::Predict {
+                prefix: "10.0.4.0/24".into(),
+                observer: 5,
+                observed_path: None,
+            },
+            Request::Diff {
+                changes: vec![
+                    ChangeSpec::Depeer { a: 1, b: 2 },
+                    ChangeSpec::AddPeering { a: 3, b: 4 },
+                    ChangeSpec::FilterPrefix {
+                        asn: 3,
+                        neighbor: 2,
+                        prefix: "10.0.4.0/24".into(),
+                    },
+                ],
+                prefixes: Some(vec!["10.0.4.0/24".into()]),
+            },
+            Request::Explain {
+                prefix: "10.0.4.0/24".into(),
+                observer: 5,
+            },
+            Request::Stats,
+            Request::Metrics,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let json = serde_json::to_string(&req).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, req, "{json}");
+        }
+    }
+
+    #[test]
+    fn request_json_is_type_tagged() {
+        let json = serde_json::to_string(&Request::Stats).unwrap();
+        assert_eq!(json, r#"{"type":"stats"}"#);
+        let json = serde_json::to_string(&Request::Predict {
+            prefix: "10.0.4.0/24".into(),
+            observer: 5,
+            observed_path: None,
+        })
+        .unwrap();
+        assert!(json.starts_with(r#"{"type":"predict""#), "{json}");
+    }
+
+    #[test]
+    fn hand_written_request_json_parses() {
+        let req: Request =
+            serde_json::from_str(r#"{"type":"predict","prefix":"10.0.4.0/24","observer":7}"#)
+                .unwrap();
+        assert_eq!(
+            req,
+            Request::Predict {
+                prefix: "10.0.4.0/24".into(),
+                observer: 7,
+                observed_path: None,
+            }
+        );
+        let req: Request = serde_json::from_str(
+            r#"{"type":"diff","changes":[{"action":"depeer","a":10,"b":101}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::Diff {
+                changes: vec![ChangeSpec::Depeer { a: 10, b: 101 }],
+                prefixes: None,
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            r#"{"prefix":"10.0.4.0/24"}"#,                   // no type
+            r#"{"type":"teleport"}"#,                        // unknown type
+            r#"{"type":"predict","observer":7}"#,            // missing prefix
+            r#"{"type":"diff"}"#,                            // missing changes
+            r#"{"type":"diff","changes":[{"action":"x"}]}"#, // unknown action
+            "[]",
+        ] {
+            assert!(serde_json::from_str::<Request>(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrips_through_json() {
+        let resps = vec![
+            Response::Predict(PredictReply {
+                prefix: "10.0.4.0/24".into(),
+                observer: 5,
+                routes: vec![RouterBest {
+                    router: "r5.0".into(),
+                    path: Some(vec![4, 3]),
+                }],
+                match_level: Some("rib_out".into()),
+                mismatch: None,
+            }),
+            Response::Diff(DiffReply {
+                scenario: "00000000deadbeef".into(),
+                changes: 1,
+                pairs: 4,
+                unchanged: 2,
+                rerouted: 1,
+                lost: 1,
+                gained: 0,
+                diverged_prefixes: 0,
+                impacts: vec![ImpactEntry {
+                    router: "r1.0".into(),
+                    prefix: "10.0.4.0/24".into(),
+                    kind: "lost".into(),
+                    before: Some(vec![2, 3]),
+                    after: None,
+                }],
+            }),
+            Response::Explain(ExplainReply {
+                prefix: "10.0.4.0/24".into(),
+                observer: 5,
+                routers: vec![RouterExplanation {
+                    router: "r5.0".into(),
+                    text: "r5.0: 1 candidate(s)".into(),
+                }],
+            }),
+            Response::Stats(StatsReply {
+                ases: 4,
+                quasi_routers: 5,
+                sessions: 6,
+                policy_rules: 7,
+                prefixes: 8,
+            }),
+            Response::Shutdown(ShutdownReply { draining: true }),
+            Response::error("bad prefix"),
+        ];
+        for resp in resps {
+            let json = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, resp, "{json}");
+        }
+    }
+
+    #[test]
+    fn change_spec_converts_to_model_changes() {
+        let spec = ChangeSpec::FilterPrefix {
+            asn: 3,
+            neighbor: 2,
+            prefix: "10.0.4.0/24".into(),
+        };
+        let change = spec.to_change().unwrap();
+        assert_eq!(ChangeSpec::from_change(&change), spec);
+        assert!(ChangeSpec::FilterPrefix {
+            asn: 3,
+            neighbor: 2,
+            prefix: "not-a-prefix".into(),
+        }
+        .to_change()
+        .is_err());
+    }
+}

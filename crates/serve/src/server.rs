@@ -1,0 +1,584 @@
+//! The TCP server: shared state, request dispatch, worker pool, and
+//! graceful shutdown.
+//!
+//! The model is loaded once and shared read-only across a pool of worker
+//! threads (`crossbeam::thread::scope`); mutable state — the base
+//! steady-state cache, the what-if session store, the metrics — is
+//! interior-mutable behind locks/atomics, so dispatch takes `&self`
+//! everywhere. The accept loop runs non-blocking and hands connections to
+//! workers through a `Mutex<VecDeque>` + `Condvar` queue; a `shutdown`
+//! request flips one flag, after which the acceptor stops taking
+//! connections and every worker finishes its in-flight request, closes
+//! its stream, and exits — no thread or port is leaked.
+
+use crate::cache::SteadyStateCache;
+use crate::metrics::{RequestKind, ServeMetrics};
+use crate::protocol::{
+    diff_reply, explain_reply, predict_reply, stats_reply, Request, Response, ShutdownReply,
+};
+use crate::session::SessionStore;
+use quasar_bgpsim::aspath::AsPath;
+use quasar_bgpsim::error::SimError;
+use quasar_bgpsim::types::{Asn, Prefix};
+use quasar_core::model::AsRoutingModel;
+use quasar_core::whatif::{Change, RoutingDiff};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long the acceptor sleeps when no connection is pending, and how
+/// long workers wait on the queue before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Per-connection read timeout so idle workers notice a shutdown instead
+/// of blocking in `read` forever.
+const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Server tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Maximum resident what-if sessions (oldest evicted beyond this).
+    pub max_sessions: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(16),
+            max_sessions: 32,
+        }
+    }
+}
+
+/// Everything the workers share: the immutable model, the caches, the
+/// session store, the metrics, and the shutdown flag.
+pub struct ServerState {
+    config: ServeConfig,
+    model: AsRoutingModel,
+    base_cache: SteadyStateCache,
+    sessions: SessionStore,
+    metrics: ServeMetrics,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    /// Wraps a trained model in fresh server state.
+    pub fn new(model: AsRoutingModel, config: ServeConfig) -> Self {
+        ServerState {
+            config,
+            model,
+            base_cache: SteadyStateCache::new(),
+            sessions: SessionStore::with_capacity(config.max_sessions),
+            metrics: ServeMetrics::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &AsRoutingModel {
+        &self.model
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The base steady-state cache.
+    pub fn base_cache(&self) -> &SteadyStateCache {
+        &self.base_cache
+    }
+
+    /// The what-if session store.
+    pub fn sessions(&self) -> &SessionStore {
+        &self.sessions
+    }
+
+    /// The server metrics.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// True once a `shutdown` request has been accepted.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flips the shutdown flag (idempotent).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Parses one request line, dispatches it, and records latency
+    /// metrics. Malformed lines and failed requests are tallied under the
+    /// `error` kind.
+    pub fn handle_line(&self, line: &str) -> Response {
+        let start = Instant::now();
+        let (kind, response) = match serde_json::from_str::<Request>(line.trim()) {
+            Ok(req) => {
+                let resp = self.dispatch(&req);
+                let kind = if matches!(resp, Response::Error(_)) {
+                    RequestKind::Error
+                } else {
+                    req.kind()
+                };
+                (kind, resp)
+            }
+            Err(e) => (
+                RequestKind::Error,
+                Response::error(format!("bad request: {e}")),
+            ),
+        };
+        self.metrics
+            .record(kind, start.elapsed().as_micros() as u64);
+        response
+    }
+
+    /// Dispatches one parsed request.
+    pub fn dispatch(&self, req: &Request) -> Response {
+        match req {
+            Request::Predict {
+                prefix,
+                observer,
+                observed_path,
+            } => self.do_predict(prefix, *observer, observed_path.as_deref()),
+            Request::Diff { changes, prefixes } => self.do_diff(changes, prefixes.as_deref()),
+            Request::Explain { prefix, observer } => self.do_explain(prefix, *observer),
+            Request::Stats => Response::Stats(stats_reply(&self.model)),
+            Request::Metrics => Response::Metrics(self.metrics.snapshot(
+                self.base_cache.snapshot(),
+                self.sessions.overlay_snapshot(),
+                self.sessions.len(),
+            )),
+            Request::Shutdown => {
+                self.request_shutdown();
+                Response::Shutdown(ShutdownReply { draining: true })
+            }
+        }
+    }
+
+    /// Parses and validates a (prefix, observer) query pair.
+    fn lookup(&self, prefix: &str, observer: u32) -> Result<(Prefix, Asn), Response> {
+        let prefix: Prefix = prefix.parse().map_err(Response::error)?;
+        if !self.model.prefixes().contains_key(&prefix) {
+            return Err(Response::error(format!("unknown prefix `{prefix}`")));
+        }
+        let observer = Asn(observer);
+        if self.model.quasi_routers_of(observer).is_empty() {
+            return Err(Response::error(format!("unknown AS `{}`", observer.0)));
+        }
+        Ok((prefix, observer))
+    }
+
+    fn do_predict(&self, prefix: &str, observer: u32, observed: Option<&[u32]>) -> Response {
+        let (prefix, observer) = match self.lookup(prefix, observer) {
+            Ok(pair) => pair,
+            Err(e) => return e,
+        };
+        let result = match self.base_cache.get_or_simulate(&self.model, prefix) {
+            Ok(r) => r,
+            Err(e) => return Response::error(format!("simulation failed: {e}")),
+        };
+        let routers = self.model.quasi_routers_of(observer);
+        let observed = observed.map(AsPath::from_u32s);
+        Response::Predict(predict_reply(
+            &result,
+            &routers,
+            prefix,
+            observer,
+            observed.as_ref(),
+        ))
+    }
+
+    fn do_explain(&self, prefix: &str, observer: u32) -> Response {
+        let (prefix, observer) = match self.lookup(prefix, observer) {
+            Ok(pair) => pair,
+            Err(e) => return e,
+        };
+        let result = match self.base_cache.get_or_simulate(&self.model, prefix) {
+            Ok(r) => r,
+            Err(e) => return Response::error(format!("simulation failed: {e}")),
+        };
+        let routers = self.model.quasi_routers_of(observer);
+        Response::Explain(explain_reply(&result, &routers, prefix, observer))
+    }
+
+    fn do_diff(
+        &self,
+        specs: &[crate::protocol::ChangeSpec],
+        prefixes: Option<&[String]>,
+    ) -> Response {
+        if specs.is_empty() {
+            return Response::error("a diff request needs at least one change");
+        }
+        let mut changes: Vec<Change> = Vec::with_capacity(specs.len());
+        for s in specs {
+            match s.to_change() {
+                Ok(c) => changes.push(c),
+                Err(e) => return Response::error(e),
+            }
+        }
+        let targets: Vec<Prefix> = match prefixes {
+            None => self.model.prefixes().keys().copied().collect(),
+            Some(list) => {
+                let mut out = Vec::with_capacity(list.len());
+                for p in list {
+                    match self.lookup_prefix(p) {
+                        Ok(p) => out.push(p),
+                        Err(e) => return e,
+                    }
+                }
+                out.sort();
+                out.dedup();
+                out
+            }
+        };
+        let session = self.sessions.get_or_create(&self.model, &changes);
+        let mut diff = RoutingDiff::default();
+        for prefix in targets {
+            let before = match self.base_cache.get_or_simulate(&self.model, prefix) {
+                Ok(r) => r,
+                Err(e) => return Response::error(format!("simulation failed: {e}")),
+            };
+            let after = match session.simulate(prefix) {
+                Ok(r) => Some(r),
+                Err(SimError::Divergence { .. }) => None,
+                Err(e) => return Response::error(format!("scenario simulation failed: {e}")),
+            };
+            diff.record_prefix(prefix, &before, after.as_deref());
+        }
+        Response::Diff(diff_reply(session.key(), changes.len(), &diff))
+    }
+
+    fn lookup_prefix(&self, prefix: &str) -> Result<Prefix, Response> {
+        let prefix: Prefix = prefix.parse().map_err(Response::error)?;
+        if !self.model.prefixes().contains_key(&prefix) {
+            return Err(Response::error(format!("unknown prefix `{prefix}`")));
+        }
+        Ok(prefix)
+    }
+}
+
+/// Serves requests on `listener` until a `shutdown` request arrives,
+/// then drains in-flight work and returns. The listener is bound by the
+/// caller so an ephemeral port can be printed before serving starts.
+pub fn serve(state: Arc<ServerState>, listener: TcpListener) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let queue: Mutex<VecDeque<TcpStream>> = Mutex::new(VecDeque::new());
+    let available = Condvar::new();
+    let accept_error: Mutex<Option<io::Error>> = Mutex::new(None);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..state.config.workers.max(1) {
+            scope.spawn(|_| worker_loop(&state, &queue, &available));
+        }
+
+        // Accept loop: non-blocking so the shutdown flag is observed
+        // within one poll interval.
+        loop {
+            if state.shutting_down() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    state.metrics.connection_opened();
+                    queue
+                        .lock()
+                        .expect("connection queue poisoned")
+                        .push_back(stream);
+                    available.notify_one();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => {}
+                Err(e) => {
+                    *accept_error.lock().expect("accept error slot poisoned") = Some(e);
+                    state.request_shutdown();
+                    break;
+                }
+            }
+        }
+        available.notify_all();
+    })
+    .expect("serve worker panicked");
+
+    match accept_error
+        .into_inner()
+        .expect("accept error slot poisoned")
+    {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// One worker: pull connections off the queue until shutdown, then exit.
+fn worker_loop(state: &ServerState, queue: &Mutex<VecDeque<TcpStream>>, available: &Condvar) {
+    let mut guard = queue.lock().expect("connection queue poisoned");
+    loop {
+        if let Some(stream) = guard.pop_front() {
+            drop(guard);
+            // Connection errors (reset peers, broken pipes) only end this
+            // connection, never the worker.
+            let _ = handle_connection(state, stream);
+            guard = queue.lock().expect("connection queue poisoned");
+            continue;
+        }
+        if state.shutting_down() {
+            return;
+        }
+        guard = available
+            .wait_timeout(guard, POLL_INTERVAL)
+            .expect("connection queue poisoned")
+            .0;
+    }
+}
+
+/// Reads newline-delimited requests off one connection and answers each
+/// with one JSON line, until the client closes (EOF) or the server
+/// drains for shutdown.
+fn handle_connection(state: &ServerState, mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    // Replies are single small writes in a request/response lockstep;
+    // leaving Nagle on would stall each one behind the peer's delayed
+    // ACK (~40ms — dwarfing a cache hit).
+    stream.set_nodelay(true)?;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // clean EOF from the client
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = pending.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let response = state.handle_line(&line);
+                    let mut out = serde_json::to_string(&response).unwrap_or_else(|_| {
+                        r#"{"type":"error","message":"serialization failed"}"#.to_string()
+                    });
+                    out.push('\n');
+                    stream.write_all(out.as_bytes())?;
+                    stream.flush()?;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle: close only when draining, otherwise keep waiting.
+                if state.shutting_down() {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ChangeSpec;
+    use quasar_bgpsim::aspath::AsPath;
+    use quasar_topology::graph::AsGraph;
+    use std::collections::BTreeMap;
+    use std::io::BufRead;
+
+    fn model() -> AsRoutingModel {
+        let paths = vec![
+            AsPath::from_u32s(&[1, 2, 3]),
+            AsPath::from_u32s(&[1, 4, 3]),
+            AsPath::from_u32s(&[5, 4, 3]),
+        ];
+        let graph = AsGraph::from_paths(&paths);
+        let mut origins = BTreeMap::new();
+        origins.insert(Prefix::for_origin(Asn(3)), Asn(3));
+        origins.insert(Prefix::for_origin(Asn(2)), Asn(2));
+        AsRoutingModel::initial(&graph, &origins)
+    }
+
+    fn state() -> ServerState {
+        ServerState::new(model(), ServeConfig::default())
+    }
+
+    #[test]
+    fn predict_warms_the_base_cache() {
+        let s = state();
+        let p = Prefix::for_origin(Asn(3)).to_string();
+        let line = format!(r#"{{"type":"predict","prefix":"{p}","observer":1}}"#);
+        let first = s.handle_line(&line);
+        assert!(matches!(first, Response::Predict(_)), "{first:?}");
+        assert_eq!(s.base_cache().misses(), 1);
+        let second = s.handle_line(&line);
+        assert_eq!(first, second);
+        assert_eq!(s.base_cache().hits(), 1);
+        assert_eq!(s.metrics().count(RequestKind::Predict), 2);
+    }
+
+    #[test]
+    fn unknown_prefix_and_as_are_errors() {
+        let s = state();
+        let bad_prefix =
+            s.handle_line(r#"{"type":"predict","prefix":"192.0.2.0/24","observer":1}"#);
+        assert!(matches!(bad_prefix, Response::Error(_)), "{bad_prefix:?}");
+        let p = Prefix::for_origin(Asn(3)).to_string();
+        let bad_as = s.handle_line(&format!(
+            r#"{{"type":"predict","prefix":"{p}","observer":99}}"#
+        ));
+        assert!(matches!(bad_as, Response::Error(_)), "{bad_as:?}");
+        let garbage = s.handle_line("not json at all");
+        assert!(matches!(garbage, Response::Error(_)), "{garbage:?}");
+        assert_eq!(s.metrics().count(RequestKind::Error), 3);
+        assert_eq!(s.metrics().count(RequestKind::Predict), 0);
+    }
+
+    #[test]
+    fn diff_runs_in_an_overlay_session() {
+        let s = state();
+        let req = Request::Diff {
+            changes: vec![ChangeSpec::Depeer { a: 2, b: 3 }],
+            prefixes: None,
+        };
+        let line = serde_json::to_string(&req).unwrap();
+        let resp = s.handle_line(&line);
+        let Response::Diff(diff) = resp else {
+            panic!("expected diff reply, got {resp:?}");
+        };
+        assert!(diff.pairs > 0);
+        assert_eq!(s.sessions().len(), 1);
+        // Same scenario again: session (and its overlay cache) is reused.
+        let again = s.handle_line(&line);
+        let Response::Diff(diff2) = again else {
+            panic!("expected diff reply");
+        };
+        assert_eq!(diff, diff2);
+        assert_eq!(s.sessions().len(), 1);
+        assert!(s.sessions().overlay_snapshot().hits > 0);
+        // The base cache never saw the scenario model.
+        let p = Prefix::for_origin(Asn(3)).to_string();
+        let predict = s.handle_line(&format!(
+            r#"{{"type":"predict","prefix":"{p}","observer":1}}"#
+        ));
+        let fresh = ServerState::new(model(), ServeConfig::default());
+        let expected = fresh.handle_line(&format!(
+            r#"{{"type":"predict","prefix":"{p}","observer":1}}"#
+        ));
+        assert_eq!(predict, expected);
+    }
+
+    #[test]
+    fn diff_matches_scenario_api() {
+        let s = state();
+        let changes = vec![Change::Depeer(Asn(2), Asn(3))];
+        let scenario =
+            quasar_core::whatif::Scenario::new(s.model()).apply(Change::Depeer(Asn(2), Asn(3)));
+        let expected = scenario.diff().unwrap();
+        let resp = s.dispatch(&Request::Diff {
+            changes: vec![ChangeSpec::Depeer { a: 2, b: 3 }],
+            prefixes: None,
+        });
+        let Response::Diff(diff) = resp else {
+            panic!("expected diff reply");
+        };
+        assert_eq!(
+            diff,
+            diff_reply(crate::session::scenario_key(&changes), 1, &expected)
+        );
+    }
+
+    #[test]
+    fn stats_metrics_and_shutdown_dispatch() {
+        let s = state();
+        let Response::Stats(stats) = s.handle_line(r#"{"type":"stats"}"#) else {
+            panic!("expected stats reply");
+        };
+        assert_eq!(stats.ases, 5);
+        assert_eq!(stats.prefixes, 2);
+        let Response::Metrics(m) = s.handle_line(r#"{"type":"metrics"}"#) else {
+            panic!("expected metrics reply");
+        };
+        assert_eq!(m.for_kind("stats").unwrap().count, 1);
+        assert!(!s.shutting_down());
+        let Response::Shutdown(sd) = s.handle_line(r#"{"type":"shutdown"}"#) else {
+            panic!("expected shutdown reply");
+        };
+        assert!(sd.draining);
+        assert!(s.shutting_down());
+    }
+
+    /// Full TCP round trip: spawn the server on an ephemeral port, talk
+    /// to it from several client threads, then shut it down and verify
+    /// the serve loop returns (no leaked thread, port released).
+    #[test]
+    fn tcp_round_trip_with_graceful_shutdown() {
+        let state = Arc::new(ServerState::new(
+            model(),
+            ServeConfig {
+                workers: 2,
+                max_sessions: 4,
+            },
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let state = state.clone();
+            std::thread::spawn(move || serve(state, listener))
+        };
+
+        fn ask(addr: std::net::SocketAddr, line: String) -> Response {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(line.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+            let mut reader = std::io::BufReader::new(stream);
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            serde_json::from_str(&reply).unwrap()
+        }
+
+        let p = Prefix::for_origin(Asn(3)).to_string();
+        let clients: Vec<_> = (0..4)
+            .map(|i| {
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    ask(
+                        addr,
+                        format!(
+                            r#"{{"type":"predict","prefix":"{p}","observer":{}}}"#,
+                            1 + (i % 2) * 4
+                        ),
+                    )
+                })
+            })
+            .collect();
+        for c in clients {
+            assert!(matches!(c.join().unwrap(), Response::Predict(_)));
+        }
+
+        let Response::Metrics(m) = ask(addr, r#"{"type":"metrics"}"#.to_string()) else {
+            panic!("expected metrics reply");
+        };
+        assert_eq!(m.for_kind("predict").unwrap().count, 4);
+        assert_eq!(m.base_cache.misses, 1);
+        assert_eq!(m.base_cache.hits, 3);
+
+        let Response::Shutdown(sd) = ask(addr, r#"{"type":"shutdown"}"#.to_string()) else {
+            panic!("expected shutdown reply");
+        };
+        assert!(sd.draining);
+        server.join().unwrap().unwrap();
+        // The port is released: a fresh bind to the same address works.
+        TcpListener::bind(addr).unwrap();
+    }
+}

@@ -20,12 +20,28 @@
 //!   whatif    FILE --depeer A:B [--model MODEL.json]
 //!             train on all feeds (or load a persisted model) and report
 //!             the predicted impact of removing the A--B adjacency
+//!   whatif    --json --model MODEL.json [--depeer A:B] [--add-peering A:B]
+//!             [--filter ASN:NEIGHBOR:PREFIX]
+//!             apply the changes (in flag order) to a persisted model and
+//!             print the routing diff as one JSON line — byte-identical
+//!             to the server's answer for the same scenario
+//!   predict   --model MODEL.json --prefix P --observer N [--path A,B,C]
+//!             one-shot route prediction from a persisted model, printed
+//!             as one JSON line — byte-identical to the server's answer
+//!   serve     MODEL.json [--listen ADDR] [--workers N] [--max-sessions N]
+//!             long-running query server (see `quasar-serve` crate docs)
+//!   query     ADDR JSON [JSON...]
+//!             send newline-delimited JSON requests to a running server
 
 use quasar::bgpsim::types::Asn;
 use quasar::diversity::prelude::*;
 use quasar::model::prelude::*;
 use quasar::netgen::prelude::*;
+use quasar::serve::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
 use std::process::exit;
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +56,8 @@ fn main() {
         "diagnose" => cmd_diagnose(&args[1..]),
         "stable" => cmd_stable(&args[1..]),
         "whatif" => cmd_whatif(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "query" => cmd_query(&args[1..]),
         other => usage(&format!("unknown subcommand {other}")),
     }
 }
@@ -53,9 +71,41 @@ fn usage(msg: &str) -> ! {
          \x20      quasar predict FILE [--split point|origin|both] [--seed N]\n\
          \x20      quasar diagnose FILE [--seed N]\n\
          \x20      quasar stable FILE [--snapshot T] [--window SECS]\n\
-         \x20      quasar whatif FILE --depeer A:B [--model MODEL.json]"
+         \x20      quasar whatif FILE --depeer A:B [--model MODEL.json]\n\
+         \x20      quasar whatif --json --model MODEL.json [--depeer A:B] [--add-peering A:B] [--filter ASN:NEIGHBOR:PREFIX]\n\
+         \x20      quasar predict --model MODEL.json --prefix P --observer N [--path A,B,C]\n\
+         \x20      quasar serve MODEL.json [--listen ADDR] [--workers N] [--max-sessions N]\n\
+         \x20      quasar query ADDR JSON [JSON...]"
     );
     exit(2)
+}
+
+/// Prints an error and exits nonzero — the terminal step of every CLI
+/// parse/IO failure, so a bad flag or path never silently falls back to a
+/// default.
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    exit(1)
+}
+
+/// Parses the value of `--name`, naming the flag and the offending value
+/// on failure instead of silently substituting a default.
+fn parsed_flag<T>(args: &[String], name: &str) -> Option<T>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    flag(args, name).map(|s| {
+        s.parse()
+            .unwrap_or_else(|e| die(format!("bad {name} `{s}`: {e}")))
+    })
+}
+
+/// Parses an `A:B` AS pair, naming the flag on failure.
+fn parse_as_pair(spec: &str, flag_name: &str) -> (u32, u32) {
+    spec.split_once(':')
+        .and_then(|(x, y)| Some((x.parse::<u32>().ok()?, y.parse::<u32>().ok()?)))
+        .unwrap_or_else(|| die(format!("bad {flag_name} `{spec}`, want A:B")))
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -106,9 +156,7 @@ fn load_dataset(path: &str) -> (Vec<ObservationPoint>, Dataset) {
 
 fn cmd_generate(args: &[String]) {
     let out = flag(args, "--out").unwrap_or_else(|| usage("generate requires --out"));
-    let seed: u64 = flag(args, "--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20051113);
+    let seed: u64 = parsed_flag(args, "--seed").unwrap_or(20051113);
     let scale = flag(args, "--scale").unwrap_or_else(|| "default".into());
     let cfg = match scale.as_str() {
         "tiny" => NetGenConfig::tiny(seed),
@@ -156,9 +204,7 @@ fn cmd_generate(args: &[String]) {
 fn cmd_train(args: &[String]) {
     let path = positional(args).unwrap_or_else(|| usage("train requires FILE"));
     let out = flag(args, "--out").unwrap_or_else(|| usage("train requires --out"));
-    let threads: usize = flag(args, "--threads")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
+    let threads: usize = parsed_flag(args, "--threads").unwrap_or(0);
     let (_, dataset) = load_dataset(&path);
     let cfg = RefineConfig {
         threads,
@@ -233,10 +279,11 @@ fn cmd_analyze(args: &[String]) {
 }
 
 fn cmd_predict(args: &[String]) {
+    if flag(args, "--model").is_some() {
+        return cmd_predict_oneshot(args);
+    }
     let path = positional(args).unwrap_or_else(|| usage("predict requires FILE"));
-    let seed: u64 = flag(args, "--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(7);
+    let seed: u64 = parsed_flag(args, "--seed").unwrap_or(7);
     let split = flag(args, "--split").unwrap_or_else(|| "point".into());
     let (_, dataset) = load_dataset(&path);
     let (training, validation) = match split.as_str() {
@@ -278,9 +325,7 @@ fn cmd_predict(args: &[String]) {
 
 fn cmd_diagnose(args: &[String]) {
     let path = positional(args).unwrap_or_else(|| usage("diagnose requires FILE"));
-    let seed: u64 = flag(args, "--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(7);
+    let seed: u64 = parsed_flag(args, "--seed").unwrap_or(7);
     let (_, dataset) = load_dataset(&path);
     let (training, validation) = dataset.split_by_point(0.5, seed);
     eprintln!(
@@ -310,12 +355,8 @@ fn cmd_diagnose(args: &[String]) {
 
 fn cmd_stable(args: &[String]) {
     let path = positional(args).unwrap_or_else(|| usage("stable requires FILE"));
-    let snapshot: u32 = flag(args, "--snapshot")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(SNAPSHOT_TIME);
-    let window: u32 = flag(args, "--window")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3_600);
+    let snapshot: u32 = parsed_flag(args, "--snapshot").unwrap_or(SNAPSHOT_TIME);
+    let window: u32 = parsed_flag(args, "--window").unwrap_or(3_600);
     let bytes = std::fs::read(&path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         exit(1)
@@ -342,12 +383,12 @@ fn cmd_stable(args: &[String]) {
 }
 
 fn cmd_whatif(args: &[String]) {
+    if args.iter().any(|a| a == "--json") {
+        return cmd_whatif_json(args);
+    }
     let path = positional(args).unwrap_or_else(|| usage("whatif requires FILE"));
     let spec = flag(args, "--depeer").unwrap_or_else(|| usage("whatif requires --depeer A:B"));
-    let (a, b) = spec
-        .split_once(':')
-        .and_then(|(x, y)| Some((x.parse::<u32>().ok()?, y.parse::<u32>().ok()?)))
-        .unwrap_or_else(|| usage("bad --depeer, want A:B"));
+    let (a, b) = parse_as_pair(&spec, "--depeer");
     let (points, dataset) = load_dataset(&path);
 
     let model = if let Some(mp) = flag(args, "--model") {
@@ -392,4 +433,183 @@ fn cmd_whatif(args: &[String]) {
     println!(
         "de-peering AS{a} -- AS{b} ({silenced} sessions): {same} unchanged, {moved} re-routed, {lost} unreachable"
     );
+}
+
+/// Collects `--depeer`/`--add-peering`/`--filter` specs in flag order —
+/// scenario changes apply sequentially, so order is part of the scenario.
+fn collect_change_specs(args: &[String]) -> Vec<ChangeSpec> {
+    let mut specs = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |name: &str| -> String {
+            args.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| die(format!("{name} needs a value")))
+        };
+        match args[i].as_str() {
+            "--depeer" => {
+                let v = value("--depeer");
+                let (a, b) = parse_as_pair(&v, "--depeer");
+                specs.push(ChangeSpec::Depeer { a, b });
+                i += 2;
+            }
+            "--add-peering" => {
+                let v = value("--add-peering");
+                let (a, b) = parse_as_pair(&v, "--add-peering");
+                specs.push(ChangeSpec::AddPeering { a, b });
+                i += 2;
+            }
+            "--filter" => {
+                let v = value("--filter");
+                let mut parts = v.splitn(3, ':');
+                let spec = (|| {
+                    Some(ChangeSpec::FilterPrefix {
+                        asn: parts.next()?.parse().ok()?,
+                        neighbor: parts.next()?.parse().ok()?,
+                        prefix: parts.next()?.to_string(),
+                    })
+                })()
+                .unwrap_or_else(|| die(format!("bad --filter `{v}`, want ASN:NEIGHBOR:PREFIX")));
+                specs.push(spec);
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    specs
+}
+
+/// Writes one line to stdout. A closed pipe (e.g. `| head`) is a normal
+/// way for the reader to stop early, not a crash.
+fn print_line(line: &str) {
+    let mut out = std::io::stdout();
+    let result = out.write_all(line.as_bytes()).and_then(|()| out.flush());
+    if let Err(e) = result {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            exit(0);
+        }
+        die(format!("cannot write to stdout: {e}"));
+    }
+}
+
+/// Prints a server response as one JSON line; error responses go to
+/// stderr with a nonzero exit so scripts can trust exit codes.
+fn print_response(resp: Response) {
+    if let Response::Error(e) = &resp {
+        die(&e.message);
+    }
+    let json =
+        serde_json::to_string(&resp).unwrap_or_else(|e| die(format!("cannot serialize: {e}")));
+    print_line(&format!("{json}\n"));
+}
+
+fn cmd_whatif_json(args: &[String]) {
+    let model_path =
+        flag(args, "--model").unwrap_or_else(|| usage("whatif --json requires --model MODEL.json"));
+    let changes = collect_change_specs(args);
+    if changes.is_empty() {
+        usage("whatif --json requires at least one --depeer/--add-peering/--filter");
+    }
+    let state = ServerState::new(load_model(&model_path), ServeConfig::default());
+    print_response(state.dispatch(&Request::Diff {
+        changes,
+        prefixes: None,
+    }));
+}
+
+fn cmd_predict_oneshot(args: &[String]) {
+    let model_path = flag(args, "--model").expect("checked by caller");
+    let prefix =
+        flag(args, "--prefix").unwrap_or_else(|| usage("predict --model requires --prefix P"));
+    let observer: u32 = parsed_flag(args, "--observer")
+        .unwrap_or_else(|| usage("predict --model requires --observer N"));
+    let observed_path: Option<Vec<u32>> = flag(args, "--path").map(|s| {
+        s.split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .unwrap_or_else(|e| die(format!("bad --path element `{t}`: {e}")))
+            })
+            .collect()
+    });
+    let state = ServerState::new(load_model(&model_path), ServeConfig::default());
+    print_response(state.dispatch(&Request::Predict {
+        prefix,
+        observer,
+        observed_path,
+    }));
+}
+
+fn cmd_serve(args: &[String]) {
+    let model_path = positional(args).unwrap_or_else(|| usage("serve requires MODEL.json"));
+    let listen = flag(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".into());
+    let mut config = ServeConfig::default();
+    if let Some(w) = parsed_flag::<usize>(args, "--workers") {
+        config.workers = w.max(1);
+    }
+    if let Some(m) = parsed_flag::<usize>(args, "--max-sessions") {
+        config.max_sessions = m;
+    }
+    let model = load_model(&model_path);
+    let stats = model.stats();
+    let listener = TcpListener::bind(&listen)
+        .unwrap_or_else(|e| die(format!("cannot listen on {listen}: {e}")));
+    let addr = listener
+        .local_addr()
+        .unwrap_or_else(|e| die(format!("cannot resolve listen address: {e}")));
+    // The address line goes first and alone to stdout so wrappers (tests,
+    // scripts) can read the ephemeral port; progress chatter is stderr.
+    println!("quasar-serve listening on {addr}");
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "serving {} prefixes over {} ASes ({} quasi-routers) with {} worker(s)",
+        model.prefixes().len(),
+        stats.ases,
+        stats.quasi_routers,
+        config.workers
+    );
+    let state = Arc::new(ServerState::new(model, config));
+    if let Err(e) = quasar::serve::server::serve(state, listener) {
+        die(format!("serve failed: {e}"));
+    }
+    eprintln!("quasar-serve drained, exiting");
+}
+
+fn cmd_query(args: &[String]) {
+    let (addr, lines) = match args.split_first() {
+        Some((a, rest)) if !rest.is_empty() && !a.starts_with("--") => (a, rest),
+        _ => usage("query requires ADDR and at least one JSON request"),
+    };
+    let mut stream =
+        TcpStream::connect(addr).unwrap_or_else(|e| die(format!("cannot connect to {addr}: {e}")));
+    let reader = stream
+        .try_clone()
+        .unwrap_or_else(|e| die(format!("cannot clone connection: {e}")));
+    let mut reader = BufReader::new(reader);
+    let mut failed = false;
+    for line in lines {
+        // Validate locally first: a typo should produce a parse error
+        // naming the offending input, not a server round trip.
+        let req: Request = serde_json::from_str(line)
+            .unwrap_or_else(|e| die(format!("bad request `{line}`: {e}")));
+        let json = serde_json::to_string(&req)
+            .unwrap_or_else(|e| die(format!("cannot serialize request: {e}")));
+        stream
+            .write_all(format!("{json}\n").as_bytes())
+            .unwrap_or_else(|e| die(format!("cannot send to {addr}: {e}")));
+        let mut reply = String::new();
+        reader
+            .read_line(&mut reply)
+            .unwrap_or_else(|e| die(format!("cannot read reply: {e}")));
+        if reply.is_empty() {
+            die("server closed the connection");
+        }
+        print_line(&reply);
+        if matches!(serde_json::from_str(&reply), Ok(Response::Error(_))) {
+            failed = true;
+        }
+    }
+    if failed {
+        exit(1);
+    }
 }

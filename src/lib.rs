@@ -14,7 +14,9 @@
 //!   observation feeds,
 //! * [`model`] — the paper's contribution: quasi-router model, iterative
 //!   refinement, prediction metrics,
-//! * [`diversity`] — the §3 route-diversity analyses.
+//! * [`diversity`] — the §3 route-diversity analyses,
+//! * [`serve`] — concurrent what-if/prediction query server with a
+//!   per-prefix steady-state cache.
 //!
 //! See `examples/quickstart.rs` for the end-to-end pipeline.
 
@@ -26,6 +28,7 @@ pub use quasar_core as model;
 pub use quasar_diversity as diversity;
 pub use quasar_mrt as mrt;
 pub use quasar_netgen as netgen;
+pub use quasar_serve as serve;
 pub use quasar_topology as topology;
 
 use quasar_core::observed::{Dataset, ObservedRoute};

@@ -1,0 +1,208 @@
+//! End-to-end serving test: train a tiny model through the real binary,
+//! run `quasar serve` on an ephemeral port, talk to it concurrently over
+//! TCP, verify served answers are byte-identical to the one-shot CLI,
+//! check the steady-state cache registers warm hits, and shut the server
+//! down gracefully.
+
+use quasar::bgpsim::types::{Asn, Prefix};
+use quasar::serve::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn quasar_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_quasar"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("quasar-serve-test-{}-{name}", std::process::id()));
+    p
+}
+
+/// One lockstep request/response exchange on a fresh connection.
+fn ask(addr: &str, line: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to server");
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.ends_with('\n'), "incomplete reply: {reply:?}");
+    reply
+}
+
+#[test]
+fn serve_end_to_end() {
+    let feeds = tmp("feeds.mrt");
+    let model = tmp("model.json");
+
+    // Fixture: tiny synthetic internet, trained through the CLI.
+    let out = quasar_bin()
+        .args([
+            "generate",
+            "--out",
+            feeds.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = quasar_bin()
+        .args([
+            "train",
+            feeds.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The tiny seed-5 internet has AS10 originating this prefix and a
+    // feed from AS100 (same constants as the whatif step in cli.rs).
+    let prefix = Prefix::for_origin(Asn(10)).to_string();
+    let observer = 100u32;
+    let predict_req = format!(r#"{{"type":"predict","prefix":"{prefix}","observer":{observer}}}"#);
+    let explain_req = format!(r#"{{"type":"explain","prefix":"{prefix}","observer":{observer}}}"#);
+    let diff_req = r#"{"type":"diff","changes":[{"action":"depeer","a":10,"b":101}]}"#;
+
+    // Start the server on an ephemeral port; the address is the first
+    // stdout line.
+    let mut child = quasar_bin()
+        .args(["serve", model.to_str().unwrap(), "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut addr_line = String::new();
+    BufReader::new(child.stdout.take().unwrap())
+        .read_line(&mut addr_line)
+        .unwrap();
+    let addr = addr_line
+        .trim()
+        .strip_prefix("quasar-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected address line: {addr_line:?}"))
+        .to_string();
+
+    // Concurrent clients mixing predict / diff / explain.
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let addr = addr.clone();
+            let req = match i % 3 {
+                0 => predict_req.clone(),
+                1 => diff_req.to_string(),
+                _ => explain_req.clone(),
+            };
+            std::thread::spawn(move || ask(&addr, &req))
+        })
+        .collect();
+    for h in handles {
+        let reply = h.join().unwrap();
+        let parsed: Response = serde_json::from_str(&reply).expect("parsable reply");
+        assert!(!matches!(parsed, Response::Error(_)), "{reply}");
+    }
+
+    // Served answers are byte-identical to the one-shot CLI.
+    let served_predict = ask(&addr, &predict_req);
+    let out = quasar_bin()
+        .args([
+            "predict",
+            "--model",
+            model.to_str().unwrap(),
+            "--prefix",
+            &prefix,
+            "--observer",
+            &observer.to_string(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        served_predict,
+        String::from_utf8_lossy(&out.stdout),
+        "served predict differs from one-shot CLI"
+    );
+
+    let served_diff = ask(&addr, diff_req);
+    let out = quasar_bin()
+        .args([
+            "whatif",
+            "--json",
+            "--model",
+            model.to_str().unwrap(),
+            "--depeer",
+            "10:101",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        served_diff,
+        String::from_utf8_lossy(&out.stdout),
+        "served diff differs from one-shot CLI"
+    );
+
+    // The repeats above hit the warm per-prefix cache; metrics must show
+    // it (first predict simulated, later ones reused the steady state).
+    let Response::Metrics(m) = serde_json::from_str(&ask(&addr, r#"{"type":"metrics"}"#)).unwrap()
+    else {
+        panic!("expected metrics reply")
+    };
+    assert!(
+        m.base_cache.hits >= 1,
+        "no warm cache hits: {:?}",
+        m.base_cache
+    );
+    assert!(m.base_cache.misses >= 1);
+    assert_eq!(m.active_sessions, 1, "one what-if scenario resident");
+    assert!(m.for_kind("predict").unwrap().count >= 3);
+
+    // `quasar query` speaks the same protocol.
+    let out = quasar_bin()
+        .args(["query", &addr, r#"{"type":"stats"}"#])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(r#""type":"stats""#), "{text}");
+
+    // Graceful shutdown: the request is acknowledged and the process
+    // exits cleanly (drained workers, released port).
+    let Response::Shutdown(sd) =
+        serde_json::from_str(&ask(&addr, r#"{"type":"shutdown"}"#)).unwrap()
+    else {
+        panic!("expected shutdown reply")
+    };
+    assert!(sd.draining);
+    let status = child.wait().unwrap();
+    assert!(status.success(), "server exited with {status:?}");
+
+    for f in [
+        feeds.clone(),
+        model,
+        PathBuf::from(format!("{}.updates.mrt", feeds.display())),
+    ] {
+        let _ = std::fs::remove_file(f);
+    }
+}

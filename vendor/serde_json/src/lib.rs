@@ -396,12 +396,20 @@ impl<'a> Parser<'a> {
                     self.i += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.i..])
+                    // Consume the whole run up to the next quote or escape
+                    // in one slice — validating per character would rescan
+                    // the remaining input each time (quadratic on large
+                    // documents).
+                    let start = self.i;
+                    while let Some(&b) = self.bytes.get(self.i) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.i += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.i])
                         .map_err(|_| Error::msg("invalid utf-8"))?;
-                    let ch = rest.chars().next().unwrap();
-                    out.push(ch);
-                    self.i += ch.len_utf8();
+                    out.push_str(chunk);
                 }
                 None => return Err(Error::msg("unterminated string")),
             }
