@@ -1,0 +1,113 @@
+//! Golden snapshot tests for the `repro` binary: the paper-table output
+//! for a fixed seed at tiny scale is pinned byte-for-byte under
+//! `tests/golden/`. Any change to the numbers — an engine tweak, a
+//! refinement reordering, an RNG drift — shows up as a readable diff
+//! here instead of silently rewriting the paper's tables.
+//!
+//! To bless intentional changes:
+//! `UPDATE_GOLDEN=1 cargo test -p quasar-bench --test golden`
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The pinned invocation: default seed, tiny scale.
+const SEED: &str = "20051113";
+const SCALE: &str = "tiny";
+
+/// Experiments with a checked-in snapshot. Deliberately the fast,
+/// fully-deterministic subset — each runs in well under a minute at
+/// tiny scale.
+const EXPERIMENTS: &[&str] = &["t0", "fig2", "t2"];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Runs `repro --exp <exp>` and returns its stdout. Stderr carries
+/// timing chatter and is intentionally not part of the snapshot.
+fn run_repro(exp: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--exp", exp, "--scale", SCALE, "--seed", SEED])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch repro for {exp}: {e}"));
+    assert!(
+        out.status.success(),
+        "repro --exp {exp} exited with {:?}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("repro output is UTF-8")
+}
+
+/// First line where two snapshots differ, for a readable failure.
+fn first_diff_line(want: &str, got: &str) -> String {
+    for (i, (w, g)) in want.lines().zip(got.lines()).enumerate() {
+        if w != g {
+            return format!("line {}:\n  golden: {w}\n  actual: {g}", i + 1);
+        }
+    }
+    format!(
+        "line counts differ: golden {} vs actual {}",
+        want.lines().count(),
+        got.lines().count()
+    )
+}
+
+fn check_golden(exp: &str) {
+    let got = run_repro(exp);
+    let path = golden_dir().join(format!("{exp}.txt"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {path:?} ({e}); \
+             regenerate with UPDATE_GOLDEN=1 cargo test -p quasar-bench --test golden"
+        )
+    });
+    assert!(
+        want == got,
+        "repro --exp {exp} --scale {SCALE} --seed {SEED} diverged from {path:?}\n{}\n\
+         If the change is intentional, bless it with UPDATE_GOLDEN=1.",
+        first_diff_line(&want, &got)
+    );
+}
+
+#[test]
+fn golden_t0_dataset_summary() {
+    check_golden("t0");
+}
+
+#[test]
+fn golden_fig2_route_diversity() {
+    check_golden("fig2");
+}
+
+#[test]
+fn golden_t2_baselines() {
+    check_golden("t2");
+}
+
+#[test]
+fn golden_set_is_complete() {
+    // Every experiment listed above has a fixture, and every fixture
+    // corresponds to a listed experiment — no orphans either way.
+    let dir = golden_dir();
+    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("golden dir {dir:?} missing: {e}"))
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".txt").map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    listed.sort();
+    assert_eq!(
+        on_disk, listed,
+        "golden fixtures out of sync with EXPERIMENTS"
+    );
+}

@@ -247,6 +247,14 @@ impl Network {
         origins: &[RouterId],
         traced: bool,
     ) -> Result<(SimulationResult, Option<Vec<TraceEvent>>), SimError> {
+        // Failpoint: lets tests fail/delay a simulation at its entry, the
+        // spot where real resource exhaustion would surface.
+        #[cfg(feature = "testkit")]
+        if crate::fail::inject("engine.simulate") {
+            return Err(SimError::Injected {
+                point: "engine.simulate",
+            });
+        }
         let n = self.routers.len();
         // Map each session to its slot position inside both endpoints'
         // adjacency lists, so updates land in vec-indexed inbox slots

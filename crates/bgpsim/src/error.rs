@@ -25,6 +25,13 @@ pub enum SimError {
         /// Messages processed before giving up.
         processed: u64,
     },
+    /// A fault injected by an armed failpoint (`testkit` feature only —
+    /// the variant always exists so error handling is identical in both
+    /// builds, but nothing constructs it without the feature).
+    Injected {
+        /// The failpoint that fired.
+        point: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -43,6 +50,9 @@ impl fmt::Display for SimError {
                 f,
                 "BGP propagation for {prefix} diverged after {processed} messages"
             ),
+            SimError::Injected { point } => {
+                write!(f, "fault injected by failpoint `{point}`")
+            }
         }
     }
 }

@@ -1,0 +1,315 @@
+//! Seeded, deterministic failpoint registry (compiled only with the
+//! `testkit` cargo feature).
+//!
+//! A *failpoint* is a named hook compiled into production code paths —
+//! the engine's simulation entry, refinement's fix application, the
+//! server's worker loop — that tests can arm to inject a fault exactly
+//! where real failures would surface: an I/O-style error, a delayed
+//! wakeup, or a panic (which, inside a lock's critical section, exercises
+//! the poisoned-lock recovery paths). Unarmed points cost one mutex-map
+//! lookup; in builds without the `testkit` feature the call sites are
+//! compiled out entirely, so production binaries carry no trace of the
+//! registry.
+//!
+//! Determinism: every probabilistic trigger (`1inN`) is driven by a
+//! SplitMix64 stream derived from the registry seed, the point's name,
+//! and the point's evaluation counter — never from wall-clock time or a
+//! global RNG — so a test that sets `reset(seed)` sees the exact same
+//! fault schedule on every run, on every machine, at any parallelism.
+//!
+//! ```
+//! use quasar_bgpsim::fail;
+//!
+//! fail::reset(42);
+//! fail::set("engine.simulate", "1in3:error");
+//! // ... run the workload; exactly the same simulations fail each run.
+//! assert!(fail::evaluations("engine.simulate") >= fail::fired("engine.simulate"));
+//! fail::clear_all();
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// What an armed failpoint does when it triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Inject an error: the instrumented site maps this to its native
+    /// error type (e.g. [`crate::error::SimError::Injected`]).
+    Error,
+    /// Sleep for the given duration before continuing — a delayed wakeup
+    /// that shakes out scheduling-dependent behavior.
+    Delay(Duration),
+    /// Panic with a recognizable message. Inside a critical section this
+    /// poisons the enclosing `std::sync` lock.
+    Panic,
+}
+
+/// When an armed failpoint triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Trigger {
+    /// Every evaluation.
+    Always,
+    /// Only the first evaluation after arming.
+    Once,
+    /// Deterministically pseudo-randomly, one evaluation in `n` on
+    /// average (seeded — the schedule is identical across runs).
+    OneIn(u64),
+}
+
+/// One armed point's configuration and counters.
+#[derive(Debug, Clone)]
+struct Point {
+    trigger: Trigger,
+    action: FailAction,
+    evaluations: u64,
+    fired: u64,
+}
+
+/// Registry state: the seed and the armed points. Counters for points
+/// that were never armed are tracked too, so tests can assert coverage
+/// ("this code path was actually reached N times").
+struct Registry {
+    seed: u64,
+    points: HashMap<String, Point>,
+    /// Evaluations of *unarmed* points, by name.
+    touched: HashMap<String, u64>,
+}
+
+static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+/// Generation counter: bumped by [`reset`]/[`clear_all`] so long-lived
+/// readers can detect reconfiguration (used by tests only).
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+fn registry() -> MutexGuard<'static, Registry> {
+    REGISTRY
+        .get_or_init(|| {
+            Mutex::new(Registry {
+                seed: 0,
+                points: HashMap::new(),
+                touched: HashMap::new(),
+            })
+        })
+        .lock()
+        // The registry must stay usable after an injected panic poisoned
+        // it — poisoning *is* one of the faults this module injects.
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// FNV-1a over a name: stable point-identity hash mixed into the stream.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 output function: one statistically solid 64-bit draw per
+/// distinct input, with no retained state to share across threads.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Clears every point and counter and installs a new seed. Call first in
+/// every test that arms failpoints.
+pub fn reset(seed: u64) {
+    let mut reg = registry();
+    reg.seed = seed;
+    reg.points.clear();
+    reg.touched.clear();
+    GENERATION.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Disarms every point but keeps the seed and touch counters.
+pub fn clear_all() {
+    registry().points.clear();
+    GENERATION.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Disarms one point.
+pub fn clear(name: &str) {
+    registry().points.remove(name);
+}
+
+/// The current configuration generation (bumped by [`reset`] /
+/// [`clear_all`]).
+pub fn generation() -> u64 {
+    GENERATION.load(Ordering::SeqCst)
+}
+
+/// Arms `name` with a spec string: `"<trigger>:<action>"` where trigger
+/// is `always`, `once` or `1inN`, and action is `error`, `panic` or
+/// `delay:<ms>`. `"off"` disarms.
+///
+/// # Panics
+/// On a malformed spec — specs are test inputs, and a silently ignored
+/// typo would disable the fault the test believes it is injecting.
+pub fn set(name: &str, spec: &str) {
+    if spec == "off" {
+        clear(name);
+        return;
+    }
+    let (trigger, action) = spec
+        .split_once(':')
+        .unwrap_or_else(|| panic!("failpoint spec `{spec}` is not `<trigger>:<action>`"));
+    let trigger = match trigger {
+        "always" => Trigger::Always,
+        "once" => Trigger::Once,
+        t => {
+            let n = t
+                .strip_prefix("1in")
+                .and_then(|n| n.parse::<u64>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| panic!("bad failpoint trigger `{t}` in `{spec}`"));
+            Trigger::OneIn(n)
+        }
+    };
+    let action = match action {
+        "error" => FailAction::Error,
+        "panic" => FailAction::Panic,
+        a => {
+            let ms = a
+                .strip_prefix("delay:")
+                .and_then(|ms| ms.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("bad failpoint action `{a}` in `{spec}`"));
+            FailAction::Delay(Duration::from_millis(ms))
+        }
+    };
+    registry().points.insert(
+        name.to_string(),
+        Point {
+            trigger,
+            action,
+            evaluations: 0,
+            fired: 0,
+        },
+    );
+}
+
+/// Evaluates the point `name`: returns the action to perform now, or
+/// `None` when the point is unarmed or its trigger does not fire on this
+/// evaluation. Every call increments the point's evaluation counter.
+pub fn evaluate(name: &str) -> Option<FailAction> {
+    let mut reg = registry();
+    let seed = reg.seed;
+    let Some(point) = reg.points.get_mut(name) else {
+        *reg.touched.entry(name.to_string()).or_insert(0) += 1;
+        return None;
+    };
+    let n = point.evaluations;
+    point.evaluations += 1;
+    let fires = match point.trigger {
+        Trigger::Always => true,
+        Trigger::Once => n == 0,
+        Trigger::OneIn(k) => {
+            splitmix64(seed ^ fnv1a(name) ^ n.wrapping_mul(0x2545_f491_4f6c_dd1d)).is_multiple_of(k)
+        }
+    };
+    if fires {
+        point.fired += 1;
+        Some(point.action)
+    } else {
+        None
+    }
+}
+
+/// Evaluates `name` and *performs* delay/panic actions in place. Returns
+/// `true` when the caller should inject an error — the only action a
+/// generic helper cannot perform on the caller's behalf.
+pub fn inject(name: &str) -> bool {
+    match evaluate(name) {
+        None => false,
+        Some(FailAction::Delay(d)) => {
+            std::thread::sleep(d);
+            false
+        }
+        Some(FailAction::Panic) => panic!("failpoint `{name}` panicked (injected)"),
+        Some(FailAction::Error) => true,
+    }
+}
+
+/// How many times `name` was evaluated (armed or not) since [`reset`].
+pub fn evaluations(name: &str) -> u64 {
+    let reg = registry();
+    reg.points
+        .get(name)
+        .map(|p| p.evaluations)
+        .or_else(|| reg.touched.get(name).copied())
+        .unwrap_or(0)
+}
+
+/// How many times `name` actually fired since it was armed.
+pub fn fired(name: &str) -> u64 {
+    registry().points.get(name).map(|p| p.fired).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; tests in this module serialize on
+    /// one lock so their arm/fire sequences cannot interleave.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn one_in_n_schedule_is_deterministic() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let schedule = |seed: u64| -> Vec<bool> {
+            reset(seed);
+            set("t.point", "1in3:error");
+            (0..64).map(|_| evaluate("t.point").is_some()).collect()
+        };
+        let a = schedule(7);
+        let b = schedule(7);
+        let c = schedule(8);
+        assert_eq!(a, b, "same seed must give the same fault schedule");
+        assert_ne!(a, c, "different seeds must not collide on 64 draws");
+        assert!(a.iter().any(|&f| f), "1in3 should fire within 64 draws");
+        assert!(!a.iter().all(|&f| f), "1in3 should also not-fire");
+        reset(0);
+    }
+
+    #[test]
+    fn once_fires_exactly_once_and_always_every_time() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset(1);
+        set("t.once", "once:error");
+        set("t.always", "always:error");
+        let once: Vec<bool> = (0..5).map(|_| evaluate("t.once").is_some()).collect();
+        let always: Vec<bool> = (0..5).map(|_| evaluate("t.always").is_some()).collect();
+        assert_eq!(once, vec![true, false, false, false, false]);
+        assert_eq!(always, vec![true; 5]);
+        assert_eq!(fired("t.once"), 1);
+        assert_eq!(evaluations("t.always"), 5);
+        reset(0);
+    }
+
+    #[test]
+    fn unarmed_points_count_touches_and_off_disarms() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset(2);
+        assert_eq!(evaluate("t.cold"), None);
+        assert_eq!(evaluations("t.cold"), 1);
+        set("t.cold", "always:panic");
+        set("t.cold", "off");
+        assert_eq!(evaluate("t.cold"), None);
+        reset(0);
+    }
+
+    #[test]
+    fn delay_spec_parses_and_inject_sleeps() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset(3);
+        set("t.delay", "always:delay:10");
+        let t0 = std::time::Instant::now();
+        assert!(!inject("t.delay"));
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        reset(0);
+    }
+}

@@ -80,6 +80,8 @@ pub mod aspath;
 pub mod decision;
 pub mod engine;
 pub mod error;
+#[cfg(feature = "testkit")]
+pub mod fail;
 pub mod igp;
 pub mod network;
 pub mod policy;

@@ -301,6 +301,11 @@ fn simulate_batch(
                 if i >= prefixes.len() {
                     break;
                 }
+                // Failpoint: per-simulation jitter that reorders worker
+                // completion (error injection belongs to `engine.simulate`
+                // inside `model.simulate`, where it propagates naturally).
+                #[cfg(feature = "testkit")]
+                let _ = quasar_bgpsim::fail::inject("refine.simulate_batch");
                 **slots[i].lock() = Some(model.simulate(prefixes[i]));
             });
         }
@@ -389,6 +394,12 @@ fn apply_fixes(
     cfg: &RefineConfig,
     mirrors: &mut BTreeMap<RouterId, RouterId>,
 ) -> (bool, bool) {
+    // Failpoint: a delay here stalls the sequential fix phase between
+    // two prefixes of a round; determinism tests assert the trained model
+    // stays byte-identical no matter how the stall interleaves with the
+    // (already completed) parallel simulations.
+    #[cfg(feature = "testkit")]
+    let _ = quasar_bgpsim::fail::inject("refine.apply_fix");
     let prefix = job.outcome.prefix;
     let mut reserved: BTreeSet<RouterId> = BTreeSet::new();
     let mut all_matched = true;

@@ -1,0 +1,25 @@
+//! The refinement determinism contract, checked through the shared
+//! differential harness: where `parallel_refine.rs` asserts blob
+//! equality, this suite goes through `quasar_testkit::diff`, which
+//! pinpoints the first diverging field if the contract ever breaks —
+//! the failure message names a JSON path instead of two dumps.
+
+use quasar_testkit::diff::{refine_differential, roundtrip_differential};
+use quasar_testkit::workload::tiny_trained;
+
+#[test]
+fn refinement_thread_counts_agree_field_by_field() {
+    let fx = tiny_trained(202);
+    if let Err(d) = refine_differential(&fx.full, &fx.training, &[2, 8]) {
+        panic!("{d}");
+    }
+}
+
+#[test]
+fn trained_model_survives_json_roundtrip_per_field() {
+    let fx = tiny_trained(202);
+    let requests = vec![r#"{"type":"stats"}"#.to_string()];
+    if let Err(d) = roundtrip_differential(&fx.model, &requests) {
+        panic!("{d}");
+    }
+}

@@ -1,0 +1,225 @@
+//! Mutation fuzzing: start from *valid* encoded records and apply
+//! byte-level mutation operators — flips, insertions, deletions,
+//! truncations, duplications, cross-record splices. Every mutant must
+//! decode to `Ok` or a typed [`MrtError`], never panic; and a mutation
+//! that happens to leave the stream valid must round-trip cleanly.
+//!
+//! Plain random byte soup (see `fuzz_robustness.rs`) mostly dies at the
+//! header; mutants of valid records keep the framing plausible, which is
+//! what drives the decoder deep into its branchy attribute paths.
+
+use proptest::prelude::*;
+use quasar_mrt::prelude::*;
+
+/// A corpus of structurally diverse valid records to mutate.
+fn corpus() -> Vec<MrtRecord> {
+    vec![
+        MrtRecord {
+            timestamp: 1,
+            body: MrtBody::RibIpv4Unicast(RibIpv4Unicast {
+                sequence: 0,
+                prefix: NlriPrefix::new(0x0A00_0000, 8).unwrap(),
+                entries: vec![RibEntry {
+                    peer_index: 0,
+                    originated_time: 0,
+                    attributes: vec![PathAttribute::Origin(0)],
+                }],
+            }),
+        },
+        MrtRecord {
+            timestamp: 1_130_000_000,
+            body: MrtBody::RibIpv4Unicast(RibIpv4Unicast {
+                sequence: 42,
+                prefix: NlriPrefix::new(0xC633_6400, 24).unwrap(),
+                entries: vec![
+                    RibEntry {
+                        peer_index: 3,
+                        originated_time: 1_129_999_000,
+                        attributes: vec![
+                            PathAttribute::Origin(0),
+                            PathAttribute::AsPath(vec![AsPathSegment::sequence(vec![
+                                7018, 3356, 5511,
+                            ])]),
+                        ],
+                    },
+                    RibEntry {
+                        peer_index: 9,
+                        originated_time: 1_129_998_000,
+                        attributes: vec![
+                            PathAttribute::Origin(1),
+                            PathAttribute::AsPath(vec![AsPathSegment::sequence(vec![
+                                1239, 701, 5511,
+                            ])]),
+                        ],
+                    },
+                ],
+            }),
+        },
+        MrtRecord {
+            timestamp: 7,
+            body: MrtBody::Bgp4mp(Bgp4mpMessage {
+                peer_asn: 7018,
+                local_asn: 65000,
+                interface: 0,
+                peer_ip: 1,
+                local_ip: 2,
+                as4: false,
+                message: BgpMessage::Update(BgpUpdate {
+                    withdrawn: vec![NlriPrefix::new(0x0B00_0000, 8).unwrap()],
+                    attributes: vec![
+                        PathAttribute::Origin(0),
+                        PathAttribute::AsPath(vec![AsPathSegment::sequence(vec![7018, 5511])]),
+                    ],
+                    announced: vec![NlriPrefix::new(0xC633_6400, 24).unwrap()],
+                }),
+            }),
+        },
+        MrtRecord {
+            timestamp: 8,
+            body: MrtBody::Bgp4mp(Bgp4mpMessage {
+                peer_asn: 131072,
+                local_asn: 65000,
+                interface: 1,
+                peer_ip: 3,
+                local_ip: 4,
+                as4: true,
+                message: BgpMessage::Update(BgpUpdate {
+                    withdrawn: vec![],
+                    attributes: vec![
+                        PathAttribute::Origin(2),
+                        PathAttribute::AsPath(vec![AsPathSegment::sequence(vec![
+                            131072, 3356, 196608,
+                        ])]),
+                    ],
+                    announced: vec![
+                        NlriPrefix::new(0x0A0A_0000, 16).unwrap(),
+                        NlriPrefix::new(0x0A0B_0000, 16).unwrap(),
+                    ],
+                }),
+            }),
+        },
+    ]
+}
+
+/// Decodes a mutant stream to the end: every record parses or fails
+/// with a typed error — reaching this function's return at all is the
+/// no-panic assertion.
+fn drain(bytes: &[u8]) -> std::result::Result<usize, MrtError> {
+    let mut r = MrtReader::new(bytes);
+    let mut parsed = 0usize;
+    loop {
+        match r.next_record() {
+            Ok(Some(_)) => parsed += 1,
+            Ok(None) => return Ok(parsed),
+            Err(e) => {
+                // The error type must render, too — a Display panic in
+                // an error path is still a panic.
+                let _ = e.to_string();
+                return Err(e);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    /// Multi-byte flips anywhere in a valid record.
+    #[test]
+    fn byte_flips_parse_or_error(
+        which in 0usize..4,
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = corpus()[which].encode().to_vec();
+        for (pos, val) in flips {
+            let pos = pos as usize % bytes.len();
+            bytes[pos] ^= val;
+        }
+        let _ = drain(&bytes);
+    }
+
+    /// Truncation at every possible boundary: a cut record must never
+    /// parse as success-with-garbage *silently panicking* — it is either
+    /// a clean EOF before the record or a typed error.
+    #[test]
+    fn truncation_parses_or_errors(which in 0usize..4, keep in any::<u16>()) {
+        let bytes = corpus()[which].encode().to_vec();
+        let keep = keep as usize % (bytes.len() + 1);
+        let _ = drain(&bytes[..keep]);
+    }
+
+    /// Random insertions grow the stream; framing lengths now lie.
+    #[test]
+    fn insertions_parse_or_error(
+        which in 0usize..4,
+        at in any::<u16>(),
+        insert in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let mut bytes = corpus()[which].encode().to_vec();
+        let at = at as usize % (bytes.len() + 1);
+        bytes.splice(at..at, insert);
+        let _ = drain(&bytes);
+    }
+
+    /// Random deletions shrink the stream mid-record.
+    #[test]
+    fn deletions_parse_or_error(which in 0usize..4, at in any::<u16>(), len in 1usize..24) {
+        let mut bytes = corpus()[which].encode().to_vec();
+        let at = at as usize % bytes.len();
+        let end = (at + len).min(bytes.len());
+        bytes.drain(at..end);
+        let _ = drain(&bytes);
+    }
+
+    /// Splicing the head of one record onto the tail of another keeps
+    /// both halves individually plausible.
+    #[test]
+    fn cross_record_splices_parse_or_error(
+        a in 0usize..4,
+        b in 0usize..4,
+        cut_a in any::<u16>(),
+        cut_b in any::<u16>(),
+    ) {
+        let bytes_a = corpus()[a].encode().to_vec();
+        let bytes_b = corpus()[b].encode().to_vec();
+        let cut_a = cut_a as usize % (bytes_a.len() + 1);
+        let cut_b = cut_b as usize % (bytes_b.len() + 1);
+        let mut spliced = bytes_a[..cut_a].to_vec();
+        spliced.extend_from_slice(&bytes_b[cut_b..]);
+        let _ = drain(&spliced);
+    }
+
+    /// A mutated stream followed by a pristine record: an error in the
+    /// mutant must not corrupt reader state into a panic on what follows.
+    #[test]
+    fn garbage_then_valid_never_panics(
+        which in 0usize..4,
+        flips in proptest::collection::vec((any::<u16>(), 1u8..=255), 1..6),
+    ) {
+        let records = corpus();
+        let mut bytes = records[which].encode().to_vec();
+        for (pos, val) in flips {
+            let pos = pos as usize % bytes.len();
+            bytes[pos] ^= val;
+        }
+        bytes.extend_from_slice(&records[(which + 1) % 4].encode());
+        let _ = drain(&bytes);
+    }
+}
+
+#[test]
+fn unmutated_corpus_round_trips() {
+    // Sanity anchor for every mutation test above: the pristine corpus
+    // itself must parse back to exactly what was encoded.
+    let records = corpus();
+    let mut stream = Vec::new();
+    for r in &records {
+        stream.extend_from_slice(&r.encode());
+    }
+    let mut reader = MrtReader::new(&stream[..]);
+    let parsed = reader.read_all().expect("pristine corpus parses");
+    assert_eq!(parsed.len(), records.len());
+    for (got, want) in parsed.iter().zip(records.iter()) {
+        assert_eq!(got.timestamp, want.timestamp);
+    }
+}

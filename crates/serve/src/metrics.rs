@@ -152,6 +152,7 @@ pub struct LatencySnapshot {
 pub struct ServeMetrics {
     per_kind: [LatencyHistogram; 7],
     connections: AtomicU64,
+    panics_caught: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -175,6 +176,17 @@ impl ServeMetrics {
         self.connections.load(Ordering::Relaxed)
     }
 
+    /// Records one connection-handler panic that was caught and contained
+    /// (the worker survived).
+    pub fn panic_caught(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connection-handler panics caught so far.
+    pub fn panics_caught(&self) -> u64 {
+        self.panics_caught.load(Ordering::Relaxed)
+    }
+
     /// Requests served of one kind.
     pub fn count(&self, kind: RequestKind) -> u64 {
         self.per_kind[kind.index()].snapshot().count
@@ -193,6 +205,7 @@ impl ServeMetrics {
                 .map(|k| (k.as_str().to_string(), self.per_kind[k.index()].snapshot()))
                 .collect(),
             connections: self.connections(),
+            panics_caught: self.panics_caught(),
             base_cache,
             overlay_cache,
             active_sessions,
@@ -208,6 +221,9 @@ pub struct MetricsSnapshot {
     pub requests: Vec<(String, LatencySnapshot)>,
     /// Connections accepted since startup.
     pub connections: u64,
+    /// Connection-handler panics caught and contained since startup
+    /// (each one ended a single connection, never a worker).
+    pub panics_caught: u64,
     /// Base steady-state cache counters.
     pub base_cache: CacheSnapshot,
     /// Aggregated overlay-cache counters over resident sessions.

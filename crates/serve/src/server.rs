@@ -25,8 +25,9 @@ use quasar_core::whatif::{Change, RoutingDiff};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// How long the acceptor sleeps when no connection is pending, and how
@@ -36,6 +37,21 @@ const POLL_INTERVAL: Duration = Duration::from_millis(20);
 /// Per-connection read timeout so idle workers notice a shutdown instead
 /// of blocking in `read` forever.
 const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Hard cap on one buffered request line. A client that streams this many
+/// bytes without a newline gets one error reply and a closed connection
+/// instead of growing the buffer without bound.
+pub const MAX_REQUEST_LINE: usize = 1 << 20;
+
+/// Locks a mutex, recovering the data if a previous holder panicked.
+/// Every value guarded here (the connection queue, the accept-error slot)
+/// stays structurally valid across a panic — a half-handled connection
+/// was popped before the handler ran — so continuing with the inner data
+/// is safe, and it keeps one panicking worker from cascading into every
+/// thread that touches the same lock.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Server tunables.
 #[derive(Debug, Clone, Copy)]
@@ -122,6 +138,15 @@ impl ServerState {
     /// `error` kind.
     pub fn handle_line(&self, line: &str) -> Response {
         let start = Instant::now();
+        // Failpoint: injects a dispatch-level fault (error reply, stall,
+        // or panic — the panic is caught by the worker's unwind guard).
+        #[cfg(feature = "testkit")]
+        if quasar_bgpsim::fail::inject("serve.handle_line") {
+            let resp = Response::error("injected fault (failpoint serve.handle_line)");
+            self.metrics
+                .record(RequestKind::Error, start.elapsed().as_micros() as u64);
+            return resp;
+        }
         let (kind, response) = match serde_json::from_str::<Request>(line.trim()) {
             Ok(req) => {
                 let resp = self.dispatch(&req);
@@ -287,13 +312,14 @@ pub fn serve(state: Arc<ServerState>, listener: TcpListener) -> io::Result<()> {
             if state.shutting_down() {
                 break;
             }
+            // Failpoint: stalls the acceptor; queued connections must
+            // survive an arbitrarily slow accept path.
+            #[cfg(feature = "testkit")]
+            let _ = quasar_bgpsim::fail::inject("serve.accept");
             match listener.accept() {
                 Ok((stream, _addr)) => {
                     state.metrics.connection_opened();
-                    queue
-                        .lock()
-                        .expect("connection queue poisoned")
-                        .push_back(stream);
+                    lock_recovering(&queue).push_back(stream);
                     available.notify_one();
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -301,7 +327,7 @@ pub fn serve(state: Arc<ServerState>, listener: TcpListener) -> io::Result<()> {
                 }
                 Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => {}
                 Err(e) => {
-                    *accept_error.lock().expect("accept error slot poisoned") = Some(e);
+                    *lock_recovering(&accept_error) = Some(e);
                     state.request_shutdown();
                     break;
                 }
@@ -309,11 +335,15 @@ pub fn serve(state: Arc<ServerState>, listener: TcpListener) -> io::Result<()> {
         }
         available.notify_all();
     })
-    .expect("serve worker panicked");
+    // A worker that panicked outside the unwind guard (e.g. a failpoint
+    // firing inside the queue's critical section) died alone: the accept
+    // loop and the surviving workers recovered the poisoned locks and
+    // finished the drain, so a dead worker is a warning, not a serve error.
+    .unwrap_or_else(|_| eprintln!("quasar-serve: a worker thread panicked and was dropped"));
 
     match accept_error
         .into_inner()
-        .expect("accept error slot poisoned")
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
     {
         Some(e) => Err(e),
         None => Ok(()),
@@ -322,14 +352,25 @@ pub fn serve(state: Arc<ServerState>, listener: TcpListener) -> io::Result<()> {
 
 /// One worker: pull connections off the queue until shutdown, then exit.
 fn worker_loop(state: &ServerState, queue: &Mutex<VecDeque<TcpStream>>, available: &Condvar) {
-    let mut guard = queue.lock().expect("connection queue poisoned");
+    let mut guard = lock_recovering(queue);
     loop {
         if let Some(stream) = guard.pop_front() {
+            // Failpoint: a panic here fires *inside* the queue's critical
+            // section, poisoning the connection queue — the regression
+            // case for the poison-recovering lock handling.
+            #[cfg(feature = "testkit")]
+            let _ = quasar_bgpsim::fail::inject("serve.worker.panic");
             drop(guard);
-            // Connection errors (reset peers, broken pipes) only end this
-            // connection, never the worker.
-            let _ = handle_connection(state, stream);
-            guard = queue.lock().expect("connection queue poisoned");
+            // Connection errors (reset peers, broken pipes) and panics
+            // escaping the request handler only end this connection,
+            // never the worker: the panic is caught, counted, and the
+            // worker returns to the queue.
+            let outcome =
+                std::panic::catch_unwind(AssertUnwindSafe(|| handle_connection(state, stream)));
+            if outcome.is_err() {
+                state.metrics.panic_caught();
+            }
+            guard = lock_recovering(queue);
             continue;
         }
         if state.shutting_down() {
@@ -337,7 +378,7 @@ fn worker_loop(state: &ServerState, queue: &Mutex<VecDeque<TcpStream>>, availabl
         }
         guard = available
             .wait_timeout(guard, POLL_INTERVAL)
-            .expect("connection queue poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .0;
     }
 }
@@ -357,6 +398,15 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream) -> io::Result<(
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(()), // clean EOF from the client
             Ok(n) => {
+                // Failpoint: a fault after a successful read models a
+                // peer reset mid-request.
+                #[cfg(feature = "testkit")]
+                if quasar_bgpsim::fail::inject("serve.conn.read") {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "injected read fault (failpoint serve.conn.read)",
+                    ));
+                }
                 pending.extend_from_slice(&chunk[..n]);
                 while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
                     let line: Vec<u8> = pending.drain(..=pos).collect();
@@ -369,8 +419,33 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream) -> io::Result<(
                         r#"{"type":"error","message":"serialization failed"}"#.to_string()
                     });
                     out.push('\n');
+                    // Failpoint: a fault before the reply write models a
+                    // client that vanished between request and response.
+                    #[cfg(feature = "testkit")]
+                    if quasar_bgpsim::fail::inject("serve.conn.write") {
+                        return Err(io::Error::new(
+                            io::ErrorKind::BrokenPipe,
+                            "injected write fault (failpoint serve.conn.write)",
+                        ));
+                    }
                     stream.write_all(out.as_bytes())?;
                     stream.flush()?;
+                }
+                if pending.len() > MAX_REQUEST_LINE {
+                    // One bounded error reply, then close: the peer is
+                    // either malicious or broken, and buffering more of
+                    // its newline-free stream helps neither of us.
+                    state.metrics.record(RequestKind::Error, 0);
+                    let mut out = serde_json::to_string(&Response::error(format!(
+                        "request line exceeds {MAX_REQUEST_LINE} bytes without a newline"
+                    )))
+                    .unwrap_or_else(|_| {
+                        r#"{"type":"error","message":"serialization failed"}"#.to_string()
+                    });
+                    out.push('\n');
+                    let _ = stream.write_all(out.as_bytes());
+                    let _ = stream.flush();
+                    return Ok(());
                 }
             }
             Err(e)

@@ -1,0 +1,549 @@
+//! Seeded chaos TCP proxy.
+//!
+//! [`Proxy`] listens on an ephemeral port and forwards every accepted
+//! connection to a fixed upstream address, mangling *delivery* on the
+//! client→server direction according to a [`ChaosConfig`] and a `u64`
+//! seed:
+//!
+//! - writes are re-chunked at arbitrary byte boundaries (a 60-byte
+//!   request may arrive as 17 separate TCP writes),
+//! - individual chunks are delayed,
+//! - a connection's client→server stream may be truncated mid-request
+//!   (write side shut down, replies still relayed),
+//! - a connection may be dropped outright (both sockets closed).
+//!
+//! Payload bytes are never altered, reordered, or duplicated, so every
+//! request that arrives complete is exactly what the client sent, and
+//! every complete reply the client reads is exactly what the server
+//! wrote. That is what makes "byte-identical to the fault-free run" a
+//! sound assertion in soak tests.
+//!
+//! All decisions derive from `seed` and the connection index via
+//! SplitMix64 — two runs with the same seed and the same connection
+//! order inject the same faults at the same byte offsets.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// How long the acceptor sleeps between non-blocking accept attempts.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Read timeout on the client socket so relay threads notice shutdown.
+const RELAY_POLL: Duration = Duration::from_millis(50);
+
+/// Tunables for one proxy instance. All `*_1in` knobs are "one in N"
+/// probabilities; `0` disables that fault entirely.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Master seed; every fault decision derives from it.
+    pub seed: u64,
+    /// Forwarded chunks are `1..=max_chunk` bytes (minimum 1).
+    pub max_chunk: usize,
+    /// Chance per forwarded chunk of sleeping before the write.
+    pub delay_1in: u64,
+    /// Injected delays are `1..=max_delay_ms` milliseconds.
+    pub max_delay_ms: u64,
+    /// Chance per connection of truncating the client→server stream:
+    /// after a seed-chosen byte offset the write side is shut down, but
+    /// replies already earned keep flowing back.
+    pub truncate_1in: u64,
+    /// Chance per connection of dropping it outright (both sockets
+    /// closed mid-flight) after a seed-chosen byte offset.
+    pub drop_1in: u64,
+    /// Upper bound (exclusive) on the byte offset at which a truncate
+    /// or drop strikes.
+    pub cut_within: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            max_chunk: 7,
+            delay_1in: 4,
+            max_delay_ms: 2,
+            truncate_1in: 8,
+            drop_1in: 11,
+            cut_within: 48,
+        }
+    }
+}
+
+/// What one connection is fated to suffer, decided up front from the
+/// seed so tests can predict (and count) the faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Shut down the client→server direction after this many forwarded
+    /// bytes.
+    pub truncate_after: Option<usize>,
+    /// Close both sockets after this many forwarded bytes. Takes
+    /// precedence over `truncate_after`.
+    pub drop_after: Option<usize>,
+}
+
+impl FaultPlan {
+    /// The deterministic plan for connection number `conn_index` (0-based
+    /// accept order) under `cfg`.
+    pub fn for_connection(cfg: &ChaosConfig, conn_index: u64) -> FaultPlan {
+        // Distinct stream from the chunking RNG (salt 0xFA); the plan
+        // must not shift when `max_chunk` changes.
+        let mut rng = SplitMix64::new(cfg.seed ^ mix(conn_index ^ 0xFA));
+        let cut = |rng: &mut SplitMix64, one_in: u64, within: usize| {
+            if one_in > 0 && rng.one_in(one_in) {
+                Some(rng.below(within.max(1) as u64) as usize)
+            } else {
+                // Burn the offset draw anyway so later decisions don't
+                // depend on whether this fault was enabled.
+                let _ = rng.next();
+                None
+            }
+        };
+        let drop_after = cut(&mut rng, cfg.drop_1in, cfg.cut_within);
+        let truncate_after = cut(&mut rng, cfg.truncate_1in, cfg.cut_within);
+        FaultPlan {
+            truncate_after,
+            drop_after,
+        }
+    }
+}
+
+/// Fault counters, filled in as connections are handled.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    chunks: AtomicU64,
+    bytes_forward: AtomicU64,
+    bytes_back: AtomicU64,
+    delays: AtomicU64,
+    truncated: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// Snapshot of a proxy's fault counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Client→server chunks forwarded (splitting inflates this well past
+    /// the number of client writes).
+    pub chunks: u64,
+    /// Client→server payload bytes forwarded.
+    pub bytes_forward: u64,
+    /// Server→client payload bytes relayed.
+    pub bytes_back: u64,
+    /// Injected per-chunk delays.
+    pub delays: u64,
+    /// Connections whose request stream was truncated.
+    pub truncated: u64,
+    /// Connections dropped outright.
+    pub dropped: u64,
+}
+
+/// A running chaos proxy. Dropping it (or calling [`Proxy::stop`]) shuts
+/// the listener down and joins every relay thread.
+pub struct Proxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Proxy {
+    /// Starts a proxy on an ephemeral localhost port forwarding to
+    /// `upstream`.
+    pub fn start(upstream: SocketAddr, cfg: ChaosConfig) -> io::Result<Proxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            thread::spawn(move || accept_loop(listener, upstream, cfg, shutdown, counters))
+        };
+        Ok(Proxy {
+            addr,
+            shutdown,
+            counters,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current fault counters.
+    pub fn stats(&self) -> ChaosStats {
+        let c = &self.counters;
+        ChaosStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            chunks: c.chunks.load(Ordering::Relaxed),
+            bytes_forward: c.bytes_forward.load(Ordering::Relaxed),
+            bytes_back: c.bytes_back.load(Ordering::Relaxed),
+            delays: c.delays.load(Ordering::Relaxed),
+            truncated: c.truncated.load(Ordering::Relaxed),
+            dropped: c.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, joins all relay threads, and returns the final
+    /// counters.
+    pub fn stop(mut self) -> ChaosStats {
+        self.shut_down();
+        self.stats()
+    }
+
+    fn shut_down(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Proxy {
+    fn drop(&mut self) {
+        self.shut_down();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    cfg: ChaosConfig,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+) {
+    let mut relays: Vec<JoinHandle<()>> = Vec::new();
+    let mut index = 0u64;
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_index = index;
+                index += 1;
+                let counters = Arc::clone(&counters);
+                let shutdown = Arc::clone(&shutdown);
+                relays.push(thread::spawn(move || {
+                    relay_connection(client, upstream, cfg, conn_index, counters, shutdown);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => break,
+        }
+        // Reap finished relays so a long soak doesn't hoard thousands of
+        // exited-but-unjoined threads.
+        relays.retain(|h| !h.is_finished());
+    }
+    for h in relays {
+        let _ = h.join();
+    }
+}
+
+/// Forwards one connection until EOF, fault, or proxy shutdown.
+fn relay_connection(
+    client: TcpStream,
+    upstream: SocketAddr,
+    cfg: ChaosConfig,
+    conn_index: u64,
+    counters: Arc<Counters>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let Ok(server) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    let _ = client.set_read_timeout(Some(RELAY_POLL));
+
+    // Server→client direction: a plain unmangled copy in its own thread.
+    let back = {
+        let (Ok(mut from), Ok(mut to)) = (server.try_clone(), client.try_clone()) else {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = server.shutdown(Shutdown::Both);
+            return;
+        };
+        let counters = Arc::clone(&counters);
+        thread::spawn(move || {
+            let mut buf = [0u8; 4096];
+            loop {
+                match from.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        counters.bytes_back.fetch_add(n as u64, Ordering::Relaxed);
+                        if to.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Server closed (or errored): pass the EOF on to the client.
+            let _ = to.shutdown(Shutdown::Write);
+        })
+    };
+
+    let plan = FaultPlan::for_connection(&cfg, conn_index);
+    let mut rng = SplitMix64::new(cfg.seed ^ mix(conn_index));
+    let outcome = forward_mangled(&client, &server, &cfg, plan, &mut rng, &counters, &shutdown);
+
+    match outcome {
+        Outcome::Dropped => {
+            counters.dropped.fetch_add(1, Ordering::Relaxed);
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = server.shutdown(Shutdown::Both);
+        }
+        Outcome::Truncated => {
+            counters.truncated.fetch_add(1, Ordering::Relaxed);
+            // Write side already shut; the back-relay keeps draining any
+            // replies the server still owes for complete earlier lines.
+        }
+        Outcome::Eof => {}
+    }
+    let _ = back.join();
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = server.shutdown(Shutdown::Both);
+}
+
+enum Outcome {
+    /// Client finished cleanly (EOF, or write error after server closed).
+    Eof,
+    /// The plan cut the request stream; replies may still flow.
+    Truncated,
+    /// The plan killed the whole connection.
+    Dropped,
+}
+
+/// Client→server pump applying the fault plan and chunk mangling.
+fn forward_mangled(
+    client: &TcpStream,
+    server: &TcpStream,
+    cfg: &ChaosConfig,
+    plan: FaultPlan,
+    rng: &mut SplitMix64,
+    counters: &Counters,
+    shutdown: &AtomicBool,
+) -> Outcome {
+    let mut client = client;
+    let mut server = server;
+    let mut forwarded = 0usize;
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match client.read(&mut buf) {
+            Ok(0) => {
+                let _ = server.shutdown(Shutdown::Write);
+                return Outcome::Eof;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Outcome::Dropped;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                let _ = server.shutdown(Shutdown::Write);
+                return Outcome::Eof;
+            }
+        };
+        let mut data = &buf[..n];
+        while !data.is_empty() {
+            if let Some(at) = plan.drop_after {
+                if forwarded >= at {
+                    return Outcome::Dropped;
+                }
+            }
+            if let Some(at) = plan.truncate_after {
+                if forwarded >= at && plan.drop_after.is_none() {
+                    let _ = server.shutdown(Shutdown::Write);
+                    return Outcome::Truncated;
+                }
+            }
+            let take = data
+                .len()
+                .min(1 + rng.below(cfg.max_chunk.max(1) as u64) as usize);
+            if cfg.delay_1in > 0 && rng.one_in(cfg.delay_1in) {
+                counters.delays.fetch_add(1, Ordering::Relaxed);
+                thread::sleep(Duration::from_millis(
+                    1 + rng.below(cfg.max_delay_ms.max(1)),
+                ));
+            }
+            if server.write_all(&data[..take]).is_err() {
+                // Upstream went away (e.g. server-side shutdown): treat
+                // like EOF, the back-relay will surface whatever the
+                // server managed to say.
+                return Outcome::Eof;
+            }
+            counters.chunks.fetch_add(1, Ordering::Relaxed);
+            counters
+                .bytes_forward
+                .fetch_add(take as u64, Ordering::Relaxed);
+            forwarded += take;
+            data = &data[take..];
+        }
+    }
+}
+
+/// SplitMix64: tiny, seedable, and plenty for fault scheduling.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix(self.0)
+    }
+
+    /// Uniform-ish draw in `0..n` (`n > 0`).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// True once in `n` draws on average (`n > 0`).
+    fn one_in(&mut self, n: u64) -> bool {
+        self.below(n) == 0
+    }
+}
+
+/// SplitMix64 finalizer.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    /// A trivial upstream echo-line server for proxy unit tests.
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = thread::spawn(move || {
+            // Serve a bounded number of connections, then quit; unit
+            // tests never need more.
+            for stream in listener.incoming().take(8).flatten() {
+                thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut line = String::new();
+                    let mut stream = stream;
+                    while reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+                        if stream.write_all(line.as_bytes()).is_err() {
+                            break;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+        (addr, h)
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_vary_by_connection() {
+        let cfg = ChaosConfig {
+            seed: 42,
+            ..ChaosConfig::default()
+        };
+        let plans: Vec<FaultPlan> = (0..64)
+            .map(|i| FaultPlan::for_connection(&cfg, i))
+            .collect();
+        let again: Vec<FaultPlan> = (0..64)
+            .map(|i| FaultPlan::for_connection(&cfg, i))
+            .collect();
+        assert_eq!(plans, again, "same seed must give the same plans");
+        assert!(
+            plans.iter().any(|p| p.truncate_after.is_some()),
+            "64 connections at 1-in-8 should see at least one truncation"
+        );
+        assert!(
+            plans.iter().any(|p| p.drop_after.is_some()),
+            "64 connections at 1-in-11 should see at least one drop"
+        );
+        assert!(
+            plans
+                .iter()
+                .any(|p| p.truncate_after.is_none() && p.drop_after.is_none()),
+            "most connections should pass unharmed"
+        );
+        let other = ChaosConfig {
+            seed: 43,
+            ..ChaosConfig::default()
+        };
+        let shifted: Vec<FaultPlan> = (0..64)
+            .map(|i| FaultPlan::for_connection(&other, i))
+            .collect();
+        assert_ne!(plans, shifted, "a different seed must reshuffle the fate");
+    }
+
+    #[test]
+    fn clean_connections_pass_payload_unmodified() {
+        let (upstream, _h) = echo_server();
+        // No cuts, aggressive splitting: payload must still arrive intact.
+        let cfg = ChaosConfig {
+            seed: 7,
+            max_chunk: 3,
+            delay_1in: 5,
+            max_delay_ms: 1,
+            truncate_1in: 0,
+            drop_1in: 0,
+            ..ChaosConfig::default()
+        };
+        let proxy = Proxy::start(upstream, cfg).unwrap();
+        let msg = "the quick brown fox jumps over the lazy dog 0123456789\n";
+        for _ in 0..4 {
+            let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+            conn.write_all(msg.as_bytes()).unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            assert_eq!(reply, msg, "proxy corrupted an echo round-trip");
+        }
+        let stats = proxy.stop();
+        assert_eq!(stats.connections, 4);
+        assert!(
+            stats.chunks > stats.connections,
+            "max_chunk=3 must split each request into many writes"
+        );
+        assert_eq!(stats.truncated + stats.dropped, 0);
+    }
+
+    #[test]
+    fn drop_plan_kills_the_connection() {
+        let (upstream, _h) = echo_server();
+        let cfg = ChaosConfig {
+            seed: 1,
+            truncate_1in: 0,
+            drop_1in: 1, // every connection is doomed
+            cut_within: 4,
+            delay_1in: 0,
+            ..ChaosConfig::default()
+        };
+        let proxy = Proxy::start(upstream, cfg).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        // Large enough to sail past the cut offset.
+        let _ = conn.write_all(&[b'x'; 256]);
+        let _ = conn.write_all(b"\n");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = Vec::new();
+        let n = conn.read_to_end(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "a dropped connection must yield EOF, not data");
+        let stats = proxy.stop();
+        assert_eq!(stats.dropped, 1);
+    }
+}

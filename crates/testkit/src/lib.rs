@@ -1,0 +1,46 @@
+//! Test infrastructure for the quasar workspace: everything here exists to
+//! break the other crates on purpose, deterministically.
+//!
+//! Three layers, usable independently:
+//!
+//! 1. **Failpoints** — a seeded registry of named fault injection sites
+//!    compiled into `quasar-bgpsim`, `quasar-core` and `quasar-serve`
+//!    behind their `testkit` cargo features. Re-exported here as `fail`
+//!    when the feature is on. Arm a point with a spec like `"1in5:error"` or
+//!    `"once:panic"` and the production code path fails exactly where
+//!    and when the seed says it should.
+//! 2. **Chaos proxy** — [`chaos::Proxy`], a seeded TCP proxy that sits
+//!    between a client and a real server and mangles *delivery* without
+//!    ever corrupting payload bytes: writes are split at arbitrary
+//!    boundaries, chunks are delayed, streams are truncated mid-request,
+//!    connections are dropped. Because every complete reply that makes
+//!    it through is untouched, byte-identity against a fault-free run is
+//!    a meaningful assertion.
+//! 3. **Differential harness** — [`diff`], which compares two executions
+//!    that must agree (sequential vs parallel refinement, served vs
+//!    one-shot prediction, JSON-round-tripped vs in-memory models) and
+//!    reports the *first diverging field* by JSON path instead of dumping
+//!    two multi-kilobyte blobs.
+//!
+//! [`workload`] supplies the small shared fixtures (a hand-built model, a
+//! canonical request mix, a synthetic trained model) the layers above are
+//! exercised with.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod diff;
+pub mod workload;
+
+#[cfg(feature = "testkit")]
+pub use quasar_bgpsim::fail;
+
+/// One-stop imports for test files.
+pub mod prelude {
+    pub use crate::chaos::{ChaosConfig, ChaosStats, Proxy};
+    pub use crate::diff::{diff_json, first_divergence, states_differential, Divergence};
+    pub use crate::workload::{tiny_trained, toy_model, toy_requests, TrainedFixture};
+    #[cfg(feature = "testkit")]
+    pub use quasar_bgpsim::fail;
+}

@@ -1,0 +1,141 @@
+//! Shared fixtures for the testkit's own layers and for downstream test
+//! files: a hand-built five-AS model whose answers are easy to reason
+//! about, a canonical request mix covering every request type, and a
+//! synthetic trained model for refinement-level differentials.
+
+use quasar_bgpsim::aspath::AsPath;
+use quasar_bgpsim::types::{Asn, Prefix};
+use quasar_core::model::AsRoutingModel;
+use quasar_core::observed::{Dataset, ObservedRoute};
+use quasar_core::refine::{refine, RefineConfig, RefineReport};
+use quasar_netgen::prelude::*;
+use quasar_topology::graph::AsGraph;
+use std::collections::BTreeMap;
+
+/// The five-AS diamond used across the workspace's server tests:
+///
+/// ```text
+///   1 — 2 — 3        prefixes: for_origin(3), for_origin(2)
+///   |       |
+///   5 — 4 ——+
+/// ```
+///
+/// built from three observed paths, so AS1 sees two disjoint routes to
+/// AS3 and AS5 sees one.
+pub fn toy_model() -> AsRoutingModel {
+    let paths = vec![
+        AsPath::from_u32s(&[1, 2, 3]),
+        AsPath::from_u32s(&[1, 4, 3]),
+        AsPath::from_u32s(&[5, 4, 3]),
+    ];
+    let graph = AsGraph::from_paths(&paths);
+    let mut origins = BTreeMap::new();
+    origins.insert(Prefix::for_origin(Asn(3)), Asn(3));
+    origins.insert(Prefix::for_origin(Asn(2)), Asn(2));
+    AsRoutingModel::initial(&graph, &origins)
+}
+
+/// Observer ASes worth querying against [`toy_model`].
+pub fn toy_observers() -> Vec<u32> {
+    vec![1, 2, 4, 5]
+}
+
+/// A deterministic request mix over [`toy_model`] covering predict (with
+/// and without an observed path), explain, stats, and a what-if diff —
+/// every reply is a pure function of the model, so two servers given the
+/// same mix must answer byte-identically.
+pub fn toy_requests() -> Vec<String> {
+    let p3 = Prefix::for_origin(Asn(3)).to_string();
+    let p2 = Prefix::for_origin(Asn(2)).to_string();
+    let mut reqs = Vec::new();
+    for observer in toy_observers() {
+        for prefix in [&p3, &p2] {
+            reqs.push(format!(
+                r#"{{"type":"predict","prefix":"{prefix}","observer":{observer}}}"#
+            ));
+        }
+    }
+    reqs.push(format!(
+        r#"{{"type":"predict","prefix":"{p3}","observer":1,"observed_path":[1,2,3]}}"#
+    ));
+    reqs.push(format!(
+        r#"{{"type":"explain","prefix":"{p3}","observer":1}}"#
+    ));
+    reqs.push(format!(
+        r#"{{"type":"explain","prefix":"{p3}","observer":5}}"#
+    ));
+    reqs.push(r#"{"type":"stats"}"#.to_string());
+    reqs.push(format!(
+        r#"{{"type":"diff","changes":[{{"action":"depeer","a":1,"b":2}}],"prefixes":["{p3}"]}}"#
+    ));
+    reqs
+}
+
+/// A synthetic internet refined into a model, plus the datasets that
+/// produced it — the fixture for refinement-level differential tests.
+pub struct TrainedFixture {
+    /// The refined model.
+    pub model: AsRoutingModel,
+    /// Every observation (training + holdout).
+    pub full: Dataset,
+    /// The training half.
+    pub training: Dataset,
+    /// The refinement report.
+    pub report: RefineReport,
+}
+
+/// Generates a tiny synthetic internet from `seed`, splits it, and
+/// refines a model on the training half (single-threaded, so the result
+/// is the canonical baseline for thread-count differentials).
+pub fn tiny_trained(seed: u64) -> TrainedFixture {
+    let net = SyntheticInternet::generate(NetGenConfig::tiny(seed));
+    let full = Dataset::new(net.observations.iter().map(|o| ObservedRoute {
+        point: o.point,
+        observer_as: o.observer_as,
+        prefix: o.prefix,
+        as_path: o.as_path.clone(),
+    }));
+    let (training, _) = full.split_by_point(0.5, 7);
+    let cfg = RefineConfig {
+        threads: 1,
+        ..RefineConfig::default()
+    };
+    let mut model = AsRoutingModel::initial(&full.as_graph(), &full.prefixes());
+    let report = refine(&mut model, &training, &cfg).expect("tiny fixture refines");
+    TrainedFixture {
+        model,
+        full,
+        training,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_requests_are_valid_and_deterministic() {
+        let model = toy_model();
+        let state = quasar_serve::server::ServerState::new(
+            model,
+            quasar_serve::server::ServeConfig::default(),
+        );
+        for req in toy_requests() {
+            let reply = crate::diff::reply_line(&state, &req);
+            assert!(
+                !reply.contains(r#""type":"error""#),
+                "canonical request mix must not error: {req} -> {reply}"
+            );
+        }
+        assert_eq!(toy_requests(), toy_requests());
+    }
+
+    #[test]
+    fn tiny_fixture_converges() {
+        let fx = tiny_trained(101);
+        assert!(fx.report.converged(), "tiny fixture must converge");
+        assert!(!fx.model.prefixes().is_empty());
+        assert!(fx.training.len() < fx.full.len());
+    }
+}
