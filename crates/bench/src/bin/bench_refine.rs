@@ -164,7 +164,7 @@ fn main() {
         peak_rss_kib: peak_rss_kib(),
     };
     let json = serde_json::to_string_pretty(&record).expect("record serializes");
-    std::fs::write(&out, &json).unwrap_or_else(|e| {
+    quasar_core::persist::atomic_write_bytes(&out, json.as_bytes()).unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");
         std::process::exit(1)
     });

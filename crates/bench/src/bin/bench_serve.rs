@@ -215,7 +215,7 @@ fn main() {
         }
         let warm = run_phase(addr, partition(&warm_requests, client_threads));
 
-        let snap = state.base_cache().snapshot();
+        let snap = state.epoch().base_cache.snapshot();
         assert_eq!(
             snap.misses,
             prefixes.len() as u64,
@@ -252,7 +252,7 @@ fn main() {
         warm_speedup,
     };
     let json = serde_json::to_string_pretty(&record).expect("record serializes");
-    std::fs::write(&out, &json).unwrap_or_else(|e| {
+    quasar_core::persist::atomic_write_bytes(&out, json.as_bytes()).unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");
         std::process::exit(1)
     });

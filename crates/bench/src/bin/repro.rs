@@ -324,7 +324,7 @@ fn write_csv(dir: &str, name: &str, contents: &str) {
     if let Some(parent) = path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    match std::fs::write(&path, contents) {
+    match quasar_core::persist::atomic_write_bytes(&path, contents.as_bytes()) {
         Ok(()) => eprintln!("# wrote {}", path.display()),
         Err(e) => eprintln!("# cannot write {}: {e}", path.display()),
     }

@@ -56,6 +56,9 @@ enum Trigger {
     /// Deterministically pseudo-randomly, one evaluation in `n` on
     /// average (seeded — the schedule is identical across runs).
     OneIn(u64),
+    /// Exactly on the `n`-th evaluation after arming (1-based), never
+    /// again — "kill the process at round 3" style tests.
+    At(u64),
 }
 
 /// One armed point's configuration and counters.
@@ -144,8 +147,9 @@ pub fn generation() -> u64 {
 }
 
 /// Arms `name` with a spec string: `"<trigger>:<action>"` where trigger
-/// is `always`, `once` or `1inN`, and action is `error`, `panic` or
-/// `delay:<ms>`. `"off"` disarms.
+/// is `always`, `once`, `1inN` or `atN` (fires exactly on the N-th
+/// evaluation, 1-based), and action is `error`, `panic` or `delay:<ms>`.
+/// `"off"` disarms.
 ///
 /// # Panics
 /// On a malformed spec — specs are test inputs, and a silently ignored
@@ -162,12 +166,20 @@ pub fn set(name: &str, spec: &str) {
         "always" => Trigger::Always,
         "once" => Trigger::Once,
         t => {
-            let n = t
-                .strip_prefix("1in")
+            if let Some(n) = t
+                .strip_prefix("at")
                 .and_then(|n| n.parse::<u64>().ok())
                 .filter(|&n| n > 0)
-                .unwrap_or_else(|| panic!("bad failpoint trigger `{t}` in `{spec}`"));
-            Trigger::OneIn(n)
+            {
+                Trigger::At(n)
+            } else {
+                let n = t
+                    .strip_prefix("1in")
+                    .and_then(|n| n.parse::<u64>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| panic!("bad failpoint trigger `{t}` in `{spec}`"));
+                Trigger::OneIn(n)
+            }
         }
     };
     let action = match action {
@@ -207,6 +219,7 @@ pub fn evaluate(name: &str) -> Option<FailAction> {
     let fires = match point.trigger {
         Trigger::Always => true,
         Trigger::Once => n == 0,
+        Trigger::At(k) => n + 1 == k,
         Trigger::OneIn(k) => {
             splitmix64(seed ^ fnv1a(name) ^ n.wrapping_mul(0x2545_f491_4f6c_dd1d)).is_multiple_of(k)
         }
@@ -287,6 +300,17 @@ mod tests {
         assert_eq!(always, vec![true; 5]);
         assert_eq!(fired("t.once"), 1);
         assert_eq!(evaluations("t.always"), 5);
+        reset(0);
+    }
+
+    #[test]
+    fn at_n_fires_exactly_on_the_nth_evaluation() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        reset(4);
+        set("t.at", "at3:error");
+        let fired: Vec<bool> = (0..6).map(|_| evaluate("t.at").is_some()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+        assert_eq!(super::fired("t.at"), 1);
         reset(0);
     }
 

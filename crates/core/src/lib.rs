@@ -58,6 +58,7 @@ pub mod diagnostics;
 pub mod metrics;
 pub mod model;
 pub mod observed;
+pub mod persist;
 pub mod predict;
 pub mod prep;
 pub mod refine;
@@ -73,12 +74,14 @@ pub mod prelude {
     };
     pub use crate::model::{AsRoutingModel, ModelStats};
     pub use crate::observed::{Dataset, ObservedRoute};
+    pub use crate::persist::{atomic_write_bytes, load_model, save_model, PersistError};
     pub use crate::predict::{
         evaluate, evaluate_prefix, predict_route, Evaluation, RoutePrediction,
     };
     pub use crate::prep::{prune_stub_ases, PrunedDataset};
     pub use crate::refine::{
-        refine, refine_prefix, PrefixOutcome, RankingAttr, RefineConfig, RefineReport,
+        refine, refine_checkpointed, refine_prefix, resume_refine, CheckpointPolicy, PrefixOutcome,
+        RankingAttr, RefineConfig, RefineError, RefineReport,
     };
     pub use crate::whatif::{apply_change, Change, Impact, RoutingDiff, Scenario};
 }

@@ -24,12 +24,15 @@
 
 use crate::model::AsRoutingModel;
 use crate::observed::Dataset;
+use crate::persist::{self, PersistError};
 use quasar_bgpsim::aspath::AsPath;
 use quasar_bgpsim::engine::SimulationResult;
 use quasar_bgpsim::error::SimError;
 use quasar_bgpsim::types::{Asn, Prefix, RouterId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Which attribute the heuristic uses to rank the wanted route at a
@@ -148,6 +151,123 @@ impl RefineReport {
     }
 }
 
+/// What can interrupt a checkpointed refinement run.
+#[derive(Debug)]
+pub enum RefineError {
+    /// The simulation engine failed (including injected faults).
+    Sim(SimError),
+    /// Writing or reading a checkpoint failed.
+    Persist(PersistError),
+    /// A checkpoint loaded fine but does not belong to this run — wrong
+    /// dataset, wrong refinement configuration, or a prefix set that no
+    /// longer lines up. Resuming from it would silently train a
+    /// different model, so it is refused.
+    CheckpointMismatch(String),
+}
+
+impl fmt::Display for RefineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefineError::Sim(e) => write!(f, "simulation failed: {e}"),
+            RefineError::Persist(e) => write!(f, "checkpoint I/O failed: {e}"),
+            RefineError::CheckpointMismatch(detail) => {
+                write!(f, "checkpoint does not match this run: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RefineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RefineError::Sim(e) => Some(e),
+            RefineError::Persist(e) => Some(e),
+            RefineError::CheckpointMismatch(_) => None,
+        }
+    }
+}
+
+impl From<SimError> for RefineError {
+    fn from(e: SimError) -> Self {
+        RefineError::Sim(e)
+    }
+}
+
+impl From<PersistError> for RefineError {
+    fn from(e: PersistError) -> Self {
+        RefineError::Persist(e)
+    }
+}
+
+/// Where and how often [`refine_checkpointed`] snapshots its state.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Checkpoint directory (created on first write).
+    pub dir: PathBuf,
+    /// Write a checkpoint after every `every`-th round (1 = every round).
+    pub every: u64,
+    /// How many checkpoints to keep; older ones are pruned after each
+    /// write. At least 2, so a damaged newest checkpoint still leaves a
+    /// fallback.
+    pub keep: usize,
+}
+
+impl CheckpointPolicy {
+    /// A policy checkpointing into `dir` after every round, keeping 2.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy {
+            dir: dir.into(),
+            every: 1,
+            keep: 2,
+        }
+    }
+}
+
+/// Serialized refinement state: everything [`resume_refine`] needs to
+/// continue mid-run and still produce a byte-identical final model.
+/// Targets are *not* stored — they are rebuilt deterministically from the
+/// training set, which the fingerprint pins to the original run's.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RefineCheckpoint {
+    /// Rounds completed when this snapshot was taken.
+    round: u64,
+    /// Fingerprint of the training routes (see [`dataset_fingerprint`]).
+    dataset_fingerprint: u64,
+    /// The original run's [`RefineConfig::max_iterations`].
+    max_iterations: usize,
+    /// The original run's [`RefineConfig::allow_duplication`].
+    allow_duplication: bool,
+    /// The original run's [`RefineConfig::ranking`].
+    ranking: RankingAttr,
+    /// Per-prefix progress, in the job order (ascending prefix).
+    jobs: Vec<JobCheckpoint>,
+    /// The model as of the end of round `round`.
+    model: AsRoutingModel,
+}
+
+/// One prefix's progress inside a [`RefineCheckpoint`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct JobCheckpoint {
+    outcome: PrefixOutcome,
+    done: bool,
+}
+
+/// Order-sensitive FNV-1a fingerprint of the training routes. Resuming
+/// against a different dataset would re-derive different targets and
+/// diverge silently; the fingerprint turns that into a typed refusal.
+pub fn dataset_fingerprint(training: &Dataset) -> u64 {
+    let mut text = String::new();
+    for r in training.routes() {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            text,
+            "{} {} {} {}",
+            r.point, r.observer_as.0, r.prefix, r.as_path
+        );
+    }
+    persist::fnv1a(text.as_bytes())
+}
+
 /// One refinement target: the AS `asn` must select & propagate the observed
 /// suffix `o` (which has `asn` at its head).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -196,14 +316,107 @@ pub fn refine(
     training: &Dataset,
     cfg: &RefineConfig,
 ) -> Result<RefineReport, SimError> {
+    match refine_checkpointed(model, training, cfg, None) {
+        Ok(report) => Ok(report),
+        Err(RefineError::Sim(e)) => Err(e),
+        // Without a checkpoint policy no checkpoint is ever read or
+        // written, so no other error variant can arise.
+        Err(e) => unreachable!("checkpoint error without a checkpoint policy: {e}"),
+    }
+}
+
+/// [`refine`] with optional round-granular checkpointing: with a
+/// [`CheckpointPolicy`], the full refinement state is snapshotted to
+/// `policy.dir` after every `policy.every`-th round, and an interrupted
+/// run can be continued with [`resume_refine`] — producing a final model
+/// byte-identical to the uninterrupted run, because rounds are
+/// deterministic and each snapshot sits exactly on a round boundary.
+pub fn refine_checkpointed(
+    model: &mut AsRoutingModel,
+    training: &Dataset,
+    cfg: &RefineConfig,
+    policy: Option<&CheckpointPolicy>,
+) -> Result<RefineReport, RefineError> {
+    let jobs = build_jobs(model, training);
+    let fingerprint = policy.map(|_| dataset_fingerprint(training)).unwrap_or(0);
+    run_rounds(model, cfg, jobs, 0, fingerprint, policy)
+}
+
+/// Continues an interrupted [`refine_checkpointed`] run from the newest
+/// loadable checkpoint in `policy.dir`. The checkpoint must match the
+/// given training set and configuration (`threads` excepted — the model
+/// is byte-identical at any thread count); mismatches are refused with
+/// [`RefineError::CheckpointMismatch`]. Returns the restored-and-finished
+/// model with the full-run report.
+pub fn resume_refine(
+    training: &Dataset,
+    cfg: &RefineConfig,
+    policy: &CheckpointPolicy,
+) -> Result<(AsRoutingModel, RefineReport), RefineError> {
+    let (file_round, payload) = persist::load_latest_checkpoint_payload(&policy.dir)?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|_| RefineError::CheckpointMismatch("checkpoint payload is not UTF-8".into()))?;
+    let ckpt: RefineCheckpoint = serde_json::from_str(text)
+        .map_err(|e| RefineError::CheckpointMismatch(format!("checkpoint does not parse: {e}")))?;
+    if ckpt.round != file_round {
+        return Err(RefineError::CheckpointMismatch(format!(
+            "file is named for round {file_round} but contains round {}",
+            ckpt.round
+        )));
+    }
+    let fingerprint = dataset_fingerprint(training);
+    if ckpt.dataset_fingerprint != fingerprint {
+        return Err(RefineError::CheckpointMismatch(format!(
+            "training data fingerprint {fingerprint:016x} differs from the checkpoint's {:016x}",
+            ckpt.dataset_fingerprint
+        )));
+    }
+    if ckpt.max_iterations != cfg.max_iterations
+        || ckpt.allow_duplication != cfg.allow_duplication
+        || ckpt.ranking != cfg.ranking
+    {
+        return Err(RefineError::CheckpointMismatch(format!(
+            "refinement config changed: checkpoint ran with max_iterations={} \
+             allow_duplication={} ranking={:?}",
+            ckpt.max_iterations, ckpt.allow_duplication, ckpt.ranking
+        )));
+    }
+    let mut model = ckpt.model;
+    model.network_mut().rebuild_indices();
+    // Targets are rebuilt from the training set — deterministic, and the
+    // fingerprint guarantees they equal the original run's.
+    let mut jobs = build_jobs(&model, training);
+    if jobs.len() != ckpt.jobs.len() {
+        return Err(RefineError::CheckpointMismatch(format!(
+            "checkpoint tracks {} prefixes, training set yields {}",
+            ckpt.jobs.len(),
+            jobs.len()
+        )));
+    }
+    for ((prefix, job), jc) in jobs.iter_mut().zip(ckpt.jobs) {
+        if *prefix != jc.outcome.prefix {
+            return Err(RefineError::CheckpointMismatch(format!(
+                "prefix order diverged at {prefix} vs checkpoint's {}",
+                jc.outcome.prefix
+            )));
+        }
+        job.outcome = jc.outcome;
+        job.done = jc.done;
+    }
+    let report = run_rounds(&mut model, cfg, jobs, ckpt.round, fingerprint, Some(policy))?;
+    Ok((model, report))
+}
+
+/// Builds the per-prefix jobs in ascending prefix order — this is also
+/// the fix-application order of every round. Prefixes whose origin is
+/// absent from the model graph cannot be simulated and are skipped, as
+/// before.
+fn build_jobs(model: &AsRoutingModel, training: &Dataset) -> Vec<(Prefix, PrefixJob)> {
     let mut by_prefix: BTreeMap<Prefix, Vec<&AsPath>> = BTreeMap::new();
     for r in training.routes() {
         by_prefix.entry(r.prefix).or_default().push(&r.as_path);
     }
-    // Jobs in ascending prefix order — this is also the fix-application
-    // order of every round. Prefixes whose origin is absent from the model
-    // graph cannot be simulated and are skipped, as before.
-    let mut jobs: Vec<(Prefix, PrefixJob)> = by_prefix
+    by_prefix
         .iter()
         .filter(|(prefix, _)| model.prefixes().contains_key(prefix))
         .map(|(&prefix, paths)| {
@@ -226,8 +439,20 @@ pub fn refine(
                 },
             )
         })
-        .collect();
+        .collect()
+}
 
+/// The round loop shared by fresh and resumed runs. `round` counts
+/// completed rounds (0 for a fresh run); checkpoints are written after a
+/// round's fixes are applied, so every snapshot sits on a round boundary.
+fn run_rounds(
+    model: &mut AsRoutingModel,
+    cfg: &RefineConfig,
+    mut jobs: Vec<(Prefix, PrefixJob)>,
+    mut round: u64,
+    fingerprint: u64,
+    policy: Option<&CheckpointPolicy>,
+) -> Result<RefineReport, RefineError> {
     let threads = cfg.effective_threads();
     loop {
         let active: Vec<usize> = jobs
@@ -238,6 +463,16 @@ pub fn refine(
             .collect();
         if active.is_empty() {
             break;
+        }
+        round += 1;
+        // Failpoint: the crash site for kill-and-resume tests — a panic
+        // armed `atN:panic` dies exactly at the start of round N, after
+        // the round-(N-1) checkpoint landed on disk.
+        #[cfg(feature = "testkit")]
+        if quasar_bgpsim::fail::inject("refine.round") {
+            return Err(RefineError::Sim(SimError::Injected {
+                point: "refine.round",
+            }));
         }
         // Phase 1: simulate every active prefix against the *same* model
         // snapshot, in parallel (`simulate` takes `&self`).
@@ -258,7 +493,7 @@ pub fn refine(
                     job.done = true;
                     continue;
                 }
-                Err(e) => return Err(e),
+                Err(e) => return Err(RefineError::Sim(e)),
             };
             let (all_matched, changed) = apply_fixes(model, &res, job, cfg, &mut mirrors);
             if all_matched {
@@ -270,11 +505,55 @@ pub fn refine(
                 job.done = true;
             }
         }
+        if let Some(p) = policy {
+            if round.is_multiple_of(p.every.max(1)) {
+                save_checkpoint(model, cfg, &jobs, round, fingerprint, p)?;
+            }
+        }
     }
 
     Ok(RefineReport {
         prefixes: jobs.into_iter().map(|(_, j)| j.outcome).collect(),
     })
+}
+
+/// Serializes the full refinement state and writes it atomically into the
+/// checkpoint directory, pruning snapshots beyond `policy.keep`.
+fn save_checkpoint(
+    model: &AsRoutingModel,
+    cfg: &RefineConfig,
+    jobs: &[(Prefix, PrefixJob)],
+    round: u64,
+    fingerprint: u64,
+    policy: &CheckpointPolicy,
+) -> Result<(), RefineError> {
+    #[cfg(feature = "testkit")]
+    if quasar_bgpsim::fail::inject("refine.checkpoint") {
+        return Err(RefineError::Persist(PersistError::Io {
+            path: policy.dir.clone(),
+            op: "write",
+            source: std::io::Error::other("fault injected by failpoint `refine.checkpoint`"),
+        }));
+    }
+    let ckpt = RefineCheckpoint {
+        round,
+        dataset_fingerprint: fingerprint,
+        max_iterations: cfg.max_iterations,
+        allow_duplication: cfg.allow_duplication,
+        ranking: cfg.ranking,
+        jobs: jobs
+            .iter()
+            .map(|(_, j)| JobCheckpoint {
+                outcome: j.outcome.clone(),
+                done: j.done,
+            })
+            .collect(),
+        model: model.clone(),
+    };
+    let json = serde_json::to_string(&ckpt)
+        .map_err(|e| RefineError::CheckpointMismatch(format!("checkpoint serialization: {e}")))?;
+    persist::save_checkpoint_payload(&policy.dir, round, json.as_bytes(), policy.keep)?;
+    Ok(())
 }
 
 /// Simulates `prefixes` against `model` on `threads` workers. Results come

@@ -1,0 +1,185 @@
+//! Kill-and-resume equivalence: a refinement run killed mid-flight by an
+//! armed failpoint and continued with [`resume_refine`] must produce a
+//! model byte-identical to the uninterrupted run — at every kill round
+//! and at every thread count. This is the correctness contract that makes
+//! `quasar train --checkpoint-dir D --resume` safe to use after a crash.
+//!
+//! Run with `cargo test -p quasar-core --features testkit`.
+
+#![cfg(feature = "testkit")]
+
+use quasar_bgpsim::fail;
+use quasar_core::prelude::*;
+use quasar_testkit::diff::diff_json;
+use quasar_testkit::workload::tiny_trained;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+/// The failpoint registry is process-global; every test that arms it
+/// holds this lock so a concurrently running test never sees a stray
+/// trigger.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// A fresh checkpoint directory under the system temp dir.
+fn ckpt_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("quasar-resume-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The shared fixture: a tiny synthetic internet's datasets plus the
+/// uninterrupted single-thread baseline (model JSON and round count).
+struct Fixture {
+    full: Dataset,
+    training: Dataset,
+    baseline_json: String,
+    rounds: u64,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let fx = tiny_trained(42);
+        let baseline_json = fx.model.to_json().expect("baseline serializes");
+        // Rounds == the deepest prefix's iteration count: every round
+        // bumps each still-active prefix by one, and at least one prefix
+        // stays active until the final round.
+        let rounds = fx.report.max_iterations() as u64;
+        Fixture {
+            full: fx.full,
+            training: fx.training,
+            baseline_json,
+            rounds,
+        }
+    })
+}
+
+fn config(threads: usize) -> RefineConfig {
+    RefineConfig {
+        threads,
+        ..RefineConfig::default()
+    }
+}
+
+/// Starts a checkpointed run armed to panic at the top of `kill_round`,
+/// proves it died there, then resumes and returns the final model JSON.
+fn kill_then_resume(kill_round: u64, threads: usize, tag: &str) -> String {
+    let fx = fixture();
+    let cfg = config(threads);
+    let policy = CheckpointPolicy {
+        dir: ckpt_dir(tag),
+        every: 1,
+        keep: 2,
+    };
+
+    fail::reset(7);
+    fail::set("refine.round", &format!("at{kill_round}:panic"));
+    // Silence the expected panic's backtrace; the serial lock makes the
+    // hook swap safe.
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let killed = panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut model = AsRoutingModel::initial(&fx.full.as_graph(), &fx.full.prefixes());
+        refine_checkpointed(&mut model, &fx.training, &cfg, Some(&policy))
+    }));
+    panic::set_hook(prev_hook);
+    assert!(killed.is_err(), "the armed panic must abort the run");
+    assert_eq!(fail::fired("refine.round"), 1, "kill point must fire once");
+    fail::clear_all();
+
+    let (model, report) = match resume_refine(&fx.training, &cfg, &policy) {
+        Ok(resumed) => resumed,
+        // Killed before the first checkpoint landed: the documented
+        // recovery is a fresh run (exactly what the CLI's --resume
+        // fallback does), which must still reach the same model.
+        Err(RefineError::Persist(PersistError::NoCheckpoint { .. })) => {
+            assert_eq!(kill_round, 1, "only a round-1 kill leaves no checkpoint");
+            let mut model = AsRoutingModel::initial(&fx.full.as_graph(), &fx.full.prefixes());
+            let report = refine_checkpointed(&mut model, &fx.training, &cfg, Some(&policy))
+                .expect("fresh fallback run");
+            (model, report)
+        }
+        Err(e) => panic!("resume failed: {e}"),
+    };
+    assert!(report.converged(), "resumed run must converge");
+    model.to_json().expect("resumed model serializes")
+}
+
+fn assert_byte_identical(kill_round: u64, threads: usize, got: &str) {
+    let fx = fixture();
+    if got != fx.baseline_json {
+        let div = diff_json("resumed-vs-uninterrupted", got, &fx.baseline_json);
+        panic!(
+            "model after kill at round {kill_round} (threads {threads}) diverged \
+             from the uninterrupted run: {div:?}"
+        );
+    }
+}
+
+#[test]
+fn resume_matches_uninterrupted_at_three_kill_rounds() {
+    let _guard = SERIAL.lock().unwrap();
+    let fx = fixture();
+    assert!(
+        fx.rounds >= 2,
+        "fixture must refine for at least 2 rounds to test mid-run kills \
+         (got {}); pick a different seed",
+        fx.rounds
+    );
+    // Early (before any checkpoint), middle, and final round.
+    let mut kills = vec![1, fx.rounds.div_ceil(2).max(2), fx.rounds];
+    kills.dedup();
+    for kill_round in kills {
+        let got = kill_then_resume(kill_round, 1, &format!("kill-{kill_round}"));
+        assert_byte_identical(kill_round, 1, &got);
+    }
+}
+
+#[test]
+fn resume_matches_uninterrupted_with_parallel_refinement() {
+    let _guard = SERIAL.lock().unwrap();
+    let fx = fixture();
+    let kill_round = fx.rounds.div_ceil(2).max(2).min(fx.rounds);
+    // The baseline is single-threaded; the killed and resumed runs use 4
+    // workers. Byte-identity across both dimensions at once is the
+    // combined determinism + durability contract.
+    let got = kill_then_resume(kill_round, 4, "kill-par");
+    assert_byte_identical(kill_round, 4, &got);
+}
+
+#[test]
+fn resume_without_checkpoints_is_a_typed_error() {
+    let _guard = SERIAL.lock().unwrap();
+    let fx = fixture();
+    let policy = CheckpointPolicy::new(ckpt_dir("empty"));
+    let err = resume_refine(&fx.training, &config(1), &policy)
+        .expect_err("an empty checkpoint dir must not resume");
+    assert!(
+        matches!(err, RefineError::Persist(PersistError::NoCheckpoint { .. })),
+        "want NoCheckpoint, got: {err}"
+    );
+}
+
+#[test]
+fn resume_refuses_a_mismatched_training_set() {
+    let _guard = SERIAL.lock().unwrap();
+    let fx = fixture();
+    let cfg = config(1);
+    let policy = CheckpointPolicy {
+        dir: ckpt_dir("mismatch"),
+        every: 1,
+        keep: 2,
+    };
+    // A completed checkpointed run leaves its final-round snapshot behind.
+    let mut model = AsRoutingModel::initial(&fx.full.as_graph(), &fx.full.prefixes());
+    refine_checkpointed(&mut model, &fx.training, &cfg, Some(&policy)).expect("checkpointed run");
+    // Resuming against different training data must be refused loudly —
+    // continuing would silently blend two datasets into one model.
+    let err = resume_refine(&fx.full, &cfg, &policy)
+        .expect_err("a different dataset must not resume this checkpoint");
+    assert!(
+        matches!(err, RefineError::CheckpointMismatch(_)),
+        "want CheckpointMismatch, got: {err}"
+    );
+}

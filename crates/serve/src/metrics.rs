@@ -25,6 +25,8 @@ pub enum RequestKind {
     Stats,
     /// `metrics` requests.
     Metrics,
+    /// `reload` (model hot-swap) requests.
+    Reload,
     /// `shutdown` requests.
     Shutdown,
     /// Malformed or failed requests (answered with an error response).
@@ -32,12 +34,13 @@ pub enum RequestKind {
 }
 
 impl RequestKind {
-    const ALL: [RequestKind; 7] = [
+    const ALL: [RequestKind; 8] = [
         RequestKind::Predict,
         RequestKind::Diff,
         RequestKind::Explain,
         RequestKind::Stats,
         RequestKind::Metrics,
+        RequestKind::Reload,
         RequestKind::Shutdown,
         RequestKind::Error,
     ];
@@ -50,6 +53,7 @@ impl RequestKind {
             RequestKind::Explain => "explain",
             RequestKind::Stats => "stats",
             RequestKind::Metrics => "metrics",
+            RequestKind::Reload => "reload",
             RequestKind::Shutdown => "shutdown",
             RequestKind::Error => "error",
         }
@@ -62,8 +66,9 @@ impl RequestKind {
             RequestKind::Explain => 2,
             RequestKind::Stats => 3,
             RequestKind::Metrics => 4,
-            RequestKind::Shutdown => 5,
-            RequestKind::Error => 6,
+            RequestKind::Reload => 5,
+            RequestKind::Shutdown => 6,
+            RequestKind::Error => 7,
         }
     }
 }
@@ -150,9 +155,13 @@ pub struct LatencySnapshot {
 /// All server counters.
 #[derive(Default)]
 pub struct ServeMetrics {
-    per_kind: [LatencyHistogram; 7],
+    per_kind: [LatencyHistogram; 8],
     connections: AtomicU64,
     panics_caught: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    reloads: AtomicU64,
+    reload_failures: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -187,6 +196,47 @@ impl ServeMetrics {
         self.panics_caught.load(Ordering::Relaxed)
     }
 
+    /// Records one connection shed at the accept loop because the pending
+    /// queue was full (the peer got an `overloaded` reply and was closed).
+    pub fn connection_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections shed under overload so far.
+    pub fn sheds(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Records one request cut short by the per-request compute deadline.
+    pub fn deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests answered with `deadline_exceeded` so far.
+    pub fn deadlines_exceeded(&self) -> u64 {
+        self.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// Records one successful model hot-swap.
+    pub fn reload_ok(&self) {
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one rejected reload (the old model kept serving).
+    pub fn reload_failed(&self) {
+        self.reload_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Successful model reloads so far.
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
+    }
+
+    /// Rejected reloads so far.
+    pub fn reload_failures(&self) -> u64 {
+        self.reload_failures.load(Ordering::Relaxed)
+    }
+
     /// Requests served of one kind.
     pub fn count(&self, kind: RequestKind) -> u64 {
         self.per_kind[kind.index()].snapshot().count
@@ -206,6 +256,10 @@ impl ServeMetrics {
                 .collect(),
             connections: self.connections(),
             panics_caught: self.panics_caught(),
+            shed: self.sheds(),
+            deadline_exceeded: self.deadlines_exceeded(),
+            reloads: self.reloads(),
+            reload_failures: self.reload_failures(),
             base_cache,
             overlay_cache,
             active_sessions,
@@ -217,13 +271,24 @@ impl ServeMetrics {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Per-request-type latency histograms (`predict`, `diff`, `explain`,
-    /// `stats`, `metrics`, `shutdown`, `error`).
+    /// `stats`, `metrics`, `reload`, `shutdown`, `error`).
     pub requests: Vec<(String, LatencySnapshot)>,
     /// Connections accepted since startup.
     pub connections: u64,
     /// Connection-handler panics caught and contained since startup
     /// (each one ended a single connection, never a worker).
     pub panics_caught: u64,
+    /// Connections shed at the accept loop because the pending queue was
+    /// full (each got an `overloaded` reply, not a hang).
+    pub shed: u64,
+    /// Requests answered with `deadline_exceeded` because they blew the
+    /// per-request compute budget.
+    pub deadline_exceeded: u64,
+    /// Successful model hot-swaps (`reload` requests that took effect).
+    pub reloads: u64,
+    /// Rejected reloads — the proposed model failed validation and the
+    /// old model kept serving.
+    pub reload_failures: u64,
     /// Base steady-state cache counters.
     pub base_cache: CacheSnapshot,
     /// Aggregated overlay-cache counters over resident sessions.
@@ -279,7 +344,7 @@ mod tests {
         m.record(RequestKind::Diff, 1_000_000);
         m.connection_opened();
         let s = m.snapshot(CacheSnapshot::default(), CacheSnapshot::default(), 3);
-        assert_eq!(s.requests.len(), 7);
+        assert_eq!(s.requests.len(), 8);
         assert_eq!(s.for_kind("predict").unwrap().count, 2);
         assert_eq!(s.for_kind("diff").unwrap().count, 1);
         assert_eq!(s.for_kind("explain").unwrap().count, 0);

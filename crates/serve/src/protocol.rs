@@ -68,6 +68,13 @@ pub enum Request {
     Stats,
     /// Server counters (requests, latencies, cache hits/misses).
     Metrics,
+    /// Hot-swap the served model: validate the artifact at `path`
+    /// off-thread and atomically swap it in, keeping the old model on
+    /// any validation failure.
+    Reload {
+        /// Filesystem path of the model artifact to load.
+        path: String,
+    },
     /// Graceful shutdown: drain in-flight work, then exit.
     Shutdown,
 }
@@ -81,6 +88,7 @@ impl Request {
             Request::Explain { .. } => RequestKind::Explain,
             Request::Stats => RequestKind::Stats,
             Request::Metrics => RequestKind::Metrics,
+            Request::Reload { .. } => RequestKind::Reload,
             Request::Shutdown => RequestKind::Shutdown,
         }
     }
@@ -263,6 +271,37 @@ pub struct ShutdownReply {
     pub draining: bool,
 }
 
+/// Answer to a successful `reload` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReloadReply {
+    /// Always true: the new model is now serving (failed reloads come
+    /// back as `error` replies and keep the old model).
+    pub swapped: bool,
+    /// Prefixes the new model routes.
+    pub prefixes: usize,
+    /// Quasi-routers in the new model.
+    pub quasi_routers: usize,
+}
+
+/// Load-shed reply: the pending-connection queue was full, so the server
+/// answered immediately and closed the connection instead of queueing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverloadedReply {
+    /// Suggested client backoff before retrying (a starting point for
+    /// jittered exponential backoff, not a promise of capacity).
+    pub retry_after_ms: u64,
+}
+
+/// Deadline reply: the request's computation was cut short because it
+/// exceeded the server's per-request compute budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadlineExceededReply {
+    /// The configured per-request deadline (ms).
+    pub deadline_ms: u64,
+    /// How long the request had been running when it was cut off (ms).
+    pub elapsed_ms: u64,
+}
+
 /// Error answer (malformed request, unknown prefix/AS, diverged base
 /// simulation, ...).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -284,8 +323,14 @@ pub enum Response {
     Stats(StatsReply),
     /// Answer to `metrics`.
     Metrics(MetricsSnapshot),
+    /// Answer to a successful `reload`.
+    Reload(ReloadReply),
     /// Answer to `shutdown`.
     Shutdown(ShutdownReply),
+    /// Load-shed answer sent when the pending-connection queue is full.
+    Overloaded(OverloadedReply),
+    /// The request blew the per-request compute deadline.
+    DeadlineExceeded(DeadlineExceededReply),
     /// Error answer.
     Error(ErrorReply),
 }
@@ -546,6 +591,9 @@ impl Serialize for Request {
             ),
             Request::Stats => tagged("type", "stats", vec![]),
             Request::Metrics => tagged("type", "metrics", vec![]),
+            Request::Reload { path } => {
+                tagged("type", "reload", vec![(key("path"), path.to_content())])
+            }
             Request::Shutdown => tagged("type", "shutdown", vec![]),
         }
     }
@@ -569,6 +617,9 @@ impl<'de> Deserialize<'de> for Request {
             }),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
+            "reload" => Ok(Request::Reload {
+                path: req_field(c, "path")?,
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ContentError::msg(format!("unknown request type `{other}`"))),
         }
@@ -583,7 +634,10 @@ impl Response {
             Response::Explain(_) => "explain",
             Response::Stats(_) => "stats",
             Response::Metrics(_) => "metrics",
+            Response::Reload(_) => "reload",
             Response::Shutdown(_) => "shutdown",
+            Response::Overloaded(_) => "overloaded",
+            Response::DeadlineExceeded(_) => "deadline_exceeded",
             Response::Error(_) => "error",
         }
     }
@@ -597,7 +651,10 @@ impl Serialize for Response {
             Response::Explain(r) => r.to_content(),
             Response::Stats(r) => r.to_content(),
             Response::Metrics(r) => r.to_content(),
+            Response::Reload(r) => r.to_content(),
             Response::Shutdown(r) => r.to_content(),
+            Response::Overloaded(r) => r.to_content(),
+            Response::DeadlineExceeded(r) => r.to_content(),
             Response::Error(r) => r.to_content(),
         };
         let fields = match inner {
@@ -616,7 +673,12 @@ impl<'de> Deserialize<'de> for Response {
             "explain" => Ok(Response::Explain(ExplainReply::from_content(c)?)),
             "stats" => Ok(Response::Stats(StatsReply::from_content(c)?)),
             "metrics" => Ok(Response::Metrics(MetricsSnapshot::from_content(c)?)),
+            "reload" => Ok(Response::Reload(ReloadReply::from_content(c)?)),
             "shutdown" => Ok(Response::Shutdown(ShutdownReply::from_content(c)?)),
+            "overloaded" => Ok(Response::Overloaded(OverloadedReply::from_content(c)?)),
+            "deadline_exceeded" => Ok(Response::DeadlineExceeded(
+                DeadlineExceededReply::from_content(c)?,
+            )),
             "error" => Ok(Response::Error(ErrorReply::from_content(c)?)),
             other => Err(ContentError::msg(format!(
                 "unknown response type `{other}`"
@@ -660,6 +722,9 @@ mod tests {
             },
             Request::Stats,
             Request::Metrics,
+            Request::Reload {
+                path: "/tmp/model.json".into(),
+            },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -716,6 +781,7 @@ mod tests {
             r#"{"type":"predict","observer":7}"#,            // missing prefix
             r#"{"type":"diff"}"#,                            // missing changes
             r#"{"type":"diff","changes":[{"action":"x"}]}"#, // unknown action
+            r#"{"type":"reload"}"#,                          // missing path
             "[]",
         ] {
             assert!(serde_json::from_str::<Request>(bad).is_err(), "{bad}");
@@ -767,7 +833,17 @@ mod tests {
                 policy_rules: 7,
                 prefixes: 8,
             }),
+            Response::Reload(ReloadReply {
+                swapped: true,
+                prefixes: 12,
+                quasi_routers: 40,
+            }),
             Response::Shutdown(ShutdownReply { draining: true }),
+            Response::Overloaded(OverloadedReply { retry_after_ms: 50 }),
+            Response::DeadlineExceeded(DeadlineExceededReply {
+                deadline_ms: 100,
+                elapsed_ms: 161,
+            }),
             Response::error("bad prefix"),
         ];
         for resp in resps {

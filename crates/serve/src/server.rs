@@ -1,20 +1,25 @@
 //! The TCP server: shared state, request dispatch, worker pool, and
 //! graceful shutdown.
 //!
-//! The model is loaded once and shared read-only across a pool of worker
-//! threads (`crossbeam::thread::scope`); mutable state — the base
-//! steady-state cache, the what-if session store, the metrics — is
-//! interior-mutable behind locks/atomics, so dispatch takes `&self`
-//! everywhere. The accept loop runs non-blocking and hands connections to
-//! workers through a `Mutex<VecDeque>` + `Condvar` queue; a `shutdown`
-//! request flips one flag, after which the acceptor stops taking
-//! connections and every worker finishes its in-flight request, closes
-//! its stream, and exits — no thread or port is leaked.
+//! The model lives in a [`ModelEpoch`] — model + caches + session store,
+//! immutable once published — behind an `RwLock<Arc<...>>`: every request
+//! clones the `Arc` once and runs entirely against that epoch, and a
+//! `reload` request publishes a fresh epoch atomically (in-flight
+//! requests finish on the epoch they started with; a failed validation
+//! keeps the old epoch serving). The accept loop runs non-blocking and
+//! hands connections to workers through a bounded `Mutex<VecDeque>` +
+//! `Condvar` queue; beyond [`ServeConfig::max_pending`] pending
+//! connections the acceptor *sheds*: the peer gets one `overloaded` JSON
+//! reply and a closed connection instead of an unbounded queue. A
+//! `shutdown` request flips one flag, after which the acceptor stops
+//! taking connections and every worker finishes its in-flight request,
+//! closes its stream, and exits — no thread or port is leaked.
 
 use crate::cache::SteadyStateCache;
 use crate::metrics::{RequestKind, ServeMetrics};
 use crate::protocol::{
-    diff_reply, explain_reply, predict_reply, stats_reply, Request, Response, ShutdownReply,
+    diff_reply, explain_reply, predict_reply, stats_reply, DeadlineExceededReply, OverloadedReply,
+    ReloadReply, Request, Response, ShutdownReply,
 };
 use crate::session::SessionStore;
 use quasar_bgpsim::aspath::AsPath;
@@ -60,6 +65,13 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Maximum resident what-if sessions (oldest evicted beyond this).
     pub max_sessions: usize,
+    /// Maximum pending (accepted but not yet handled) connections before
+    /// the acceptor sheds new ones with an `overloaded` reply.
+    pub max_pending: usize,
+    /// Per-request compute deadline in milliseconds; requests running
+    /// longer are answered with `deadline_exceeded`. `0` disables the
+    /// deadline.
+    pub deadline_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -70,17 +82,41 @@ impl Default for ServeConfig {
                 .unwrap_or(4)
                 .min(16),
             max_sessions: 32,
+            max_pending: 128,
+            deadline_ms: 0,
         }
     }
 }
 
-/// Everything the workers share: the immutable model, the caches, the
-/// session store, the metrics, and the shutdown flag.
+/// One published generation of served state: the model plus the caches
+/// that are only valid for exactly that model. A `reload` swaps the whole
+/// epoch, so a cache entry can never outlive the model it was computed
+/// from; requests in flight keep the `Arc` of the epoch they started on.
+pub struct ModelEpoch {
+    /// The served model.
+    pub model: AsRoutingModel,
+    /// Per-prefix steady-state cache for `model`.
+    pub base_cache: SteadyStateCache,
+    /// What-if session store (overlays on `model`).
+    pub sessions: SessionStore,
+}
+
+impl ModelEpoch {
+    /// Wraps a model with fresh (cold) caches.
+    pub fn new(model: AsRoutingModel, max_sessions: usize) -> Self {
+        ModelEpoch {
+            model,
+            base_cache: SteadyStateCache::new(),
+            sessions: SessionStore::with_capacity(max_sessions),
+        }
+    }
+}
+
+/// Everything the workers share: the current model epoch, the metrics,
+/// and the shutdown flag.
 pub struct ServerState {
     config: ServeConfig,
-    model: AsRoutingModel,
-    base_cache: SteadyStateCache,
-    sessions: SessionStore,
+    epoch: parking_lot::RwLock<Arc<ModelEpoch>>,
     metrics: ServeMetrics,
     shutdown: AtomicBool,
 }
@@ -90,32 +126,27 @@ impl ServerState {
     pub fn new(model: AsRoutingModel, config: ServeConfig) -> Self {
         ServerState {
             config,
-            model,
-            base_cache: SteadyStateCache::new(),
-            sessions: SessionStore::with_capacity(config.max_sessions),
+            epoch: parking_lot::RwLock::new(Arc::new(ModelEpoch::new(model, config.max_sessions))),
             metrics: ServeMetrics::new(),
             shutdown: AtomicBool::new(false),
         }
     }
 
-    /// The served model.
-    pub fn model(&self) -> &AsRoutingModel {
-        &self.model
+    /// The current model epoch. Requests clone the `Arc` once and use it
+    /// throughout, so a concurrent `reload` never changes an answer
+    /// mid-request.
+    pub fn epoch(&self) -> Arc<ModelEpoch> {
+        Arc::clone(&self.epoch.read())
+    }
+
+    /// Publishes a new epoch atomically (used by `reload`).
+    fn swap_epoch(&self, next: ModelEpoch) {
+        *self.epoch.write() = Arc::new(next);
     }
 
     /// The server configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
-    }
-
-    /// The base steady-state cache.
-    pub fn base_cache(&self) -> &SteadyStateCache {
-        &self.base_cache
-    }
-
-    /// The what-if session store.
-    pub fn sessions(&self) -> &SessionStore {
-        &self.sessions
     }
 
     /// The server metrics.
@@ -135,11 +166,14 @@ impl ServerState {
 
     /// Parses one request line, dispatches it, and records latency
     /// metrics. Malformed lines and failed requests are tallied under the
-    /// `error` kind.
+    /// `error` kind; deadline-exceeded replies are tallied under the
+    /// request's own kind plus the dedicated `deadline_exceeded` counter.
     pub fn handle_line(&self, line: &str) -> Response {
         let start = Instant::now();
         // Failpoint: injects a dispatch-level fault (error reply, stall,
         // or panic — the panic is caught by the worker's unwind guard).
+        // An injected delay lands before the deadline check, so it also
+        // drives `deadline_exceeded` tests.
         #[cfg(feature = "testkit")]
         if quasar_bgpsim::fail::inject("serve.handle_line") {
             let resp = Response::error("injected fault (failpoint serve.handle_line)");
@@ -147,14 +181,21 @@ impl ServerState {
                 .record(RequestKind::Error, start.elapsed().as_micros() as u64);
             return resp;
         }
+        let deadline = (self.config.deadline_ms > 0).then(|| Deadline {
+            start,
+            limit: Duration::from_millis(self.config.deadline_ms),
+        });
         let (kind, response) = match serde_json::from_str::<Request>(line.trim()) {
             Ok(req) => {
-                let resp = self.dispatch(&req);
+                let resp = self.dispatch_bounded(&req, deadline.as_ref());
                 let kind = if matches!(resp, Response::Error(_)) {
                     RequestKind::Error
                 } else {
                     req.kind()
                 };
+                if matches!(resp, Response::DeadlineExceeded(_)) {
+                    self.metrics.deadline_exceeded();
+                }
                 (kind, resp)
             }
             Err(e) => (
@@ -167,22 +208,45 @@ impl ServerState {
         response
     }
 
-    /// Dispatches one parsed request.
+    /// Dispatches one parsed request with no compute deadline.
     pub fn dispatch(&self, req: &Request) -> Response {
+        self.dispatch_bounded(req, None)
+    }
+
+    /// Dispatches one parsed request, cutting the computation short with
+    /// a `deadline_exceeded` reply if it outlives `deadline`. The epoch
+    /// is pinned once here: the whole request runs against one model even
+    /// if a `reload` lands concurrently.
+    fn dispatch_bounded(&self, req: &Request, deadline: Option<&Deadline>) -> Response {
+        let epoch = self.epoch();
+        if let Some(resp) = deadline.and_then(Deadline::exceeded) {
+            return resp;
+        }
         match req {
             Request::Predict {
                 prefix,
                 observer,
                 observed_path,
-            } => self.do_predict(prefix, *observer, observed_path.as_deref()),
-            Request::Diff { changes, prefixes } => self.do_diff(changes, prefixes.as_deref()),
-            Request::Explain { prefix, observer } => self.do_explain(prefix, *observer),
-            Request::Stats => Response::Stats(stats_reply(&self.model)),
+            } => self.do_predict(
+                &epoch,
+                prefix,
+                *observer,
+                observed_path.as_deref(),
+                deadline,
+            ),
+            Request::Diff { changes, prefixes } => {
+                self.do_diff(&epoch, changes, prefixes.as_deref(), deadline)
+            }
+            Request::Explain { prefix, observer } => {
+                self.do_explain(&epoch, prefix, *observer, deadline)
+            }
+            Request::Stats => Response::Stats(stats_reply(&epoch.model)),
             Request::Metrics => Response::Metrics(self.metrics.snapshot(
-                self.base_cache.snapshot(),
-                self.sessions.overlay_snapshot(),
-                self.sessions.len(),
+                epoch.base_cache.snapshot(),
+                epoch.sessions.overlay_snapshot(),
+                epoch.sessions.len(),
             )),
+            Request::Reload { path } => self.do_reload(path),
             Request::Shutdown => {
                 self.request_shutdown();
                 Response::Shutdown(ShutdownReply { draining: true })
@@ -191,28 +255,41 @@ impl ServerState {
     }
 
     /// Parses and validates a (prefix, observer) query pair.
-    fn lookup(&self, prefix: &str, observer: u32) -> Result<(Prefix, Asn), Response> {
+    // The Err is the ready-to-send error reply, produced at most once per
+    // request — its size does not matter on this path.
+    #[allow(clippy::result_large_err)]
+    fn lookup(epoch: &ModelEpoch, prefix: &str, observer: u32) -> Result<(Prefix, Asn), Response> {
         let prefix: Prefix = prefix.parse().map_err(Response::error)?;
-        if !self.model.prefixes().contains_key(&prefix) {
+        if !epoch.model.prefixes().contains_key(&prefix) {
             return Err(Response::error(format!("unknown prefix `{prefix}`")));
         }
         let observer = Asn(observer);
-        if self.model.quasi_routers_of(observer).is_empty() {
+        if epoch.model.quasi_routers_of(observer).is_empty() {
             return Err(Response::error(format!("unknown AS `{}`", observer.0)));
         }
         Ok((prefix, observer))
     }
 
-    fn do_predict(&self, prefix: &str, observer: u32, observed: Option<&[u32]>) -> Response {
-        let (prefix, observer) = match self.lookup(prefix, observer) {
+    fn do_predict(
+        &self,
+        epoch: &ModelEpoch,
+        prefix: &str,
+        observer: u32,
+        observed: Option<&[u32]>,
+        deadline: Option<&Deadline>,
+    ) -> Response {
+        let (prefix, observer) = match Self::lookup(epoch, prefix, observer) {
             Ok(pair) => pair,
             Err(e) => return e,
         };
-        let result = match self.base_cache.get_or_simulate(&self.model, prefix) {
+        let result = match epoch.base_cache.get_or_simulate(&epoch.model, prefix) {
             Ok(r) => r,
             Err(e) => return Response::error(format!("simulation failed: {e}")),
         };
-        let routers = self.model.quasi_routers_of(observer);
+        if let Some(resp) = deadline.and_then(Deadline::exceeded) {
+            return resp;
+        }
+        let routers = epoch.model.quasi_routers_of(observer);
         let observed = observed.map(AsPath::from_u32s);
         Response::Predict(predict_reply(
             &result,
@@ -223,23 +300,34 @@ impl ServerState {
         ))
     }
 
-    fn do_explain(&self, prefix: &str, observer: u32) -> Response {
-        let (prefix, observer) = match self.lookup(prefix, observer) {
+    fn do_explain(
+        &self,
+        epoch: &ModelEpoch,
+        prefix: &str,
+        observer: u32,
+        deadline: Option<&Deadline>,
+    ) -> Response {
+        let (prefix, observer) = match Self::lookup(epoch, prefix, observer) {
             Ok(pair) => pair,
             Err(e) => return e,
         };
-        let result = match self.base_cache.get_or_simulate(&self.model, prefix) {
+        let result = match epoch.base_cache.get_or_simulate(&epoch.model, prefix) {
             Ok(r) => r,
             Err(e) => return Response::error(format!("simulation failed: {e}")),
         };
-        let routers = self.model.quasi_routers_of(observer);
+        if let Some(resp) = deadline.and_then(Deadline::exceeded) {
+            return resp;
+        }
+        let routers = epoch.model.quasi_routers_of(observer);
         Response::Explain(explain_reply(&result, &routers, prefix, observer))
     }
 
     fn do_diff(
         &self,
+        epoch: &ModelEpoch,
         specs: &[crate::protocol::ChangeSpec],
         prefixes: Option<&[String]>,
+        deadline: Option<&Deadline>,
     ) -> Response {
         if specs.is_empty() {
             return Response::error("a diff request needs at least one change");
@@ -252,11 +340,11 @@ impl ServerState {
             }
         }
         let targets: Vec<Prefix> = match prefixes {
-            None => self.model.prefixes().keys().copied().collect(),
+            None => epoch.model.prefixes().keys().copied().collect(),
             Some(list) => {
                 let mut out = Vec::with_capacity(list.len());
                 for p in list {
-                    match self.lookup_prefix(p) {
+                    match Self::lookup_prefix(epoch, p) {
                         Ok(p) => out.push(p),
                         Err(e) => return e,
                     }
@@ -266,10 +354,16 @@ impl ServerState {
                 out
             }
         };
-        let session = self.sessions.get_or_create(&self.model, &changes);
+        let session = epoch.sessions.get_or_create(&epoch.model, &changes);
         let mut diff = RoutingDiff::default();
         for prefix in targets {
-            let before = match self.base_cache.get_or_simulate(&self.model, prefix) {
+            // The deadline is checked between prefixes — a whole-model
+            // diff is the one request whose work grows with the model,
+            // so this is where a bounded reply matters most.
+            if let Some(resp) = deadline.and_then(Deadline::exceeded) {
+                return resp;
+            }
+            let before = match epoch.base_cache.get_or_simulate(&epoch.model, prefix) {
                 Ok(r) => r,
                 Err(e) => return Response::error(format!("simulation failed: {e}")),
             };
@@ -283,12 +377,87 @@ impl ServerState {
         Response::Diff(diff_reply(session.key(), changes.len(), &diff))
     }
 
-    fn lookup_prefix(&self, prefix: &str) -> Result<Prefix, Response> {
+    // See `lookup` on the Err size.
+    #[allow(clippy::result_large_err)]
+    fn lookup_prefix(epoch: &ModelEpoch, prefix: &str) -> Result<Prefix, Response> {
         let prefix: Prefix = prefix.parse().map_err(Response::error)?;
-        if !self.model.prefixes().contains_key(&prefix) {
+        if !epoch.model.prefixes().contains_key(&prefix) {
             return Err(Response::error(format!("unknown prefix `{prefix}`")));
         }
         Ok(prefix)
+    }
+
+    /// Loads and validates the model at `path` on a separate thread, then
+    /// atomically swaps it in as a fresh epoch. Any failure — unreadable
+    /// file, corrupt artifact, a model that cannot simulate its first
+    /// prefix, even a panic during validation — leaves the current epoch
+    /// serving untouched and comes back as an `error` reply.
+    fn do_reload(&self, path: &str) -> Response {
+        let path = path.to_string();
+        let loaded = std::thread::spawn(move || -> Result<AsRoutingModel, String> {
+            #[cfg(feature = "testkit")]
+            if quasar_bgpsim::fail::inject("serve.reload") {
+                return Err("injected fault (failpoint serve.reload)".to_string());
+            }
+            let model = quasar_core::persist::load_model(&path).map_err(|e| match e.hint() {
+                Some(h) => format!("{e} ({h})"),
+                None => e.to_string(),
+            })?;
+            // Semantic probe: a structurally valid model that cannot
+            // simulate is as useless as a corrupt one.
+            if let Some((&prefix, _)) = model.prefixes().iter().next() {
+                model
+                    .simulate(prefix)
+                    .map_err(|e| format!("model failed validation probe on {prefix}: {e}"))?;
+            }
+            Ok(model)
+        })
+        .join();
+        match loaded {
+            Ok(Ok(model)) => {
+                let stats = model.stats();
+                let prefixes = model.prefixes().len();
+                self.swap_epoch(ModelEpoch::new(model, self.config.max_sessions));
+                self.metrics.reload_ok();
+                Response::Reload(ReloadReply {
+                    swapped: true,
+                    prefixes,
+                    quasi_routers: stats.quasi_routers,
+                })
+            }
+            Ok(Err(msg)) => {
+                self.metrics.reload_failed();
+                Response::error(format!("reload rejected; keeping current model: {msg}"))
+            }
+            Err(_) => {
+                self.metrics.reload_failed();
+                Response::error(
+                    "reload rejected; keeping current model: validation thread panicked",
+                )
+            }
+        }
+    }
+}
+
+/// A per-request compute budget, measured from the moment the request
+/// line reached [`ServerState::handle_line`].
+struct Deadline {
+    start: Instant,
+    limit: Duration,
+}
+
+impl Deadline {
+    /// The `deadline_exceeded` reply if the budget is spent, else `None`.
+    fn exceeded(&self) -> Option<Response> {
+        let elapsed = self.start.elapsed();
+        if elapsed > self.limit {
+            Some(Response::DeadlineExceeded(DeadlineExceededReply {
+                deadline_ms: self.limit.as_millis() as u64,
+                elapsed_ms: elapsed.as_millis() as u64,
+            }))
+        } else {
+            None
+        }
     }
 }
 
@@ -318,8 +487,21 @@ pub fn serve(state: Arc<ServerState>, listener: TcpListener) -> io::Result<()> {
             let _ = quasar_bgpsim::fail::inject("serve.accept");
             match listener.accept() {
                 Ok((stream, _addr)) => {
+                    let mut guard = lock_recovering(&queue);
+                    if guard.len() >= state.config.max_pending.max(1) {
+                        // Load shedding: beyond the bounded queue the peer
+                        // gets one typed reply and a closed connection —
+                        // bounded memory and an honest answer instead of
+                        // unbounded queueing. The write is best-effort: a
+                        // peer that already gave up loses nothing.
+                        drop(guard);
+                        state.metrics.connection_shed();
+                        shed_connection(stream);
+                        continue;
+                    }
                     state.metrics.connection_opened();
-                    lock_recovering(&queue).push_back(stream);
+                    guard.push_back(stream);
+                    drop(guard);
                     available.notify_one();
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -348,6 +530,19 @@ pub fn serve(state: Arc<ServerState>, listener: TcpListener) -> io::Result<()> {
         Some(e) => Err(e),
         None => Ok(()),
     }
+}
+
+/// Answers a shed connection with one `overloaded` JSON line and closes
+/// it. Runs on the acceptor thread, so it must never block on the peer:
+/// a short write timeout bounds even a zero-window client.
+fn shed_connection(mut stream: TcpStream) {
+    let reply = Response::Overloaded(OverloadedReply { retry_after_ms: 50 });
+    let mut out = serde_json::to_string(&reply)
+        .unwrap_or_else(|_| r#"{"type":"overloaded","retry_after_ms":50}"#.to_string());
+    out.push('\n');
+    let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
+    let _ = stream.write_all(out.as_bytes());
+    let _ = stream.flush();
 }
 
 /// One worker: pull connections off the queue until shutdown, then exit.
@@ -495,10 +690,10 @@ mod tests {
         let line = format!(r#"{{"type":"predict","prefix":"{p}","observer":1}}"#);
         let first = s.handle_line(&line);
         assert!(matches!(first, Response::Predict(_)), "{first:?}");
-        assert_eq!(s.base_cache().misses(), 1);
+        assert_eq!(s.epoch().base_cache.misses(), 1);
         let second = s.handle_line(&line);
         assert_eq!(first, second);
-        assert_eq!(s.base_cache().hits(), 1);
+        assert_eq!(s.epoch().base_cache.hits(), 1);
         assert_eq!(s.metrics().count(RequestKind::Predict), 2);
     }
 
@@ -532,15 +727,15 @@ mod tests {
             panic!("expected diff reply, got {resp:?}");
         };
         assert!(diff.pairs > 0);
-        assert_eq!(s.sessions().len(), 1);
+        assert_eq!(s.epoch().sessions.len(), 1);
         // Same scenario again: session (and its overlay cache) is reused.
         let again = s.handle_line(&line);
         let Response::Diff(diff2) = again else {
             panic!("expected diff reply");
         };
         assert_eq!(diff, diff2);
-        assert_eq!(s.sessions().len(), 1);
-        assert!(s.sessions().overlay_snapshot().hits > 0);
+        assert_eq!(s.epoch().sessions.len(), 1);
+        assert!(s.epoch().sessions.overlay_snapshot().hits > 0);
         // The base cache never saw the scenario model.
         let p = Prefix::for_origin(Asn(3)).to_string();
         let predict = s.handle_line(&format!(
@@ -557,8 +752,9 @@ mod tests {
     fn diff_matches_scenario_api() {
         let s = state();
         let changes = vec![Change::Depeer(Asn(2), Asn(3))];
+        let epoch = s.epoch();
         let scenario =
-            quasar_core::whatif::Scenario::new(s.model()).apply(Change::Depeer(Asn(2), Asn(3)));
+            quasar_core::whatif::Scenario::new(&epoch.model).apply(Change::Depeer(Asn(2), Asn(3)));
         let expected = scenario.diff().unwrap();
         let resp = s.dispatch(&Request::Diff {
             changes: vec![ChangeSpec::Depeer { a: 2, b: 3 }],
@@ -603,6 +799,7 @@ mod tests {
             ServeConfig {
                 workers: 2,
                 max_sessions: 4,
+                ..ServeConfig::default()
             },
         ));
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();

@@ -6,9 +6,14 @@
 //!             TABLE_DUMP_V2 (plus FILE.updates.mrt with an UPDATE stream)
 //!   analyze   FILE            §3 analyses of an MRT feed file
 //!   train     FILE --out MODEL.json [--threads N]
+//!             [--checkpoint-dir D [--checkpoint-every N] [--resume]]
 //!             refine a model against ALL feeds and persist it
 //!             (--threads 0 / absent = all cores; the result is
-//!             byte-identical for every thread count)
+//!             byte-identical for every thread count). With
+//!             --checkpoint-dir the refinement state is checkpointed
+//!             every N rounds (default 1) and --resume continues an
+//!             interrupted run from the latest checkpoint, producing
+//!             a byte-identical final model.
 //!   predict   FILE [--split point|origin|both] [--seed N]
 //!             train on half the feeds, predict the other half
 //!   diagnose  FILE [--seed N]
@@ -29,9 +34,14 @@
 //!             one-shot route prediction from a persisted model, printed
 //!             as one JSON line — byte-identical to the server's answer
 //!   serve     MODEL.json [--listen ADDR] [--workers N] [--max-sessions N]
-//!             long-running query server (see `quasar-serve` crate docs)
+//!             [--max-pending N] [--deadline-ms MS]
+//!             long-running query server (see `quasar-serve` crate docs);
+//!             --max-pending bounds the accept queue (excess connections
+//!             are shed with an `overloaded` reply), --deadline-ms caps
+//!             per-request compute time (0 = unlimited)
 //!   query     ADDR JSON [JSON...]
-//!             send newline-delimited JSON requests to a running server
+//!             send newline-delimited JSON requests to a running server;
+//!             `overloaded` replies are retried with jittered backoff
 
 use quasar::bgpsim::types::Asn;
 use quasar::diversity::prelude::*;
@@ -66,7 +76,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: quasar generate --out FILE [--scale tiny|default|paper] [--seed N]\n\
-         \x20      quasar train FILE --out MODEL.json [--threads N]\n\
+         \x20      quasar train FILE --out MODEL.json [--threads N] [--checkpoint-dir D [--checkpoint-every N] [--resume]]\n\
          \x20      quasar analyze FILE\n\
          \x20      quasar predict FILE [--split point|origin|both] [--seed N]\n\
          \x20      quasar diagnose FILE [--seed N]\n\
@@ -74,7 +84,7 @@ fn usage(msg: &str) -> ! {
          \x20      quasar whatif FILE --depeer A:B [--model MODEL.json]\n\
          \x20      quasar whatif --json --model MODEL.json [--depeer A:B] [--add-peering A:B] [--filter ASN:NEIGHBOR:PREFIX]\n\
          \x20      quasar predict --model MODEL.json --prefix P --observer N [--path A,B,C]\n\
-         \x20      quasar serve MODEL.json [--listen ADDR] [--workers N] [--max-sessions N]\n\
+         \x20      quasar serve MODEL.json [--listen ADDR] [--workers N] [--max-sessions N] [--max-pending N] [--deadline-ms MS]\n\
          \x20      quasar query ADDR JSON [JSON...]"
     );
     exit(2)
@@ -170,7 +180,8 @@ fn cmd_generate(args: &[String]) {
     eprintln!("generating {scale} internet (seed {seed}) ...");
     let net = SyntheticInternet::generate(cfg);
     let bytes = export_table_dump_v2(&net.observation_points, &net.observations);
-    std::fs::write(&out, &bytes).unwrap_or_else(|e| {
+    // Raw bytes (no persist header): the archive must stay MRT-parseable.
+    atomic_write_bytes(&out, &bytes).unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");
         exit(1)
     });
@@ -190,7 +201,7 @@ fn cmd_generate(args: &[String]) {
     }
     let ubytes = w.finish().expect("in-memory flush");
     let upath = format!("{out}.updates.mrt");
-    std::fs::write(&upath, &ubytes).unwrap_or_else(|e| {
+    atomic_write_bytes(&upath, &ubytes).unwrap_or_else(|e| {
         eprintln!("cannot write {upath}: {e}");
         exit(1)
     });
@@ -205,6 +216,12 @@ fn cmd_train(args: &[String]) {
     let path = positional(args).unwrap_or_else(|| usage("train requires FILE"));
     let out = flag(args, "--out").unwrap_or_else(|| usage("train requires --out"));
     let threads: usize = parsed_flag(args, "--threads").unwrap_or(0);
+    let checkpoint_dir = flag(args, "--checkpoint-dir");
+    let checkpoint_every: u64 = parsed_flag(args, "--checkpoint-every").unwrap_or(1);
+    let resume = args.iter().any(|a| a == "--resume");
+    if resume && checkpoint_dir.is_none() {
+        usage("--resume requires --checkpoint-dir");
+    }
     let (_, dataset) = load_dataset(&path);
     let cfg = RefineConfig {
         threads,
@@ -215,20 +232,56 @@ fn cmd_train(args: &[String]) {
         dataset.len(),
         cfg.effective_threads()
     );
-    let mut model = AsRoutingModel::initial(&dataset.as_graph(), &dataset.prefixes());
-    let report = refine(&mut model, &dataset, &cfg).unwrap_or_else(|e| {
-        eprintln!("refinement failed: {e}");
-        exit(1)
+    let policy = checkpoint_dir.as_ref().map(|d| CheckpointPolicy {
+        dir: std::path::PathBuf::from(d),
+        every: checkpoint_every.max(1),
+        keep: 2,
     });
+    let fresh = |policy: Option<&CheckpointPolicy>| -> (AsRoutingModel, RefineReport) {
+        let mut model = AsRoutingModel::initial(&dataset.as_graph(), &dataset.prefixes());
+        let report = refine_checkpointed(&mut model, &dataset, &cfg, policy)
+            .unwrap_or_else(|e| die(format!("refinement failed: {e}")));
+        (model, report)
+    };
+    let (mut model, report) = match (&policy, resume) {
+        (Some(p), true) => match resume_refine(&dataset, &cfg, p) {
+            Ok(resumed) => {
+                eprintln!("resumed refinement from checkpoints in {}", p.dir.display());
+                resumed
+            }
+            // No usable checkpoint is the expected state on a first run
+            // (or after a crash before round 1); start fresh rather than
+            // forcing callers to know whether a prior attempt got far
+            // enough to write state.
+            Err(RefineError::Persist(PersistError::NoCheckpoint { .. })) => {
+                eprintln!("no checkpoint found in {}; starting fresh", p.dir.display());
+                fresh(Some(p))
+            }
+            Err(e) => die(format!("cannot resume refinement: {e}")),
+        },
+        _ => fresh(policy.as_ref()),
+    };
     model.generalize_med_preferences();
     let json = model.to_json().unwrap_or_else(|e| {
         eprintln!("cannot serialize model: {e}");
         exit(1)
     });
-    std::fs::write(&out, &json).unwrap_or_else(|e| {
+    quasar::model::persist::save_artifact(
+        &out,
+        quasar::model::persist::KIND_MODEL,
+        json.as_bytes(),
+    )
+    .unwrap_or_else(|e| {
         eprintln!("cannot write {out}: {e}");
         exit(1)
     });
+    // The final model is durably on disk; the intermediate state has
+    // served its purpose and would only confuse a later --resume.
+    if let Some(p) = &policy {
+        for (_, ckpt) in quasar::model::persist::list_checkpoints(&p.dir) {
+            std::fs::remove_file(&ckpt).ok();
+        }
+    }
     let stats = model.stats();
     println!(
         "wrote {out}: converged={} | {} quasi-routers | {} rules | {} bytes",
@@ -240,12 +293,11 @@ fn cmd_train(args: &[String]) {
 }
 
 fn load_model(path: &str) -> AsRoutingModel {
-    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        exit(1)
-    });
-    AsRoutingModel::from_json(&json).unwrap_or_else(|e| {
-        eprintln!("cannot parse model {path}: {e}");
+    quasar::model::persist::load_model(path).unwrap_or_else(|e| {
+        eprintln!("cannot load model {path}: {e}");
+        if let Some(hint) = e.hint() {
+            eprintln!("hint: {hint}");
+        }
         exit(1)
     })
 }
@@ -550,6 +602,12 @@ fn cmd_serve(args: &[String]) {
     if let Some(m) = parsed_flag::<usize>(args, "--max-sessions") {
         config.max_sessions = m;
     }
+    if let Some(p) = parsed_flag::<usize>(args, "--max-pending") {
+        config.max_pending = p.max(1);
+    }
+    if let Some(d) = parsed_flag::<u64>(args, "--deadline-ms") {
+        config.deadline_ms = d;
+    }
     let model = load_model(&model_path);
     let stats = model.stats();
     let listener = TcpListener::bind(&listen)
@@ -575,17 +633,78 @@ fn cmd_serve(args: &[String]) {
     eprintln!("quasar-serve drained, exiting");
 }
 
+/// A lazily-(re)connected client connection to the query server. A shed
+/// connection is closed by the server after its `overloaded` reply, so the
+/// client must be able to reconnect between attempts.
+struct QueryClient {
+    addr: String,
+    conn: Option<(TcpStream, BufReader<TcpStream>)>,
+}
+
+impl QueryClient {
+    fn new(addr: &str) -> Self {
+        QueryClient {
+            addr: addr.to_string(),
+            conn: None,
+        }
+    }
+
+    /// Sends one request line and reads one reply line, connecting first
+    /// if needed. Any transport failure drops the cached connection so the
+    /// next attempt starts from a fresh connect.
+    fn exchange(&mut self, json: &str) -> Result<String, String> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)
+                .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+            let reader = stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone connection: {e}"))?;
+            self.conn = Some((stream, BufReader::new(reader)));
+        }
+        let (stream, reader) = self.conn.as_mut().expect("connected above");
+        let result = stream
+            .write_all(format!("{json}\n").as_bytes())
+            .map_err(|e| format!("cannot send to {}: {e}", self.addr))
+            .and_then(|()| {
+                let mut reply = String::new();
+                reader
+                    .read_line(&mut reply)
+                    .map_err(|e| format!("cannot read reply: {e}"))?;
+                if reply.is_empty() {
+                    return Err("server closed the connection".into());
+                }
+                Ok(reply)
+            });
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+}
+
+/// How many times a request that keeps drawing `overloaded` replies is
+/// retried before the last reply is surfaced to the caller.
+const QUERY_MAX_RETRIES: u32 = 5;
+
+/// One step of SplitMix64 — enough randomness to de-synchronize the
+/// backoff of concurrent clients without a vendored RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 fn cmd_query(args: &[String]) {
     let (addr, lines) = match args.split_first() {
         Some((a, rest)) if !rest.is_empty() && !a.starts_with("--") => (a, rest),
         _ => usage("query requires ADDR and at least one JSON request"),
     };
-    let mut stream =
-        TcpStream::connect(addr).unwrap_or_else(|e| die(format!("cannot connect to {addr}: {e}")));
-    let reader = stream
-        .try_clone()
-        .unwrap_or_else(|e| die(format!("cannot clone connection: {e}")));
-    let mut reader = BufReader::new(reader);
+    let mut client = QueryClient::new(addr);
+    // Seeded per process so parallel clients retrying against the same
+    // overloaded server spread out instead of stampeding in lockstep.
+    let mut jitter = u64::from(std::process::id()) ^ 0x5155_4153_4152_3121;
     let mut failed = false;
     for line in lines {
         // Validate locally first: a typo should produce a parse error
@@ -594,18 +713,31 @@ fn cmd_query(args: &[String]) {
             .unwrap_or_else(|e| die(format!("bad request `{line}`: {e}")));
         let json = serde_json::to_string(&req)
             .unwrap_or_else(|e| die(format!("cannot serialize request: {e}")));
-        stream
-            .write_all(format!("{json}\n").as_bytes())
-            .unwrap_or_else(|e| die(format!("cannot send to {addr}: {e}")));
-        let mut reply = String::new();
-        reader
-            .read_line(&mut reply)
-            .unwrap_or_else(|e| die(format!("cannot read reply: {e}")));
-        if reply.is_empty() {
-            die("server closed the connection");
-        }
+        let mut attempt = 0u32;
+        let reply = loop {
+            let reply = client.exchange(&json).unwrap_or_else(|e| die(e));
+            let overloaded = matches!(serde_json::from_str(&reply), Ok(Response::Overloaded(_)));
+            if !overloaded || attempt >= QUERY_MAX_RETRIES {
+                break reply;
+            }
+            // Jittered exponential backoff: 10ms, 20ms, ... doubling per
+            // attempt, each with up to +50% random jitter. A deadline-
+            // exceeded reply is NOT retried — the request itself is too
+            // expensive, and retrying would re-burn the server's budget.
+            attempt += 1;
+            let base = 10u64 << (attempt - 1);
+            let sleep_ms = base + splitmix64(&mut jitter) % (base / 2 + 1);
+            eprintln!("server overloaded; retry {attempt}/{QUERY_MAX_RETRIES} in {sleep_ms}ms");
+            std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
+        };
         print_line(&reply);
-        if matches!(serde_json::from_str(&reply), Ok(Response::Error(_))) {
+        // An error reply, or an overload that outlived every retry, means
+        // the request did not get a real answer — scripts must see that
+        // in the exit code.
+        if matches!(
+            serde_json::from_str(&reply),
+            Ok(Response::Error(_)) | Ok(Response::Overloaded(_))
+        ) {
             failed = true;
         }
     }

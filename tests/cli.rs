@@ -121,3 +121,197 @@ fn full_cli_workflow() {
         let _ = std::fs::remove_file(f);
     }
 }
+
+/// Kill-and-resume through the real binary: a `train --checkpoint-dir`
+/// run killed with SIGKILL mid-refinement and resumed with `--resume`
+/// must write a final model byte-identical to an uninterrupted run, and
+/// must clean its checkpoints up afterwards.
+#[test]
+fn train_killed_and_resumed_is_byte_identical() {
+    let feeds = tmp("resume-feeds.mrt");
+    let model_a = tmp("resume-a.model");
+    let model_b = tmp("resume-b.model");
+    let ckpt_a = tmp("resume-ckpt-a");
+    let ckpt_b = tmp("resume-ckpt-b");
+    for d in [&ckpt_a, &ckpt_b] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    let out = quasar()
+        .args([
+            "generate",
+            "--out",
+            feeds.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "9",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Reference: an uninterrupted checkpointed run.
+    let out = quasar()
+        .args([
+            "train",
+            feeds.to_str().unwrap(),
+            "--out",
+            model_a.to_str().unwrap(),
+            "--checkpoint-dir",
+            ckpt_a.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reference = std::fs::read(&model_a).expect("reference model written");
+
+    // Victim: same training run, SIGKILLed as soon as a checkpoint lands.
+    let mut child = quasar()
+        .args([
+            "train",
+            feeds.to_str().unwrap(),
+            "--out",
+            model_b.to_str().unwrap(),
+            "--checkpoint-dir",
+            ckpt_b.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn victim train");
+    let has_checkpoint = |dir: &PathBuf| {
+        std::fs::read_dir(dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .any(|e| e.file_name().to_string_lossy().ends_with(".qck"))
+            })
+            .unwrap_or(false)
+    };
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let finished_first = loop {
+        if let Some(status) = child.try_wait().expect("poll victim") {
+            // The run outpaced the poll loop — it must at least have
+            // succeeded, and the equivalence claim still holds below.
+            assert!(status.success(), "victim train failed on its own");
+            break true;
+        }
+        if has_checkpoint(&ckpt_b) {
+            child.kill().expect("SIGKILL victim");
+            let _ = child.wait();
+            break false;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no checkpoint appeared within 60s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    };
+
+    if !finished_first {
+        // Resume from whatever the kill left behind.
+        let out = quasar()
+            .args([
+                "train",
+                feeds.to_str().unwrap(),
+                "--out",
+                model_b.to_str().unwrap(),
+                "--checkpoint-dir",
+                ckpt_b.to_str().unwrap(),
+                "--resume",
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            text.contains("resumed refinement") || text.contains("starting fresh"),
+            "resume must say what it did: {text}"
+        );
+    }
+
+    let resumed = std::fs::read(&model_b).expect("resumed model written");
+    assert_eq!(
+        reference, resumed,
+        "killed-and-resumed training must be byte-identical to the uninterrupted run"
+    );
+    assert!(
+        !has_checkpoint(&ckpt_b),
+        "checkpoints must be cleaned up after a successful run"
+    );
+
+    for f in [feeds.clone(), model_a, model_b] {
+        let _ = std::fs::remove_file(f);
+    }
+    let _ = std::fs::remove_file(PathBuf::from(format!("{}.updates.mrt", feeds.display())));
+    for d in [ckpt_a, ckpt_b] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+/// `serve` on a corrupt model must exit with the typed persist error and
+/// the checkpoint-recovery hint, not a raw parse error.
+#[test]
+fn serve_on_corrupt_model_names_offset_and_hint() {
+    let feeds = tmp("corrupt-feeds.mrt");
+    let model = tmp("corrupt.model");
+    let out = quasar()
+        .args([
+            "generate",
+            "--out",
+            feeds.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "11",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let out = quasar()
+        .args([
+            "train",
+            feeds.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Truncate the framed artifact mid-payload.
+    let bytes = std::fs::read(&model).unwrap();
+    std::fs::write(&model, &bytes[..bytes.len() / 3]).unwrap();
+
+    let out = quasar()
+        .args(["serve", model.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "serve must refuse a corrupt model");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("byte"), "must name the byte offset: {err}");
+    assert!(
+        err.contains("--checkpoint-dir") && err.contains("--resume"),
+        "must hint at checkpoint recovery: {err}"
+    );
+
+    let _ = std::fs::remove_file(&feeds);
+    let _ = std::fs::remove_file(PathBuf::from(format!("{}.updates.mrt", feeds.display())));
+    let _ = std::fs::remove_file(&model);
+}
