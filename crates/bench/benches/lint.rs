@@ -1,0 +1,31 @@
+//! Benchmarks the static analyzer end to end and per rule family: the
+//! audit must stay decisively cheaper than a simulation pass, since it
+//! runs inline in `train`, checkpoint recovery, and the serve reload
+//! path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quasar_bench::{Context, Scale};
+use quasar_core::prelude::*;
+
+fn trained(seed: u64) -> AsRoutingModel {
+    let ctx = Context::build(Scale::Tiny, seed);
+    let mut model = AsRoutingModel::initial(&ctx.dataset.as_graph(), &ctx.dataset.prefixes());
+    refine(&mut model, &ctx.dataset, &RefineConfig::default()).expect("tiny refinement converges");
+    model.generalize_med_preferences();
+    model
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let model = trained(5);
+    let stats = model.stats();
+    let mut group = c.benchmark_group("lint");
+    group.bench_with_input(
+        BenchmarkId::new("audit", format!("{}r", stats.policy_rules)),
+        &model,
+        |b, m| b.iter(|| quasar_lint::audit(m)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_audit);
+criterion_main!(benches);

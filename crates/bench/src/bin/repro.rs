@@ -140,6 +140,16 @@ fn main() {
         let (model, train) = train_model(&ctx, &training, &RefineConfig::default());
         if want("train") {
             print_train(&train);
+            // §5 mismatch attribution on the held-out half: which ASes
+            // carry diversity the training feeds never exposed.
+            let diag = diagnose(&model, &validation);
+            println!(
+                "validation reproduction: {} of {} routes | top offender ASes:",
+                diag.matched, diag.routes
+            );
+            for (asn, n) in diag.top_offenders(5) {
+                println!("  {asn:<10} {n} routes");
+            }
         }
         if want("pred-op") || want("cov") {
             let refined = evaluate(&model, &validation);

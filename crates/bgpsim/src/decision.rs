@@ -123,7 +123,9 @@ pub fn decide<B: Borrow<Route>>(candidates: &[B], cfg: &DecisionConfig) -> Decis
         if alive.len() <= 1 {
             return;
         }
-        let best = alive.iter().map(|&i| key(i)).min().expect("non-empty");
+        let Some(best) = alive.iter().map(|&i| key(i)).min() else {
+            return; // unreachable: alive.len() > 1 here
+        };
         alive.retain(|&i| {
             let keep = key(i) == best;
             if !keep {

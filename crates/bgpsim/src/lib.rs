@@ -75,6 +75,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors (or `expect` with an
+// invariant message, annotated at the use site); unit tests are exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod aspath;
 pub mod decision;
@@ -95,7 +98,9 @@ pub mod prelude {
     pub use crate::engine::{RouterRib, SimStats, SimulationResult, TraceEvent};
     pub use crate::error::SimError;
     pub use crate::igp::{IgpCosts, IgpTopology};
-    pub use crate::network::{DirectionPolicies, Network, Session, SessionKind};
+    pub use crate::network::{
+        DirectionPolicies, Network, Session, SessionDirectionView, SessionKind,
+    };
     pub use crate::policy::{Action, Policy, PolicyRule, RouteMatch};
     pub use crate::route::{
         LearnedVia, Origin, Route, DEFAULT_LOCAL_PREF, NO_ADVERTISE, NO_EXPORT,

@@ -383,6 +383,113 @@ impl Network {
             .map(|(sid, s)| (Self::pair_key(self.routers[s.a], self.routers[s.b]), sid))
             .collect();
     }
+
+    /// Iterates both directions of every session as read-only views, in
+    /// session insertion order (`a -> b` then `b -> a`). Static analyses
+    /// walk every policy chain through this without needing mutable or
+    /// index-level access.
+    pub fn session_directions(&self) -> impl Iterator<Item = SessionDirectionView<'_>> + '_ {
+        self.sessions.iter().flat_map(move |s| {
+            let a = self.routers[s.a];
+            let b = self.routers[s.b];
+            [
+                SessionDirectionView {
+                    from: a,
+                    to: b,
+                    kind: s.kind,
+                    from_has_client_to: s.a_has_client_b,
+                    policies: &s.a_to_b,
+                },
+                SessionDirectionView {
+                    from: b,
+                    to: a,
+                    kind: s.kind,
+                    from_has_client_to: s.b_has_client_a,
+                    policies: &s.b_to_a,
+                },
+            ]
+        })
+    }
+
+    /// Structural validation over the serialized fields only, so it is
+    /// safe (and intended) to run on freshly deserialized data *before*
+    /// [`Network::rebuild_indices`], which indexes into `routers` and
+    /// would panic on out-of-bounds session endpoints.
+    pub fn check_structure(&self) -> Result<(), String> {
+        let n = self.routers.len();
+        let mut seen = HashMap::with_capacity(n);
+        for (i, &r) in self.routers.iter().enumerate() {
+            if let Some(first) = seen.insert(r, i) {
+                return Err(format!(
+                    "duplicate quasi-router {r} (indices {first} and {i})"
+                ));
+            }
+        }
+        if self.adj.len() != n {
+            return Err(format!(
+                "adjacency table covers {} routers but {n} exist",
+                self.adj.len()
+            ));
+        }
+        let mut pairs = HashMap::with_capacity(self.sessions.len());
+        for (sid, s) in self.sessions.iter().enumerate() {
+            if s.a >= n || s.b >= n {
+                return Err(format!(
+                    "session {sid} references router index {} but only {n} routers exist",
+                    s.a.max(s.b)
+                ));
+            }
+            let (ra, rb) = (self.routers[s.a], self.routers[s.b]);
+            if s.a == s.b {
+                return Err(format!("session {sid} connects {ra} to itself"));
+            }
+            let same_as = ra.asn() == rb.asn();
+            if (s.kind == SessionKind::Ebgp && same_as) || (s.kind == SessionKind::Ibgp && !same_as)
+            {
+                return Err(format!(
+                    "session {sid} ({ra} -- {rb}) kind {:?} contradicts AS membership",
+                    s.kind
+                ));
+            }
+            if let Some(first) = pairs.insert(Self::pair_key(ra, rb), sid) {
+                return Err(format!(
+                    "duplicate session between {ra} and {rb} (sessions {first} and {sid})"
+                ));
+            }
+        }
+        for (i, edges) in self.adj.iter().enumerate() {
+            for &(sid, peer) in edges {
+                let valid = self
+                    .sessions
+                    .get(sid)
+                    .is_some_and(|s| (s.a == i && s.b == peer) || (s.b == i && s.a == peer));
+                if !valid {
+                    return Err(format!(
+                        "adjacency of router index {i} names session {sid} / peer {peer} \
+                         which does not connect them"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Read-only view of one direction of a session: announcements flow
+/// `from -> to` through `policies.export` (applied at `from`) and then
+/// `policies.import` (applied at `to`).
+#[derive(Debug, Clone, Copy)]
+pub struct SessionDirectionView<'a> {
+    /// Announcing router.
+    pub from: RouterId,
+    /// Receiving router.
+    pub to: RouterId,
+    /// Session kind shared by both directions.
+    pub kind: SessionKind,
+    /// RFC 4456: `from` treats `to` as its route-reflection client.
+    pub from_has_client_to: bool,
+    /// The policy chains of this direction.
+    pub policies: &'a DirectionPolicies,
 }
 
 #[cfg(test)]
@@ -497,5 +604,72 @@ mod tests {
     fn budget_auto_scales_with_sessions() {
         let net = Network::new(DecisionConfig::default());
         assert_eq!(net.effective_budget(), 10_000);
+    }
+
+    #[test]
+    fn session_directions_cover_both_ways() {
+        let mut net = Network::new(DecisionConfig::default());
+        net.add_router(rid(1, 0));
+        net.add_router(rid(2, 0));
+        net.add_session(rid(1, 0), rid(2, 0), SessionKind::Ebgp)
+            .unwrap();
+        let dirs: Vec<_> = net.session_directions().collect();
+        assert_eq!(dirs.len(), 2);
+        assert_eq!((dirs[0].from, dirs[0].to), (rid(1, 0), rid(2, 0)));
+        assert_eq!((dirs[1].from, dirs[1].to), (rid(2, 0), rid(1, 0)));
+        assert!(dirs.iter().all(|d| d.kind == SessionKind::Ebgp));
+    }
+
+    #[test]
+    fn check_structure_accepts_well_formed_networks() {
+        let mut net = Network::new(DecisionConfig::default());
+        net.add_router(rid(1, 0));
+        net.add_router(rid(1, 1));
+        net.add_router(rid(2, 0));
+        net.add_session(rid(1, 0), rid(1, 1), SessionKind::Ibgp)
+            .unwrap();
+        net.add_session(rid(1, 0), rid(2, 0), SessionKind::Ebgp)
+            .unwrap();
+        assert!(net.check_structure().is_ok());
+    }
+
+    #[test]
+    fn check_structure_catches_out_of_bounds_session() {
+        let mut net = Network::new(DecisionConfig::default());
+        net.add_router(rid(1, 0));
+        net.add_router(rid(2, 0));
+        net.add_session(rid(1, 0), rid(2, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.sessions[0].b = 999;
+        let err = net.check_structure().unwrap_err();
+        assert!(err.contains("999"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn check_structure_catches_kind_mismatch_and_duplicates() {
+        let mut net = Network::new(DecisionConfig::default());
+        net.add_router(rid(1, 0));
+        net.add_router(rid(2, 0));
+        net.add_session(rid(1, 0), rid(2, 0), SessionKind::Ebgp)
+            .unwrap();
+        net.sessions[0].kind = SessionKind::Ibgp;
+        assert!(net.check_structure().is_err());
+        net.sessions[0].kind = SessionKind::Ebgp;
+        let dup = net.sessions[0].clone();
+        net.sessions.push(dup);
+        let err = net.check_structure().unwrap_err();
+        assert!(
+            err.contains("duplicate session"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn check_structure_catches_duplicate_router() {
+        let mut net = Network::new(DecisionConfig::default());
+        net.add_router(rid(1, 0));
+        net.routers.push(rid(1, 0));
+        net.adj.push(Vec::new());
+        assert!(net.check_structure().is_err());
     }
 }

@@ -40,6 +40,9 @@ pub fn shortest_path_model(
 
 /// The relationship baseline: one quasi-router per AS with local-pref
 /// classes per inferred relationship and valley-free export filters.
+// `expect`s below: every session touched comes from the graph's edge list,
+// which `AsRoutingModel::initial` just materialized.
+#[allow(clippy::expect_used)]
 pub fn relationship_model(
     graph: &AsGraph,
     prefix_origins: &BTreeMap<Prefix, Asn>,

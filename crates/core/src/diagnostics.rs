@@ -66,7 +66,9 @@ pub fn diagnose(model: &AsRoutingModel, dataset: &Dataset) -> MismatchDiagnostic
             let mut failed_at: Option<Asn> = None;
             for n in 1..=r.as_path.len() {
                 let suffix = r.as_path.suffix(n);
-                let asn = suffix.head().expect("non-empty");
+                let Some(asn) = suffix.head() else {
+                    continue; // unreachable: a length-n suffix with n >= 1
+                };
                 let routers = model.quasi_routers_of(asn);
                 if match_level(res, &routers, &suffix) != MatchLevel::RibOut {
                     failed_at = Some(asn);
@@ -127,6 +129,31 @@ mod tests {
         let other = dataset(&[(&[1, 999], 999, 0)]);
         let diag = diagnose(&model, &other);
         assert_eq!(diag.first_failure_at.get(&Asn(999)), Some(&1));
+    }
+
+    #[test]
+    fn diagnostics_serde_round_trip() {
+        let mut diag = MismatchDiagnostics {
+            routes: 12,
+            matched: 9,
+            ..Default::default()
+        };
+        diag.first_failure_at.insert(Asn(7), 2);
+        diag.first_failure_at.insert(Asn(701), 1);
+        let json = serde_json::to_string(&diag).unwrap();
+        let back: MismatchDiagnostics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, diag);
+        assert_eq!(back.top_offenders(10), diag.top_offenders(10));
+    }
+
+    #[test]
+    fn top_offenders_truncates_to_n() {
+        let mut diag = MismatchDiagnostics::default();
+        for a in 1..=10u32 {
+            diag.first_failure_at.insert(Asn(a), a as usize);
+        }
+        let top = diag.top_offenders(3);
+        assert_eq!(top, vec![(Asn(10), 10), (Asn(9), 9), (Asn(8), 8)]);
     }
 
     #[test]

@@ -51,8 +51,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors (or `expect` with an
+// invariant message, annotated at the use site); unit tests are exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod atoms;
+pub mod audit;
 pub mod baseline;
 pub mod diagnostics;
 pub mod metrics;

@@ -16,7 +16,7 @@ use quasar_bgpsim::policy::{Action, PolicyRule, RouteMatch};
 use quasar_bgpsim::types::{Asn, Prefix, RouterId};
 use quasar_topology::graph::AsGraph;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Counters describing the size of a model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,6 +51,9 @@ impl AsRoutingModel {
     /// prefix the model will route to its originating AS (which must be in
     /// the graph). The decision process always compares MED across
     /// neighbors, as the refinement heuristic requires (§4.6).
+    // `expect`s below: graph edges are deduplicated by AsGraph, so
+    // add_session cannot fail on them.
+    #[allow(clippy::expect_used)]
     pub fn initial(graph: &AsGraph, prefix_origins: &BTreeMap<Prefix, Asn>) -> Self {
         let mut net = Network::new(DecisionConfig {
             med_mode: MedMode::AlwaysCompare,
@@ -82,8 +85,12 @@ impl AsRoutingModel {
         &self.net
     }
 
-    /// Mutable access for the refinement heuristic (same crate only).
-    pub(crate) fn network_mut(&mut self) -> &mut Network {
+    /// Mutable access to the underlying network — used by the refinement
+    /// heuristic and by test tooling (e.g. seeded defect injection for the
+    /// static analyzer). Mutations bypass the model's bookkeeping
+    /// (`rules_added`, quasi-router allocation), so production code should
+    /// prefer the typed mutators above.
+    pub fn network_mut(&mut self) -> &mut Network {
         &mut self.net
     }
 
@@ -131,8 +138,31 @@ impl AsRoutingModel {
     /// internal lookup indices serde skips.
     pub fn from_json(s: &str) -> serde_json::Result<Self> {
         let mut model: AsRoutingModel = serde_json::from_str(s)?;
+        // Validate *before* rebuild_indices, which indexes into the router
+        // table and would panic on out-of-bounds session endpoints.
+        model
+            .validate_structure()
+            .map_err(|e| serde_json::Error::msg(format!("model structure invalid: {e}")))?;
         model.net.rebuild_indices();
         Ok(model)
+    }
+
+    /// Structural sanity over serialized fields only: the network must be
+    /// well-formed (session bounds/kinds, no duplicates) and every prefix
+    /// must be originated by an AS that has at least one quasi-router.
+    /// Deeper semantic checks (dangling policy references, contradictory
+    /// rankings, convergence risks) live in the `quasar-lint` analyzer.
+    pub fn validate_structure(&self) -> Result<(), String> {
+        self.net.check_structure()?;
+        let ases: BTreeSet<Asn> = self.net.routers().iter().map(|r| r.asn()).collect();
+        for (&prefix, &asn) in &self.origin_of {
+            if !ases.contains(&asn) {
+                return Err(format!(
+                    "prefix {prefix} is originated by {asn} which has no quasi-router"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Simulates one prefix on the current model. The prefix is originated
@@ -149,6 +179,9 @@ impl AsRoutingModel {
     /// policies in both directions — "an identical copy of the existing
     /// quasi-router with the same neighbors" (§4.4), guaranteeing the same
     /// RIB-In.
+    // `expect`s below: every session touched is either iterated from the
+    // adjacency (so it exists) or created earlier in the same loop body.
+    #[allow(clippy::expect_used)]
     pub fn duplicate_quasi_router(&mut self, src: RouterId) -> RouterId {
         let asn = src.asn();
         let idx = self.next_index.get_mut(&asn).expect("AS exists in model");
@@ -196,6 +229,7 @@ impl AsRoutingModel {
     /// same local-pref and the same AS-path length the one with the lower
     /// MED is selected". Pre-existing MED rules for the prefix at `q` are
     /// replaced.
+    #[allow(clippy::expect_used)] // sessions come from the adjacency walk
     pub fn set_med_preference(
         &mut self,
         q: RouterId,
@@ -227,6 +261,7 @@ impl AsRoutingModel {
     /// ablation that reproduces why the paper rejected local-pref ranking
     /// (§4.6): preferring longer paths via local-pref "can lead to
     /// divergence".
+    #[allow(clippy::expect_used)] // sessions come from the adjacency walk
     pub fn set_local_pref_preference(
         &mut self,
         q: RouterId,
@@ -259,6 +294,7 @@ impl AsRoutingModel {
     /// Loc-RIB AS-path is shorter than `min_locrib_len` ("we do not filter
     /// those routes that have the same AS-path length"). Existing
     /// shorter-path filters for the prefix on those sessions are replaced.
+    #[allow(clippy::expect_used)] // sessions come from the adjacency walk
     pub fn set_shorter_path_filters(&mut self, q: RouterId, prefix: Prefix, min_locrib_len: usize) {
         let peers = self.net.peers_of(q);
         let mut added = 0usize;
@@ -292,6 +328,7 @@ impl AsRoutingModel {
     /// neighbor for most trained prefixes will now prefer that neighbor
     /// for unseen prefixes too (per-neighbor policy granularity, as in the
     /// authors' follow-up work). Returns the number of defaults installed.
+    #[allow(clippy::expect_used)] // sessions come from the adjacency walk
     pub fn generalize_med_preferences(&mut self) -> usize {
         let routers: Vec<RouterId> = self.net.routers().to_vec();
         let mut installed = 0usize;
@@ -342,6 +379,7 @@ impl AsRoutingModel {
     /// prior rules for `to`). Used by atom-accelerated refinement: prefixes
     /// with identical observed routing can share the learned rules.
     /// Returns the number of rules replicated.
+    #[allow(clippy::expect_used)] // sessions come from the adjacency walk
     pub fn replicate_prefix_policies(&mut self, from: Prefix, to: Prefix) -> usize {
         let routers: Vec<RouterId> = self.net.routers().to_vec();
         let mut replicated = 0usize;
@@ -388,6 +426,7 @@ impl AsRoutingModel {
     /// directions — routing-equivalent to withdrawing the adjacency while
     /// keeping the model's structure intact. Returns the number of
     /// sessions affected.
+    #[allow(clippy::expect_used)] // sessions come from the adjacency walk
     pub fn depeer(&mut self, a: Asn, b: Asn) -> usize {
         let ra = self.quasi_routers_of(a);
         let rb = self.quasi_routers_of(b);
@@ -438,6 +477,7 @@ impl AsRoutingModel {
     /// for `prefix` with Loc-RIB path length `locrib_len` (the
     /// filter-deletion step, §4.6 / Figure 7). Returns how many rules were
     /// removed.
+    #[allow(clippy::expect_used)] // sessions come from the adjacency walk
     pub fn delete_blocking_filters(
         &mut self,
         from: RouterId,

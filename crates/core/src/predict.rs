@@ -145,6 +145,9 @@ pub fn evaluate_prefix(
 /// `dataset`, one simulation per prefix, in parallel. Prefixes whose origin
 /// is unknown to the model count as unmatched (`MatchLevel::None`) — the
 /// model simply cannot predict them.
+// `expect` below: crossbeam scope errors only if a worker panicked, and a
+// panic should propagate, not be swallowed.
+#[allow(clippy::expect_used)]
 pub fn evaluate(model: &AsRoutingModel, dataset: &Dataset) -> Evaluation {
     let by_prefix: Vec<(
         Prefix,

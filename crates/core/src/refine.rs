@@ -287,7 +287,9 @@ fn targets_for(paths: &[&AsPath]) -> Vec<Target> {
     for p in paths {
         for n in 1..=p.len() {
             let o = p.suffix(n);
-            let asn = o.head().expect("non-empty suffix");
+            let Some(asn) = o.head() else {
+                continue; // unreachable: a length-n suffix with n >= 1
+            };
             set.insert(Target { len: n, o, asn });
         }
     }
@@ -339,7 +341,9 @@ pub fn refine_checkpointed(
 ) -> Result<RefineReport, RefineError> {
     let jobs = build_jobs(model, training);
     let fingerprint = policy.map(|_| dataset_fingerprint(training)).unwrap_or(0);
-    run_rounds(model, cfg, jobs, 0, fingerprint, policy)
+    let report = run_rounds(model, cfg, jobs, 0, fingerprint, policy)?;
+    crate::audit::log_audit("post-train", model);
+    Ok(report)
 }
 
 /// Continues an interrupted [`refine_checkpointed`] run from the newest
@@ -382,7 +386,15 @@ pub fn resume_refine(
         )));
     }
     let mut model = ckpt.model;
+    // Validate before rebuild_indices, which would panic on out-of-bounds
+    // session endpoints in a damaged (but checksum-valid) snapshot.
+    model
+        .validate_structure()
+        .map_err(|e| RefineError::CheckpointMismatch(format!("checkpoint model invalid: {e}")))?;
     model.network_mut().rebuild_indices();
+    // Audit the restored snapshot before continuing: a defect here means
+    // the checkpoint itself (not the remaining rounds) is suspect.
+    crate::audit::log_audit("checkpoint-recovery", &model);
     // Targets are rebuilt from the training set — deterministic, and the
     // fingerprint guarantees they equal the original run's.
     let mut jobs = build_jobs(&model, training);
@@ -404,6 +416,7 @@ pub fn resume_refine(
         job.done = jc.done;
     }
     let report = run_rounds(&mut model, cfg, jobs, ckpt.round, fingerprint, Some(policy))?;
+    crate::audit::log_audit("post-resume", &model);
     Ok((model, report))
 }
 
@@ -559,6 +572,10 @@ fn save_checkpoint(
 /// Simulates `prefixes` against `model` on `threads` workers. Results come
 /// back in input order; with one thread (or one prefix) no threads are
 /// spawned at all.
+// `expect`s below: a crossbeam scope error means a worker panicked (which
+// should propagate), and every slot is written by exactly one worker before
+// the scope joins.
+#[allow(clippy::expect_used)]
 fn simulate_batch(
     model: &AsRoutingModel,
     prefixes: &[Prefix],

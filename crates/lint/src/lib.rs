@@ -1,0 +1,553 @@
+//! # quasar-lint — a static analyzer for trained AS-routing models
+//!
+//! The refinement heuristic of *"Building an AS-topology model that
+//! captures route diversity"* (SIGCOMM 2006) mutates a model thousands of
+//! times: per-prefix MED rankings, shorter-path egress filters,
+//! quasi-router duplication. Any bug in that pipeline — or any corruption
+//! of a persisted artifact — produces a model that is *structurally*
+//! wrong long before a simulation reveals it behaviorally. This crate
+//! audits an [`AsRoutingModel`] **without running the simulator**: every
+//! rule is a pure walk over routers, sessions, and policy chains.
+//!
+//! ## Rule catalogue
+//!
+//! | id     | name                 | severity | what it catches |
+//! |--------|----------------------|----------|-----------------|
+//! | QL0001 | dangling-prefix      | Error    | a filter or MED ranking names a prefix the model does not route |
+//! | QL0002 | dangling-as          | Error    | a matcher names an AS with no quasi-router |
+//! | QL0003 | unreachable-router   | Warn     | a quasi-router with no sessions that originates nothing |
+//! | QL0004 | dead-filter          | Warn     | a rule that can never match any route on its chain |
+//! | QL0005 | shadowed-rule        | Warn     | a rule fully subsumed by an earlier terminal rule |
+//! | QL0006 | med-contradiction    | Error/Warn | duplicated (Error), non-total or preferring-nothing (Warn) per-prefix MED rankings |
+//! | QL0007 | dispute-cycle        | Warn     | a cycle in the per-prefix local-pref dispute digraph |
+//! | QL0008 | reflector-cycle      | Error    | a cycle in the route-reflection client digraph (CLUSTER_LIST is not modeled) |
+//! | QL0009 | coverage-gap         | Info     | a prefix that cannot leave its origin AS through any permitted egress |
+//!
+//! Severity semantics: **Error** findings make the model unsound — the
+//! serve `reload` path vetoes an epoch swap on them; **Warn** findings are
+//! suspicious but a converged model can legitimately carry them; **Info**
+//! findings are advisory (the model is relationship-agnostic, so a
+//! coverage gap may be intentional).
+//!
+//! A freshly refined, converged model is clean at `Error` severity by
+//! construction: refinement installs exactly one `SetMed` per
+//! (session, prefix), references only prefixes it routes, never touches
+//! `from_asn`/`origin_asn`/local-pref matchers, and builds no iBGP
+//! sessions at all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Library code must surface failures as typed errors (or `expect` with an
+// invariant message, annotated at the use site); unit tests are exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use quasar_core::audit::AuditSummary;
+use quasar_core::model::AsRoutingModel;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+mod rules;
+
+/// How bad a finding is. Ordered: `Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; expected on some legitimate models.
+    Info,
+    /// Suspicious; worth a look but not disqualifying.
+    Warn,
+    /// The model is unsound; serving or shipping it is a bug.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name as used by `--deny` and the JSON renderer.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses `info`/`warn`/`error` (as accepted by `--deny`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warn" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable identifiers of the audit rules. Codes are append-only: a rule
+/// may be retired but its code is never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// QL0001: a matcher or ranking names a prefix the model doesn't route.
+    DanglingPrefix,
+    /// QL0002: a matcher names an AS with no quasi-router.
+    DanglingAs,
+    /// QL0003: a session-less quasi-router that originates nothing.
+    UnreachableRouter,
+    /// QL0004: a rule that can never match a route on its chain.
+    DeadFilter,
+    /// QL0005: a rule fully subsumed by an earlier terminal rule.
+    ShadowedRule,
+    /// QL0006: duplicated / non-total / preferring-nothing MED rankings.
+    MedContradiction,
+    /// QL0007: a cycle in the per-prefix local-pref dispute digraph.
+    DisputeCycle,
+    /// QL0008: a cycle in the route-reflection client digraph.
+    ReflectorCycle,
+    /// QL0009: a prefix with no permitted egress out of its origin AS.
+    CoverageGap,
+}
+
+impl RuleId {
+    /// Every rule, in code order.
+    pub const ALL: [RuleId; 9] = [
+        RuleId::DanglingPrefix,
+        RuleId::DanglingAs,
+        RuleId::UnreachableRouter,
+        RuleId::DeadFilter,
+        RuleId::ShadowedRule,
+        RuleId::MedContradiction,
+        RuleId::DisputeCycle,
+        RuleId::ReflectorCycle,
+        RuleId::CoverageGap,
+    ];
+
+    /// The stable code, e.g. `QL0004`.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::DanglingPrefix => "QL0001",
+            RuleId::DanglingAs => "QL0002",
+            RuleId::UnreachableRouter => "QL0003",
+            RuleId::DeadFilter => "QL0004",
+            RuleId::ShadowedRule => "QL0005",
+            RuleId::MedContradiction => "QL0006",
+            RuleId::DisputeCycle => "QL0007",
+            RuleId::ReflectorCycle => "QL0008",
+            RuleId::CoverageGap => "QL0009",
+        }
+    }
+
+    /// Short kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::DanglingPrefix => "dangling-prefix",
+            RuleId::DanglingAs => "dangling-as",
+            RuleId::UnreachableRouter => "unreachable-router",
+            RuleId::DeadFilter => "dead-filter",
+            RuleId::ShadowedRule => "shadowed-rule",
+            RuleId::MedContradiction => "med-contradiction",
+            RuleId::DisputeCycle => "dispute-cycle",
+            RuleId::ReflectorCycle => "reflector-cycle",
+            RuleId::CoverageGap => "coverage-gap",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.code(), self.name())
+    }
+}
+
+/// Where in the model a finding points. All fields optional; rendered as
+/// a compact `r1.0 -> r2.0 export[3] prefix 10.9.0.0/16` suffix.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct Location {
+    /// The quasi-router the finding is about (e.g. `r7018.0`).
+    pub router: Option<String>,
+    /// The session direction, announcing router first (`r1.0 -> r2.0`).
+    pub session: Option<String>,
+    /// Which chain of the direction: `export` or `import`.
+    pub chain: Option<String>,
+    /// Zero-based rule index within the chain.
+    pub rule_index: Option<usize>,
+    /// The prefix the finding is scoped to.
+    pub prefix: Option<String>,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(r) = &self.router {
+            parts.push(r.clone());
+        }
+        if let Some(s) = &self.session {
+            parts.push(s.clone());
+        }
+        match (&self.chain, self.rule_index) {
+            (Some(c), Some(i)) => parts.push(format!("{c}[{i}]")),
+            (Some(c), None) => parts.push(c.clone()),
+            (None, Some(i)) => parts.push(format!("rule[{i}]")),
+            (None, None) => {}
+        }
+        if let Some(p) = &self.prefix {
+            parts.push(format!("prefix {p}"));
+        }
+        f.write_str(&parts.join(" "))
+    }
+}
+
+/// One finding: a rule, its severity, a message, and a model location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// Where in the model it sits.
+    pub location: Location,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let loc = self.location.to_string();
+        if loc.is_empty() {
+            write!(
+                f,
+                "{}[{}]: {}",
+                self.severity,
+                self.rule.code(),
+                self.message
+            )
+        } else {
+            write!(
+                f,
+                "{}[{}]: {} ({loc})",
+                self.severity,
+                self.rule.code(),
+                self.message
+            )
+        }
+    }
+}
+
+/// The result of one audit pass: every finding plus model-size context.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, in rule-code order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Quasi-routers in the audited model.
+    pub quasi_routers: usize,
+    /// Sessions in the audited model.
+    pub sessions: usize,
+    /// Prefixes the model routes.
+    pub prefixes: usize,
+    /// Policy rules examined across every chain.
+    pub rules_scanned: usize,
+    /// Wall time of the pass, microseconds.
+    pub elapsed_micros: u64,
+}
+
+impl LintReport {
+    /// Findings at exactly `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// Error-level findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Warn-level findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    /// Info-level findings.
+    pub fn infos(&self) -> usize {
+        self.count(Severity::Info)
+    }
+
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The most severe finding, or `None` when clean.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// True when any finding is at or above `threshold` (the `--deny`
+    /// semantics).
+    pub fn denies(&self, threshold: Severity) -> bool {
+        self.worst().is_some_and(|w| w >= threshold)
+    }
+
+    /// Per-rule counts: code → (rule, worst severity, findings).
+    pub fn per_rule(&self) -> BTreeMap<&'static str, (RuleId, Severity, usize)> {
+        let mut out: BTreeMap<&'static str, (RuleId, Severity, usize)> = BTreeMap::new();
+        for d in &self.diagnostics {
+            let entry = out.entry(d.rule.code()).or_insert((d.rule, d.severity, 0));
+            entry.1 = entry.1.max(d.severity);
+            entry.2 += 1;
+        }
+        out
+    }
+
+    /// The set of rule codes that fired (for tests and terse summaries).
+    pub fn fired_codes(&self) -> Vec<&'static str> {
+        self.per_rule().keys().copied().collect()
+    }
+
+    /// One line summarizing Error-level findings — the serve `reload`
+    /// veto message. Empty string when there are none.
+    pub fn error_summary(&self) -> String {
+        let errors: Vec<&Diagnostic> = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        if errors.is_empty() {
+            return String::new();
+        }
+        let codes: Vec<&'static str> = {
+            let mut seen = Vec::new();
+            for d in &errors {
+                if !seen.contains(&d.rule.code()) {
+                    seen.push(d.rule.code());
+                }
+            }
+            seen
+        };
+        format!(
+            "{} error-level audit finding(s) [{}]; first: {}",
+            errors.len(),
+            codes.join(", "),
+            errors[0]
+        )
+    }
+
+    /// Human-readable rendering: a header, per-rule counts, then every
+    /// finding.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "audit: {} finding(s) ({} error, {} warn, {} info) — {} quasi-routers, \
+             {} sessions, {} prefixes, {} policy rules scanned in {}us\n",
+            self.diagnostics.len(),
+            self.errors(),
+            self.warnings(),
+            self.infos(),
+            self.quasi_routers,
+            self.sessions,
+            self.prefixes,
+            self.rules_scanned,
+            self.elapsed_micros,
+        ));
+        if self.is_clean() {
+            out.push_str("clean: no findings\n");
+            return out;
+        }
+        for (code, (rule, worst, count)) in self.per_rule() {
+            out.push_str(&format!(
+                "  {code} {:<20} {count} finding(s), worst {worst}\n",
+                rule.name()
+            ));
+        }
+        for d in &self.diagnostics {
+            out.push_str(&format!("{d}\n"));
+        }
+        out
+    }
+
+    /// Machine-readable JSON rendering.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        #[derive(Serialize)]
+        struct RuleCount {
+            rule: &'static str,
+            name: &'static str,
+            worst: &'static str,
+            count: usize,
+        }
+        // The vendored serde derive does not support generic (including
+        // lifetime-parameterized) types, so the mirror structs are owned.
+        #[derive(Serialize)]
+        struct JsonDiagnostic {
+            rule: &'static str,
+            name: &'static str,
+            severity: &'static str,
+            message: String,
+            location: Location,
+        }
+        #[derive(Serialize)]
+        struct JsonReport {
+            errors: usize,
+            warnings: usize,
+            infos: usize,
+            quasi_routers: usize,
+            sessions: usize,
+            prefixes: usize,
+            rules_scanned: usize,
+            elapsed_micros: u64,
+            rules: Vec<RuleCount>,
+            diagnostics: Vec<JsonDiagnostic>,
+        }
+        let report = JsonReport {
+            errors: self.errors(),
+            warnings: self.warnings(),
+            infos: self.infos(),
+            quasi_routers: self.quasi_routers,
+            sessions: self.sessions,
+            prefixes: self.prefixes,
+            rules_scanned: self.rules_scanned,
+            elapsed_micros: self.elapsed_micros,
+            rules: self
+                .per_rule()
+                .into_iter()
+                .map(|(code, (rule, worst, count))| RuleCount {
+                    rule: code,
+                    name: rule.name(),
+                    worst: worst.as_str(),
+                    count,
+                })
+                .collect(),
+            diagnostics: self
+                .diagnostics
+                .iter()
+                .map(|d| JsonDiagnostic {
+                    rule: d.rule.code(),
+                    name: d.rule.name(),
+                    severity: d.severity.as_str(),
+                    message: d.message.clone(),
+                    location: d.location.clone(),
+                })
+                .collect(),
+        };
+        serde_json::to_string(&report)
+    }
+}
+
+/// Runs every audit rule over `model` and returns the full report.
+/// Purely static: no simulation is invoked, so runtime is linear-ish in
+/// routers + sessions + policy rules (+ a BFS per deny-affected prefix).
+pub fn audit(model: &AsRoutingModel) -> LintReport {
+    let started = std::time::Instant::now();
+    let mut report = rules::run_all(model);
+    report.diagnostics.sort_by_key(|d| (d.rule, d.severity));
+    report.elapsed_micros = started.elapsed().as_micros() as u64;
+    report
+}
+
+/// Adapter with the [`quasar_core::audit::Auditor`] signature, so the
+/// binary can register the analyzer as the post-train / post-resume hook.
+pub fn core_auditor(model: &AsRoutingModel) -> AuditSummary {
+    let report = audit(model);
+    AuditSummary {
+        errors: report.errors(),
+        warnings: report.warnings(),
+        infos: report.infos(),
+        rendered: report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n"),
+    }
+}
+
+/// Installs [`core_auditor`] as the process-wide model auditor (first
+/// installation wins; safe to call repeatedly).
+pub fn install() {
+    quasar_core::audit::install_auditor(core_auditor);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_is_ordered_and_parses() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::parse("warn"), Some(Severity::Warn));
+        assert_eq!(Severity::parse("ERROR"), None);
+        assert_eq!(Severity::Error.as_str(), "error");
+    }
+
+    #[test]
+    fn rule_codes_are_stable_and_unique() {
+        let codes: Vec<&str> = RuleId::ALL.iter().map(|r| r.code()).collect();
+        assert_eq!(codes.len(), 9);
+        let mut dedup = codes.clone();
+        dedup.dedup();
+        assert_eq!(codes, dedup);
+        assert_eq!(RuleId::DanglingPrefix.code(), "QL0001");
+        assert_eq!(RuleId::CoverageGap.code(), "QL0009");
+    }
+
+    #[test]
+    fn report_counts_and_deny_threshold() {
+        let mut report = LintReport::default();
+        assert!(report.is_clean());
+        assert!(!report.denies(Severity::Info));
+        report.diagnostics.push(Diagnostic {
+            rule: RuleId::DeadFilter,
+            severity: Severity::Warn,
+            message: "x".into(),
+            location: Location::default(),
+        });
+        assert!(report.denies(Severity::Warn));
+        assert!(!report.denies(Severity::Error));
+        assert_eq!(report.warnings(), 1);
+        assert_eq!(report.fired_codes(), vec!["QL0004"]);
+    }
+
+    #[test]
+    fn renderers_include_codes_and_locations() {
+        let mut report = LintReport::default();
+        report.diagnostics.push(Diagnostic {
+            rule: RuleId::DanglingPrefix,
+            severity: Severity::Error,
+            message: "ranking names unrouted prefix".into(),
+            location: Location {
+                session: Some("r1.0 -> r2.0".into()),
+                chain: Some("import".into()),
+                rule_index: Some(3),
+                prefix: Some("10.9.0.0/16".into()),
+                ..Location::default()
+            },
+        });
+        let text = report.render_text();
+        assert!(text.contains("QL0001"), "text: {text}");
+        assert!(text.contains("import[3]"), "text: {text}");
+        let json = report.to_json().expect("report serializes");
+        assert!(json.contains("\"rule\":\"QL0001\""), "json: {json}");
+        assert!(json.contains("\"severity\":\"error\""), "json: {json}");
+        assert!(json.contains("\"errors\":1"), "json: {json}");
+    }
+
+    #[test]
+    fn error_summary_names_codes() {
+        let mut report = LintReport::default();
+        assert_eq!(report.error_summary(), "");
+        report.diagnostics.push(Diagnostic {
+            rule: RuleId::MedContradiction,
+            severity: Severity::Error,
+            message: "duplicate ranking".into(),
+            location: Location::default(),
+        });
+        let s = report.error_summary();
+        assert!(s.contains("QL0006"), "summary: {s}");
+        assert!(s.contains("1 error-level"), "summary: {s}");
+    }
+}

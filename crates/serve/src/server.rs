@@ -403,6 +403,16 @@ impl ServerState {
                 Some(h) => format!("{e} ({h})"),
                 None => e.to_string(),
             })?;
+            // Static audit before the (costlier) simulation probe:
+            // Error-level findings veto the swap outright — the previous
+            // epoch keeps serving.
+            let report = quasar_lint::audit(&model);
+            if report.denies(quasar_lint::Severity::Error) {
+                return Err(format!(
+                    "model failed static audit: {}",
+                    report.error_summary()
+                ));
+            }
             // Semantic probe: a structurally valid model that cannot
             // simulate is as useless as a corrupt one.
             if let Some((&prefix, _)) = model.prefixes().iter().next() {

@@ -134,3 +134,60 @@ fn reload_of_a_missing_file_is_rejected() {
     );
     assert_eq!(state.metrics().reload_failures(), 1);
 }
+
+#[test]
+fn audit_error_vetoes_reload_and_the_old_epoch_keeps_serving() {
+    use quasar_testkit::defects::DefectClass;
+
+    let dir = scratch("audit-veto");
+    // A model that loads and simulates fine but carries an Error-level
+    // audit finding: a duplicated per-prefix MED ranking (QL0006).
+    let mut tainted = tiny_trained(21).model;
+    DefectClass::DuplicateMedRanking
+        .inject(&mut tainted, 3)
+        .expect("inject duplicate MED ranking");
+    let path = dir.join("tainted.model");
+    save_model(&path, &tainted).expect("save tainted model");
+
+    let state = ServerState::new(toy_model(), ServeConfig::default());
+    let before = stats_of(&state);
+
+    let resp = state.dispatch(&Request::Reload {
+        path: path.to_str().unwrap().to_string(),
+    });
+    match resp {
+        Response::Error(e) => {
+            assert!(
+                e.message.contains("reload rejected; keeping current model"),
+                "the reply must say rollback happened: {}",
+                e.message
+            );
+            assert!(
+                e.message.contains("static audit") && e.message.contains("QL0006"),
+                "the typed reply must name the audit rule: {}",
+                e.message
+            );
+        }
+        other => panic!("want Error reply for audit veto, got {other:?}"),
+    }
+    assert_eq!(
+        stats_of(&state),
+        before,
+        "a vetoed reload must leave the serving model untouched"
+    );
+    assert_eq!(state.metrics().reloads(), 0);
+    assert_eq!(state.metrics().reload_failures(), 1);
+
+    // Warn-level findings do not veto: the fixture's own trained model
+    // (possibly warn-carrying, never error-carrying) swaps in fine.
+    let clean_path = dir.join("clean.model");
+    save_model(&clean_path, &tiny_trained(21).model).expect("save clean model");
+    let resp = state.dispatch(&Request::Reload {
+        path: clean_path.to_str().unwrap().to_string(),
+    });
+    assert!(
+        matches!(resp, Response::Reload(_)),
+        "audit-clean model must swap in: {resp:?}"
+    );
+    assert_eq!(state.metrics().reloads(), 1);
+}

@@ -1,0 +1,397 @@
+//! Seeded defect injectors for the `quasar-lint` static analyzer.
+//!
+//! Each [`DefectClass`] surgically breaks a healthy model in a way that
+//! exactly one audit rule must catch — the lint test-suite injects each
+//! class into a trained model and asserts that the set of *newly* firing
+//! rule codes equals `{expected_rule()}`. The injectors go out of their
+//! way not to trip neighbouring rules (e.g. the shadowed-filter injector
+//! appends its pair of rules, so no pre-existing terminal rule can also
+//! shadow them; the orphan-router injector uses a fresh ASN so the new
+//! router cannot be mistaken for a prefix origin).
+//!
+//! All selection among equivalent candidates is driven by `seed` through
+//! a splitmix step, so a failing combination is reproducible from its
+//! seed alone.
+
+use quasar_bgpsim::network::SessionKind;
+use quasar_bgpsim::policy::{Action, PolicyRule, RouteMatch};
+use quasar_bgpsim::types::{Asn, Prefix, RouterId};
+use quasar_core::model::AsRoutingModel;
+
+/// The defect classes the analyzer must catch, one per rule family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefectClass {
+    /// QL0001 — a MED ranking for a prefix the model does not route.
+    DanglingPrefixRanking,
+    /// QL0002 — an import rule naming an AS with no quasi-router.
+    DanglingAsMatcher,
+    /// QL0003 — a session-less quasi-router under a fresh ASN.
+    OrphanQuasiRouter,
+    /// QL0004 — an egress deny that can never match (`path_shorter_than 0`).
+    DeadFilter,
+    /// QL0005 — a deny appended twice; the second is fully shadowed.
+    ShadowedFilter,
+    /// QL0006 — a second `SetMed` for an already-ranked (session, prefix).
+    DuplicateMedRanking,
+    /// QL0007 — mutual local-pref preference across one session (2-cycle).
+    LocalPrefDisputeCycle,
+    /// QL0008 — an iBGP reflector ring `r0 -> r1 -> r2 -> r0`.
+    ReflectorCycle,
+    /// QL0009 — every egress of one prefix denied at its origin.
+    BlackholedPrefix,
+}
+
+impl DefectClass {
+    /// Every class, in rule-code order.
+    pub const ALL: [DefectClass; 9] = [
+        DefectClass::DanglingPrefixRanking,
+        DefectClass::DanglingAsMatcher,
+        DefectClass::OrphanQuasiRouter,
+        DefectClass::DeadFilter,
+        DefectClass::ShadowedFilter,
+        DefectClass::DuplicateMedRanking,
+        DefectClass::LocalPrefDisputeCycle,
+        DefectClass::ReflectorCycle,
+        DefectClass::BlackholedPrefix,
+    ];
+
+    /// The stable code of the lint rule that must (and alone must) fire.
+    pub fn expected_rule(self) -> &'static str {
+        match self {
+            DefectClass::DanglingPrefixRanking => "QL0001",
+            DefectClass::DanglingAsMatcher => "QL0002",
+            DefectClass::OrphanQuasiRouter => "QL0003",
+            DefectClass::DeadFilter => "QL0004",
+            DefectClass::ShadowedFilter => "QL0005",
+            DefectClass::DuplicateMedRanking => "QL0006",
+            DefectClass::LocalPrefDisputeCycle => "QL0007",
+            DefectClass::ReflectorCycle => "QL0008",
+            DefectClass::BlackholedPrefix => "QL0009",
+        }
+    }
+
+    /// Injects this defect into `model`. Returns a short description of
+    /// what was broken (for assertion messages), or an error when the
+    /// model offers no viable injection site (e.g. no eBGP session).
+    pub fn inject(self, model: &mut AsRoutingModel, seed: u64) -> Result<String, String> {
+        let mut rng = Splitmix(seed ^ self.expected_rule().len() as u64);
+        match self {
+            DefectClass::DanglingPrefixRanking => {
+                let (q, peer) = pick_session(model, &mut rng)?;
+                let bogus = fresh_prefix(model);
+                model.set_med_preference(q, bogus, &[peer]);
+                Ok(format!("MED ranking for unrouted prefix {bogus} at {q}"))
+            }
+            DefectClass::DanglingAsMatcher => {
+                let (q, peer) = pick_session(model, &mut rng)?;
+                let p = pick_prefix(model, &mut rng)?;
+                let ghost = fresh_asn(model);
+                let rule = PolicyRule::new(
+                    RouteMatch {
+                        from_asn: Some(ghost),
+                        ..RouteMatch::prefix(p)
+                    },
+                    Action::Deny,
+                );
+                model
+                    .network_mut()
+                    .import_policy_mut(q, peer)
+                    .map_err(|e| e.to_string())?
+                    .push(rule);
+                Ok(format!(
+                    "import rule at {q} from {peer} names ghost {ghost}"
+                ))
+            }
+            DefectClass::OrphanQuasiRouter => {
+                let ghost = fresh_asn(model);
+                let orphan = RouterId::new(ghost, 0);
+                model.network_mut().add_router(orphan);
+                Ok(format!("orphan quasi-router {orphan} with no sessions"))
+            }
+            DefectClass::DeadFilter => {
+                let (q, peer) = pick_session(model, &mut rng)?;
+                let p = pick_prefix(model, &mut rng)?;
+                let rule = PolicyRule::new(
+                    RouteMatch {
+                        path_shorter_than: Some(0),
+                        ..RouteMatch::prefix(p)
+                    },
+                    Action::Deny,
+                );
+                model
+                    .network_mut()
+                    .export_policy_mut(q, peer)
+                    .map_err(|e| e.to_string())?
+                    .push(rule);
+                Ok(format!("dead deny (path_shorter_than 0) at {q} -> {peer}"))
+            }
+            DefectClass::ShadowedFilter => {
+                let (q, peer) = pick_session(model, &mut rng)?;
+                let p = pick_prefix(model, &mut rng)?;
+                // Appended as the last two rules: the first shadows the
+                // second, and nothing earlier can subsume the first
+                // without having already terminated the same routes.
+                let rule = PolicyRule::new(
+                    RouteMatch {
+                        path_shorter_than: Some(1),
+                        ..RouteMatch::prefix(p)
+                    },
+                    Action::Deny,
+                );
+                let chain = model
+                    .network_mut()
+                    .export_policy_mut(q, peer)
+                    .map_err(|e| e.to_string())?;
+                chain.push(rule.clone());
+                chain.push(rule);
+                Ok(format!("identical deny pair for {p} at {q} -> {peer}"))
+            }
+            DefectClass::DuplicateMedRanking => {
+                // Rank a prefix at a router first (through the model API,
+                // as refinement would), then push a stale second SetMed
+                // for one of the now-ranked sessions.
+                let (q, peer) = pick_session(model, &mut rng)?;
+                let p = pick_prefix(model, &mut rng)?;
+                model.set_med_preference(q, p, &[peer]);
+                let rule = PolicyRule::new(RouteMatch::prefix(p), Action::SetMed(7));
+                model
+                    .network_mut()
+                    .import_policy_mut(q, peer)
+                    .map_err(|e| e.to_string())?
+                    .push(rule);
+                Ok(format!("duplicate SetMed for {p} at {q} from {peer}"))
+            }
+            DefectClass::LocalPrefDisputeCycle => {
+                let (q, peer) = pick_contested_session(model, &mut rng)?;
+                let p = pick_prefix(model, &mut rng)?;
+                for (at, from) in [(q, peer), (peer, q)] {
+                    let rule = PolicyRule::new(RouteMatch::prefix(p), Action::SetLocalPref(200));
+                    model
+                        .network_mut()
+                        .import_policy_mut(at, from)
+                        .map_err(|e| e.to_string())?
+                        .push(rule);
+                }
+                Ok(format!(
+                    "mutual local-pref 200 for {p} across {q} -- {peer}"
+                ))
+            }
+            DefectClass::ReflectorCycle => {
+                // Ensure one AS has three quasi-routers, then wire an
+                // iBGP ring with a circular client chain.
+                let asn = model
+                    .prefixes()
+                    .values()
+                    .copied()
+                    .next()
+                    .ok_or("model routes no prefix")?;
+                while model.quasi_routers_of(asn).len() < 3 {
+                    let src = *model
+                        .quasi_routers_of(asn)
+                        .first()
+                        .ok_or("origin AS has no quasi-router")?;
+                    model.duplicate_quasi_router(src);
+                }
+                let routers = model.quasi_routers_of(asn);
+                let ring = [routers[0], routers[1], routers[2]];
+                let net = model.network_mut();
+                for i in 0..3 {
+                    let (a, b) = (ring[i], ring[(i + 1) % 3]);
+                    if !net.has_session(a, b) {
+                        net.add_session(a, b, SessionKind::Ibgp)
+                            .map_err(|e| e.to_string())?;
+                    }
+                    net.set_rr_client(a, b).map_err(|e| e.to_string())?;
+                }
+                Ok(format!(
+                    "reflector ring {} -> {} -> {} -> {}",
+                    ring[0], ring[1], ring[2], ring[0]
+                ))
+            }
+            DefectClass::BlackholedPrefix => {
+                let p = pick_prefix(model, &mut rng)?;
+                let origin = *model.prefixes().get(&p).ok_or("prefix has no origin")?;
+                let routers = model.quasi_routers_of(origin);
+                let mut denied = 0;
+                for q in routers {
+                    for peer in model.network().peers_of(q) {
+                        if peer.asn() == origin {
+                            continue;
+                        }
+                        model
+                            .network_mut()
+                            .export_policy_mut(q, peer)
+                            .map_err(|e| e.to_string())?
+                            .push(PolicyRule::new(RouteMatch::prefix(p), Action::Deny));
+                        denied += 1;
+                    }
+                }
+                if denied == 0 {
+                    return Err(format!("origin {origin} has no eBGP egress to deny"));
+                }
+                Ok(format!(
+                    "denied {p} on all {denied} egress directions of {origin}"
+                ))
+            }
+        }
+    }
+}
+
+/// Deterministic selection stream (splitmix64).
+struct Splitmix(u64);
+
+impl Splitmix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick<T: Copy>(&mut self, items: &[T]) -> Option<T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(items[(self.next() % items.len() as u64) as usize])
+        }
+    }
+}
+
+/// A seeded eBGP session as a (router, peer) pair.
+fn pick_session(
+    model: &AsRoutingModel,
+    rng: &mut Splitmix,
+) -> Result<(RouterId, RouterId), String> {
+    let mut pairs: Vec<(RouterId, RouterId)> = Vec::new();
+    for &q in model.network().routers() {
+        for peer in model.network().peers_of(q) {
+            if peer.asn() != q.asn() {
+                pairs.push((q, peer));
+            }
+        }
+    }
+    rng.pick(&pairs)
+        .ok_or_else(|| "model has no eBGP session".into())
+}
+
+/// A seeded eBGP session whose *both* endpoints have at least two eBGP
+/// peers — required for a dispute edge (a single-peer router has no
+/// alternative to prefer against).
+fn pick_contested_session(
+    model: &AsRoutingModel,
+    rng: &mut Splitmix,
+) -> Result<(RouterId, RouterId), String> {
+    let degree = |r: RouterId| {
+        model
+            .network()
+            .peers_of(r)
+            .iter()
+            .filter(|p| p.asn() != r.asn())
+            .count()
+    };
+    let mut pairs: Vec<(RouterId, RouterId)> = Vec::new();
+    for &q in model.network().routers() {
+        if degree(q) < 2 {
+            continue;
+        }
+        for peer in model.network().peers_of(q) {
+            if peer.asn() != q.asn() && degree(peer) >= 2 {
+                pairs.push((q, peer));
+            }
+        }
+    }
+    rng.pick(&pairs)
+        .ok_or_else(|| "no session with two multi-homed endpoints".into())
+}
+
+fn pick_prefix(model: &AsRoutingModel, rng: &mut Splitmix) -> Result<Prefix, String> {
+    let prefixes: Vec<Prefix> = model.prefixes().keys().copied().collect();
+    rng.pick(&prefixes)
+        .ok_or_else(|| "model routes no prefix".into())
+}
+
+/// A prefix the model does not route.
+fn fresh_prefix(model: &AsRoutingModel) -> Prefix {
+    let mut n = 0xFFFF;
+    loop {
+        let p = Prefix::for_origin(Asn(n));
+        if !model.prefixes().contains_key(&p) {
+            return p;
+        }
+        n -= 1;
+    }
+}
+
+/// A 16-bit-safe ASN with no quasi-router and no originated prefix.
+fn fresh_asn(model: &AsRoutingModel) -> Asn {
+    let mut n = 0xFFFE;
+    loop {
+        let a = Asn(n);
+        if model.quasi_routers_of(a).is_empty() && !model.prefixes().values().any(|&o| o == a) {
+            return a;
+        }
+        n -= 1;
+    }
+}
+
+/// Flips one payload byte of an artifact file in place (for
+/// corrupted-model tests). The offset lands past the frame header so the
+/// checksum — not the header parser — must catch it.
+pub fn flip_byte(path: &std::path::Path, seed: u64) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "cannot corrupt an empty file",
+        ));
+    }
+    let header = bytes.iter().position(|&b| b == b'\n').map_or(0, |i| i + 1);
+    let span = bytes.len().saturating_sub(header).max(1);
+    let mut rng = Splitmix(seed);
+    let at = header + (rng.next() % span as u64) as usize;
+    let at = at.min(bytes.len() - 1);
+    bytes[at] ^= 0x20; // flips case in JSON text; never produces the same byte
+    std::fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::toy_model;
+
+    #[test]
+    fn every_class_injects_into_the_toy_model() {
+        for class in DefectClass::ALL {
+            let mut model = toy_model();
+            let what = class
+                .inject(&mut model, 42)
+                .unwrap_or_else(|e| panic!("{class:?} failed to inject: {e}"));
+            assert!(!what.is_empty());
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        for class in DefectClass::ALL {
+            let mut a = toy_model();
+            let mut b = toy_model();
+            let da = class.inject(&mut a, 7).expect("inject a");
+            let db = class.inject(&mut b, 7).expect("inject b");
+            assert_eq!(da, db, "{class:?} diverged across identical seeds");
+            assert_eq!(
+                a.to_json().expect("a serializes"),
+                b.to_json().expect("b serializes"),
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_identifiers_are_actually_fresh() {
+        let model = toy_model();
+        let p = fresh_prefix(&model);
+        assert!(!model.prefixes().contains_key(&p));
+        let a = fresh_asn(&model);
+        assert!(model.quasi_routers_of(a).is_empty());
+    }
+}

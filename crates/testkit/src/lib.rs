@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod defects;
 pub mod diff;
 pub mod workload;
 
@@ -39,6 +40,7 @@ pub use quasar_bgpsim::fail;
 /// One-stop imports for test files.
 pub mod prelude {
     pub use crate::chaos::{ChaosConfig, ChaosStats, Proxy};
+    pub use crate::defects::DefectClass;
     pub use crate::diff::{diff_json, first_divergence, states_differential, Divergence};
     pub use crate::workload::{tiny_trained, toy_model, toy_requests, TrainedFixture};
     #[cfg(feature = "testkit")]

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Source-level lint gate: greps for patterns the workspace bans outright.
+# Runs in CI next to clippy; exits nonzero with file:line locations when a
+# pattern appears where it is forbidden.
+#
+#   bash scripts/forbidden_patterns.sh
+#
+# Banned patterns:
+#   1. `process::exit` outside `src/bin/` trees — library code must return
+#      errors; only CLI frontends may terminate the process.
+#   2. `println!` in library crates (`crates/*/src`, excluding their
+#      `src/bin/` trees) — libraries report through return values or, for
+#      audit hooks, `eprintln!`; stdout belongs to the binaries.
+#   3. `unsafe` outside the bench counting allocator
+#      (crates/bench/src/bin/bench_refine.rs) — every other crate carries
+#      `#![forbid(unsafe_code)]`; this keeps the grep honest even if an
+#      attribute is dropped.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+report() { # <label> <matches>
+    if [ -n "$2" ]; then
+        echo "forbidden pattern: $1" >&2
+        echo "$2" >&2
+        fail=1
+    fi
+}
+
+src_files() { # rust sources in lib trees: crates/*/src and src, minus src/bin
+    find crates/*/src src -name '*.rs' -not -path '*src/bin/*'
+}
+
+report "process::exit outside src/bin" \
+    "$(src_files | xargs grep -n 'process::exit' 2>/dev/null)"
+
+# `(^|[^e])println!` keeps eprintln! (allowed for diagnostics) out of the net.
+report "println! in library crates (stdout belongs to binaries)" \
+    "$(find crates/*/src -name '*.rs' -not -path '*src/bin/*' |
+        xargs grep -nE '(^|[^e])println!' 2>/dev/null)"
+
+report "unsafe outside the bench counting allocator" \
+    "$(find crates/*/src src -name '*.rs' \
+        -not -path 'crates/bench/src/bin/bench_refine.rs' |
+        xargs grep -n 'unsafe' 2>/dev/null | grep -v 'forbid(unsafe_code)')"
+
+if [ "$fail" -ne 0 ]; then
+    echo "forbidden_patterns: FAIL" >&2
+    exit 1
+fi
+echo "forbidden_patterns: ok"

@@ -42,6 +42,12 @@
 //!   query     ADDR JSON [JSON...]
 //!             send newline-delimited JSON requests to a running server;
 //!             `overloaded` replies are retried with jittered backoff
+//!   lint      MODEL.json [--json] [--deny warn|error]
+//!             static audit of a persisted model: typed, severity-ranked
+//!             diagnostics (rule ids QL0001-QL0009) with no simulation.
+//!             Exit 0 when no finding reaches the --deny threshold
+//!             (default error), 1 on findings at/above it or a load
+//!             failure, 2 on usage errors — suitable as a CI gate
 
 use quasar::bgpsim::types::Asn;
 use quasar::diversity::prelude::*;
@@ -54,6 +60,9 @@ use std::process::exit;
 use std::sync::Arc;
 
 fn main() {
+    // Register the static analyzer with the core audit hook so train /
+    // resume runs log a post-training audit summary to stderr.
+    quasar::lint::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         usage("missing subcommand")
@@ -68,6 +77,7 @@ fn main() {
         "whatif" => cmd_whatif(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "query" => cmd_query(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
         other => usage(&format!("unknown subcommand {other}")),
     }
 }
@@ -85,7 +95,8 @@ fn usage(msg: &str) -> ! {
          \x20      quasar whatif --json --model MODEL.json [--depeer A:B] [--add-peering A:B] [--filter ASN:NEIGHBOR:PREFIX]\n\
          \x20      quasar predict --model MODEL.json --prefix P --observer N [--path A,B,C]\n\
          \x20      quasar serve MODEL.json [--listen ADDR] [--workers N] [--max-sessions N] [--max-pending N] [--deadline-ms MS]\n\
-         \x20      quasar query ADDR JSON [JSON...]"
+         \x20      quasar query ADDR JSON [JSON...]\n\
+         \x20      quasar lint MODEL.json [--json] [--deny warn|error]"
     );
     exit(2)
 }
@@ -290,6 +301,44 @@ fn cmd_train(args: &[String]) {
         stats.policy_rules,
         json.len()
     );
+    // Attribute any residual training mismatches to the AS where
+    // reproduction first breaks — the same §5 diagnostic `quasar
+    // diagnose` runs on a held-out split.
+    let diag = diagnose(&model, &dataset);
+    if diag.matched < diag.routes {
+        println!(
+            "{} of {} training routes not fully reproduced; top offender ASes:",
+            diag.routes - diag.matched,
+            diag.routes
+        );
+        for (asn, n) in diag.top_offenders(5) {
+            println!("  {asn:<10} {n} routes");
+        }
+    }
+}
+
+fn cmd_lint(args: &[String]) {
+    let path = positional(args).unwrap_or_else(|| usage("lint requires MODEL.json"));
+    let as_json = args.iter().any(|a| a == "--json");
+    let deny = match flag(args, "--deny").as_deref() {
+        None => quasar::lint::Severity::Error,
+        Some("info") => usage("--deny info would reject every model with an Info note; use warn"),
+        Some(s) => quasar::lint::Severity::parse(s)
+            .unwrap_or_else(|| usage(&format!("bad --deny `{s}`, want warn|error"))),
+    };
+    let model = load_model(&path);
+    let report = quasar::lint::audit(&model);
+    if as_json {
+        let line = report
+            .to_json()
+            .unwrap_or_else(|e| die(format!("cannot serialize report: {e}")));
+        println!("{line}");
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.denies(deny) {
+        exit(1)
+    }
 }
 
 fn load_model(path: &str) -> AsRoutingModel {

@@ -16,7 +16,9 @@
 //!   refinement, prediction metrics,
 //! * [`diversity`] — the §3 route-diversity analyses,
 //! * [`serve`] — concurrent what-if/prediction query server with a
-//!   per-prefix steady-state cache.
+//!   per-prefix steady-state cache,
+//! * [`lint`] — static analyzer for trained models: typed, severity-ranked
+//!   diagnostics (QL0001–QL0009) with no simulation.
 //!
 //! See `examples/quickstart.rs` for the end-to-end pipeline.
 
@@ -26,6 +28,7 @@
 pub use quasar_bgpsim as bgpsim;
 pub use quasar_core as model;
 pub use quasar_diversity as diversity;
+pub use quasar_lint as lint;
 pub use quasar_mrt as mrt;
 pub use quasar_netgen as netgen;
 pub use quasar_serve as serve;
