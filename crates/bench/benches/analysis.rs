@@ -7,7 +7,7 @@ use quasar_diversity::prelude::*;
 use quasar_netgen::prelude::*;
 
 fn bench_diversity(c: &mut Criterion) {
-    let ctx = Context::build(Scale::Default, 5);
+    let ctx = Context::build(Scale::Small, 5);
     let mut group = c.benchmark_group("diversity");
     group.sample_size(10);
     group.bench_function("fig2_histogram", |b| {
@@ -23,7 +23,7 @@ fn bench_diversity(c: &mut Criterion) {
 }
 
 fn bench_dataset_machinery(c: &mut Criterion) {
-    let ctx = Context::build(Scale::Default, 6);
+    let ctx = Context::build(Scale::Small, 6);
     let mut group = c.benchmark_group("dataset");
     group.sample_size(10);
     group.bench_function("as_graph", |b| {

@@ -8,7 +8,7 @@ use quasar_core::model::AsRoutingModel;
 fn bench_engine_scale(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_per_prefix");
     group.sample_size(10);
-    for (name, scale) in [("tiny", Scale::Tiny), ("default", Scale::Default)] {
+    for (name, scale) in [("tiny", Scale::Tiny), ("small", Scale::Small)] {
         let ctx = Context::build(scale, 1);
         let graph = ctx.dataset.as_graph();
         let model = AsRoutingModel::initial(&graph, &ctx.dataset.prefixes());

@@ -1,17 +1,22 @@
-//! `bench_refine` — measures the parallel batched refinement against the
-//! sequential (one-thread) path and records the result as JSON.
+//! `bench_refine` — measures the sharded parallel refinement against the
+//! sequential (one-thread) path across a scale×threads matrix and records
+//! the result as JSON.
 //!
 //! Usage:
-//!   `bench_refine [--scale tiny|default|paper] [--seed N] [--out FILE]`
+//!   `bench_refine [--scales tiny,small,...] [--threads 1,2,4,8]
+//!                 [--seed N] [--out FILE]`
 //!
-//! For each thread count (1, then every power of two up to the machine's
-//! core count) the tool trains a fresh model on the same training split and
-//! records wall time, heap-allocation counts/bytes (via a counting global
-//! allocator), and peak RSS. It also asserts that every thread count
-//! produces a byte-identical serialized model — the determinism contract of
-//! `refine`. The default output file is `BENCH_refine.json`.
+//! For every scale preset and every thread count the tool trains a fresh
+//! model on the same training split and records wall time, heap-allocation
+//! counts/bytes (via a counting global allocator), and the speedup against
+//! the same scale's one-thread run. It also asserts that every thread
+//! count produces a byte-identical serialized model — the determinism
+//! contract of `refine`. Host environment metadata (true core count, git
+//! commit, rustc version) is stamped into the record so results from
+//! different machines are comparable. The default output file is
+//! `BENCH_refine.json`.
 
-use quasar_bench::{train_model, Context, Scale, SplitKind};
+use quasar_bench::{train_model, Context, EnvInfo, Scale, SplitKind};
 use quasar_core::prelude::*;
 use serde::Serialize;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -61,7 +66,7 @@ fn peak_rss_kib() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
-/// One thread count's measurement.
+/// One (scale, threads) cell's measurement.
 #[derive(Debug, Serialize)]
 struct Run {
     threads: usize,
@@ -72,58 +77,58 @@ struct Run {
     converged: bool,
 }
 
+/// One scale's row of the matrix.
+#[derive(Debug, Serialize)]
+struct ScaleRow {
+    scale: String,
+    training_routes: usize,
+    prefixes: usize,
+    /// Every thread count serialized to the same model bytes.
+    deterministic: bool,
+    runs: Vec<Run>,
+}
+
 /// The whole benchmark record.
 #[derive(Debug, Serialize)]
 struct Record {
-    scale: String,
     seed: u64,
-    training_routes: usize,
-    prefixes: usize,
-    cores: usize,
-    runs: Vec<Run>,
-    /// Every thread count serialized to the same model bytes.
+    /// Host metadata: true core count, git commit, rustc version.
+    env: EnvInfo,
+    matrix: Vec<ScaleRow>,
+    /// Every cell of the matrix was deterministic.
     deterministic: bool,
     peak_rss_kib: Option<u64>,
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let flag = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1).cloned())
-    };
-    let scale_name = flag("--scale").unwrap_or_else(|| "tiny".into());
-    let scale = Scale::parse(&scale_name).unwrap_or_else(|| {
-        eprintln!("bad --scale {scale_name}");
-        std::process::exit(2)
-    });
-    let seed: u64 = flag("--seed").and_then(|s| s.parse().ok()).unwrap_or(2);
-    let out = flag("--out").unwrap_or_else(|| "BENCH_refine.json".into());
+fn parse_list<T: std::str::FromStr>(s: &str, what: &str) -> Vec<T> {
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            p.trim().parse().unwrap_or_else(|_| {
+                eprintln!("bad {what} entry {p:?}");
+                std::process::exit(2)
+            })
+        })
+        .collect()
+}
 
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    // Fixed curve so records from different machines are comparable; a
-    // thread count above the core count is harmless oversubscription.
-    let mut thread_counts = vec![1usize, 2, 4, 8, cores];
-    thread_counts.sort_unstable();
-    thread_counts.dedup();
-
-    eprintln!("# building context (scale {scale:?}, seed {seed}) ...");
+fn bench_scale(scale: Scale, seed: u64, thread_counts: &[usize]) -> ScaleRow {
+    eprintln!(
+        "# building context (scale {}, seed {seed}) ...",
+        scale.name()
+    );
     let ctx = Context::build(scale, seed);
     let (training, _) = SplitKind::ByPoint.split(&ctx.dataset, seed);
     eprintln!(
-        "# {} training routes over {} prefixes; thread counts {:?}",
+        "# {} training routes over {} prefixes; thread counts {thread_counts:?}",
         training.len(),
         training.prefixes().len(),
-        thread_counts
     );
 
     let mut runs = Vec::new();
     let mut jsons: Vec<String> = Vec::new();
-    let mut sequential_secs = 0.0;
-    for &threads in &thread_counts {
+    let mut sequential_secs = f64::NAN;
+    for &threads in thread_counts {
         let cfg = RefineConfig {
             threads,
             ..RefineConfig::default()
@@ -136,30 +141,76 @@ fn main() {
         if threads == 1 {
             sequential_secs = wall_secs;
         }
+        let speedup = sequential_secs / wall_secs.max(1e-9);
         jsons.push(model.to_json().expect("model serializes"));
         runs.push(Run {
             threads,
             wall_secs,
             alloc_calls: calls1 - calls0,
             alloc_bytes: bytes1 - bytes0,
-            speedup_vs_sequential: sequential_secs / wall_secs.max(1e-9),
+            speedup_vs_sequential: speedup,
             converged: result.converged,
         });
         eprintln!(
-            "# threads {threads}: {wall_secs:.2}s, {} allocs, speedup {:.2}x",
+            "# {} x threads {threads}: {wall_secs:.2}s, {} allocs, speedup {speedup:.2}x",
+            scale.name(),
             calls1 - calls0,
-            sequential_secs / wall_secs.max(1e-9)
         );
     }
 
-    let deterministic = jsons.windows(2).all(|w| w[0] == w[1]);
-    let record = Record {
-        scale: scale_name,
-        seed,
+    ScaleRow {
+        scale: scale.name().to_string(),
         training_routes: training.len(),
         prefixes: training.prefixes().len(),
-        cores,
+        deterministic: jsons.windows(2).all(|w| w[0] == w[1]),
         runs,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let scale_list = flag("--scales")
+        .or_else(|| flag("--scale")) // legacy singular spelling
+        .unwrap_or_else(|| "tiny,small".into());
+    let scales: Vec<Scale> = scale_list
+        .split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            Scale::parse(p.trim()).unwrap_or_else(|| {
+                eprintln!("bad scale {p:?} (want tiny|small|medium|large)");
+                std::process::exit(2)
+            })
+        })
+        .collect();
+    let seed: u64 = flag("--seed").and_then(|s| s.parse().ok()).unwrap_or(2);
+    let out = flag("--out").unwrap_or_else(|| "BENCH_refine.json".into());
+    let env = EnvInfo::probe();
+    // Fixed curve so records from different machines are comparable; a
+    // thread count above the core count is harmless oversubscription.
+    let mut thread_counts: Vec<usize> = flag("--threads")
+        .map(|s| parse_list(&s, "--threads"))
+        .unwrap_or_else(|| vec![1, 2, 4, 8, env.cores]);
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    if thread_counts.first() != Some(&1) {
+        eprintln!("--threads must include 1 (the sequential baseline)");
+        std::process::exit(2)
+    }
+
+    let matrix: Vec<ScaleRow> = scales
+        .iter()
+        .map(|&s| bench_scale(s, seed, &thread_counts))
+        .collect();
+    let deterministic = matrix.iter().all(|row| row.deterministic);
+    let record = Record {
+        seed,
+        env,
+        matrix,
         deterministic,
         peak_rss_kib: peak_rss_kib(),
     };

@@ -2,7 +2,7 @@
 //! and records the result as JSON.
 //!
 //! Usage:
-//!   `bench_serve [--scale tiny|default|paper] [--seed N] [--out FILE]
+//!   `bench_serve [--scale tiny|small|medium|large] [--seed N] [--out FILE]
 //!                [--warm-iters N]`
 //!
 //! For each client-thread count (1, 4, 8) the tool starts a fresh
@@ -19,7 +19,7 @@
 //! run) must be ≥ 10x — the acceptance bar for the steady-state cache.
 //! The default output file is `BENCH_serve.json`.
 
-use quasar_bench::{train_model, Context, Scale};
+use quasar_bench::{train_model, Context, EnvInfo, Scale};
 use quasar_core::prelude::*;
 use quasar_serve::protocol::Request;
 use quasar_serve::server::{serve, ServeConfig, ServerState};
@@ -53,6 +53,8 @@ struct Run {
 struct Record {
     scale: String,
     seed: u64,
+    /// Host metadata: true core count, git commit, rustc version.
+    env: EnvInfo,
     prefixes: usize,
     observers: usize,
     server_workers: usize,
@@ -244,6 +246,7 @@ fn main() {
     let record = Record {
         scale: scale_name,
         seed,
+        env: EnvInfo::probe(),
         prefixes: prefixes.len(),
         observers: observers.len(),
         server_workers,

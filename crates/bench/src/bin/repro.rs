@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! Usage:
-//!   `repro [--exp ID] [--scale tiny|default|paper] [--seed N] [--obs N]`
+//!   `repro [--exp ID] [--scale tiny|small|medium|large] [--seed N] [--obs N]`
 //!
 //! Experiment ids (see DESIGN.md): t0, fig2, t1, spread, t2, degrees,
 //! train, pred-op, pred-origin, pred-both, gen, qr, cov, scale, density,
@@ -13,7 +13,7 @@ use quasar_core::prelude::*;
 
 fn main() {
     let mut exp = "all".to_string();
-    let mut scale = Scale::Default;
+    let mut scale = Scale::Small;
     let mut seed = 20051113u64;
     let mut obs: Option<usize> = None;
     let mut counts: Option<Vec<usize>> = None;
@@ -343,7 +343,7 @@ fn write_csv(dir: &str, name: &str, contents: &str) {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [--exp t0|fig2|t1|spread|t2|degrees|train|pred-op|pred-origin|pred-both|gen|qr|cov|scale|density|seeds|atoms|prune|ablate-single|ablate-lp|ablate-rel|all] [--scale tiny|default|paper] [--seed N] [--obs N] [--counts N,N,...] [--csv DIR]"
+        "usage: repro [--exp t0|fig2|t1|spread|t2|degrees|train|pred-op|pred-origin|pred-both|gen|qr|cov|scale|density|seeds|atoms|prune|ablate-single|ablate-lp|ablate-rel|all] [--scale tiny|small|medium|large] [--seed N] [--obs N] [--counts N,N,...] [--csv DIR]"
     );
     std::process::exit(2)
 }

@@ -1,0 +1,211 @@
+//! `speedup_gate` — CI gate over a freshly produced `BENCH_refine.json`.
+//!
+//! Usage:
+//!   `speedup_gate --fresh FILE --baseline FILE [--scale small]
+//!                 [--min-speedup 1.1] [--alloc-slack 1.1]`
+//!
+//! Checks, in order:
+//!
+//! 1. **Determinism** — every cell of the fresh matrix must report
+//!    byte-identical models across thread counts. Always enforced.
+//! 2. **Allocation regression** — the fresh 1-thread `alloc_calls` at the
+//!    gated scale must not exceed the committed baseline's by more than
+//!    `--alloc-slack` (default 1.1 = +10%). Always enforced when the
+//!    baseline file has a matching (scale, threads=1) cell.
+//! 3. **Parallel speedup** — at the gated scale, 4-thread
+//!    `speedup_vs_sequential` must be at least `--min-speedup` (default
+//!    1.1) and must not degrade from 2 to 4 threads. Only enforced when
+//!    the *fresh run's* host had at least 4 cores; on smaller hosts a
+//!    speedup above 1 is physically impossible, so the gate prints a loud
+//!    SKIP and exits 0 (the other two checks still apply).
+//!
+//! Exit status 0 = pass (or justified skip), 1 = any check failed,
+//! 2 = usage / unreadable input.
+
+use serde::Deserialize;
+
+/// The subset of `bench_refine`'s record the gate reads. Unknown fields
+/// are ignored so the gate tolerates schema growth.
+#[derive(Debug, Deserialize)]
+struct Record {
+    env: Env,
+    matrix: Vec<ScaleRow>,
+    deterministic: bool,
+}
+
+#[derive(Debug, Deserialize)]
+struct Env {
+    cores: usize,
+}
+
+#[derive(Debug, Deserialize)]
+struct ScaleRow {
+    scale: String,
+    deterministic: bool,
+    runs: Vec<Run>,
+}
+
+#[derive(Debug, Deserialize)]
+struct Run {
+    threads: usize,
+    alloc_calls: u64,
+    speedup_vs_sequential: f64,
+}
+
+/// Committed baselines may predate the matrix schema; parse leniently and
+/// return `None` when no comparable cell exists.
+fn load(path: &str) -> Record {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("speedup_gate: cannot read {path}: {e}");
+        std::process::exit(2)
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("speedup_gate: cannot parse {path}: {e}");
+        std::process::exit(2)
+    })
+}
+
+fn baseline_alloc_calls(path: &str, scale: &str) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let rec: Record = serde_json::from_str(&text).ok()?;
+    rec.matrix
+        .iter()
+        .find(|row| row.scale == scale)?
+        .runs
+        .iter()
+        .find(|r| r.threads == 1)
+        .map(|r| r.alloc_calls)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let fresh_path = flag("--fresh").unwrap_or_else(|| {
+        eprintln!("usage: speedup_gate --fresh FILE --baseline FILE [--scale small] [--min-speedup 1.1] [--alloc-slack 1.1]");
+        std::process::exit(2)
+    });
+    let baseline_path = flag("--baseline").unwrap_or_else(|| "BENCH_refine.json".into());
+    let gated_scale = flag("--scale").unwrap_or_else(|| "small".into());
+    let min_speedup: f64 = flag("--min-speedup")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.1);
+    let alloc_slack: f64 = flag("--alloc-slack")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.1);
+
+    let fresh = load(&fresh_path);
+    let mut failed = false;
+
+    // 1. Determinism — non-negotiable at every scale and thread count.
+    if !fresh.deterministic {
+        let bad: Vec<&str> = fresh
+            .matrix
+            .iter()
+            .filter(|row| !row.deterministic)
+            .map(|row| row.scale.as_str())
+            .collect();
+        eprintln!("FAIL: nondeterministic across thread counts at scales {bad:?}");
+        failed = true;
+    } else {
+        println!("ok: deterministic across thread counts at every scale");
+    }
+
+    let row = fresh.matrix.iter().find(|row| row.scale == gated_scale);
+    let Some(row) = row else {
+        eprintln!("FAIL: fresh record has no {gated_scale:?} scale row");
+        std::process::exit(1)
+    };
+
+    // 2. Allocation regression against the committed baseline.
+    let fresh_allocs = row
+        .runs
+        .iter()
+        .find(|r| r.threads == 1)
+        .map(|r| r.alloc_calls);
+    match (
+        fresh_allocs,
+        baseline_alloc_calls(&baseline_path, &gated_scale),
+    ) {
+        (Some(fresh_allocs), Some(base_allocs)) => {
+            let limit = (base_allocs as f64 * alloc_slack) as u64;
+            if fresh_allocs > limit {
+                eprintln!(
+                    "FAIL: {gated_scale} 1-thread alloc_calls {fresh_allocs} exceeds \
+                     baseline {base_allocs} by more than {:.0}% (limit {limit})",
+                    (alloc_slack - 1.0) * 100.0
+                );
+                failed = true;
+            } else {
+                println!(
+                    "ok: {gated_scale} 1-thread alloc_calls {fresh_allocs} within \
+                     {:.0}% of baseline {base_allocs}",
+                    (alloc_slack - 1.0) * 100.0
+                );
+            }
+        }
+        (Some(_), None) => {
+            println!(
+                "SKIP: no comparable (scale={gated_scale}, threads=1) cell in baseline \
+                 {baseline_path} — allocation check not applicable"
+            );
+        }
+        (None, _) => {
+            eprintln!("FAIL: fresh {gated_scale} row has no 1-thread run");
+            failed = true;
+        }
+    }
+
+    // 3. Parallel speedup — only meaningful with real cores to spend.
+    if fresh.env.cores < 4 {
+        println!(
+            "SKIP: host has {} core(s) (<4) — a >1x 4-thread speedup is physically \
+             impossible here; skipping the speedup checks. Run this gate on a \
+             multi-core host to enforce them.",
+            fresh.env.cores
+        );
+    } else {
+        let speedup_at = |threads: usize| {
+            row.runs
+                .iter()
+                .find(|r| r.threads == threads)
+                .map(|r| r.speedup_vs_sequential)
+        };
+        match (speedup_at(2), speedup_at(4)) {
+            (Some(s2), Some(s4)) => {
+                if s4 < min_speedup {
+                    eprintln!(
+                        "FAIL: {gated_scale} 4-thread speedup {s4:.2}x below the \
+                         {min_speedup:.2}x bar"
+                    );
+                    failed = true;
+                } else {
+                    println!("ok: {gated_scale} 4-thread speedup {s4:.2}x >= {min_speedup:.2}x");
+                }
+                if s4 < s2 {
+                    eprintln!(
+                        "FAIL: {gated_scale} speedup degrades from 2 threads \
+                         ({s2:.2}x) to 4 ({s4:.2}x)"
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "ok: {gated_scale} speedup monotone 2->4 threads ({s2:.2}x -> {s4:.2}x)"
+                    );
+                }
+            }
+            _ => {
+                eprintln!("FAIL: fresh {gated_scale} row lacks 2- and/or 4-thread runs");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1)
+    }
+    println!("speedup_gate: all applicable checks passed");
+}

@@ -1,0 +1,63 @@
+//! Host environment metadata stamped into every benchmark JSON so runs
+//! are comparable across machines (ISSUE: BENCH_refine.json used to hard-
+//! code `"cores": 1`).
+
+use serde::Serialize;
+
+/// Where a benchmark ran: enough to judge whether two result files are
+/// comparable.
+#[derive(Debug, Clone, Serialize)]
+pub struct EnvInfo {
+    /// `std::thread::available_parallelism()` — the real core budget the
+    /// scheduler had, not a hard-coded guess.
+    pub cores: usize,
+    /// `git rev-parse HEAD` of the working tree, or `"unknown"` outside a
+    /// repository.
+    pub git_commit: String,
+    /// `rustc --version`, or `"unknown"` if the toolchain is not on PATH.
+    pub rustc: String,
+}
+
+impl EnvInfo {
+    /// Probes the current host. Subprocess failures degrade to
+    /// `"unknown"` rather than failing the benchmark.
+    pub fn probe() -> EnvInfo {
+        EnvInfo {
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            git_commit: run_trimmed("git", &["rev-parse", "HEAD"]),
+            rustc: run_trimmed("rustc", &["--version"]),
+        }
+    }
+}
+
+fn run_trimmed(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_reports_at_least_one_core_and_nonempty_fields() {
+        let env = EnvInfo::probe();
+        assert!(env.cores >= 1);
+        assert!(!env.git_commit.is_empty());
+        assert!(!env.rustc.is_empty());
+    }
+
+    #[test]
+    fn missing_binaries_degrade_to_unknown() {
+        assert_eq!(run_trimmed("definitely-not-a-binary-xyz", &[]), "unknown");
+    }
+}

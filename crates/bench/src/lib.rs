@@ -7,9 +7,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod envinfo;
 pub mod experiments;
 pub mod scale;
 
+pub use envinfo::EnvInfo;
 pub use experiments::*;
 pub use scale::*;
 
@@ -17,38 +19,57 @@ use quasar_core::observed::{Dataset, ObservedRoute};
 use quasar_netgen::config::NetGenConfig;
 use quasar_netgen::observe::SyntheticInternet;
 
-/// Experiment scale presets.
+/// Experiment scale presets (see EXPERIMENTS.md for the parameter table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
-    /// Seconds-fast; used by tests.
+    /// Seconds-fast (44 ASes); used by tests.
     Tiny,
-    /// The default experiment scale (hundreds of ASes).
-    Default,
-    /// Thousands of ASes — closest to the paper's 14.5k-AS pruned graph
-    /// that a laptop-scale run affords.
-    Paper,
+    /// The default experiment scale (hundreds of ASes). Accepts the
+    /// legacy spelling `default` on CLIs.
+    Small,
+    /// Thousands of ASes — the former `paper` scale, closest to the
+    /// paper's 14.5k-AS pruned graph that a laptop-scale run affords.
+    Medium,
+    /// Tens of thousands of ASes with ~1000 observation ASes (matching
+    /// the paper's >1300 observation points); overnight runs only.
+    Large,
 }
 
 impl Scale {
-    /// Parses a CLI string.
+    /// Parses a CLI string. `default` and `paper` stay accepted as
+    /// aliases for `small` and `medium`.
     pub fn parse(s: &str) -> Option<Scale> {
         match s {
             "tiny" => Some(Scale::Tiny),
-            "default" => Some(Scale::Default),
-            "paper" => Some(Scale::Paper),
+            "small" | "default" => Some(Scale::Small),
+            "medium" | "paper" => Some(Scale::Medium),
+            "large" => Some(Scale::Large),
             _ => None,
         }
+    }
+
+    /// The canonical CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+        }
+    }
+
+    /// Every preset, ascending by size.
+    pub fn all() -> [Scale; 4] {
+        [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Large]
     }
 
     /// The generator configuration for this scale.
     pub fn config(self, seed: u64) -> NetGenConfig {
         match self {
             Scale::Tiny => NetGenConfig::tiny(seed),
-            Scale::Default => NetGenConfig {
-                seed,
-                ..NetGenConfig::default()
-            },
-            Scale::Paper => NetGenConfig::paper_scale(seed),
+            Scale::Small => NetGenConfig::small(seed),
+            Scale::Medium => NetGenConfig::medium(seed),
+            Scale::Large => NetGenConfig::large(seed),
         }
     }
 }

@@ -171,30 +171,85 @@ impl SimulationResult {
     }
 }
 
-struct RunState<'n> {
-    net: &'n Network,
-    /// Per router: Adj-RIB-In slot per adjacency position (post-import
-    /// route; `None` = no current route over that session). Slot order is
-    /// the router's `Network::adj` order, i.e. sorted by peer RouterId.
+/// Reusable per-worker simulation buffers.
+///
+/// One steady-state run needs O(routers + adjacency) of vector state; a
+/// fresh `SimScratch` allocates it, and every later simulation on a network
+/// of the same shape clears the buffers in place instead of reallocating.
+/// The session→inbox-slot table (`slot_of`) depends only on the topology,
+/// so it too is computed once per shape instead of once per simulation.
+/// Refinement workers keep one scratch each across all the prefix
+/// simulations they execute — the dominant allocation saving of the
+/// sharded refinement scheduler.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// Shape key of the network the buffers were sized for:
+    /// `(routers, sessions)`. Both only ever grow during refinement, so a
+    /// matching key means a matching adjacency layout.
+    shape: Option<(usize, usize)>,
     rib_in: Vec<Vec<Option<Route>>>,
-    /// Per router: locally originated route.
     local: Vec<Option<Route>>,
-    /// Per router: currently selected best (full value, for change detection).
     best: Vec<Option<Route>>,
-    /// Per session: last update sent in each direction
-    /// (`[a_to_b, b_to_a]`; inner `None` = nothing currently announced).
     last_sent: Vec<[Option<Route>; 2]>,
-    /// Per router: latest unprocessed update per adjacency slot (BGP
-    /// implicit withdraw: a newer update on a session supersedes the older
-    /// one). Outer `None` = no pending update; inner `None` = withdraw.
-    /// These slot vectors are the per-router inbox scratch buffers — they
-    /// are drained in place, never reallocated.
     pending: Vec<Vec<Option<Option<Route>>>>,
-    /// Per session: this session's adjacency-slot position at each endpoint
-    /// (`[position in adj[a], position in adj[b]]`).
     slot_of: Vec<[usize; 2]>,
-    /// Routers with pending work.
     dirty: Vec<bool>,
+}
+
+impl SimScratch {
+    /// A fresh, empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes (or, on a matching shape, clears in place) the buffers for
+    /// `net`.
+    fn prepare(&mut self, net: &Network) {
+        let shape = (net.routers.len(), net.sessions.len());
+        if self.shape == Some(shape) {
+            for v in &mut self.rib_in {
+                v.fill(None);
+            }
+            for v in &mut self.pending {
+                v.fill(None);
+            }
+            self.local.fill(None);
+            self.best.fill(None);
+            self.last_sent.fill([None, None]);
+            self.dirty.fill(false);
+            return;
+        }
+        let n = net.routers.len();
+        self.rib_in = net.adj.iter().map(|a| vec![None; a.len()]).collect();
+        self.pending = net.adj.iter().map(|a| vec![None; a.len()]).collect();
+        self.local = vec![None; n];
+        self.best = vec![None; n];
+        self.last_sent = vec![[None, None]; net.sessions.len()];
+        self.dirty = vec![false; n];
+        // Map each session to its slot position inside both endpoints'
+        // adjacency lists, so updates land in vec-indexed inbox slots
+        // without any per-message map lookups.
+        self.slot_of = vec![[usize::MAX; 2]; net.sessions.len()];
+        for (r, adj) in net.adj.iter().enumerate() {
+            for (pos, &(sid, _)) in adj.iter().enumerate() {
+                let end = usize::from(net.sessions[sid].a != r);
+                self.slot_of[sid][end] = pos;
+            }
+        }
+        self.shape = Some(shape);
+    }
+}
+
+struct RunState<'n, 's> {
+    net: &'n Network,
+    /// Borrowed scratch buffers (see [`SimScratch`] for field semantics):
+    /// `rib_in` holds the post-import Adj-RIB-In per adjacency slot,
+    /// `local` the locally originated routes, `best` the current
+    /// selections, `last_sent` the per-session-direction Adj-RIB-Out,
+    /// `pending` the latest-update-wins inboxes, and `dirty` the routers
+    /// with pending work. Slot order is the router's `Network::adj` order,
+    /// i.e. sorted by peer RouterId.
+    sc: &'s mut SimScratch,
     /// Total pending updates across all inboxes (peak tracking).
     queued: usize,
     stats: SimStats,
@@ -224,7 +279,20 @@ impl Network {
         prefix: Prefix,
         origins: &[RouterId],
     ) -> Result<SimulationResult, SimError> {
-        self.simulate_inner(prefix, origins, false)
+        self.simulate_inner(prefix, origins, false, &mut SimScratch::new())
+            .map(|(res, _)| res)
+    }
+
+    /// Like [`Network::simulate`], but reusing the caller's [`SimScratch`]
+    /// buffers — the bulk-simulation path used by refinement workers, where
+    /// per-run allocation would dominate.
+    pub fn simulate_with(
+        &self,
+        prefix: Prefix,
+        origins: &[RouterId],
+        scratch: &mut SimScratch,
+    ) -> Result<SimulationResult, SimError> {
+        self.simulate_inner(prefix, origins, false, scratch)
             .map(|(res, _)| res)
     }
 
@@ -237,7 +305,7 @@ impl Network {
         prefix: Prefix,
         origins: &[RouterId],
     ) -> Result<(SimulationResult, Vec<TraceEvent>), SimError> {
-        self.simulate_inner(prefix, origins, true)
+        self.simulate_inner(prefix, origins, true, &mut SimScratch::new())
             .map(|(res, t)| (res, t.unwrap_or_default()))
     }
 
@@ -246,6 +314,7 @@ impl Network {
         prefix: Prefix,
         origins: &[RouterId],
         traced: bool,
+        scratch: &mut SimScratch,
     ) -> Result<(SimulationResult, Option<Vec<TraceEvent>>), SimError> {
         // Failpoint: lets tests fail/delay a simulation at its entry, the
         // spot where real resource exhaustion would surface.
@@ -256,25 +325,10 @@ impl Network {
             });
         }
         let n = self.routers.len();
-        // Map each session to its slot position inside both endpoints'
-        // adjacency lists, so updates land in vec-indexed inbox slots
-        // without any per-message map lookups.
-        let mut slot_of = vec![[usize::MAX; 2]; self.sessions.len()];
-        for (r, adj) in self.adj.iter().enumerate() {
-            for (pos, &(sid, _)) in adj.iter().enumerate() {
-                let end = usize::from(self.sessions[sid].a != r);
-                slot_of[sid][end] = pos;
-            }
-        }
+        scratch.prepare(self);
         let mut st = RunState {
             net: self,
-            rib_in: self.adj.iter().map(|a| vec![None; a.len()]).collect(),
-            local: vec![None; n],
-            best: vec![None; n],
-            last_sent: vec![[None, None]; self.sessions.len()],
-            pending: self.adj.iter().map(|a| vec![None; a.len()]).collect(),
-            slot_of,
-            dirty: vec![false; n],
+            sc: scratch,
             queued: 0,
             stats: SimStats::default(),
             trace: if traced { Some(Vec::new()) } else { None },
@@ -286,15 +340,15 @@ impl Network {
         sorted_origins.dedup();
         for o in &sorted_origins {
             let i = *self.index.get(o).ok_or(SimError::UnknownRouter(*o))?;
-            st.local[i] = Some(Route::originate(prefix));
-            st.dirty[i] = true;
+            st.sc.local[i] = Some(Route::originate(prefix));
+            st.sc.dirty[i] = true;
         }
 
         let budget = self.effective_budget();
         loop {
             let mut any = false;
             for r in 0..n {
-                if !st.dirty[r] {
+                if !st.sc.dirty[r] {
                     continue;
                 }
                 any = true;
@@ -316,20 +370,20 @@ impl Network {
     }
 }
 
-impl<'n> RunState<'n> {
+impl RunState<'_, '_> {
     /// Activates dense router `r`: drains its inbox, re-decides, exports.
     fn activate(&mut self, r: usize) {
-        self.dirty[r] = false;
+        self.sc.dirty[r] = false;
         if let Some(t) = &mut self.trace {
-            let inbox = self.pending[r].iter().filter(|s| s.is_some()).count();
+            let inbox = self.sc.pending[r].iter().filter(|s| s.is_some()).count();
             t.push(TraceEvent::Activate {
                 router: self.net.routers[r],
                 inbox,
             });
         }
         // Drain the inbox slots in place (adjacency = peer-sorted order).
-        for slot in 0..self.pending[r].len() {
-            let Some(update) = self.pending[r][slot].take() else {
+        for slot in 0..self.sc.pending[r].len() {
+            let Some(update) = self.sc.pending[r][slot].take() else {
                 continue;
             };
             self.queued -= 1;
@@ -376,7 +430,7 @@ impl<'n> RunState<'n> {
             session.direction(from).import.apply(&route)
         });
 
-        self.rib_in[to][slot] = installed;
+        self.sc.rib_in[to][slot] = installed;
     }
 
     /// Re-runs the decision process at dense router `r`; if the best route
@@ -390,13 +444,13 @@ impl<'n> RunState<'n> {
         // Decide over borrowed candidates; clone only the winner, and only
         // when it actually changed.
         let new_best: Option<Route> = {
-            let candidates: Vec<&Route> = self.local[r]
+            let candidates: Vec<&Route> = self.sc.local[r]
                 .iter()
-                .chain(self.rib_in[r].iter().flatten())
+                .chain(self.sc.rib_in[r].iter().flatten())
                 .collect();
             let outcome = decide(&candidates, &net.cfg);
             let nb = outcome.best.map(|i| candidates[i]);
-            if nb == self.best[r].as_ref() {
+            if nb == self.sc.best[r].as_ref() {
                 return;
             }
             nb.cloned()
@@ -404,17 +458,17 @@ impl<'n> RunState<'n> {
         if let Some(t) = &mut self.trace {
             t.push(TraceEvent::BestChanged {
                 router: net.routers[r],
-                old: self.best[r].as_ref().map(|b| b.as_path.clone()),
+                old: self.sc.best[r].as_ref().map(|b| b.as_path.clone()),
                 new: new_best.as_ref().map(|b| b.as_path.clone()),
             });
         }
-        self.best[r] = new_best;
+        self.sc.best[r] = new_best;
 
         // Fan out over sessions in deterministic (peer-sorted) order.
         for &(sid, peer) in &net.adj[r] {
             let msg = self.export_over(r, sid);
             let dir = usize::from(net.sessions[sid].a != r);
-            if self.last_sent[sid][dir] == msg {
+            if self.sc.last_sent[sid][dir] == msg {
                 self.stats.suppressed += 1;
                 continue;
             }
@@ -428,12 +482,12 @@ impl<'n> RunState<'n> {
             // The message is recorded once per copy that must live on: the
             // Adj-RIB-Out bookkeeping and the peer's inbox slot (the trace
             // above only bumped the AS-path refcount).
-            self.last_sent[sid][dir] = msg.clone();
-            let peer_slot = self.slot_of[sid][1 - dir];
-            if self.pending[peer][peer_slot].replace(msg).is_none() {
+            self.sc.last_sent[sid][dir] = msg.clone();
+            let peer_slot = self.sc.slot_of[sid][1 - dir];
+            if self.sc.pending[peer][peer_slot].replace(msg).is_none() {
                 self.queued += 1;
             }
-            self.dirty[peer] = true;
+            self.sc.dirty[peer] = true;
             self.stats.peak_queue = self.stats.peak_queue.max(self.queued);
         }
     }
@@ -442,7 +496,7 @@ impl<'n> RunState<'n> {
     /// (`None` = withdraw).
     fn export_over(&self, r: usize, sid: usize) -> Option<Route> {
         let session = &self.net.sessions[sid];
-        let best = self.best[r].as_ref()?;
+        let best = self.sc.best[r].as_ref()?;
         // RFC 1997 well-known communities, honored by the protocol itself.
         if best.has_community(NO_ADVERTISE) {
             return None;
@@ -497,7 +551,7 @@ impl<'n> RunState<'n> {
 
     fn into_result(self, prefix: Prefix) -> SimulationResult {
         let mut sent = HashMap::new();
-        for (sid, dirs) in self.last_sent.iter().enumerate() {
+        for (sid, dirs) in self.sc.last_sent.iter().enumerate() {
             let s = &self.net.sessions[sid];
             let (a, b) = (self.net.routers[s.a], self.net.routers[s.b]);
             if let Some(route) = &dirs[0] {
@@ -509,10 +563,10 @@ impl<'n> RunState<'n> {
         }
         let mut ribs = Vec::with_capacity(self.net.routers.len());
         for r in 0..self.net.routers.len() {
-            let candidates: Vec<Route> = self.local[r]
+            let candidates: Vec<Route> = self.sc.local[r]
                 .iter()
                 .cloned()
-                .chain(self.rib_in[r].iter().flatten().cloned())
+                .chain(self.sc.rib_in[r].iter().flatten().cloned())
                 .collect();
             let outcome = decide(&candidates, &self.net.cfg);
             ribs.push(RouterRib {

@@ -14,6 +14,7 @@ use crate::aspath::AsPathPattern;
 use crate::route::Route;
 use crate::types::{Asn, Prefix};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Predicate over a route. All present fields must match (conjunction);
 /// absent fields match anything.
@@ -136,9 +137,31 @@ impl PolicyRule {
 /// route, a matching `Accept` stops with the route as modified so far, and
 /// matching `Set*` actions modify the route and continue. A route reaching
 /// the end of the chain is accepted.
+///
+/// The rule chain is behind an [`Arc`]: cloning a policy (and anything
+/// containing one, like a whole network snapshot) is a refcount bump, and
+/// the chain is deep-copied only when a clone actually mutates it. The
+/// serialized form is unchanged — a plain `rules` list.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Policy {
-    rules: Vec<PolicyRule>,
+    #[serde(with = "arc_rules")]
+    rules: Arc<Vec<PolicyRule>>,
+}
+
+/// Serializes the shared rule chain as the plain `Vec` it wraps, keeping
+/// the on-disk shape identical to the pre-Arc representation.
+mod arc_rules {
+    use super::PolicyRule;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::sync::Arc;
+
+    pub fn serialize<S: Serializer>(rules: &Arc<Vec<PolicyRule>>, s: S) -> Result<S::Ok, S::Error> {
+        rules.as_slice().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Arc<Vec<PolicyRule>>, D::Error> {
+        Vec::deserialize(d).map(Arc::new)
+    }
 }
 
 impl Policy {
@@ -149,7 +172,9 @@ impl Policy {
 
     /// Builds a policy from rules.
     pub fn new(rules: Vec<PolicyRule>) -> Self {
-        Policy { rules }
+        Policy {
+            rules: Arc::new(rules),
+        }
     }
 
     /// True if the chain has no rules.
@@ -165,27 +190,30 @@ impl Policy {
 
     /// Appends a rule at the end of the chain.
     pub fn push(&mut self, rule: PolicyRule) {
-        self.rules.push(rule);
+        Arc::make_mut(&mut self.rules).push(rule);
     }
 
     /// Inserts a rule at the front of the chain (highest priority).
     pub fn push_front(&mut self, rule: PolicyRule) {
-        self.rules.insert(0, rule);
+        Arc::make_mut(&mut self.rules).insert(0, rule);
     }
 
     /// Removes every rule for which `pred` returns true; returns how many
     /// were removed. Used to delete blocking filters (§4.6, Figure 7).
+    /// The chain is only deep-copied when something actually matches.
     pub fn remove_rules(&mut self, pred: impl Fn(&PolicyRule) -> bool) -> usize {
-        let before = self.rules.len();
-        self.rules.retain(|r| !pred(r));
-        before - self.rules.len()
+        let matching = self.rules.iter().filter(|r| pred(r)).count();
+        if matching > 0 {
+            Arc::make_mut(&mut self.rules).retain(|r| !pred(r));
+        }
+        matching
     }
 
     /// Applies the chain to `route`. Returns the (possibly modified) route,
     /// or `None` if it was denied.
     pub fn apply(&self, route: &Route) -> Option<Route> {
         let mut out = route.clone();
-        for rule in &self.rules {
+        for rule in self.rules.iter() {
             if !rule.matcher.matches(&out) {
                 continue;
             }

@@ -38,9 +38,11 @@ pub struct AsRoutingModel {
     /// Next free quasi-router index per AS.
     next_index: BTreeMap<Asn, u16>,
     /// Origin AS per prefix. Serialized as an entry list: JSON map keys
-    /// must be strings, and `Prefix` is a structured key.
+    /// must be strings, and `Prefix` is a structured key. Behind an `Arc`
+    /// because it is immutable after construction and cloned once per
+    /// refinement-domain snapshot — sharing makes those clones free.
     #[serde(with = "prefix_map_entries")]
-    origin_of: BTreeMap<Prefix, Asn>,
+    origin_of: std::sync::Arc<BTreeMap<Prefix, Asn>>,
     /// Rules added by refinement (bookkeeping for stats).
     rules_added: usize,
 }
@@ -71,11 +73,13 @@ impl AsRoutingModel {
         AsRoutingModel {
             net,
             next_index,
-            origin_of: prefix_origins
-                .iter()
-                .filter(|(_, o)| graph.contains(**o))
-                .map(|(&p, &o)| (p, o))
-                .collect(),
+            origin_of: std::sync::Arc::new(
+                prefix_origins
+                    .iter()
+                    .filter(|(_, o)| graph.contains(**o))
+                    .map(|(&p, &o)| (p, o))
+                    .collect(),
+            ),
             rules_added: 0,
         }
     }
@@ -155,7 +159,7 @@ impl AsRoutingModel {
     pub fn validate_structure(&self) -> Result<(), String> {
         self.net.check_structure()?;
         let ases: BTreeSet<Asn> = self.net.routers().iter().map(|r| r.asn()).collect();
-        for (&prefix, &asn) in &self.origin_of {
+        for (&prefix, &asn) in self.origin_of.iter() {
             if !ases.contains(&asn) {
                 return Err(format!(
                     "prefix {prefix} is originated by {asn} which has no quasi-router"
@@ -172,6 +176,20 @@ impl AsRoutingModel {
         let origin = *self.origin_of.get(&prefix).unwrap_or(&Asn::RESERVED);
         let origins = self.net.routers_of(origin);
         self.net.simulate(prefix, &origins)
+    }
+
+    /// Like [`Self::simulate`], but reusing the caller's simulation
+    /// buffers. Refinement workers run many simulations back to back on a
+    /// slowly growing network; reusing one `SimScratch` per worker
+    /// removes the per-run O(routers + adjacency) allocations.
+    pub fn simulate_with(
+        &self,
+        prefix: Prefix,
+        scratch: &mut quasar_bgpsim::engine::SimScratch,
+    ) -> Result<SimulationResult, SimError> {
+        let origin = *self.origin_of.get(&prefix).unwrap_or(&Asn::RESERVED);
+        let origins = self.net.routers_of(origin);
+        self.net.simulate_with(prefix, &origins, scratch)
     }
 
     /// Duplicates quasi-router `src`: the copy gets a fresh index in the
@@ -505,12 +523,21 @@ mod prefix_map_entries {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
     use std::collections::BTreeMap;
 
-    pub fn serialize<S: Serializer>(map: &BTreeMap<Prefix, Asn>, s: S) -> Result<S::Ok, S::Error> {
+    use std::sync::Arc;
+
+    pub fn serialize<S: Serializer>(
+        map: &Arc<BTreeMap<Prefix, Asn>>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
         map.iter().collect::<Vec<_>>().serialize(s)
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<BTreeMap<Prefix, Asn>, D::Error> {
-        Ok(Vec::<(Prefix, Asn)>::deserialize(d)?.into_iter().collect())
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<Arc<BTreeMap<Prefix, Asn>>, D::Error> {
+        Ok(Arc::new(
+            Vec::<(Prefix, Asn)>::deserialize(d)?.into_iter().collect(),
+        ))
     }
 }
 

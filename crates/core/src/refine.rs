@@ -21,19 +21,48 @@
 //!
 //! "Perfect RIB-Out matches are achieved after a total number of
 //! iterations that is a multiple of the maximum AS-path length."
+//!
+//! # Parallel schedule: sharded domains, merge, repair
+//!
+//! Per-prefix refinement is embarrassingly parallel in principle, but a
+//! per-round barrier with whole-model snapshots spends more time waiting
+//! and copying than refining. The schedule here has three phases:
+//!
+//! 1. **Domains.** The (sorted) prefix jobs are partitioned into
+//!    contiguous *refinement domains* — a pure function of the job count,
+//!    never of the thread count. Workers claim whole domains from an
+//!    atomic work queue; each domain refines its prefixes sequentially to
+//!    convergence against a copy-on-write `DomainModel` view that clones
+//!    the base model only on first mutation and records every fix as a
+//!    semantic `RefineOp`.
+//! 2. **Merge.** Domain op-logs are replayed onto the real model in
+//!    ascending domain id. Quasi-routers duplicated in different domains
+//!    from the same lineage (source router, per-source ordinal) are
+//!    deduplicated, mirroring the sequential schedule's reuse of freshly
+//!    created routers across prefixes.
+//! 3. **Repair.** The classic round loop re-verifies every prefix against
+//!    the merged model and fixes any residual cross-domain interference —
+//!    typically a single verification round.
+//!
+//! Determinism: phase 1 results are schedule-independent (every domain
+//! starts from the pristine base model), and phases 2 and 3 are
+//! sequential-deterministic, so the trained model is byte-identical at
+//! any thread count. Fix application order is a pure function of prefix
+//! id — (domain id, position in domain) — not of worker scheduling.
 
 use crate::model::AsRoutingModel;
 use crate::observed::Dataset;
 use crate::persist::{self, PersistError};
 use quasar_bgpsim::aspath::AsPath;
-use quasar_bgpsim::engine::SimulationResult;
+use quasar_bgpsim::engine::{SimScratch, SimulationResult};
 use quasar_bgpsim::error::SimError;
 use quasar_bgpsim::types::{Asn, Prefix, RouterId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::ops::Range;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Which attribute the heuristic uses to rank the wanted route at a
 /// quasi-router.
@@ -54,9 +83,9 @@ pub enum RankingAttr {
 /// Refinement tunables.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct RefineConfig {
-    /// Hard cap on iterations per prefix. The paper's bound is a small
-    /// multiple of the maximum AS-path length; the default leaves ample
-    /// slack.
+    /// Hard cap on iterations per prefix per phase. The paper's bound is a
+    /// small multiple of the maximum AS-path length; the default leaves
+    /// ample slack.
     pub max_iterations: usize,
     /// Allow quasi-router duplication. Disabling it ablates the paper's
     /// central mechanism: the model degenerates to one router per AS plus
@@ -64,11 +93,12 @@ pub struct RefineConfig {
     pub allow_duplication: bool,
     /// Ranking attribute (see [`RankingAttr`]).
     pub ranking: RankingAttr,
-    /// Worker threads for the batched per-prefix simulations inside
-    /// [`refine`]. `0` means "all available cores". The trained model is
-    /// byte-identical regardless of this setting: simulations read the
-    /// model concurrently, but fixes are always applied sequentially in
-    /// prefix order.
+    /// Worker threads for the domain phase and the repair-round
+    /// simulations inside [`refine`]. `0` means "all available cores".
+    /// The trained model is byte-identical regardless of this setting:
+    /// domains are refined independently from the same base model and
+    /// merged in domain order, so no result ever depends on the thread
+    /// schedule.
     #[serde(default)]
     pub threads: usize,
 }
@@ -105,11 +135,13 @@ pub struct PrefixOutcome {
     pub prefix: Prefix,
     /// Distinct (AS, suffix) targets derived from the training paths.
     pub targets: usize,
-    /// Iterations used (1 = matched immediately).
+    /// Iterations used across domain and repair phases (1 = matched
+    /// immediately).
     pub iterations: usize,
     /// Whether every target reached a RIB-Out match.
     pub converged: bool,
-    /// Quasi-routers created while refining this prefix.
+    /// Quasi-routers created while refining this prefix (after
+    /// cross-domain deduplication at merge).
     pub quasi_routers_added: usize,
     /// Blocking filters deleted (Figure 7 situations).
     pub filters_deleted: usize,
@@ -123,6 +155,12 @@ pub struct PrefixOutcome {
 pub struct RefineReport {
     /// Per-prefix outcomes, in prefix order.
     pub prefixes: Vec<PrefixOutcome>,
+    /// Refinement domains the prefix space was partitioned into.
+    #[serde(default)]
+    pub domains: usize,
+    /// Verification/fix rounds of the post-merge repair phase.
+    #[serde(default)]
+    pub repair_rounds: u64,
 }
 
 impl RefineReport {
@@ -148,6 +186,14 @@ impl RefineReport {
             .map(|p| p.iterations)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Checkpointable work units of this run: one per domain claim plus
+    /// one per repair round — exactly the evaluation count of the
+    /// `refine.round` failpoint, which kill-and-resume tests use to place
+    /// their crash sites.
+    pub fn work_units(&self) -> u64 {
+        self.domains as u64 + self.repair_rounds
     }
 }
 
@@ -204,7 +250,9 @@ impl From<PersistError> for RefineError {
 pub struct CheckpointPolicy {
     /// Checkpoint directory (created on first write).
     pub dir: PathBuf,
-    /// Write a checkpoint after every `every`-th round (1 = every round).
+    /// Write a checkpoint after every `every`-th work unit — a completed
+    /// domain in the domain phase, a completed round in the repair phase
+    /// (1 = every unit).
     pub every: u64,
     /// How many checkpoints to keep; older ones are pruned after each
     /// write. At least 2, so a damaged newest checkpoint still leaves a
@@ -213,7 +261,7 @@ pub struct CheckpointPolicy {
 }
 
 impl CheckpointPolicy {
-    /// A policy checkpointing into `dir` after every round, keeping 2.
+    /// A policy checkpointing into `dir` after every work unit, keeping 2.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         CheckpointPolicy {
             dir: dir.into(),
@@ -223,14 +271,244 @@ impl CheckpointPolicy {
     }
 }
 
+/// One semantic model mutation recorded while refining a domain, replayed
+/// onto the real model at merge. Router ids are domain-local; the merge
+/// maps them through the domain's duplication lineage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum RefineOp {
+    /// `src` was duplicated into `copy` while refining `prefix`.
+    Duplicate {
+        prefix: Prefix,
+        src: RouterId,
+        copy: RouterId,
+    },
+    /// Rank the routes arriving over `senders` best at `q` for `prefix`
+    /// (MED or local-pref per the run's [`RankingAttr`]).
+    Rank {
+        q: RouterId,
+        prefix: Prefix,
+        senders: Vec<RouterId>,
+    },
+    /// Filter paths shorter than `min_locrib_len` at the announcing
+    /// neighbors of `q` for `prefix`.
+    ShorterFilters {
+        q: RouterId,
+        prefix: Prefix,
+        min_locrib_len: usize,
+    },
+    /// Figure 7: delete egress filters on the `from -> to` session that
+    /// block the `locrib_len`-long announcement of `prefix`.
+    DeleteBlockers {
+        from: RouterId,
+        to: RouterId,
+        prefix: Prefix,
+        locrib_len: usize,
+    },
+}
+
+/// The mutation surface [`apply_fixes`] needs, abstracted so the same fix
+/// pass runs directly against the real model (repair phase, legacy
+/// [`refine_prefix`]) or against a domain's copy-on-write view that also
+/// records [`RefineOp`]s for the merge.
+trait RefineHost {
+    fn model(&self) -> &AsRoutingModel;
+    fn duplicate_quasi_router(&mut self, prefix: Prefix, src: RouterId) -> RouterId;
+    fn rank_preference(
+        &mut self,
+        q: RouterId,
+        prefix: Prefix,
+        senders: &[RouterId],
+        ranking: RankingAttr,
+    );
+    fn set_shorter_path_filters(&mut self, q: RouterId, prefix: Prefix, min_locrib_len: usize);
+    fn delete_blocking_filters(
+        &mut self,
+        from: RouterId,
+        to: RouterId,
+        prefix: Prefix,
+        locrib_len: usize,
+    ) -> usize;
+}
+
+impl RefineHost for AsRoutingModel {
+    fn model(&self) -> &AsRoutingModel {
+        self
+    }
+
+    fn duplicate_quasi_router(&mut self, _prefix: Prefix, src: RouterId) -> RouterId {
+        AsRoutingModel::duplicate_quasi_router(self, src)
+    }
+
+    fn rank_preference(
+        &mut self,
+        q: RouterId,
+        prefix: Prefix,
+        senders: &[RouterId],
+        ranking: RankingAttr,
+    ) {
+        match ranking {
+            RankingAttr::Med => self.set_med_preference(q, prefix, senders),
+            RankingAttr::LocalPref => self.set_local_pref_preference(q, prefix, senders),
+        }
+    }
+
+    fn set_shorter_path_filters(&mut self, q: RouterId, prefix: Prefix, min_locrib_len: usize) {
+        AsRoutingModel::set_shorter_path_filters(self, q, prefix, min_locrib_len);
+    }
+
+    fn delete_blocking_filters(
+        &mut self,
+        from: RouterId,
+        to: RouterId,
+        prefix: Prefix,
+        locrib_len: usize,
+    ) -> usize {
+        AsRoutingModel::delete_blocking_filters(self, from, to, prefix, locrib_len)
+    }
+}
+
+/// A refinement domain's copy-on-write view of the base model: reads hit
+/// the borrowed base until the first mutation clones it, so a domain whose
+/// prefixes are already consistent costs zero model copies — snapshots are
+/// O(touched state), not O(model) per round.
+struct DomainModel<'a> {
+    base: &'a AsRoutingModel,
+    owned: Option<AsRoutingModel>,
+    ops: Vec<RefineOp>,
+}
+
+impl<'a> DomainModel<'a> {
+    fn new(base: &'a AsRoutingModel) -> Self {
+        DomainModel {
+            base,
+            owned: None,
+            ops: Vec::new(),
+        }
+    }
+
+    fn owned_mut(&mut self) -> &mut AsRoutingModel {
+        self.owned.get_or_insert_with(|| self.base.clone())
+    }
+}
+
+impl RefineHost for DomainModel<'_> {
+    fn model(&self) -> &AsRoutingModel {
+        self.owned.as_ref().unwrap_or(self.base)
+    }
+
+    fn duplicate_quasi_router(&mut self, prefix: Prefix, src: RouterId) -> RouterId {
+        let copy = self.owned_mut().duplicate_quasi_router(src);
+        self.ops.push(RefineOp::Duplicate { prefix, src, copy });
+        copy
+    }
+
+    fn rank_preference(
+        &mut self,
+        q: RouterId,
+        prefix: Prefix,
+        senders: &[RouterId],
+        ranking: RankingAttr,
+    ) {
+        match ranking {
+            RankingAttr::Med => self.owned_mut().set_med_preference(q, prefix, senders),
+            RankingAttr::LocalPref => self
+                .owned_mut()
+                .set_local_pref_preference(q, prefix, senders),
+        }
+        self.ops.push(RefineOp::Rank {
+            q,
+            prefix,
+            senders: senders.to_vec(),
+        });
+    }
+
+    fn set_shorter_path_filters(&mut self, q: RouterId, prefix: Prefix, min_locrib_len: usize) {
+        if min_locrib_len == 0 {
+            return; // no-op on the model; skipping keeps the log minimal
+        }
+        self.owned_mut()
+            .set_shorter_path_filters(q, prefix, min_locrib_len);
+        self.ops.push(RefineOp::ShorterFilters {
+            q,
+            prefix,
+            min_locrib_len,
+        });
+    }
+
+    fn delete_blocking_filters(
+        &mut self,
+        from: RouterId,
+        to: RouterId,
+        prefix: Prefix,
+        locrib_len: usize,
+    ) -> usize {
+        let deleted = self
+            .owned_mut()
+            .delete_blocking_filters(from, to, prefix, locrib_len);
+        if deleted > 0 {
+            self.ops.push(RefineOp::DeleteBlockers {
+                from,
+                to,
+                prefix,
+                locrib_len,
+            });
+        }
+        deleted
+    }
+}
+
+/// Aim for this many prefixes per domain: enough per-domain work to
+/// amortize the copy-on-write clone, few enough domains that the merge
+/// stays cheap. Job sets at or below this size form a single domain, so
+/// small runs keep the exact sequential schedule.
+const DOMAIN_TARGET_PREFIXES: usize = 16;
+/// Upper bound on the domain count regardless of prefix count.
+const MAX_DOMAINS: usize = 512;
+
+/// Partitions `n` sorted prefix jobs into contiguous, near-equal domains.
+/// A pure function of `n` only — never of the thread count — so the
+/// decomposition (and with it every byte of the final model) is identical
+/// on every machine.
+fn domain_ranges(n: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let domains = (n / DOMAIN_TARGET_PREFIXES).clamp(1, MAX_DOMAINS);
+    let base = n / domains;
+    let rem = n % domains;
+    let mut out = Vec::with_capacity(domains);
+    let mut start = 0;
+    for d in 0..domains {
+        let len = base + usize::from(d < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// One claimable unit of the parallel domain queue: the domain id plus
+/// exclusive ownership of its contiguous job slice. The `Option` lets the
+/// claiming worker take the slice out under the lock.
+type DomainWorkItem<'j> = parking_lot::Mutex<Option<(usize, &'j mut [(Prefix, PrefixJob)])>>;
+
+/// A completed domain's result: its op-log plus the per-prefix outcomes,
+/// in the domain's (ascending-prefix) job order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DomainDelta {
+    id: usize,
+    ops: Vec<RefineOp>,
+    outcomes: Vec<PrefixOutcome>,
+}
+
 /// Serialized refinement state: everything [`resume_refine`] needs to
 /// continue mid-run and still produce a byte-identical final model.
 /// Targets are *not* stored — they are rebuilt deterministically from the
 /// training set, which the fingerprint pins to the original run's.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct RefineCheckpoint {
-    /// Rounds completed when this snapshot was taken.
-    round: u64,
+    /// Work units completed when this snapshot was taken: completed
+    /// domains in the domain phase, `domains + repair round` afterwards.
+    seq: u64,
     /// Fingerprint of the training routes (see [`dataset_fingerprint`]).
     dataset_fingerprint: u64,
     /// The original run's [`RefineConfig::max_iterations`].
@@ -239,17 +517,37 @@ struct RefineCheckpoint {
     allow_duplication: bool,
     /// The original run's [`RefineConfig::ranking`].
     ranking: RankingAttr,
-    /// Per-prefix progress, in the job order (ascending prefix).
-    jobs: Vec<JobCheckpoint>,
-    /// The model as of the end of round `round`.
+    /// Total domain count of the partition (a function of the job count;
+    /// stored for validation).
+    domains: usize,
+    /// Phase-specific progress.
+    stage: StageCheckpoint,
+    /// In the domain phase: the (unmutated) base model. In the repair
+    /// phase: the merged model as of the end of the checkpointed round.
     model: AsRoutingModel,
 }
 
-/// One prefix's progress inside a [`RefineCheckpoint`].
+/// Which phase a [`RefineCheckpoint`] was taken in.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum StageCheckpoint {
+    /// Domain phase: the deltas of every completed domain. Which subset is
+    /// done may depend on worker scheduling, but each delta is itself
+    /// deterministic, so resuming from any subset converges to the same
+    /// final model.
+    Domains { done: Vec<DomainDelta> },
+    /// Repair phase: the round counter and per-prefix progress.
+    Repair {
+        round: u64,
+        jobs: Vec<JobCheckpoint>,
+    },
+}
+
+/// One prefix's progress inside a repair-phase [`RefineCheckpoint`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct JobCheckpoint {
     outcome: PrefixOutcome,
     done: bool,
+    max_iter: usize,
 }
 
 /// Order-sensitive FNV-1a fingerprint of the training routes. Resuming
@@ -296,23 +594,27 @@ fn targets_for(paths: &[&AsPath]) -> Vec<Target> {
     set.into_iter().collect()
 }
 
-/// One prefix's refinement state across batched rounds.
+/// One prefix's refinement state.
 struct PrefixJob {
     targets: Vec<Target>,
     outcome: PrefixOutcome,
     /// Converged, diverged, stuck, or out of iterations.
     done: bool,
+    /// Iteration cap for the repair phase (domain-phase iterations plus a
+    /// fresh [`RefineConfig::max_iterations`] budget).
+    max_iter: usize,
 }
 
 /// Refines `model` until the simulated routing reproduces every AS-path of
 /// `training` (or the iteration cap is hit).
 ///
-/// Refinement proceeds in *rounds*: every still-unconverged prefix is
-/// simulated against the current model — these read-only simulations fan
-/// out across [`RefineConfig::threads`] workers — and the resulting fixes
-/// are then applied sequentially in ascending prefix order. Because the
-/// mutation order never depends on the thread schedule, the trained model
-/// is byte-identical for every thread count.
+/// The prefix space is sharded into contiguous refinement domains that
+/// worker threads claim from an atomic work queue and refine independently
+/// against copy-on-write views of the base model; the recorded fixes are
+/// then merged in domain order and a repair pass re-verifies every prefix
+/// (see the module docs). Because the fix-application order is a pure
+/// function of prefix id, the trained model is byte-identical for every
+/// thread count.
 pub fn refine(
     model: &mut AsRoutingModel,
     training: &Dataset,
@@ -327,21 +629,35 @@ pub fn refine(
     }
 }
 
-/// [`refine`] with optional round-granular checkpointing: with a
-/// [`CheckpointPolicy`], the full refinement state is snapshotted to
-/// `policy.dir` after every `policy.every`-th round, and an interrupted
-/// run can be continued with [`resume_refine`] — producing a final model
-/// byte-identical to the uninterrupted run, because rounds are
-/// deterministic and each snapshot sits exactly on a round boundary.
+/// [`refine`] with optional checkpointing: with a [`CheckpointPolicy`],
+/// the full refinement state is snapshotted to `policy.dir` after every
+/// `policy.every`-th work unit (completed domain, then completed repair
+/// round), and an interrupted run can be continued with [`resume_refine`]
+/// — producing a final model byte-identical to the uninterrupted run,
+/// because domain deltas are deterministic and repair snapshots sit
+/// exactly on round boundaries.
 pub fn refine_checkpointed(
     model: &mut AsRoutingModel,
     training: &Dataset,
     cfg: &RefineConfig,
     policy: Option<&CheckpointPolicy>,
 ) -> Result<RefineReport, RefineError> {
-    let jobs = build_jobs(model, training);
+    let mut jobs = build_jobs(model, training);
+    let ranges = domain_ranges(jobs.len());
     let fingerprint = policy.map(|_| dataset_fingerprint(training)).unwrap_or(0);
-    let report = run_rounds(model, cfg, jobs, 0, fingerprint, policy)?;
+    let mut done: BTreeMap<usize, DomainDelta> = BTreeMap::new();
+    run_domains(
+        model,
+        cfg,
+        &mut jobs,
+        &ranges,
+        &mut done,
+        fingerprint,
+        policy,
+    )?;
+    merge_domains(model, cfg, &ranges, &done, &mut jobs);
+    prepare_repair(&mut jobs, cfg);
+    let report = run_rounds(model, cfg, jobs, 0, ranges.len(), fingerprint, policy)?;
     crate::audit::log_audit("post-train", model);
     Ok(report)
 }
@@ -357,15 +673,15 @@ pub fn resume_refine(
     cfg: &RefineConfig,
     policy: &CheckpointPolicy,
 ) -> Result<(AsRoutingModel, RefineReport), RefineError> {
-    let (file_round, payload) = persist::load_latest_checkpoint_payload(&policy.dir)?;
+    let (file_seq, payload) = persist::load_latest_checkpoint_payload(&policy.dir)?;
     let text = std::str::from_utf8(&payload)
         .map_err(|_| RefineError::CheckpointMismatch("checkpoint payload is not UTF-8".into()))?;
     let ckpt: RefineCheckpoint = serde_json::from_str(text)
         .map_err(|e| RefineError::CheckpointMismatch(format!("checkpoint does not parse: {e}")))?;
-    if ckpt.round != file_round {
+    if ckpt.seq != file_seq {
         return Err(RefineError::CheckpointMismatch(format!(
-            "file is named for round {file_round} but contains round {}",
-            ckpt.round
+            "file is named for work unit {file_seq} but contains unit {}",
+            ckpt.seq
         )));
     }
     let fingerprint = dataset_fingerprint(training);
@@ -393,37 +709,117 @@ pub fn resume_refine(
         .map_err(|e| RefineError::CheckpointMismatch(format!("checkpoint model invalid: {e}")))?;
     model.network_mut().rebuild_indices();
     // Audit the restored snapshot before continuing: a defect here means
-    // the checkpoint itself (not the remaining rounds) is suspect.
+    // the checkpoint itself (not the remaining work) is suspect.
     crate::audit::log_audit("checkpoint-recovery", &model);
     // Targets are rebuilt from the training set — deterministic, and the
     // fingerprint guarantees they equal the original run's.
     let mut jobs = build_jobs(&model, training);
-    if jobs.len() != ckpt.jobs.len() {
+    let ranges = domain_ranges(jobs.len());
+    if ckpt.domains != ranges.len() {
         return Err(RefineError::CheckpointMismatch(format!(
-            "checkpoint tracks {} prefixes, training set yields {}",
-            ckpt.jobs.len(),
-            jobs.len()
+            "checkpoint partitioned {} domains, training set yields {}",
+            ckpt.domains,
+            ranges.len()
         )));
     }
-    for ((prefix, job), jc) in jobs.iter_mut().zip(ckpt.jobs) {
-        if *prefix != jc.outcome.prefix {
-            return Err(RefineError::CheckpointMismatch(format!(
-                "prefix order diverged at {prefix} vs checkpoint's {}",
-                jc.outcome.prefix
-            )));
+    let report = match ckpt.stage {
+        StageCheckpoint::Domains { done } => {
+            let mut done_map: BTreeMap<usize, DomainDelta> = BTreeMap::new();
+            for delta in done {
+                let Some(range) = ranges.get(delta.id) else {
+                    return Err(RefineError::CheckpointMismatch(format!(
+                        "checkpoint contains domain {} beyond the partition",
+                        delta.id
+                    )));
+                };
+                if delta.outcomes.len() != range.len() {
+                    return Err(RefineError::CheckpointMismatch(format!(
+                        "domain {} tracks {} prefixes, partition expects {}",
+                        delta.id,
+                        delta.outcomes.len(),
+                        range.len()
+                    )));
+                }
+                for (oc, (prefix, _)) in delta.outcomes.iter().zip(&jobs[range.clone()]) {
+                    if oc.prefix != *prefix {
+                        return Err(RefineError::CheckpointMismatch(format!(
+                            "prefix order diverged at {prefix} vs checkpoint's {}",
+                            oc.prefix
+                        )));
+                    }
+                }
+                if done_map.insert(delta.id, delta).is_some() {
+                    return Err(RefineError::CheckpointMismatch(
+                        "checkpoint lists a domain twice".into(),
+                    ));
+                }
+            }
+            run_domains(
+                &model,
+                cfg,
+                &mut jobs,
+                &ranges,
+                &mut done_map,
+                fingerprint,
+                Some(policy),
+            )?;
+            merge_domains(&mut model, cfg, &ranges, &done_map, &mut jobs);
+            prepare_repair(&mut jobs, cfg);
+            run_rounds(
+                &mut model,
+                cfg,
+                jobs,
+                0,
+                ranges.len(),
+                fingerprint,
+                Some(policy),
+            )?
         }
-        job.outcome = jc.outcome;
-        job.done = jc.done;
-    }
-    let report = run_rounds(&mut model, cfg, jobs, ckpt.round, fingerprint, Some(policy))?;
+        StageCheckpoint::Repair { round, jobs: jcs } => {
+            if ckpt.seq != ranges.len() as u64 + round {
+                return Err(RefineError::CheckpointMismatch(format!(
+                    "repair checkpoint at unit {} does not match domains {} + round {round}",
+                    ckpt.seq,
+                    ranges.len()
+                )));
+            }
+            if jobs.len() != jcs.len() {
+                return Err(RefineError::CheckpointMismatch(format!(
+                    "checkpoint tracks {} prefixes, training set yields {}",
+                    jcs.len(),
+                    jobs.len()
+                )));
+            }
+            for ((prefix, job), jc) in jobs.iter_mut().zip(jcs) {
+                if *prefix != jc.outcome.prefix {
+                    return Err(RefineError::CheckpointMismatch(format!(
+                        "prefix order diverged at {prefix} vs checkpoint's {}",
+                        jc.outcome.prefix
+                    )));
+                }
+                job.outcome = jc.outcome;
+                job.done = jc.done;
+                job.max_iter = jc.max_iter;
+            }
+            run_rounds(
+                &mut model,
+                cfg,
+                jobs,
+                round,
+                ranges.len(),
+                fingerprint,
+                Some(policy),
+            )?
+        }
+    };
     crate::audit::log_audit("post-resume", &model);
     Ok((model, report))
 }
 
 /// Builds the per-prefix jobs in ascending prefix order — this is also
-/// the fix-application order of every round. Prefixes whose origin is
-/// absent from the model graph cannot be simulated and are skipped, as
-/// before.
+/// the domain-partition order, hence the fix-application order of the
+/// merge. Prefixes whose origin is absent from the model graph cannot be
+/// simulated and are skipped, as before.
 fn build_jobs(model: &AsRoutingModel, training: &Dataset) -> Vec<(Prefix, PrefixJob)> {
     let mut by_prefix: BTreeMap<Prefix, Vec<&AsPath>> = BTreeMap::new();
     for r in training.routes() {
@@ -449,20 +845,338 @@ fn build_jobs(model: &AsRoutingModel, training: &Dataset) -> Vec<(Prefix, Prefix
                     targets,
                     outcome,
                     done: false,
+                    max_iter: usize::MAX,
                 },
             )
         })
         .collect()
 }
 
-/// The round loop shared by fresh and resumed runs. `round` counts
-/// completed rounds (0 for a fresh run); checkpoints are written after a
-/// round's fixes are applied, so every snapshot sits on a round boundary.
+/// Phase 1 — refines every not-yet-done domain. Workers claim whole
+/// domains from an atomic queue (no round barrier: a finished worker
+/// immediately steals the next pending domain); with one effective thread
+/// the claims run inline on the caller's stack. Completed deltas land in
+/// `done`, which checkpointing snapshots after every `policy.every`-th
+/// completion.
+fn run_domains(
+    model: &AsRoutingModel,
+    cfg: &RefineConfig,
+    jobs: &mut [(Prefix, PrefixJob)],
+    ranges: &[Range<usize>],
+    done: &mut BTreeMap<usize, DomainDelta>,
+    fingerprint: u64,
+    policy: Option<&CheckpointPolicy>,
+) -> Result<(), RefineError> {
+    let pending: Vec<usize> = (0..ranges.len())
+        .filter(|id| !done.contains_key(id))
+        .collect();
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let every = policy.map(|p| p.every.max(1)).unwrap_or(u64::MAX);
+    let threads = cfg.effective_threads().min(pending.len());
+
+    if threads <= 1 {
+        let mut scratch = SimScratch::new();
+        for &id in &pending {
+            // Failpoint: the crash site for kill-and-resume tests — a
+            // panic armed `atN:panic` dies exactly at the N-th work-unit
+            // claim, after the previous completion's checkpoint landed.
+            #[cfg(feature = "testkit")]
+            if quasar_bgpsim::fail::inject("refine.round") {
+                return Err(RefineError::Sim(SimError::Injected {
+                    point: "refine.round",
+                }));
+            }
+            let delta = refine_domain(model, id, &mut jobs[ranges[id].clone()], cfg, &mut scratch)?;
+            done.insert(id, delta);
+            if policy.is_some() && (done.len() as u64).is_multiple_of(every) {
+                save_domain_checkpoint(model, cfg, ranges.len(), done, fingerprint, policy)?;
+            }
+        }
+        return Ok(());
+    }
+
+    // Slice `jobs` into per-domain work items. Domains are contiguous and
+    // disjoint, so repeated split_at_mut hands each worker exclusive
+    // access to its slice.
+    let mut slices: Vec<&mut [(Prefix, PrefixJob)]> = Vec::with_capacity(ranges.len());
+    let mut rest = jobs;
+    let mut offset = 0;
+    for r in ranges {
+        let (head, tail) = rest.split_at_mut(r.end - offset);
+        slices.push(head);
+        rest = tail;
+        offset = r.end;
+    }
+    // Each pending domain becomes one claimable work item; the Option lets
+    // the claiming worker take exclusive ownership of the slice.
+    let work: Vec<DomainWorkItem<'_>> = slices
+        .into_iter()
+        .enumerate()
+        .filter(|(id, _)| !done.contains_key(id))
+        .map(|pair| parking_lot::Mutex::new(Some(pair)))
+        .collect();
+    let expected = work.len();
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<DomainDelta, SimError>)>();
+    let mut first_err: Option<RefineError> = None;
+
+    // `expect` below: a crossbeam scope error means a worker panicked
+    // (e.g. an armed `atN:panic` failpoint), which must propagate.
+    #[allow(clippy::expect_used)]
+    crossbeam::thread::scope(|s| {
+        let work = &work;
+        let next = &next;
+        let abort = &abort;
+        for _ in 0..threads {
+            let tx = tx.clone();
+            s.spawn(move |_| {
+                let mut scratch = SimScratch::new();
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= work.len() {
+                        break;
+                    }
+                    let Some((id, slice)) = work[i].lock().take() else {
+                        break; // unreachable: each index is claimed once
+                    };
+                    // Failpoint: same crash site as the inline path; an
+                    // armed panic kills this worker and tears the scope
+                    // down, an armed error aborts the run.
+                    #[cfg(feature = "testkit")]
+                    if quasar_bgpsim::fail::inject("refine.round") {
+                        abort.store(true, Ordering::Relaxed);
+                        let _ = tx.send((
+                            id,
+                            Err(SimError::Injected {
+                                point: "refine.round",
+                            }),
+                        ));
+                        continue;
+                    }
+                    let result = refine_domain(model, id, slice, cfg, &mut scratch);
+                    if result.is_err() {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    if tx.send((id, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        // The coordinator (this thread) owns checkpointing. Dropping the
+        // original sender first means `recv` errors out — instead of
+        // hanging — once every worker has exited, even if some domains
+        // were never claimed because of an abort.
+        drop(tx);
+        for _ in 0..expected {
+            match rx.recv() {
+                Ok((id, Ok(delta))) => {
+                    done.insert(id, delta);
+                    if policy.is_some() && (done.len() as u64).is_multiple_of(every) {
+                        if let Err(e) = save_domain_checkpoint(
+                            model,
+                            cfg,
+                            ranges.len(),
+                            done,
+                            fingerprint,
+                            policy,
+                        ) {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Ok((_, Err(e))) => {
+                    // Which worker errors first can depend on scheduling;
+                    // the error itself is still a true fault of the run.
+                    if first_err.is_none() {
+                        first_err = Some(RefineError::Sim(e));
+                    }
+                    abort.store(true, Ordering::Relaxed);
+                }
+                Err(_) => break,
+            }
+        }
+    })
+    .expect("refinement worker threads join");
+
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Refines the prefixes of one domain sequentially to convergence against
+/// a copy-on-write view of `base`, reusing the caller's simulation
+/// scratch across prefixes. Returns the domain's op-log and outcomes.
+fn refine_domain(
+    base: &AsRoutingModel,
+    id: usize,
+    jobs: &mut [(Prefix, PrefixJob)],
+    cfg: &RefineConfig,
+    scratch: &mut SimScratch,
+) -> Result<DomainDelta, SimError> {
+    let mut dm = DomainModel::new(base);
+    for (prefix, job) in jobs.iter_mut() {
+        while job.outcome.iterations < cfg.max_iterations {
+            job.outcome.iterations += 1;
+            // Failpoint: per-simulation jitter that perturbs worker timing
+            // (error injection belongs to `engine.simulate`, where it
+            // propagates naturally).
+            #[cfg(feature = "testkit")]
+            let _ = quasar_bgpsim::fail::inject("refine.simulate_batch");
+            let res = match dm.model().simulate_with(*prefix, scratch) {
+                Ok(res) => res,
+                Err(SimError::Divergence { .. }) => {
+                    job.outcome.diverged = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            // Each iteration re-simulates the domain view, so the model is
+            // never stale here: a fresh (empty) mirror map per iteration
+            // is the exact sequential semantics.
+            let (all_matched, changed) = apply_fixes(&mut dm, &res, job, cfg, &mut BTreeMap::new());
+            if all_matched {
+                job.outcome.converged = true;
+                break;
+            }
+            if !changed {
+                break; // no local fix applies anywhere — progress is impossible
+            }
+        }
+    }
+    Ok(DomainDelta {
+        id,
+        ops: dm.ops,
+        outcomes: jobs.iter().map(|(_, j)| j.outcome.clone()).collect(),
+    })
+}
+
+/// Phase 2 — replays every completed domain's op-log onto the real model
+/// in ascending domain id (BTreeMap iteration order), mapping domain-local
+/// router ids through the duplication lineage. Duplications of the same
+/// (global source, per-source ordinal) lineage in different domains are
+/// deduplicated: the first domain to replay creates the router, later
+/// domains reuse it — exactly how the sequential schedule's mirror map
+/// reuses freshly created routers across prefixes.
+fn merge_domains(
+    model: &mut AsRoutingModel,
+    cfg: &RefineConfig,
+    ranges: &[Range<usize>],
+    done: &BTreeMap<usize, DomainDelta>,
+    jobs: &mut [(Prefix, PrefixJob)],
+) {
+    let job_of: BTreeMap<Prefix, usize> =
+        jobs.iter().enumerate().map(|(i, (p, _))| (*p, i)).collect();
+    let mut global_dups: BTreeMap<(RouterId, usize), RouterId> = BTreeMap::new();
+    for (id, delta) in done {
+        // The delta's outcomes are authoritative for its prefixes (on
+        // resume, the local jobs were never run).
+        if let Some(range) = ranges.get(*id) {
+            for (slot, oc) in jobs[range.clone()].iter_mut().zip(&delta.outcomes) {
+                slot.1.outcome = oc.clone();
+            }
+        }
+        // Domain-local ids below the base router count are global ids;
+        // locally created duplicates map through `l2g`.
+        let mut l2g: BTreeMap<RouterId, RouterId> = BTreeMap::new();
+        let mut ordinals: BTreeMap<RouterId, usize> = BTreeMap::new();
+        let map =
+            |l2g: &BTreeMap<RouterId, RouterId>, r: RouterId| l2g.get(&r).copied().unwrap_or(r);
+        for op in &delta.ops {
+            match op {
+                RefineOp::Duplicate { prefix, src, copy } => {
+                    let gsrc = map(&l2g, *src);
+                    let ord = ordinals.entry(gsrc).or_insert(0);
+                    let key = (gsrc, *ord);
+                    *ord += 1;
+                    match global_dups.get(&key) {
+                        Some(&g) => {
+                            l2g.insert(*copy, g);
+                            // The merged model reuses an earlier domain's
+                            // duplicate; this prefix no longer pays for one.
+                            if let Some(&ji) = job_of.get(prefix) {
+                                let oc = &mut jobs[ji].1.outcome;
+                                oc.quasi_routers_added = oc.quasi_routers_added.saturating_sub(1);
+                            }
+                        }
+                        None => {
+                            let g = model.duplicate_quasi_router(gsrc);
+                            global_dups.insert(key, g);
+                            l2g.insert(*copy, g);
+                        }
+                    }
+                }
+                RefineOp::Rank { q, prefix, senders } => {
+                    let gq = map(&l2g, *q);
+                    let gsenders: Vec<RouterId> = senders.iter().map(|&r| map(&l2g, r)).collect();
+                    match cfg.ranking {
+                        RankingAttr::Med => model.set_med_preference(gq, *prefix, &gsenders),
+                        RankingAttr::LocalPref => {
+                            model.set_local_pref_preference(gq, *prefix, &gsenders)
+                        }
+                    }
+                }
+                RefineOp::ShorterFilters {
+                    q,
+                    prefix,
+                    min_locrib_len,
+                } => {
+                    model.set_shorter_path_filters(map(&l2g, *q), *prefix, *min_locrib_len);
+                }
+                RefineOp::DeleteBlockers {
+                    from,
+                    to,
+                    prefix,
+                    locrib_len,
+                } => {
+                    let gf = map(&l2g, *from);
+                    let gt = map(&l2g, *to);
+                    // A duplicate's session set is rebuilt from its merge-
+                    // time source, which can differ from the domain-local
+                    // peer set; a missing session is skipped, and the
+                    // repair phase re-deletes whatever still blocks.
+                    if model.network().has_session(gf, gt) {
+                        model.delete_blocking_filters(gf, gt, *prefix, *locrib_len);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Arms the job list for phase 3: every non-diverged prefix is re-verified
+/// against the merged model with a fresh iteration budget on top of what
+/// its domain already spent.
+fn prepare_repair(jobs: &mut [(Prefix, PrefixJob)], cfg: &RefineConfig) {
+    for (_, job) in jobs.iter_mut() {
+        job.done = job.outcome.diverged;
+        job.max_iter = job.outcome.iterations + cfg.max_iterations;
+    }
+}
+
+/// Phase 3 — the classic round loop over the merged model: every
+/// still-active prefix is simulated (fanned out across workers) and the
+/// fixes are applied sequentially in ascending prefix order. For an
+/// uninterrupted run this serves as the *repair* pass that re-verifies
+/// every prefix after the merge; on a repair-stage resume it continues at
+/// `round`. Checkpoints are written after a round's fixes are applied, so
+/// every snapshot sits on a round boundary.
 fn run_rounds(
     model: &mut AsRoutingModel,
     cfg: &RefineConfig,
     mut jobs: Vec<(Prefix, PrefixJob)>,
     mut round: u64,
+    domains_total: usize,
     fingerprint: u64,
     policy: Option<&CheckpointPolicy>,
 ) -> Result<RefineReport, RefineError> {
@@ -478,9 +1192,10 @@ fn run_rounds(
             break;
         }
         round += 1;
-        // Failpoint: the crash site for kill-and-resume tests — a panic
-        // armed `atN:panic` dies exactly at the start of round N, after
-        // the round-(N-1) checkpoint landed on disk.
+        // Failpoint: the repair-phase crash site for kill-and-resume
+        // tests — work units continue the domain phase's numbering, so an
+        // `atN:panic` with N > domain count dies at the start of repair
+        // round N - domains.
         #[cfg(feature = "testkit")]
         if quasar_bgpsim::fail::inject("refine.round") {
             return Err(RefineError::Sim(SimError::Injected {
@@ -512,34 +1227,94 @@ fn run_rounds(
             if all_matched {
                 job.outcome.converged = true;
                 job.done = true;
-            } else if !changed || job.outcome.iterations >= cfg.max_iterations {
+            } else if !changed || job.outcome.iterations >= job.max_iter {
                 // No local fix applies anywhere — progress is impossible —
-                // or the iteration budget is spent.
+                // or the iteration budget is spent. A domain-phase
+                // convergence claim that no longer verifies is withdrawn.
+                job.outcome.converged = false;
                 job.done = true;
+            } else {
+                job.outcome.converged = false;
             }
         }
         if let Some(p) = policy {
             if round.is_multiple_of(p.every.max(1)) {
-                save_checkpoint(model, cfg, &jobs, round, fingerprint, p)?;
+                save_repair_checkpoint(model, cfg, domains_total, &jobs, round, fingerprint, p)?;
             }
         }
     }
 
     Ok(RefineReport {
         prefixes: jobs.into_iter().map(|(_, j)| j.outcome).collect(),
+        domains: domains_total,
+        repair_rounds: round,
     })
 }
 
-/// Serializes the full refinement state and writes it atomically into the
+/// Serializes a domain-phase snapshot and writes it atomically into the
 /// checkpoint directory, pruning snapshots beyond `policy.keep`.
-fn save_checkpoint(
+fn save_domain_checkpoint(
     model: &AsRoutingModel,
     cfg: &RefineConfig,
+    domains_total: usize,
+    done: &BTreeMap<usize, DomainDelta>,
+    fingerprint: u64,
+    policy: Option<&CheckpointPolicy>,
+) -> Result<(), RefineError> {
+    let Some(policy) = policy else {
+        return Ok(());
+    };
+    let ckpt = RefineCheckpoint {
+        seq: done.len() as u64,
+        dataset_fingerprint: fingerprint,
+        max_iterations: cfg.max_iterations,
+        allow_duplication: cfg.allow_duplication,
+        ranking: cfg.ranking,
+        domains: domains_total,
+        stage: StageCheckpoint::Domains {
+            done: done.values().cloned().collect(),
+        },
+        model: model.clone(),
+    };
+    write_checkpoint(&ckpt, policy)
+}
+
+/// Serializes a repair-phase snapshot; the sequence number continues the
+/// domain phase's numbering (`domains + round`).
+fn save_repair_checkpoint(
+    model: &AsRoutingModel,
+    cfg: &RefineConfig,
+    domains_total: usize,
     jobs: &[(Prefix, PrefixJob)],
     round: u64,
     fingerprint: u64,
     policy: &CheckpointPolicy,
 ) -> Result<(), RefineError> {
+    let ckpt = RefineCheckpoint {
+        seq: domains_total as u64 + round,
+        dataset_fingerprint: fingerprint,
+        max_iterations: cfg.max_iterations,
+        allow_duplication: cfg.allow_duplication,
+        ranking: cfg.ranking,
+        domains: domains_total,
+        stage: StageCheckpoint::Repair {
+            round,
+            jobs: jobs
+                .iter()
+                .map(|(_, j)| JobCheckpoint {
+                    outcome: j.outcome.clone(),
+                    done: j.done,
+                    max_iter: j.max_iter,
+                })
+                .collect(),
+        },
+        model: model.clone(),
+    };
+    write_checkpoint(&ckpt, policy)
+}
+
+/// Shared checkpoint writer (and the `refine.checkpoint` failpoint site).
+fn write_checkpoint(ckpt: &RefineCheckpoint, policy: &CheckpointPolicy) -> Result<(), RefineError> {
     #[cfg(feature = "testkit")]
     if quasar_bgpsim::fail::inject("refine.checkpoint") {
         return Err(RefineError::Persist(PersistError::Io {
@@ -548,30 +1323,15 @@ fn save_checkpoint(
             source: std::io::Error::other("fault injected by failpoint `refine.checkpoint`"),
         }));
     }
-    let ckpt = RefineCheckpoint {
-        round,
-        dataset_fingerprint: fingerprint,
-        max_iterations: cfg.max_iterations,
-        allow_duplication: cfg.allow_duplication,
-        ranking: cfg.ranking,
-        jobs: jobs
-            .iter()
-            .map(|(_, j)| JobCheckpoint {
-                outcome: j.outcome.clone(),
-                done: j.done,
-            })
-            .collect(),
-        model: model.clone(),
-    };
-    let json = serde_json::to_string(&ckpt)
+    let json = serde_json::to_string(ckpt)
         .map_err(|e| RefineError::CheckpointMismatch(format!("checkpoint serialization: {e}")))?;
-    persist::save_checkpoint_payload(&policy.dir, round, json.as_bytes(), policy.keep)?;
+    persist::save_checkpoint_payload(&policy.dir, ckpt.seq, json.as_bytes(), policy.keep)?;
     Ok(())
 }
 
 /// Simulates `prefixes` against `model` on `threads` workers. Results come
 /// back in input order; with one thread (or one prefix) no threads are
-/// spawned at all.
+/// spawned at all. Simulation scratch buffers are reused per worker.
 // `expect`s below: a crossbeam scope error means a worker panicked (which
 // should propagate), and every slot is written by exactly one worker before
 // the scope joins.
@@ -583,7 +1343,11 @@ fn simulate_batch(
 ) -> Vec<Result<SimulationResult, SimError>> {
     let threads = threads.min(prefixes.len());
     if threads <= 1 {
-        return prefixes.iter().map(|&p| model.simulate(p)).collect();
+        let mut scratch = SimScratch::new();
+        return prefixes
+            .iter()
+            .map(|&p| model.simulate_with(p, &mut scratch))
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let mut out: Vec<Option<Result<SimulationResult, SimError>>> =
@@ -592,17 +1356,20 @@ fn simulate_batch(
         out.iter_mut().map(parking_lot::Mutex::new).collect();
     crossbeam::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= prefixes.len() {
-                    break;
+            s.spawn(|_| {
+                let mut scratch = SimScratch::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= prefixes.len() {
+                        break;
+                    }
+                    // Failpoint: per-simulation jitter that reorders worker
+                    // completion (error injection belongs to `engine.simulate`
+                    // inside `model.simulate`, where it propagates naturally).
+                    #[cfg(feature = "testkit")]
+                    let _ = quasar_bgpsim::fail::inject("refine.simulate_batch");
+                    **slots[i].lock() = Some(model.simulate_with(prefixes[i], &mut scratch));
                 }
-                // Failpoint: per-simulation jitter that reorders worker
-                // completion (error injection belongs to `engine.simulate`
-                // inside `model.simulate`, where it propagates naturally).
-                #[cfg(feature = "testkit")]
-                let _ = quasar_bgpsim::fail::inject("refine.simulate_batch");
-                **slots[i].lock() = Some(model.simulate(prefixes[i]));
             });
         }
     })
@@ -614,7 +1381,7 @@ fn simulate_batch(
 }
 
 /// Refines a single prefix to convergence (the sequential per-prefix path;
-/// [`refine`] batches the same per-iteration logic across prefixes).
+/// [`refine`] shards the same per-iteration logic across domains).
 pub fn refine_prefix(
     model: &mut AsRoutingModel,
     prefix: Prefix,
@@ -634,12 +1401,14 @@ pub fn refine_prefix(
             diverged: false,
         },
         done: false,
+        max_iter: usize::MAX,
     };
     job.outcome.targets = job.targets.len();
 
+    let mut scratch = SimScratch::new();
     while job.outcome.iterations < cfg.max_iterations {
         job.outcome.iterations += 1;
-        let res = match model.simulate(prefix) {
+        let res = match model.simulate_with(prefix, &mut scratch) {
             Ok(res) => res,
             Err(SimError::Divergence { .. }) => {
                 job.outcome.diverged = true;
@@ -671,29 +1440,28 @@ fn probe(mirrors: &BTreeMap<RouterId, RouterId>, r: RouterId) -> RouterId {
 }
 
 /// One refinement iteration's fix pass for one prefix: walks the targets
-/// origin-first against the simulation `res` and mutates `model` to repair
+/// origin-first against the simulation `res` and mutates `host` to repair
 /// the first discrepancy of each unmatched target. Returns
 /// `(all_matched, changed)`.
 ///
 /// `mirrors` maps quasi-routers created since `res` was simulated to the
 /// res-visible router whose Adj-RIB-In they mirror (a fresh duplicate
-/// copies its source's sessions and policies). Batched rounds share one
-/// map across all prefixes of the round: without it, a prefix whose
+/// copies its source's sessions and policies). Batched repair rounds share
+/// one map across all prefixes of the round: without it, a prefix whose
 /// simulation predates another prefix's duplication would see the new
 /// router as "never learned the path" and duplicate again, blowing the
 /// model up with redundant quasi-routers that the sequential schedule
 /// would have reused.
-fn apply_fixes(
-    model: &mut AsRoutingModel,
+fn apply_fixes<H: RefineHost>(
+    host: &mut H,
     res: &SimulationResult,
     job: &mut PrefixJob,
     cfg: &RefineConfig,
     mirrors: &mut BTreeMap<RouterId, RouterId>,
 ) -> (bool, bool) {
-    // Failpoint: a delay here stalls the sequential fix phase between
-    // two prefixes of a round; determinism tests assert the trained model
-    // stays byte-identical no matter how the stall interleaves with the
-    // (already completed) parallel simulations.
+    // Failpoint: a delay here stalls a fix pass between two prefixes;
+    // determinism tests assert the trained model stays byte-identical no
+    // matter how the stall interleaves with concurrently refined domains.
     #[cfg(feature = "testkit")]
     let _ = quasar_bgpsim::fail::inject("refine.apply_fix");
     let prefix = job.outcome.prefix;
@@ -703,7 +1471,7 @@ fn apply_fixes(
 
     for t in &job.targets {
         let target = t.o.suffix(t.o.len() - 1); // Loc-RIB form
-        let routers = model.quasi_routers_of(t.asn);
+        let routers = host.model().quasi_routers_of(t.asn);
 
         // RIB-Out match at an unreserved quasi-router? (Post-`res` routers
         // have no best route here — they were re-policied towards their own
@@ -733,7 +1501,7 @@ fn apply_fixes(
             (Some(q), _) => {
                 reserved.insert(q);
                 adjust_policies(
-                    model,
+                    host,
                     res,
                     q,
                     probe(mirrors, q),
@@ -749,13 +1517,13 @@ fn apply_fixes(
             }
             (None, Some(src)) => {
                 // Everyone who learned it is spoken for: duplicate.
-                let q = model.duplicate_quasi_router(src);
+                let q = host.duplicate_quasi_router(prefix, src);
                 job.outcome.quasi_routers_added += 1;
                 reserved.insert(q);
                 // The copy's RIB-In mirrors the source's.
                 let ancestor = probe(mirrors, src);
                 mirrors.insert(q, ancestor);
-                adjust_policies(model, res, q, ancestor, prefix, &target, cfg.ranking);
+                adjust_policies(host, res, q, ancestor, prefix, &target, cfg.ranking);
                 changed = true;
             }
             (None, None) => {
@@ -763,7 +1531,7 @@ fn apply_fixes(
                 // Figure 7: if the announcing neighbor AS already has a
                 // RIB-Out match, delete whatever egress filter blocks
                 // the announcement towards us.
-                let deleted = delete_blockers(model, res, t.asn, prefix, &target);
+                let deleted = delete_blockers(host, res, t.asn, prefix, &target);
                 if deleted > 0 {
                     job.outcome.filters_deleted += deleted;
                     changed = true;
@@ -778,8 +1546,8 @@ fn apply_fixes(
 /// MED-prefer the sessions that deliver it (read from `rib_src`'s RIB-In,
 /// which equals `q`'s after duplication) and filter shorter paths at the
 /// announcing neighbors.
-fn adjust_policies(
-    model: &mut AsRoutingModel,
+fn adjust_policies<H: RefineHost>(
+    host: &mut H,
     res: &SimulationResult,
     q: RouterId,
     rib_src: RouterId,
@@ -797,19 +1565,16 @@ fn adjust_policies(
                 .collect()
         })
         .unwrap_or_default();
-    match ranking {
-        RankingAttr::Med => model.set_med_preference(q, prefix, &senders),
-        RankingAttr::LocalPref => model.set_local_pref_preference(q, prefix, &senders),
-    }
-    model.set_shorter_path_filters(q, prefix, target.len().saturating_sub(1));
+    host.rank_preference(q, prefix, &senders, ranking);
+    host.set_shorter_path_filters(q, prefix, target.len().saturating_sub(1));
 }
 
 /// Figure 7 filter deletion: for target suffix `target` expected at AS
 /// `asn`, if the announcing neighbor AS has a quasi-router already
 /// RIB-Out-matching the next-shorter suffix, remove egress filters on its
 /// sessions towards `asn` that block the announcement.
-fn delete_blockers(
-    model: &mut AsRoutingModel,
+fn delete_blockers<H: RefineHost>(
+    host: &mut H,
     res: &SimulationResult,
     asn: Asn,
     prefix: Prefix,
@@ -820,17 +1585,19 @@ fn delete_blockers(
     };
     let n_locrib = target.suffix(target.len() - 1);
     let mut deleted = 0;
-    let neighbors: Vec<RouterId> = model
+    let neighbors: Vec<RouterId> = host
+        .model()
         .quasi_routers_of(nstar)
         .into_iter()
         .filter(|&rn| res.best_route(rn).is_some_and(|b| b.as_path == n_locrib))
         .collect();
     for rn in neighbors {
-        for peer in model.network().peers_of(rn) {
+        let peers: Vec<RouterId> = host.model().network().peers_of(rn);
+        for peer in peers {
             if peer.asn() != asn {
                 continue;
             }
-            deleted += model.delete_blocking_filters(rn, peer, prefix, n_locrib.len());
+            deleted += host.delete_blocking_filters(rn, peer, prefix, n_locrib.len());
         }
     }
     deleted
@@ -840,6 +1607,7 @@ fn delete_blockers(
 mod tests {
     use super::*;
     use crate::metrics::{match_level, MatchLevel};
+    use crate::observed::ObservedRoute;
     use quasar_topology::graph::AsGraph;
 
     fn model_from(paths: &[&[u32]], origin: u32) -> (AsRoutingModel, Prefix, Vec<AsPath>) {
@@ -914,7 +1682,6 @@ mod tests {
     /// training set then matches exactly.
     #[test]
     fn refine_training_set_to_exact_match() {
-        use crate::observed::ObservedRoute;
         let routes = vec![
             (&[1u32, 2, 3][..], 3u32, 0u32),
             (&[1, 4, 3], 3, 0),
@@ -966,5 +1733,78 @@ mod tests {
         assert!(out.converged);
         assert_eq!(out.iterations, 1);
         assert_eq!(out.quasi_routers_added, 0);
+    }
+
+    #[test]
+    fn domain_partition_is_contiguous_and_even() {
+        for n in [0usize, 1, 15, 16, 17, 31, 32, 100, 1000, 20_000] {
+            let ranges = domain_ranges(n);
+            if n == 0 {
+                assert!(ranges.is_empty());
+                continue;
+            }
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges[ranges.len() - 1].end, n);
+            let mut prev_end = 0;
+            let (mut min_len, mut max_len) = (usize::MAX, 0);
+            for r in &ranges {
+                assert_eq!(r.start, prev_end, "domains must be contiguous");
+                prev_end = r.end;
+                min_len = min_len.min(r.len());
+                max_len = max_len.max(r.len());
+            }
+            assert!(max_len - min_len <= 1, "domains must be near-equal");
+            assert!(ranges.len() <= MAX_DOMAINS);
+        }
+    }
+
+    #[test]
+    fn small_job_sets_form_a_single_domain() {
+        for n in 1..=DOMAIN_TARGET_PREFIXES {
+            assert_eq!(domain_ranges(n).len(), 1, "n={n}");
+        }
+        assert!(domain_ranges(2 * DOMAIN_TARGET_PREFIXES).len() > 1);
+    }
+
+    /// A dataset wide enough to shard into several domains must still be
+    /// trained byte-identically at every thread count.
+    #[test]
+    fn multi_domain_refinement_is_thread_count_invariant() {
+        // 40 diamond prefixes (>2 domains at the 16-prefix target), each
+        // needing a MED fix against the tie-break.
+        let routes: Vec<ObservedRoute> = (0..40u32)
+            .flat_map(|i| {
+                let origin = 100 + i;
+                [[1u32, 2, origin], [1, 3, origin]]
+                    .into_iter()
+                    .map(move |p| ObservedRoute {
+                        point: 0,
+                        observer_as: Asn(p[0]),
+                        prefix: Prefix::for_origin(Asn(origin)),
+                        as_path: AsPath::from_u32s(&p),
+                    })
+            })
+            .collect();
+        let dataset = Dataset::new(routes);
+        let graph = dataset.as_graph();
+        let mut baseline: Option<(String, RefineReport)> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = RefineConfig {
+                threads,
+                ..RefineConfig::default()
+            };
+            let mut model = AsRoutingModel::initial(&graph, &dataset.prefixes());
+            let report = refine(&mut model, &dataset, &cfg).unwrap();
+            assert!(report.converged(), "threads={threads}: {report:?}");
+            assert!(report.domains > 1, "expected multiple domains");
+            let json = model.to_json().unwrap();
+            match &baseline {
+                None => baseline = Some((json, report)),
+                Some((bjson, breport)) => {
+                    assert_eq!(&json, bjson, "model differs at threads={threads}");
+                    assert_eq!(&report, breport, "report differs at threads={threads}");
+                }
+            }
+        }
     }
 }

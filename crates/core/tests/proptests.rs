@@ -41,6 +41,38 @@ fn arb_routes() -> impl Strategy<Value = Vec<ObservedRoute>> {
     })
 }
 
+/// Like [`arb_routes`] but over a much wider origin universe, so the
+/// prefix count routinely exceeds the single-domain threshold and the
+/// sharded schedule's merge + repair phases actually run.
+fn arb_wide_routes() -> impl Strategy<Value = Vec<ObservedRoute>> {
+    proptest::collection::vec(
+        (
+            0u32..6,                                   // observation point
+            proptest::collection::vec(1u32..20, 1..5), // walk
+            20u32..90,                                 // origin AS (one prefix each)
+        ),
+        20..70,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(point, mut walk, origin)| {
+                walk.dedup();
+                walk.retain(|&a| a != origin);
+                walk.push(origin);
+                let mut seen = std::collections::BTreeSet::new();
+                walk.retain(|&a| seen.insert(a));
+                ObservedRoute {
+                    point,
+                    observer_as: Asn(walk[0]),
+                    prefix: Prefix::for_origin(Asn(origin)),
+                    as_path: AsPath::from_u32s(&walk),
+                }
+            })
+            .collect()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -161,6 +193,34 @@ proptest! {
                 "prefix {:?} took {} iterations (max path len {})",
                 p.prefix, p.iterations, max_len
             );
+        }
+    }
+
+    /// Sharded refinement is byte-identical to sequential across thread
+    /// counts even when the prefix space splits into many refinement
+    /// domains (wide origin universe, so runs routinely exceed the
+    /// single-domain threshold and exercise the merge + repair phases).
+    #[test]
+    fn sharded_refinement_matches_sequential_across_threads(routes in arb_wide_routes()) {
+        let d = Dataset::new(routes);
+        prop_assume!(!d.is_empty());
+        let graph = d.as_graph();
+        let run = |threads: usize| {
+            let cfg = RefineConfig { threads, ..RefineConfig::default() };
+            let mut model = AsRoutingModel::initial(&graph, &d.prefixes());
+            let report = refine(&mut model, &d, &cfg).unwrap();
+            (model.to_json().unwrap(), report)
+        };
+        let (j1, r1) = run(1);
+        for threads in [2usize, 4, 8] {
+            let (j, r) = run(threads);
+            prop_assert_eq!(&j, &j1, "model differs at {} threads", threads);
+            prop_assert_eq!(&r, &r1, "report differs at {} threads", threads);
+        }
+        if r1.converged() {
+            let model = AsRoutingModel::from_json(&j1).unwrap();
+            let ev = evaluate(&model, &d);
+            prop_assert_eq!(ev.counts.rib_out, ev.counts.total);
         }
     }
 

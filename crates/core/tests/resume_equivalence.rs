@@ -29,12 +29,16 @@ fn ckpt_dir(tag: &str) -> PathBuf {
 }
 
 /// The shared fixture: a tiny synthetic internet's datasets plus the
-/// uninterrupted single-thread baseline (model JSON and round count).
+/// uninterrupted single-thread baseline (model JSON and work-unit counts).
 struct Fixture {
     full: Dataset,
     training: Dataset,
     baseline_json: String,
-    rounds: u64,
+    /// Refinement domains of the partition (phase-1 work units).
+    domains: u64,
+    /// Total checkpointable work units: domain claims + repair rounds —
+    /// exactly how often the `refine.round` kill site is evaluated.
+    units: u64,
 }
 
 fn fixture() -> &'static Fixture {
@@ -42,15 +46,12 @@ fn fixture() -> &'static Fixture {
     FIXTURE.get_or_init(|| {
         let fx = tiny_trained(42);
         let baseline_json = fx.model.to_json().expect("baseline serializes");
-        // Rounds == the deepest prefix's iteration count: every round
-        // bumps each still-active prefix by one, and at least one prefix
-        // stays active until the final round.
-        let rounds = fx.report.max_iterations() as u64;
         Fixture {
             full: fx.full,
             training: fx.training,
             baseline_json,
-            rounds,
+            domains: fx.report.domains as u64,
+            units: fx.report.work_units(),
         }
     })
 }
@@ -62,8 +63,9 @@ fn config(threads: usize) -> RefineConfig {
     }
 }
 
-/// Starts a checkpointed run armed to panic at the top of `kill_round`,
-/// proves it died there, then resumes and returns the final model JSON.
+/// Starts a checkpointed run armed to panic at the `kill_round`-th work
+/// unit (a domain claim or a repair-round start), proves it died there,
+/// then resumes and returns the final model JSON.
 fn kill_then_resume(kill_round: u64, threads: usize, tag: &str) -> String {
     let fx = fixture();
     let cfg = config(threads);
@@ -94,7 +96,7 @@ fn kill_then_resume(kill_round: u64, threads: usize, tag: &str) -> String {
         // recovery is a fresh run (exactly what the CLI's --resume
         // fallback does), which must still reach the same model.
         Err(RefineError::Persist(PersistError::NoCheckpoint { .. })) => {
-            assert_eq!(kill_round, 1, "only a round-1 kill leaves no checkpoint");
+            assert_eq!(kill_round, 1, "only a unit-1 kill leaves no checkpoint");
             let mut model = AsRoutingModel::initial(&fx.full.as_graph(), &fx.full.prefixes());
             let report = refine_checkpointed(&mut model, &fx.training, &cfg, Some(&policy))
                 .expect("fresh fallback run");
@@ -118,17 +120,19 @@ fn assert_byte_identical(kill_round: u64, threads: usize, got: &str) {
 }
 
 #[test]
-fn resume_matches_uninterrupted_at_three_kill_rounds() {
+fn resume_matches_uninterrupted_at_kills_across_both_phases() {
     let _guard = SERIAL.lock().unwrap();
     let fx = fixture();
     assert!(
-        fx.rounds >= 2,
-        "fixture must refine for at least 2 rounds to test mid-run kills \
-         (got {}); pick a different seed",
-        fx.rounds
+        fx.domains >= 2 && fx.units > fx.domains,
+        "fixture must shard into several domains and run at least one \
+         repair round (domains {}, units {}); pick a different seed",
+        fx.domains,
+        fx.units
     );
-    // Early (before any checkpoint), middle, and final round.
-    let mut kills = vec![1, fx.rounds.div_ceil(2).max(2), fx.rounds];
+    // Early (before any checkpoint), mid-domain-phase, the first repair
+    // round (just after the merge), and the final work unit.
+    let mut kills = vec![1, fx.domains.div_ceil(2).max(2), fx.domains + 1, fx.units];
     kills.dedup();
     for kill_round in kills {
         let got = kill_then_resume(kill_round, 1, &format!("kill-{kill_round}"));
@@ -140,10 +144,12 @@ fn resume_matches_uninterrupted_at_three_kill_rounds() {
 fn resume_matches_uninterrupted_with_parallel_refinement() {
     let _guard = SERIAL.lock().unwrap();
     let fx = fixture();
-    let kill_round = fx.rounds.div_ceil(2).max(2).min(fx.rounds);
-    // The baseline is single-threaded; the killed and resumed runs use 4
-    // workers. Byte-identity across both dimensions at once is the
-    // combined determinism + durability contract.
+    // Kill mid-domain-phase: with 4 workers the set of checkpointed
+    // domains at death depends on scheduling, and resume must still land
+    // on the same bytes. The baseline is single-threaded; byte-identity
+    // across both dimensions at once is the combined determinism +
+    // durability contract.
+    let kill_round = fx.domains.div_ceil(2).max(2).min(fx.units);
     let got = kill_then_resume(kill_round, 4, "kill-par");
     assert_byte_identical(kill_round, 4, &got);
 }

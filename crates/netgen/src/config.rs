@@ -110,8 +110,18 @@ impl NetGenConfig {
         }
     }
 
-    /// The paper-scale configuration (thousands of ASes); heavy — intended
-    /// for the benchmark harness, not for unit tests.
+    /// The `small` preset: the canonical experiment scale. Identical to
+    /// [`Default`](NetGenConfig::default) (hundreds of ASes), named so the
+    /// scale×threads benchmark matrix can address it.
+    pub fn small(seed: u64) -> Self {
+        NetGenConfig {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// The paper-scale (`medium`) configuration (thousands of ASes);
+    /// heavy — intended for the benchmark harness, not for unit tests.
     pub fn paper_scale(seed: u64) -> Self {
         NetGenConfig {
             seed,
@@ -120,6 +130,27 @@ impl NetGenConfig {
             num_tier3: 500,
             num_stubs: 1500,
             num_observation_ases: 150,
+            ..Self::default()
+        }
+    }
+
+    /// The `medium` preset — an alias for [`paper_scale`](Self::paper_scale).
+    pub fn medium(seed: u64) -> Self {
+        Self::paper_scale(seed)
+    }
+
+    /// The `large` preset: tens of thousands of ASes with an observation
+    /// coverage comparable to the paper's >1300 RouteViews+RIPE points
+    /// (1000 observation ASes, ~30% of which have multiple feeds). Meant
+    /// for overnight benchmark runs only.
+    pub fn large(seed: u64) -> Self {
+        NetGenConfig {
+            seed,
+            num_tier1: 12,
+            num_tier2: 400,
+            num_tier3: 1_600,
+            num_stubs: 18_000,
+            num_observation_ases: 1_000,
             ..Self::default()
         }
     }
@@ -147,5 +178,19 @@ mod tests {
     #[test]
     fn tiny_is_smaller_than_default() {
         assert!(NetGenConfig::tiny(1).total_ases() < NetGenConfig::default().total_ases());
+    }
+
+    #[test]
+    fn presets_grow_strictly() {
+        let tiny = NetGenConfig::tiny(1).total_ases();
+        let small = NetGenConfig::small(1).total_ases();
+        let medium = NetGenConfig::medium(1).total_ases();
+        let large = NetGenConfig::large(1).total_ases();
+        assert!(tiny < small && small < medium && medium < large);
+        assert!(
+            large >= 20_000,
+            "large must reach tens of thousands of ASes"
+        );
+        assert_eq!(NetGenConfig::small(7).seed, 7);
     }
 }

@@ -1,13 +1,18 @@
 //! `quasar` — command-line frontend for the AS-routing-model pipeline.
 //!
 //! Subcommands:
-//!   generate  --out FILE [--scale tiny|default|paper] [--seed N]
+//!   generate  --out FILE [--scale tiny|small|medium|large] [--seed N]
 //!             synthesize an Internet and write its feeds as MRT
 //!             TABLE_DUMP_V2 (plus FILE.updates.mrt with an UPDATE stream)
+//!             (`default` and `paper` stay accepted as legacy aliases for
+//!             `small` and `medium`)
 //!   analyze   FILE            §3 analyses of an MRT feed file
-//!   train     FILE --out MODEL.json [--threads N]
+//!   train     (FILE | --scale tiny|small|medium|large) --out MODEL.json
+//!             [--threads N] [--seed N]
 //!             [--checkpoint-dir D [--checkpoint-every N] [--resume]]
-//!             refine a model against ALL feeds and persist it
+//!             refine a model against ALL feeds and persist it; with
+//!             --scale instead of FILE, a synthetic Internet is generated
+//!             at that preset and trained on directly
 //!             (--threads 0 / absent = all cores; the result is
 //!             byte-identical for every thread count). With
 //!             --checkpoint-dir the refinement state is checkpointed
@@ -85,8 +90,8 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: quasar generate --out FILE [--scale tiny|default|paper] [--seed N]\n\
-         \x20      quasar train FILE --out MODEL.json [--threads N] [--checkpoint-dir D [--checkpoint-every N] [--resume]]\n\
+        "usage: quasar generate --out FILE [--scale tiny|small|medium|large] [--seed N]\n\
+         \x20      quasar train (FILE | --scale tiny|small|medium|large) --out MODEL.json [--threads N] [--seed N] [--checkpoint-dir D [--checkpoint-every N] [--resume]]\n\
          \x20      quasar analyze FILE\n\
          \x20      quasar predict FILE [--split point|origin|both] [--seed N]\n\
          \x20      quasar diagnose FILE [--seed N]\n\
@@ -175,19 +180,24 @@ fn load_dataset(path: &str) -> (Vec<ObservationPoint>, Dataset) {
     }
 }
 
+/// Maps a `--scale` name to a generator preset. `default` and `paper`
+/// stay accepted as legacy aliases for `small` and `medium`.
+fn scale_config(name: &str, seed: u64) -> Option<NetGenConfig> {
+    match name {
+        "tiny" => Some(NetGenConfig::tiny(seed)),
+        "small" | "default" => Some(NetGenConfig::small(seed)),
+        "medium" | "paper" => Some(NetGenConfig::medium(seed)),
+        "large" => Some(NetGenConfig::large(seed)),
+        _ => None,
+    }
+}
+
 fn cmd_generate(args: &[String]) {
     let out = flag(args, "--out").unwrap_or_else(|| usage("generate requires --out"));
     let seed: u64 = parsed_flag(args, "--seed").unwrap_or(20051113);
-    let scale = flag(args, "--scale").unwrap_or_else(|| "default".into());
-    let cfg = match scale.as_str() {
-        "tiny" => NetGenConfig::tiny(seed),
-        "default" => NetGenConfig {
-            seed,
-            ..NetGenConfig::default()
-        },
-        "paper" => NetGenConfig::paper_scale(seed),
-        _ => usage("bad --scale"),
-    };
+    let scale = flag(args, "--scale").unwrap_or_else(|| "small".into());
+    let cfg = scale_config(&scale, seed)
+        .unwrap_or_else(|| usage("bad --scale, want tiny|small|medium|large"));
     eprintln!("generating {scale} internet (seed {seed}) ...");
     let net = SyntheticInternet::generate(cfg);
     let bytes = export_table_dump_v2(&net.observation_points, &net.observations);
@@ -224,7 +234,6 @@ fn cmd_generate(args: &[String]) {
 }
 
 fn cmd_train(args: &[String]) {
-    let path = positional(args).unwrap_or_else(|| usage("train requires FILE"));
     let out = flag(args, "--out").unwrap_or_else(|| usage("train requires --out"));
     let threads: usize = parsed_flag(args, "--threads").unwrap_or(0);
     let checkpoint_dir = flag(args, "--checkpoint-dir");
@@ -233,7 +242,19 @@ fn cmd_train(args: &[String]) {
     if resume && checkpoint_dir.is_none() {
         usage("--resume requires --checkpoint-dir");
     }
-    let (_, dataset) = load_dataset(&path);
+    let dataset = match (positional(args), flag(args, "--scale")) {
+        (Some(_), Some(_)) => usage("train takes FILE or --scale, not both"),
+        (Some(path), None) => load_dataset(&path).1,
+        (None, Some(scale)) => {
+            let seed: u64 = parsed_flag(args, "--seed").unwrap_or(20051113);
+            let cfg = scale_config(&scale, seed)
+                .unwrap_or_else(|| usage("bad --scale, want tiny|small|medium|large"));
+            eprintln!("generating {scale} internet (seed {seed}) ...");
+            let net = SyntheticInternet::generate(cfg);
+            quasar::dataset_from_observations(&net.observations)
+        }
+        (None, None) => usage("train requires FILE or --scale"),
+    };
     let cfg = RefineConfig {
         threads,
         ..RefineConfig::default()
