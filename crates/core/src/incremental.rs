@@ -1,0 +1,688 @@
+//! Incremental model maintenance: retrain only what a window of BGP
+//! updates actually touched.
+//!
+//! The streaming pipeline (`quasar-stream`) applies each update window to
+//! the observed-path set and asks for a new model. Retraining from scratch
+//! re-refines every prefix; this module reuses the sharded-refinement
+//! machinery of [`crate::refine`] to skip the untouched ones while keeping
+//! the **incremental-equals-full contract**: the model produced here is
+//! byte-identical to a from-scratch [`refine`](crate::refine::refine) on
+//! the same final path set.
+//!
+//! ## Why reuse is sound
+//!
+//! Refinement is three deterministic phases (see the `refine` module
+//! docs): per-domain refinement against copy-on-write views of the base
+//! model, an op-log merge in ascending domain order, and a repair pass.
+//! Two observations make incremental reuse exact rather than approximate:
+//!
+//! 1. **A domain delta is a pure function of its inputs.** A domain's
+//!    op-log depends only on the base model (itself a pure function of the
+//!    AS graph and the prefix→origin map) and the domain's own
+//!    `(prefix, targets)` slice. If the graph and origins are unchanged
+//!    and a domain's fingerprint over its prefixes' target sets matches
+//!    the cached one, a full retrain would recompute the *identical*
+//!    delta — so replaying the cached op-log at merge is byte-exact, not
+//!    an approximation.
+//! 2. **The repair phase is a deterministic schedule given fixed
+//!    structure.** Repair simulates every active prefix against the
+//!    round-start model and applies fixes in ascending prefix order. A
+//!    prefix's simulation reads the router/session structure (created
+//!    only by `Duplicate` ops) and policies scoped to that prefix. The
+//!    structure the merge builds is pinned by its *duplication schedule*
+//!    (see `merge_duplication_schedule` in the refine module): domains
+//!    overlap heavily in which routers they duplicate and the merge
+//!    collapses the copies, so a dirty domain may reshuffle its own
+//!    `Duplicate` ops freely — as long as the deduplicated schedule is
+//!    unchanged, the merged model's shared structure equals the previous
+//!    epoch's, and an untouched prefix's round-by-round simulations — and
+//!    therefore its fixes — are exactly the previous epoch's. The trainer
+//!    records the repair phase as a trace of per-round fix-sets and
+//!    *replays* the untouched prefixes' steps without simulating them,
+//!    re-simulating only the dirty prefixes alongside. Dirty prefixes'
+//!    policy fixes are scoped to their own prefixes and cannot perturb a
+//!    replayed step; only a drift in a dirty prefix's repair-time
+//!    *duplications* changes shared structure, and that one event aborts
+//!    the replay back to the classic full repair.
+//!
+//! The fallback ladder degrades conservatively: a changed AS graph,
+//! origin map, or domain partition forces a full retrain; a changed
+//! merge-time duplication schedule — or a structural drift detected
+//! mid-replay — disables the trace replay, so every prefix is re-verified
+//! by the classic loop, but cached deltas of fingerprint-matching domains
+//! are still reused. The differential suite in `quasar-testkit` enforces
+//! the contract across seeds and thread counts.
+
+use crate::observed::Dataset;
+use crate::persist::{self, PersistError};
+use crate::refine::{
+    build_jobs, domain_ranges, merge_domains, merge_duplication_schedule, prepare_repair,
+    run_domains, run_repair_traced, DomainDelta, PrefixJob, RankingAttr, RefineConfig, RefineError,
+    RefineReport, RepairTrace,
+};
+use quasar_bgpsim::types::{Asn, Prefix};
+use quasar_topology::graph::AsGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::ops::Range;
+use std::path::Path;
+
+use crate::model::AsRoutingModel;
+
+/// How a [`IncrementalTrainer::train`] call obtained its model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrainMode {
+    /// No cache yet — the first full training run.
+    Initial,
+    /// The cache exists but cannot be reused; the reason says why
+    /// (changed graph, origins, partition, or configuration).
+    FullRetrain {
+        /// Human-readable cause of the cache invalidation.
+        reason: String,
+    },
+    /// Cached domain deltas were reused for unchanged domains.
+    Incremental {
+        /// Untouched prefixes' repair steps were replayed from the
+        /// recorded trace without re-simulation. False when a re-refined
+        /// domain's duplication subsequence changed (structure shifted,
+        /// so the trace doesn't carry) or a mid-replay drift aborted the
+        /// replay back to the classic full repair.
+        repair_replayed: bool,
+    },
+}
+
+impl fmt::Display for TrainMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainMode::Initial => write!(f, "initial"),
+            TrainMode::FullRetrain { reason } => write!(f, "full-retrain ({reason})"),
+            TrainMode::Incremental { repair_replayed } => {
+                write!(
+                    f,
+                    "incremental ({})",
+                    if *repair_replayed {
+                        "repair trace replayed"
+                    } else {
+                        "all prefixes re-verified"
+                    }
+                )
+            }
+        }
+    }
+}
+
+/// What one [`IncrementalTrainer::train`] call did and reused.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncrementalReport {
+    /// Reuse mode of this run.
+    pub mode: TrainMode,
+    /// The underlying refinement report (repair-phase view; skipped
+    /// prefixes keep their cached domain-phase outcomes).
+    pub refine: RefineReport,
+    /// Total refinement domains in the partition.
+    pub domains_total: usize,
+    /// Domains whose cached delta was replayed instead of re-refined.
+    pub domains_reused: usize,
+    /// Prefixes whose repair steps were replayed from the recorded trace
+    /// instead of being re-simulated (0 unless the replay carried
+    /// through).
+    pub prefixes_skipped: usize,
+    /// Prefixes living in re-refined (dirty) domains.
+    pub dirty_prefixes: usize,
+}
+
+/// The persisted reuse state: everything needed to decide, on the next
+/// dataset revision, which work is provably identical to last time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TrainerCache {
+    /// Monotonic training-epoch counter (also the checkpoint sequence).
+    epoch: u64,
+    /// Guard: the cache is only valid for the configuration it was
+    /// trained under (`threads` excepted — results are thread-invariant).
+    max_iterations: usize,
+    /// Guard: see `max_iterations`.
+    allow_duplication: bool,
+    /// Guard: see `max_iterations`.
+    ranking: RankingAttr,
+    /// Sorted node ids of the AS graph the base model was built from.
+    graph_nodes: Vec<u32>,
+    /// Sorted undirected edge list of that graph.
+    graph_edges: Vec<(u32, u32)>,
+    /// The prefix→origin map, in ascending prefix order.
+    origins: Vec<(Prefix, u32)>,
+    /// Number of refinement jobs (pins the domain partition, which is a
+    /// pure function of this count).
+    num_jobs: usize,
+    /// Per-domain FNV-1a fingerprint over each `(prefix, targets)` slice.
+    domain_fps: Vec<u64>,
+    /// Every domain's delta from the last run, indexed by domain id.
+    deltas: Vec<DomainDelta>,
+    /// The last run's repair phase as per-round fix-sets, replayable when
+    /// the merged structure is provably unchanged.
+    repair: RepairTrace,
+}
+
+/// A trainer that remembers enough about its last run to retrain only the
+/// prefixes a dataset revision actually changed — while producing models
+/// byte-identical to a from-scratch [`refine`](crate::refine::refine).
+///
+/// The state survives process restarts through the same `QUASAR1`
+/// checkpoint frames as [`refine_checkpointed`](crate::refine::refine_checkpointed):
+/// [`IncrementalTrainer::save`] / [`IncrementalTrainer::load`].
+#[derive(Debug, Default)]
+pub struct IncrementalTrainer {
+    cache: Option<TrainerCache>,
+}
+
+impl IncrementalTrainer {
+    /// A trainer with no history; the first [`train`](Self::train) is a
+    /// full run.
+    pub fn new() -> Self {
+        IncrementalTrainer { cache: None }
+    }
+
+    /// True once a successful [`train`](Self::train) (or a
+    /// [`load`](Self::load)) installed reuse state.
+    pub fn has_cache(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Training epochs completed so far (0 for a fresh trainer).
+    pub fn epoch(&self) -> u64 {
+        self.cache.as_ref().map(|c| c.epoch).unwrap_or(0)
+    }
+
+    /// Persists the reuse state into `dir` as a checkpoint frame (kept
+    /// alongside the previous one, like refinement checkpoints). A
+    /// trainer with no cache writes nothing.
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), RefineError> {
+        let Some(cache) = &self.cache else {
+            return Ok(());
+        };
+        let json = serde_json::to_string(cache).map_err(|e| {
+            RefineError::CheckpointMismatch(format!("trainer cache serialization: {e}"))
+        })?;
+        persist::save_checkpoint_payload(dir.as_ref(), cache.epoch, json.as_bytes(), 2)?;
+        Ok(())
+    }
+
+    /// Restores a trainer from the newest loadable checkpoint frame in
+    /// `dir`, refusing caches trained under a different configuration
+    /// (`threads` excepted — the model is thread-invariant).
+    pub fn load(dir: impl AsRef<Path>, cfg: &RefineConfig) -> Result<Self, RefineError> {
+        let (seq, payload) = persist::load_latest_checkpoint_payload(dir.as_ref())?;
+        let text = std::str::from_utf8(&payload).map_err(|_| {
+            RefineError::CheckpointMismatch("trainer cache payload is not UTF-8".into())
+        })?;
+        let cache: TrainerCache = serde_json::from_str(text).map_err(|e| {
+            RefineError::CheckpointMismatch(format!("trainer cache does not parse: {e}"))
+        })?;
+        if cache.epoch != seq {
+            return Err(RefineError::CheckpointMismatch(format!(
+                "trainer cache file is named for epoch {seq} but contains epoch {}",
+                cache.epoch
+            )));
+        }
+        if let Some(reason) = cfg_mismatch(&cache, cfg) {
+            return Err(RefineError::CheckpointMismatch(reason));
+        }
+        Ok(IncrementalTrainer { cache: Some(cache) })
+    }
+
+    /// Trains a model on `training`, reusing as much of the previous run
+    /// as is provably identical. Returns the refined model (the same
+    /// model [`refine`](crate::refine::refine) would produce on this
+    /// dataset, byte for byte) and a report of what was reused.
+    pub fn train(
+        &mut self,
+        training: &Dataset,
+        cfg: &RefineConfig,
+    ) -> Result<(AsRoutingModel, IncrementalReport), RefineError> {
+        let graph = training.as_graph();
+        let origins = training.prefixes();
+        let mut model = AsRoutingModel::initial(&graph, &origins);
+        let mut jobs = build_jobs(&model, training);
+        let ranges = domain_ranges(jobs.len());
+        let fps = domain_fingerprints(&jobs, &ranges);
+        let sig = GraphSig::of(&graph, &origins);
+
+        let mode_plan = self.plan(cfg, &sig, jobs.len(), &ranges);
+        let mut done: BTreeMap<usize, DomainDelta> = BTreeMap::new();
+        let mut reused: Vec<usize> = Vec::new();
+        if matches!(mode_plan, Plan::Incremental) {
+            // `plan` only returns Incremental with a cache present.
+            if let Some(cache) = &self.cache {
+                for (id, fp) in fps.iter().enumerate() {
+                    if cache.domain_fps.get(id) == Some(fp) {
+                        if let Some(delta) = cache.deltas.get(id) {
+                            done.insert(id, delta.clone());
+                            reused.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        let dirty_prefixes: usize = ranges
+            .iter()
+            .enumerate()
+            .filter(|(id, _)| !done.contains_key(id))
+            .map(|(_, r)| r.len())
+            .sum();
+
+        run_domains(&model, cfg, &mut jobs, &ranges, &mut done, 0, None)?;
+
+        // Structure shifted iff the merge would now *allocate* a
+        // different duplicate set than the cached run's. Dirty domains
+        // routinely reshuffle their own `Duplicate` ops — popular transit
+        // routers are duplicated by many domains and the merge collapses
+        // the copies onto shared ids — so per-domain op drift (and with
+        // it the creation *order*) is common while the allocated
+        // `(source, copy)` set, and with it the merged shared structure,
+        // stays byte-identical: sessions converge to the same bipartite
+        // graph whatever the creation order, and each copy's policy state
+        // is its claimants' own re-applied projections (see
+        // `merge_domains`), not a clone of creation-time state.
+        let structural = match &self.cache {
+            Some(cache) if matches!(mode_plan, Plan::Incremental) => {
+                let mut old = merge_duplication_schedule(cache.deltas.iter());
+                let mut new = merge_duplication_schedule(done.values());
+                old.sort_unstable();
+                new.sort_unstable();
+                cache.deltas.len() != ranges.len() || old != new
+            }
+            _ => false,
+        };
+
+        merge_domains(&mut model, cfg, &ranges, &done, &mut jobs);
+        prepare_repair(&mut jobs, cfg);
+
+        // When the merged structure provably equals the recorded epoch's,
+        // replay the recorded repair trace: untouched prefixes re-apply
+        // their recorded fixes without a single simulation, and only the
+        // prefixes of re-refined (dirty) domains are simulated live. A
+        // structural drift mid-replay aborts back to the classic loop
+        // inside `run_repair_traced`.
+        let live: Vec<bool> = {
+            let mut v = vec![false; jobs.len()];
+            for (id, range) in ranges.iter().enumerate() {
+                if reused.binary_search(&id).is_err() {
+                    for slot in &mut v[range.clone()] {
+                        *slot = true;
+                    }
+                }
+            }
+            v
+        };
+        let hybrid = match (&self.cache, &mode_plan) {
+            (Some(cache), Plan::Incremental) if !structural => {
+                Some((live.as_slice(), &cache.repair))
+            }
+            _ => None,
+        };
+        let (report, repair_trace, replayed) =
+            run_repair_traced(&mut model, cfg, &mut jobs, ranges.len(), hybrid)?;
+        let skipped = if replayed {
+            live.iter().filter(|&&l| !l).count()
+        } else {
+            0
+        };
+        crate::audit::log_audit("post-incremental", &model);
+
+        self.cache = Some(TrainerCache {
+            epoch: self.epoch() + 1,
+            max_iterations: cfg.max_iterations,
+            allow_duplication: cfg.allow_duplication,
+            ranking: cfg.ranking,
+            graph_nodes: sig.nodes,
+            graph_edges: sig.edges,
+            origins: sig.origins,
+            num_jobs: jobs.len(),
+            domain_fps: fps,
+            deltas: done.into_values().collect(),
+            repair: repair_trace,
+        });
+
+        let mode = match mode_plan {
+            Plan::Initial => TrainMode::Initial,
+            Plan::FullRetrain(reason) => TrainMode::FullRetrain { reason },
+            Plan::Incremental => TrainMode::Incremental {
+                repair_replayed: replayed,
+            },
+        };
+        let domains_reused = reused.len();
+        Ok((
+            model,
+            IncrementalReport {
+                mode,
+                refine: report,
+                domains_total: ranges.len(),
+                domains_reused,
+                prefixes_skipped: skipped,
+                dirty_prefixes,
+            },
+        ))
+    }
+
+    /// Decides the reuse mode for this revision against the cache.
+    fn plan(
+        &self,
+        cfg: &RefineConfig,
+        sig: &GraphSig,
+        num_jobs: usize,
+        ranges: &[Range<usize>],
+    ) -> Plan {
+        let Some(cache) = &self.cache else {
+            return Plan::Initial;
+        };
+        if let Some(reason) = cfg_mismatch(cache, cfg) {
+            return Plan::FullRetrain(reason);
+        }
+        if cache.graph_nodes != sig.nodes || cache.graph_edges != sig.edges {
+            return Plan::FullRetrain("AS graph changed".into());
+        }
+        if cache.origins != sig.origins {
+            return Plan::FullRetrain("prefix origins changed".into());
+        }
+        if cache.num_jobs != num_jobs || cache.domain_fps.len() != ranges.len() {
+            return Plan::FullRetrain("domain partition changed".into());
+        }
+        Plan::Incremental
+    }
+}
+
+/// The reuse decision, before domain reuse and repair-trace replay.
+enum Plan {
+    Initial,
+    FullRetrain(String),
+    Incremental,
+}
+
+/// Canonical signature of the base-model inputs.
+struct GraphSig {
+    nodes: Vec<u32>,
+    edges: Vec<(u32, u32)>,
+    origins: Vec<(Prefix, u32)>,
+}
+
+impl GraphSig {
+    fn of(graph: &AsGraph, origins: &BTreeMap<Prefix, Asn>) -> GraphSig {
+        let mut nodes: Vec<u32> = graph.nodes().map(|a| a.0).collect();
+        nodes.sort_unstable();
+        let mut edges: Vec<(u32, u32)> = graph.edges().map(|(a, b)| (a.0, b.0)).collect();
+        edges.sort_unstable();
+        GraphSig {
+            nodes,
+            edges,
+            origins: origins.iter().map(|(&p, &a)| (p, a.0)).collect(),
+        }
+    }
+}
+
+/// Returns why `cfg` invalidates `cache`, if it does (`threads` is
+/// deliberately not compared — results are thread-invariant).
+fn cfg_mismatch(cache: &TrainerCache, cfg: &RefineConfig) -> Option<String> {
+    if cache.max_iterations != cfg.max_iterations {
+        Some(format!(
+            "max_iterations changed ({} -> {})",
+            cache.max_iterations, cfg.max_iterations
+        ))
+    } else if cache.allow_duplication != cfg.allow_duplication {
+        Some("allow_duplication changed".into())
+    } else if cache.ranking != cfg.ranking {
+        Some("ranking attribute changed".into())
+    } else {
+        None
+    }
+}
+
+/// FNV-1a fingerprint per domain over each member prefix and its full
+/// target set — the exact inputs [`refine`](crate::refine::refine) hands
+/// that domain, so fingerprint equality means the domain's delta is a
+/// replay of the cached one.
+fn domain_fingerprints(jobs: &[(Prefix, PrefixJob)], ranges: &[Range<usize>]) -> Vec<u64> {
+    ranges
+        .iter()
+        .map(|r| {
+            let mut text = String::new();
+            for (prefix, job) in &jobs[r.clone()] {
+                let _ = writeln!(text, "{prefix}");
+                for t in &job.targets {
+                    let _ = writeln!(text, "{} {} {}", t.len, t.o, t.asn.0);
+                }
+            }
+            persist::fnv1a(text.as_bytes())
+        })
+        .collect()
+}
+
+/// Convenience for callers that tolerate a missing cache: load it if
+/// possible, otherwise start fresh. Only plain I/O failures (no cache
+/// written yet, unreadable directory) degrade to a full first run; a
+/// cache that is present but corrupt or trained under different knobs is
+/// surfaced, because silently retraining over it would break epoch
+/// comparability.
+pub fn load_or_new(
+    dir: impl AsRef<Path>,
+    cfg: &RefineConfig,
+) -> Result<IncrementalTrainer, RefineError> {
+    match IncrementalTrainer::load(&dir, cfg) {
+        Ok(t) => Ok(t),
+        Err(RefineError::Persist(PersistError::Io { .. } | PersistError::NoCheckpoint { .. })) => {
+            Ok(IncrementalTrainer::new())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observed::ObservedRoute;
+    use crate::refine::refine;
+    use quasar_bgpsim::aspath::AsPath;
+
+    /// A small synthetic dataset: a chain-and-spokes topology with enough
+    /// prefixes to span multiple refinement domains.
+    fn dataset(paths: &[(u32, &[u32])]) -> Dataset {
+        Dataset::new(
+            paths
+                .iter()
+                .enumerate()
+                .map(|(i, (origin, path))| ObservedRoute {
+                    point: (i % 3) as u32,
+                    observer_as: Asn(path[0]),
+                    prefix: Prefix::for_origin(Asn(*origin)),
+                    as_path: AsPath::from_u32s(path),
+                }),
+        )
+    }
+
+    fn base_paths() -> Vec<(u32, Vec<u32>)> {
+        // Enough origins for several refinement domains (the partitioner
+        // targets 16 prefixes per domain), two observers each, sharing a
+        // transit core so route changes stay graph-preserving.
+        let mut v = Vec::new();
+        for origin in 30u32..78 {
+            v.push((origin, vec![1, 10, origin]));
+            v.push((origin, vec![2, 10, origin]));
+            v.push((origin, vec![1, 11, 10, origin]));
+        }
+        v
+    }
+
+    fn to_dataset(paths: &[(u32, Vec<u32>)]) -> Dataset {
+        let borrowed: Vec<(u32, &[u32])> = paths.iter().map(|(o, p)| (*o, p.as_slice())).collect();
+        dataset(&borrowed)
+    }
+
+    fn full_json(training: &Dataset, cfg: &RefineConfig) -> String {
+        let mut model = AsRoutingModel::initial(&training.as_graph(), &training.prefixes());
+        refine(&mut model, training, cfg).expect("full refine");
+        model.to_json().expect("model serializes")
+    }
+
+    #[test]
+    fn initial_train_matches_full_refine() {
+        let training = to_dataset(&base_paths());
+        let cfg = RefineConfig {
+            threads: 1,
+            ..RefineConfig::default()
+        };
+        let mut trainer = IncrementalTrainer::new();
+        let (model, report) = trainer.train(&training, &cfg).expect("train");
+        assert_eq!(report.mode, TrainMode::Initial);
+        assert_eq!(model.to_json().expect("json"), full_json(&training, &cfg));
+        assert!(trainer.has_cache());
+        assert_eq!(trainer.epoch(), 1);
+    }
+
+    #[test]
+    fn unchanged_dataset_skips_everything_and_stays_identical() {
+        let training = to_dataset(&base_paths());
+        let cfg = RefineConfig {
+            threads: 1,
+            ..RefineConfig::default()
+        };
+        let mut trainer = IncrementalTrainer::new();
+        let (m1, _) = trainer.train(&training, &cfg).expect("first");
+        let (m2, report) = trainer.train(&training, &cfg).expect("second");
+        assert_eq!(
+            report.mode,
+            TrainMode::Incremental {
+                repair_replayed: true
+            },
+            "an unchanged dataset must replay the whole repair trace"
+        );
+        assert_eq!(report.domains_reused, report.domains_total);
+        assert_eq!(report.dirty_prefixes, 0);
+        assert_eq!(
+            report.prefixes_skipped,
+            report.refine.prefixes.len(),
+            "every prefix must be replayed without re-simulation"
+        );
+        assert_eq!(
+            m1.to_json().expect("json"),
+            m2.to_json().expect("json"),
+            "identical dataset must reproduce the identical model"
+        );
+    }
+
+    #[test]
+    fn single_path_change_matches_full_retrain() {
+        let cfg = RefineConfig {
+            threads: 1,
+            ..RefineConfig::default()
+        };
+        let mut paths = base_paths();
+        let mut trainer = IncrementalTrainer::new();
+        trainer.train(&to_dataset(&paths), &cfg).expect("first");
+
+        // Re-route one observation over the alternative transit (both
+        // edges already exist, so the AS graph is unchanged).
+        paths[0].1 = vec![1, 11, 10, paths[0].0];
+        let training = to_dataset(&paths);
+        let (model, report) = trainer.train(&training, &cfg).expect("second");
+        assert!(
+            matches!(report.mode, TrainMode::Incremental { .. }),
+            "graph-preserving path change must stay incremental, got {}",
+            report.mode
+        );
+        assert!(
+            report.domains_reused > 0,
+            "untouched domains must be reused"
+        );
+        assert_eq!(
+            model.to_json().expect("json"),
+            full_json(&training, &cfg),
+            "incremental model must be byte-identical to a full retrain"
+        );
+    }
+
+    #[test]
+    fn origin_change_falls_back_to_full_retrain() {
+        let cfg = RefineConfig {
+            threads: 1,
+            ..RefineConfig::default()
+        };
+        let mut paths = base_paths();
+        let mut trainer = IncrementalTrainer::new();
+        trainer.train(&to_dataset(&paths), &cfg).expect("first");
+
+        // A brand-new origin AS changes the graph and the origin map.
+        paths.push((99, vec![1, 10, 99]));
+        paths.push((99, vec![2, 10, 99]));
+        let training = to_dataset(&paths);
+        let (model, report) = trainer.train(&training, &cfg).expect("second");
+        assert!(
+            matches!(report.mode, TrainMode::FullRetrain { .. }),
+            "a new origin must force a full retrain, got {}",
+            report.mode
+        );
+        assert_eq!(model.to_json().expect("json"), full_json(&training, &cfg));
+    }
+
+    #[test]
+    fn incremental_is_thread_invariant() {
+        let cfg1 = RefineConfig {
+            threads: 1,
+            ..RefineConfig::default()
+        };
+        let cfg4 = RefineConfig {
+            threads: 4,
+            ..RefineConfig::default()
+        };
+        let mut paths = base_paths();
+        let mut t1 = IncrementalTrainer::new();
+        let mut t4 = IncrementalTrainer::new();
+        t1.train(&to_dataset(&paths), &cfg1).expect("seed 1t");
+        t4.train(&to_dataset(&paths), &cfg4).expect("seed 4t");
+        paths[2].1 = vec![1, 11, 10, paths[2].0];
+        let training = to_dataset(&paths);
+        let (m1, _) = t1.train(&training, &cfg1).expect("inc 1t");
+        let (m4, _) = t4.train(&training, &cfg4).expect("inc 4t");
+        assert_eq!(m1.to_json().expect("json"), m4.to_json().expect("json"));
+    }
+
+    #[test]
+    fn cache_round_trips_through_checkpoint_frames() {
+        let dir =
+            std::env::temp_dir().join(format!("quasar-inc-{}-{}", std::process::id(), line!()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = RefineConfig {
+            threads: 1,
+            ..RefineConfig::default()
+        };
+        let mut paths = base_paths();
+        let mut trainer = IncrementalTrainer::new();
+        trainer.train(&to_dataset(&paths), &cfg).expect("first");
+        trainer.save(&dir).expect("save");
+
+        let mut restored = IncrementalTrainer::load(&dir, &cfg).expect("load");
+        assert_eq!(restored.epoch(), 1);
+        paths[0].1 = vec![1, 11, 10, paths[0].0];
+        let training = to_dataset(&paths);
+        let (model, report) = restored.train(&training, &cfg).expect("train");
+        assert!(matches!(report.mode, TrainMode::Incremental { .. }));
+        assert_eq!(model.to_json().expect("json"), full_json(&training, &cfg));
+
+        // A different configuration must refuse the cache.
+        let other = RefineConfig {
+            allow_duplication: false,
+            threads: 1,
+            ..RefineConfig::default()
+        };
+        assert!(matches!(
+            IncrementalTrainer::load(&dir, &other),
+            Err(RefineError::CheckpointMismatch(_))
+        ));
+        // load_or_new degrades a *missing* cache to a fresh trainer but
+        // still surfaces the config mismatch.
+        assert!(load_or_new(dir.join("nope"), &cfg)
+            .map(|t| !t.has_cache())
+            .unwrap_or(false));
+        assert!(load_or_new(&dir, &other).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

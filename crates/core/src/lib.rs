@@ -59,6 +59,7 @@ pub mod atoms;
 pub mod audit;
 pub mod baseline;
 pub mod diagnostics;
+pub mod incremental;
 pub mod metrics;
 pub mod model;
 pub mod observed;
@@ -73,6 +74,7 @@ pub mod prelude {
     pub use crate::atoms::{refine_with_atoms, PolicyAtoms};
     pub use crate::baseline::{relationship_model, shortest_path_model, table2_row, Table2Row};
     pub use crate::diagnostics::{diagnose, MismatchDiagnostics};
+    pub use crate::incremental::{IncrementalReport, IncrementalTrainer, TrainMode};
     pub use crate::metrics::{
         match_level, mismatch_reason, MatchCounts, MatchLevel, MismatchReason, PrefixCoverage,
     };

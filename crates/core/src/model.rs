@@ -241,6 +241,40 @@ impl AsRoutingModel {
         copy
     }
 
+    /// Like [`Self::duplicate_quasi_router`], but the copy starts with
+    /// *default* (empty) policies on every session instead of cloning the
+    /// source's.
+    ///
+    /// The op-log merge uses this variant: a merge-time duplicate is
+    /// shared by every refinement domain that recorded an equivalent
+    /// `Duplicate`, and each claiming domain re-applies its own recorded
+    /// policy ops to the copy. Cloning here would smuggle in whatever
+    /// policy state happened to accumulate on the source *before this
+    /// copy's creation turn* — making the merged model depend on the
+    /// relative order in which domains first claim their duplicates, an
+    /// order that reshuffles whenever a dirty domain's op-log changes.
+    /// With a clean copy plus per-claimant re-application, the merged
+    /// model depends only on *which* duplicates exist and on each
+    /// domain's own op-log, which is what lets the incremental trainer
+    /// prove an unchanged merge and replay its recorded repair trace.
+    #[allow(clippy::expect_used)] // sessions are created in the same loop
+    pub fn duplicate_quasi_router_clean(&mut self, src: RouterId) -> RouterId {
+        let asn = src.asn();
+        let idx = self.next_index.get_mut(&asn).expect("AS exists in model");
+        let copy = RouterId::new(asn, *idx);
+        *idx += 1;
+        self.net.add_router(copy);
+        for peer in self.net.peers_of(src) {
+            if peer.asn() == asn {
+                continue; // quasi-routers stay isolated from each other
+            }
+            self.net
+                .add_session(copy, peer, SessionKind::Ebgp)
+                .expect("fresh session for fresh router");
+        }
+        copy
+    }
+
     /// Installs the per-prefix MED ranking of the refinement heuristic at
     /// quasi-router `q` (§4.6): sessions delivering the wanted route get
     /// MED 0, every other session gets MED 10, so "if two routes have the

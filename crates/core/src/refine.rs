@@ -35,11 +35,18 @@
 //!    convergence against a copy-on-write `DomainModel` view that clones
 //!    the base model only on first mutation and records every fix as a
 //!    semantic `RefineOp`.
-//! 2. **Merge.** Domain op-logs are replayed onto the real model in
-//!    ascending domain id. Quasi-routers duplicated in different domains
-//!    from the same lineage (source router, per-source ordinal) are
-//!    deduplicated, mirroring the sequential schedule's reuse of freshly
-//!    created routers across prefixes.
+//! 2. **Merge.** Two passes in ascending domain id. Pass one creates
+//!    every duplicated quasi-router, policy-clean: quasi-routers
+//!    duplicated in different domains from the same lineage (source
+//!    router, per-source ordinal) are deduplicated onto one shared copy.
+//!    Pass two replays each domain's op-log against the complete router
+//!    set, and at each `Duplicate` re-applies that domain's own earlier
+//!    ops on the source to the shared copy — reproducing what the
+//!    domain-local clone inherited. Creating first and replaying second
+//!    makes the merged model a function of the duplicate *set* plus the
+//!    per-domain logs, never of the order in which domains first claim a
+//!    shared copy — the invariant the incremental trainer's repair-trace
+//!    replay is built on (see `merge_duplication_schedule`).
 //! 3. **Repair.** The classic round loop re-verifies every prefix against
 //!    the merged model and fixes any residual cross-domain interference —
 //!    typically a single verification round.
@@ -275,7 +282,7 @@ impl CheckpointPolicy {
 /// onto the real model at merge. Router ids are domain-local; the merge
 /// maps them through the domain's duplication lineage.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-enum RefineOp {
+pub(crate) enum RefineOp {
     /// `src` was duplicated into `copy` while refining `prefix`.
     Duplicate {
         prefix: Prefix,
@@ -469,7 +476,7 @@ const MAX_DOMAINS: usize = 512;
 /// A pure function of `n` only — never of the thread count — so the
 /// decomposition (and with it every byte of the final model) is identical
 /// on every machine.
-fn domain_ranges(n: usize) -> Vec<Range<usize>> {
+pub(crate) fn domain_ranges(n: usize) -> Vec<Range<usize>> {
     if n == 0 {
         return Vec::new();
     }
@@ -494,10 +501,67 @@ type DomainWorkItem<'j> = parking_lot::Mutex<Option<(usize, &'j mut [(Prefix, Pr
 /// A completed domain's result: its op-log plus the per-prefix outcomes,
 /// in the domain's (ascending-prefix) job order.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct DomainDelta {
-    id: usize,
-    ops: Vec<RefineOp>,
-    outcomes: Vec<PrefixOutcome>,
+pub(crate) struct DomainDelta {
+    pub(crate) id: usize,
+    pub(crate) ops: Vec<RefineOp>,
+    pub(crate) outcomes: Vec<PrefixOutcome>,
+}
+
+/// The duplication schedule [`merge_domains`]'s pass one would execute
+/// for a full set of domain deltas (ascending domain order): the
+/// deduplicated `(global source, allocated copy)` pairs in creation
+/// order, with per-AS indices allocated densely from 1 exactly as
+/// `duplicate_quasi_router_clean` does on the base model (one router per
+/// AS).
+///
+/// Domains overlap heavily in which routers they duplicate — every
+/// domain that needs a second quasi-router in a popular transit AS
+/// records its own `Duplicate` op, and the merge collapses them onto one
+/// shared copy keyed by `(global source, per-domain ordinal)`. A dirty
+/// domain can therefore reshuffle, add, or drop `Duplicate` ops without
+/// changing the merged model at all, as long as every key it touches is
+/// also claimed by some other domain. Comparing this schedule *as a set*
+/// — rather than per-domain op subsequences, or even creation order — is
+/// what decides whether two runs merge into byte-identical shared
+/// structure: the pairs pin the router set and the ids, the session
+/// graph closes over the same bipartite adjacency whatever the creation
+/// order, and the two-pass merge applies every policy op against the
+/// complete router set with claimant-scoped re-application, so no
+/// creation-order effect can leak into the merged bytes. Only (router,
+/// prefix)-scoped policy ops can then differ between the runs, and those
+/// are invisible to other prefixes' simulations.
+pub(crate) fn merge_duplication_schedule<'d>(
+    deltas: impl Iterator<Item = &'d DomainDelta>,
+) -> Vec<(RouterId, RouterId)> {
+    let mut next_index: BTreeMap<Asn, u16> = BTreeMap::new();
+    let mut global_dups: BTreeMap<(RouterId, usize), RouterId> = BTreeMap::new();
+    let mut schedule = Vec::new();
+    for delta in deltas {
+        let mut l2g: BTreeMap<RouterId, RouterId> = BTreeMap::new();
+        let mut ordinals: BTreeMap<RouterId, usize> = BTreeMap::new();
+        for op in &delta.ops {
+            if let RefineOp::Duplicate { src, copy, .. } = op {
+                let gsrc = l2g.get(src).copied().unwrap_or(*src);
+                let ord = ordinals.entry(gsrc).or_insert(0);
+                let key = (gsrc, *ord);
+                *ord += 1;
+                match global_dups.get(&key) {
+                    Some(&g) => {
+                        l2g.insert(*copy, g);
+                    }
+                    None => {
+                        let idx = next_index.entry(gsrc.asn()).or_insert(1);
+                        let g = RouterId::new(gsrc.asn(), *idx);
+                        *idx += 1;
+                        global_dups.insert(key, g);
+                        l2g.insert(*copy, g);
+                        schedule.push((gsrc, g));
+                    }
+                }
+            }
+        }
+    }
+    schedule
 }
 
 /// Serialized refinement state: everything [`resume_refine`] needs to
@@ -569,18 +633,18 @@ pub fn dataset_fingerprint(training: &Dataset) -> u64 {
 /// One refinement target: the AS `asn` must select & propagate the observed
 /// suffix `o` (which has `asn` at its head).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct Target {
+pub(crate) struct Target {
     /// Suffix length — processed ascending so fixes flow origin → observer.
-    len: usize,
+    pub(crate) len: usize,
     /// The observed suffix (head = `asn`).
-    o: AsPath,
+    pub(crate) o: AsPath,
     /// The AS responsible for it.
-    asn: Asn,
+    pub(crate) asn: Asn,
 }
 
 /// Derives the deduplicated target set for one prefix from its training
 /// paths.
-fn targets_for(paths: &[&AsPath]) -> Vec<Target> {
+pub(crate) fn targets_for(paths: &[&AsPath]) -> Vec<Target> {
     let mut set: BTreeSet<Target> = BTreeSet::new();
     for p in paths {
         for n in 1..=p.len() {
@@ -595,14 +659,20 @@ fn targets_for(paths: &[&AsPath]) -> Vec<Target> {
 }
 
 /// One prefix's refinement state.
-struct PrefixJob {
-    targets: Vec<Target>,
-    outcome: PrefixOutcome,
+#[derive(Clone)]
+pub(crate) struct PrefixJob {
+    pub(crate) targets: Vec<Target>,
+    pub(crate) outcome: PrefixOutcome,
     /// Converged, diverged, stuck, or out of iterations.
-    done: bool,
+    pub(crate) done: bool,
     /// Iteration cap for the repair phase (domain-phase iterations plus a
     /// fresh [`RefineConfig::max_iterations`] budget).
-    max_iter: usize,
+    pub(crate) max_iter: usize,
+    /// True once the repair phase applied *any* fix for this prefix — the
+    /// domain-phase result did not verify as-is against the merged model.
+    /// The incremental trainer treats such prefixes as never "clean"; the
+    /// flag is in-memory bookkeeping only and never checkpointed.
+    pub(crate) repair_changed: bool,
 }
 
 /// Refines `model` until the simulated routing reproduces every AS-path of
@@ -657,7 +727,7 @@ pub fn refine_checkpointed(
     )?;
     merge_domains(model, cfg, &ranges, &done, &mut jobs);
     prepare_repair(&mut jobs, cfg);
-    let report = run_rounds(model, cfg, jobs, 0, ranges.len(), fingerprint, policy)?;
+    let report = run_rounds(model, cfg, &mut jobs, 0, ranges.len(), fingerprint, policy)?;
     crate::audit::log_audit("post-train", model);
     Ok(report)
 }
@@ -768,7 +838,7 @@ pub fn resume_refine(
             run_rounds(
                 &mut model,
                 cfg,
-                jobs,
+                &mut jobs,
                 0,
                 ranges.len(),
                 fingerprint,
@@ -804,7 +874,7 @@ pub fn resume_refine(
             run_rounds(
                 &mut model,
                 cfg,
-                jobs,
+                &mut jobs,
                 round,
                 ranges.len(),
                 fingerprint,
@@ -820,7 +890,7 @@ pub fn resume_refine(
 /// the domain-partition order, hence the fix-application order of the
 /// merge. Prefixes whose origin is absent from the model graph cannot be
 /// simulated and are skipped, as before.
-fn build_jobs(model: &AsRoutingModel, training: &Dataset) -> Vec<(Prefix, PrefixJob)> {
+pub(crate) fn build_jobs(model: &AsRoutingModel, training: &Dataset) -> Vec<(Prefix, PrefixJob)> {
     let mut by_prefix: BTreeMap<Prefix, Vec<&AsPath>> = BTreeMap::new();
     for r in training.routes() {
         by_prefix.entry(r.prefix).or_default().push(&r.as_path);
@@ -846,6 +916,7 @@ fn build_jobs(model: &AsRoutingModel, training: &Dataset) -> Vec<(Prefix, Prefix
                     outcome,
                     done: false,
                     max_iter: usize::MAX,
+                    repair_changed: false,
                 },
             )
         })
@@ -858,7 +929,7 @@ fn build_jobs(model: &AsRoutingModel, training: &Dataset) -> Vec<(Prefix, Prefix
 /// the claims run inline on the caller's stack. Completed deltas land in
 /// `done`, which checkpointing snapshots after every `policy.every`-th
 /// completion.
-fn run_domains(
+pub(crate) fn run_domains(
     model: &AsRoutingModel,
     cfg: &RefineConfig,
     jobs: &mut [(Prefix, PrefixJob)],
@@ -1068,7 +1139,7 @@ fn refine_domain(
 /// deduplicated: the first domain to replay creates the router, later
 /// domains reuse it — exactly how the sequential schedule's mirror map
 /// reuses freshly created routers across prefixes.
-fn merge_domains(
+pub(crate) fn merge_domains(
     model: &mut AsRoutingModel,
     cfg: &RefineConfig,
     ranges: &[Range<usize>],
@@ -1077,7 +1148,44 @@ fn merge_domains(
 ) {
     let job_of: BTreeMap<Prefix, usize> =
         jobs.iter().enumerate().map(|(i, (p, _))| (*p, i)).collect();
-    let mut global_dups: BTreeMap<(RouterId, usize), RouterId> = BTreeMap::new();
+
+    // Pass 1 — create every merge-time duplicate, policy-clean, before a
+    // single policy op runs. Policy ops materialize rules on the session
+    // graph they see (`peers_of` at op time), so interleaving creation
+    // with replay would make the merged model depend on which domain
+    // happens to claim a shared duplicate first — an order that
+    // reshuffles whenever a dirty domain's op-log changes. With all
+    // duplicates in place first, the session graph every op sees — and
+    // with it the whole merged model — is a function of the allocated
+    // duplicate *set* plus the per-domain logs alone. The value carries
+    // the claiming domain that created the copy, so pass 2 can charge the
+    // duplication to exactly one prefix.
+    let mut global_dups: BTreeMap<(RouterId, usize), (RouterId, usize)> = BTreeMap::new();
+    for (id, delta) in done {
+        let mut l2g: BTreeMap<RouterId, RouterId> = BTreeMap::new();
+        let mut ordinals: BTreeMap<RouterId, usize> = BTreeMap::new();
+        for op in &delta.ops {
+            if let RefineOp::Duplicate { src, copy, .. } = op {
+                let gsrc = l2g.get(src).copied().unwrap_or(*src);
+                let ord = ordinals.entry(gsrc).or_insert(0);
+                let key = (gsrc, *ord);
+                *ord += 1;
+                match global_dups.get(&key) {
+                    Some(&(g, _)) => {
+                        l2g.insert(*copy, g);
+                    }
+                    None => {
+                        let g = model.duplicate_quasi_router_clean(gsrc);
+                        global_dups.insert(key, (g, *id));
+                        l2g.insert(*copy, g);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2 — replay every domain's op-log against the complete router
+    // set.
     for (id, delta) in done {
         // The delta's outcomes are authoritative for its prefixes (on
         // resume, the local jobs were never run).
@@ -1092,29 +1200,34 @@ fn merge_domains(
         let mut ordinals: BTreeMap<RouterId, usize> = BTreeMap::new();
         let map =
             |l2g: &BTreeMap<RouterId, RouterId>, r: RouterId| l2g.get(&r).copied().unwrap_or(r);
-        for op in &delta.ops {
+        for (pos, op) in delta.ops.iter().enumerate() {
             match op {
                 RefineOp::Duplicate { prefix, src, copy } => {
                     let gsrc = map(&l2g, *src);
                     let ord = ordinals.entry(gsrc).or_insert(0);
                     let key = (gsrc, *ord);
                     *ord += 1;
-                    match global_dups.get(&key) {
-                        Some(&g) => {
-                            l2g.insert(*copy, g);
-                            // The merged model reuses an earlier domain's
-                            // duplicate; this prefix no longer pays for one.
-                            if let Some(&ji) = job_of.get(prefix) {
-                                let oc = &mut jobs[ji].1.outcome;
-                                oc.quasi_routers_added = oc.quasi_routers_added.saturating_sub(1);
-                            }
-                        }
-                        None => {
-                            let g = model.duplicate_quasi_router(gsrc);
-                            global_dups.insert(key, g);
-                            l2g.insert(*copy, g);
+                    // Pass 1 visited the same ops in the same order.
+                    #[allow(clippy::expect_used)]
+                    let &(g, creator) = global_dups.get(&key).expect("duplicate seeded in pass 1");
+                    l2g.insert(*copy, g);
+                    if creator != *id {
+                        // The merged model reuses another domain's
+                        // duplicate; this prefix no longer pays for one.
+                        if let Some(&ji) = job_of.get(prefix) {
+                            let oc = &mut jobs[ji].1.outcome;
+                            oc.quasi_routers_added = oc.quasi_routers_added.saturating_sub(1);
                         }
                     }
+                    // In the domain's local run the copy cloned the
+                    // source's state, which at that point held exactly
+                    // this domain's earlier policy ops. Re-apply that
+                    // projection to the shared copy — *every* claiming
+                    // domain does this, creator and reusers alike, so the
+                    // copy's policy state is the union of its claimants'
+                    // own projections and does not depend on which domain
+                    // happened to claim it first.
+                    replay_prior_src_ops(model, cfg, &delta.ops[..pos], &l2g, gsrc, g);
                 }
                 RefineOp::Rank { q, prefix, senders } => {
                     let gq = map(&l2g, *q);
@@ -1154,13 +1267,73 @@ fn merge_domains(
     }
 }
 
+/// Re-applies, onto a freshly claimed merge-time duplicate `copy`, every
+/// policy op among `prior` (one domain's op-log up to the claiming
+/// `Duplicate`) whose target resolves to the duplicate's source `gsrc`.
+///
+/// This reproduces what the domain's local run gave its own copy by
+/// cloning: the source's state as accumulated by *this domain's* earlier
+/// ops. Ops are prefix-scoped, and each domain re-applies only its own
+/// projection, so the shared copy's resulting policy state is a union
+/// over its claimants that no claim order can perturb.
+fn replay_prior_src_ops(
+    model: &mut AsRoutingModel,
+    cfg: &RefineConfig,
+    prior: &[RefineOp],
+    l2g: &BTreeMap<RouterId, RouterId>,
+    gsrc: RouterId,
+    copy: RouterId,
+) {
+    let map = |r: RouterId| l2g.get(&r).copied().unwrap_or(r);
+    for op in prior {
+        match op {
+            RefineOp::Duplicate { .. } => {}
+            RefineOp::Rank { q, prefix, senders } => {
+                if map(*q) == gsrc {
+                    let gsenders: Vec<RouterId> = senders.iter().map(|&r| map(r)).collect();
+                    match cfg.ranking {
+                        RankingAttr::Med => model.set_med_preference(copy, *prefix, &gsenders),
+                        RankingAttr::LocalPref => {
+                            model.set_local_pref_preference(copy, *prefix, &gsenders)
+                        }
+                    }
+                }
+            }
+            RefineOp::ShorterFilters {
+                q,
+                prefix,
+                min_locrib_len,
+            } => {
+                if map(*q) == gsrc {
+                    model.set_shorter_path_filters(copy, *prefix, *min_locrib_len);
+                }
+            }
+            RefineOp::DeleteBlockers {
+                from,
+                to,
+                prefix,
+                locrib_len,
+            } => {
+                let (gf, gt) = (map(*from), map(*to));
+                if gf == gsrc && model.network().has_session(copy, gt) {
+                    model.delete_blocking_filters(copy, gt, *prefix, *locrib_len);
+                }
+                if gt == gsrc && model.network().has_session(gf, copy) {
+                    model.delete_blocking_filters(gf, copy, *prefix, *locrib_len);
+                }
+            }
+        }
+    }
+}
+
 /// Arms the job list for phase 3: every non-diverged prefix is re-verified
 /// against the merged model with a fresh iteration budget on top of what
 /// its domain already spent.
-fn prepare_repair(jobs: &mut [(Prefix, PrefixJob)], cfg: &RefineConfig) {
+pub(crate) fn prepare_repair(jobs: &mut [(Prefix, PrefixJob)], cfg: &RefineConfig) {
     for (_, job) in jobs.iter_mut() {
         job.done = job.outcome.diverged;
         job.max_iter = job.outcome.iterations + cfg.max_iterations;
+        job.repair_changed = false;
     }
 }
 
@@ -1171,10 +1344,10 @@ fn prepare_repair(jobs: &mut [(Prefix, PrefixJob)], cfg: &RefineConfig) {
 /// every prefix after the merge; on a repair-stage resume it continues at
 /// `round`. Checkpoints are written after a round's fixes are applied, so
 /// every snapshot sits on a round boundary.
-fn run_rounds(
+pub(crate) fn run_rounds(
     model: &mut AsRoutingModel,
     cfg: &RefineConfig,
-    mut jobs: Vec<(Prefix, PrefixJob)>,
+    jobs: &mut [(Prefix, PrefixJob)],
     mut round: u64,
     domains_total: usize,
     fingerprint: u64,
@@ -1224,6 +1397,9 @@ fn run_rounds(
                 Err(e) => return Err(RefineError::Sim(e)),
             };
             let (all_matched, changed) = apply_fixes(model, &res, job, cfg, &mut mirrors);
+            if changed {
+                job.repair_changed = true;
+            }
             if all_matched {
                 job.outcome.converged = true;
                 job.done = true;
@@ -1239,16 +1415,445 @@ fn run_rounds(
         }
         if let Some(p) = policy {
             if round.is_multiple_of(p.every.max(1)) {
-                save_repair_checkpoint(model, cfg, domains_total, &jobs, round, fingerprint, p)?;
+                save_repair_checkpoint(model, cfg, domains_total, jobs, round, fingerprint, p)?;
             }
         }
     }
 
     Ok(RefineReport {
-        prefixes: jobs.into_iter().map(|(_, j)| j.outcome).collect(),
+        prefixes: jobs.iter().map(|(_, j)| j.outcome.clone()).collect(),
         domains: domains_total,
         repair_rounds: round,
     })
+}
+
+/// One prefix's applied fix-set in one repair round — the unit of the
+/// [`RepairTrace`]. `ops` replays against a live model by re-invoking the
+/// same mutations (a duplication re-allocates and is checked against the
+/// recorded router id); the flags restore the job bookkeeping the classic
+/// round loop would have produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct RepairStep {
+    /// Index into the job list (ascending-prefix order).
+    pub(crate) job: usize,
+    /// The fixes this round applied for the prefix, in application order.
+    pub(crate) ops: Vec<RefineOp>,
+    /// [`PrefixJob::done`] after the round.
+    pub(crate) done: bool,
+    /// [`PrefixOutcome`] convergence flag after the round.
+    pub(crate) converged: bool,
+    /// [`PrefixOutcome`] divergence flag after the round.
+    pub(crate) diverged: bool,
+}
+
+/// The whole repair phase as rounds of [`RepairStep`]s in ascending job
+/// order — exactly the classic round loop's application schedule.
+pub(crate) type RepairTrace = Vec<Vec<RepairStep>>;
+
+/// A [`RefineHost`] over the real model that additionally records every
+/// fix as a [`RefineOp`] — the repair-phase counterpart of
+/// [`DomainModel`]'s op-log, with the same log-minimising conventions:
+/// model-level no-ops (a zero-length shorter-path floor, a filter
+/// deletion that deleted nothing) are applied but not recorded.
+struct RecordingModel<'a> {
+    model: &'a mut AsRoutingModel,
+    ops: Vec<RefineOp>,
+}
+
+impl RefineHost for RecordingModel<'_> {
+    fn model(&self) -> &AsRoutingModel {
+        self.model
+    }
+
+    fn duplicate_quasi_router(&mut self, prefix: Prefix, src: RouterId) -> RouterId {
+        let copy = self.model.duplicate_quasi_router(src);
+        self.ops.push(RefineOp::Duplicate { prefix, src, copy });
+        copy
+    }
+
+    fn rank_preference(
+        &mut self,
+        q: RouterId,
+        prefix: Prefix,
+        senders: &[RouterId],
+        ranking: RankingAttr,
+    ) {
+        match ranking {
+            RankingAttr::Med => self.model.set_med_preference(q, prefix, senders),
+            RankingAttr::LocalPref => self.model.set_local_pref_preference(q, prefix, senders),
+        }
+        self.ops.push(RefineOp::Rank {
+            q,
+            prefix,
+            senders: senders.to_vec(),
+        });
+    }
+
+    fn set_shorter_path_filters(&mut self, q: RouterId, prefix: Prefix, min_locrib_len: usize) {
+        self.model
+            .set_shorter_path_filters(q, prefix, min_locrib_len);
+        if min_locrib_len > 0 {
+            self.ops.push(RefineOp::ShorterFilters {
+                q,
+                prefix,
+                min_locrib_len,
+            });
+        }
+    }
+
+    fn delete_blocking_filters(
+        &mut self,
+        from: RouterId,
+        to: RouterId,
+        prefix: Prefix,
+        locrib_len: usize,
+    ) -> usize {
+        let deleted = self
+            .model
+            .delete_blocking_filters(from, to, prefix, locrib_len);
+        if deleted > 0 {
+            self.ops.push(RefineOp::DeleteBlockers {
+                from,
+                to,
+                prefix,
+                locrib_len,
+            });
+        }
+        deleted
+    }
+}
+
+/// The `(source, copy)` duplication subsequence of a fix-set — the part
+/// that mutates shared structure. A replayed epoch stays exact only while
+/// every live fix-set's subsequence matches its recorded counterpart.
+fn duplicate_pairs(ops: &[RefineOp]) -> Vec<(RouterId, RouterId)> {
+    ops.iter()
+        .filter_map(|op| match op {
+            RefineOp::Duplicate { src, copy, .. } => Some((*src, *copy)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Processes one freshly simulated job exactly like one [`run_rounds`]
+/// iteration, recording the applied fixes as a [`RepairStep`].
+fn live_step(
+    model: &mut AsRoutingModel,
+    cfg: &RefineConfig,
+    jobs: &mut [(Prefix, PrefixJob)],
+    i: usize,
+    sim: Result<SimulationResult, SimError>,
+    mirrors: &mut BTreeMap<RouterId, RouterId>,
+) -> Result<RepairStep, RefineError> {
+    let job = &mut jobs[i].1;
+    job.outcome.iterations += 1;
+    let res = match sim {
+        Ok(res) => res,
+        Err(SimError::Divergence { .. }) => {
+            job.outcome.diverged = true;
+            job.done = true;
+            return Ok(RepairStep {
+                job: i,
+                ops: Vec::new(),
+                done: true,
+                converged: job.outcome.converged,
+                diverged: true,
+            });
+        }
+        Err(e) => return Err(RefineError::Sim(e)),
+    };
+    let mut host = RecordingModel {
+        model,
+        ops: Vec::new(),
+    };
+    let (all_matched, changed) = apply_fixes(&mut host, &res, job, cfg, mirrors);
+    let ops = host.ops;
+    if changed {
+        job.repair_changed = true;
+    }
+    if all_matched {
+        job.outcome.converged = true;
+        job.done = true;
+    } else if !changed || job.outcome.iterations >= job.max_iter {
+        // No local fix applies anywhere — progress is impossible — or the
+        // iteration budget is spent. A domain-phase convergence claim that
+        // no longer verifies is withdrawn.
+        job.outcome.converged = false;
+        job.done = true;
+    } else {
+        job.outcome.converged = false;
+    }
+    Ok(RepairStep {
+        job: i,
+        ops,
+        done: job.done,
+        converged: job.outcome.converged,
+        diverged: job.outcome.diverged,
+    })
+}
+
+/// Replays one recorded step against the live model, without simulating.
+/// Duplications re-allocate and must land on the recorded router id — any
+/// drift means the model grew differently than the recorded epoch and the
+/// caller must abort the replay. Policy ops are scoped to the step's own
+/// prefix and apply verbatim.
+fn apply_recorded_step(
+    model: &mut AsRoutingModel,
+    cfg: &RefineConfig,
+    jobs: &mut [(Prefix, PrefixJob)],
+    step: &RepairStep,
+    mirrors: &mut BTreeMap<RouterId, RouterId>,
+) -> Result<(), &'static str> {
+    let job = &mut jobs[step.job].1;
+    job.outcome.iterations += 1;
+    for op in &step.ops {
+        match op {
+            RefineOp::Duplicate { src, copy, .. } => {
+                let ancestor = probe(mirrors, *src);
+                let got = model.duplicate_quasi_router(*src);
+                if got != *copy {
+                    return Err("a replayed duplication allocated a different router id");
+                }
+                mirrors.insert(got, ancestor);
+                job.outcome.quasi_routers_added += 1;
+            }
+            RefineOp::Rank { q, prefix, senders } => match cfg.ranking {
+                RankingAttr::Med => model.set_med_preference(*q, *prefix, senders),
+                RankingAttr::LocalPref => model.set_local_pref_preference(*q, *prefix, senders),
+            },
+            RefineOp::ShorterFilters {
+                q,
+                prefix,
+                min_locrib_len,
+            } => {
+                model.set_shorter_path_filters(*q, *prefix, *min_locrib_len);
+            }
+            RefineOp::DeleteBlockers {
+                from,
+                to,
+                prefix,
+                locrib_len,
+            } => {
+                if !model.network().has_session(*from, *to) {
+                    return Err("a replayed filter deletion names a missing session");
+                }
+                job.outcome.filters_deleted +=
+                    model.delete_blocking_filters(*from, *to, *prefix, *locrib_len);
+            }
+        }
+    }
+    if !step.ops.is_empty() {
+        job.repair_changed = true;
+    }
+    job.done = step.done;
+    job.outcome.converged = step.converged;
+    job.outcome.diverged = step.diverged;
+    Ok(())
+}
+
+/// Why a hybrid replay gave up: `Stale` sends the caller back to the
+/// recorded classic loop, `Refine` is a true fault of the run.
+enum HybridError {
+    Stale(&'static str),
+    Refine(RefineError),
+}
+
+/// Phase 3 with trace replay (see the `incremental` module docs): jobs
+/// marked `live` are re-simulated round by round exactly like the classic
+/// loop, while every other job's recorded steps replay without simulation
+/// in the same ascending-job application schedule.
+///
+/// Soundness rests on the caller's guarantee that the merged model equals
+/// the recorded epoch's (no re-refined domain changed its duplication
+/// subsequence), plus the per-round check that every live fix-set's
+/// duplication subsequence matches its recorded counterpart: policy ops
+/// are scoped to their own (live) prefix and cannot perturb a replayed
+/// prefix's implied simulation, so the first structural drift — and only
+/// such drift — invalidates the remaining trace and aborts with
+/// [`HybridError::Stale`]. Rounds past the end of the recorded trace have
+/// nothing left to replay (every recorded job's final step is `done`) and
+/// need no checks.
+// `expect` below: `simulate_batch` returns exactly one result per live
+// active job, consumed in the same ascending-job order.
+#[allow(clippy::expect_used)]
+fn run_repair_hybrid(
+    model: &mut AsRoutingModel,
+    cfg: &RefineConfig,
+    jobs: &mut [(Prefix, PrefixJob)],
+    domains_total: usize,
+    live: &[bool],
+    cached: &RepairTrace,
+) -> Result<(RefineReport, RepairTrace), HybridError> {
+    let threads = cfg.effective_threads();
+    let mut trace: RepairTrace = Vec::new();
+    let mut round = 0u64;
+    loop {
+        let round_idx = round as usize;
+        let live_active: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(i, (_, j))| live[*i] && !j.done)
+            .map(|(i, _)| i)
+            .collect();
+        let cached_round: &[RepairStep] = cached.get(round_idx).map(Vec::as_slice).unwrap_or(&[]);
+        if live_active.is_empty() && cached_round.is_empty() {
+            break;
+        }
+        round += 1;
+        // Failpoint: the same repair-round crash site as `run_rounds`.
+        #[cfg(feature = "testkit")]
+        if quasar_bgpsim::fail::inject("refine.round") {
+            return Err(HybridError::Refine(RefineError::Sim(SimError::Injected {
+                point: "refine.round",
+            })));
+        }
+        let in_replay = round_idx < cached.len();
+        let prefixes: Vec<Prefix> = live_active.iter().map(|&i| jobs[i].0).collect();
+        let mut sims = simulate_batch(model, &prefixes, threads).into_iter();
+        let mut steps: Vec<RepairStep> = Vec::new();
+        let mut mirrors: BTreeMap<RouterId, RouterId> = BTreeMap::new();
+        let mut ci = 0usize;
+        let mut li = 0usize;
+        while ci < cached_round.len() || li < live_active.len() {
+            let cj = cached_round.get(ci).map(|s| s.job);
+            let lj = live_active.get(li).copied();
+            let take_cached = match (cj, lj) {
+                (Some(c), Some(l)) => c < l,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_cached {
+                let step = &cached_round[ci];
+                ci += 1;
+                if live[step.job] {
+                    // The live run finished this job in an earlier round.
+                    // Its recorded policy ops are scoped to a live prefix
+                    // (irrelevant to everyone else), but a recorded
+                    // duplication means the recorded epoch grew structure
+                    // the live run does not — the rest of the trace is
+                    // recorded against a different model.
+                    if duplicate_pairs(&step.ops).is_empty() {
+                        continue;
+                    }
+                    return Err(HybridError::Stale(
+                        "a finished live prefix's recorded round still duplicates",
+                    ));
+                }
+                apply_recorded_step(model, cfg, jobs, step, &mut mirrors)
+                    .map_err(HybridError::Stale)?;
+                steps.push(step.clone());
+            } else {
+                let i = live_active[li];
+                li += 1;
+                let expected = if cj == Some(i) {
+                    let pairs = duplicate_pairs(&cached_round[ci].ops);
+                    ci += 1;
+                    pairs
+                } else {
+                    Vec::new()
+                };
+                let sim = sims.next().expect("one simulation per live active job");
+                let step = live_step(model, cfg, jobs, i, sim, &mut mirrors)
+                    .map_err(HybridError::Refine)?;
+                if in_replay && duplicate_pairs(&step.ops) != expected {
+                    return Err(HybridError::Stale(
+                        "a live prefix's duplications drifted from the recorded round",
+                    ));
+                }
+                steps.push(step);
+            }
+        }
+        trace.push(steps);
+    }
+    Ok((
+        RefineReport {
+            prefixes: jobs.iter().map(|(_, j)| j.outcome.clone()).collect(),
+            domains: domains_total,
+            repair_rounds: round,
+        },
+        trace,
+    ))
+}
+
+/// Runs the repair phase for the incremental trainer: with `hybrid` set,
+/// tries the trace replay first and falls back to the recorded classic
+/// loop (restoring the model and jobs from a snapshot) if the trace goes
+/// stale mid-flight. Returns the report, the freshly recorded trace for
+/// the next epoch, and whether the replay carried through.
+pub(crate) fn run_repair_traced(
+    model: &mut AsRoutingModel,
+    cfg: &RefineConfig,
+    jobs: &mut Vec<(Prefix, PrefixJob)>,
+    domains_total: usize,
+    hybrid: Option<(&[bool], &RepairTrace)>,
+) -> Result<(RefineReport, RepairTrace, bool), RefineError> {
+    if let Some((live, cached)) = hybrid {
+        let model_snapshot = model.clone();
+        let jobs_snapshot = jobs.clone();
+        match run_repair_hybrid(model, cfg, jobs, domains_total, live, cached) {
+            Ok((report, trace)) => return Ok((report, trace, true)),
+            Err(HybridError::Refine(e)) => return Err(e),
+            Err(HybridError::Stale(reason)) => {
+                // Falling back is correctness-preserving but expensive
+                // enough that operators will want to know why.
+                eprintln!("refine: repair-trace replay aborted ({reason}); running full repair");
+                *model = model_snapshot;
+                *jobs = jobs_snapshot;
+            }
+        }
+    }
+    let (report, trace) = run_repair_recorded(model, cfg, jobs, domains_total)?;
+    Ok((report, trace, false))
+}
+
+/// The classic round loop of [`run_rounds`] (without checkpointing),
+/// additionally recording every applied fix-set as a [`RepairTrace`] for
+/// the next epoch to replay. The final model is byte-identical to
+/// `run_rounds` on the same inputs.
+pub(crate) fn run_repair_recorded(
+    model: &mut AsRoutingModel,
+    cfg: &RefineConfig,
+    jobs: &mut [(Prefix, PrefixJob)],
+    domains_total: usize,
+) -> Result<(RefineReport, RepairTrace), RefineError> {
+    let threads = cfg.effective_threads();
+    let mut trace: RepairTrace = Vec::new();
+    let mut round = 0u64;
+    loop {
+        let active: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, j))| !j.done)
+            .map(|(i, _)| i)
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        round += 1;
+        // Failpoint: the same repair-round crash site as `run_rounds`.
+        #[cfg(feature = "testkit")]
+        if quasar_bgpsim::fail::inject("refine.round") {
+            return Err(RefineError::Sim(SimError::Injected {
+                point: "refine.round",
+            }));
+        }
+        let prefixes: Vec<Prefix> = active.iter().map(|&i| jobs[i].0).collect();
+        let sims = simulate_batch(model, &prefixes, threads);
+        let mut steps: Vec<RepairStep> = Vec::with_capacity(active.len());
+        let mut mirrors: BTreeMap<RouterId, RouterId> = BTreeMap::new();
+        for (&i, sim) in active.iter().zip(sims) {
+            steps.push(live_step(model, cfg, jobs, i, sim, &mut mirrors)?);
+        }
+        trace.push(steps);
+    }
+    Ok((
+        RefineReport {
+            prefixes: jobs.iter().map(|(_, j)| j.outcome.clone()).collect(),
+            domains: domains_total,
+            repair_rounds: round,
+        },
+        trace,
+    ))
 }
 
 /// Serializes a domain-phase snapshot and writes it atomically into the
@@ -1402,6 +2007,7 @@ pub fn refine_prefix(
         },
         done: false,
         max_iter: usize::MAX,
+        repair_changed: false,
     };
     job.outcome.targets = job.targets.len();
 

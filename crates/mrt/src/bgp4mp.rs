@@ -105,9 +105,21 @@ impl Bgp4mpMessage {
                 for p in &u.withdrawn {
                     encode_prefix(p, &mut wd);
                 }
+                // The two block-length fields and the total message
+                // length are u16s (RFC 4271 caps a message at 4096
+                // octets); wrapping silently would corrupt the framing
+                // and make the peer misparse everything after it.
+                assert!(
+                    wd.len() <= u16::MAX as usize,
+                    "withdrawn-routes block exceeds the u16 length field"
+                );
                 b.put_u16(wd.len() as u16);
                 b.extend_from_slice(&wd);
                 let attrs = encode_attributes(&u.attributes, self.as_width());
+                assert!(
+                    attrs.len() <= u16::MAX as usize,
+                    "path-attribute block exceeds the u16 length field"
+                );
                 b.put_u16(attrs.len() as u16);
                 b.extend_from_slice(&attrs);
                 for p in &u.announced {
@@ -119,6 +131,10 @@ impl Bgp4mpMessage {
             BgpMessage::Other { msg_type, data } => (*msg_type, Bytes::from(data.clone())),
         };
         out.extend_from_slice(&[0xFF; 16]);
+        assert!(
+            body.len() <= u16::MAX as usize - 19,
+            "BGP message body exceeds the u16 length field"
+        );
         out.put_u16(19 + body.len() as u16);
         out.put_u8(msg_type);
         out.extend_from_slice(&body);
@@ -287,6 +303,123 @@ mod tests {
             message: BgpMessage::KeepAlive,
         };
         assert_eq!(Bgp4mpMessage::decode(m.encode(), m.subtype()).unwrap(), m);
+    }
+
+    /// A pure withdrawal: no attributes, no announced NLRI — the shape a
+    /// route's final withdrawal takes on the wire.
+    fn withdrawal_only(as4: bool, withdrawn: Vec<NlriPrefix>) -> Bgp4mpMessage {
+        Bgp4mpMessage {
+            peer_asn: if as4 { 131_072 } else { 3356 },
+            local_asn: 65000,
+            interface: 0,
+            peer_ip: 0x0A000001,
+            local_ip: 0x0A000002,
+            as4,
+            message: BgpMessage::Update(BgpUpdate {
+                withdrawn,
+                attributes: Vec::new(),
+                announced: Vec::new(),
+            }),
+        }
+    }
+
+    #[test]
+    fn withdrawal_only_roundtrip_both_widths() {
+        for as4 in [false, true] {
+            let m = withdrawal_only(as4, vec![NlriPrefix::new(0xC6336400, 24).unwrap()]);
+            let dec = Bgp4mpMessage::decode(m.encode(), m.subtype()).unwrap();
+            assert_eq!(dec, m);
+            let BgpMessage::Update(u) = &dec.message else {
+                panic!("not an update");
+            };
+            assert_eq!(u.withdrawn.len(), 1);
+            assert!(u.attributes.is_empty() && u.announced.is_empty());
+        }
+    }
+
+    #[test]
+    fn multiple_withdrawals_of_varied_lengths_roundtrip() {
+        // Mixed packed widths (0..=4 octets) exercise the withdrawn-block
+        // length arithmetic; order must be preserved exactly.
+        let withdrawn = vec![
+            NlriPrefix::new(0, 0).unwrap(),
+            NlriPrefix::new(0x80000000, 1).unwrap(),
+            NlriPrefix::new(0x0A000000, 8).unwrap(),
+            NlriPrefix::new(0xC0A80000, 16).unwrap(),
+            NlriPrefix::new(0xC0A80100, 24).unwrap(),
+            NlriPrefix::new(0xC0A80101, 32).unwrap(),
+        ];
+        let m = withdrawal_only(true, withdrawn.clone());
+        let dec = Bgp4mpMessage::decode(m.encode(), m.subtype()).unwrap();
+        let BgpMessage::Update(u) = &dec.message else {
+            panic!("not an update");
+        };
+        assert_eq!(u.withdrawn, withdrawn);
+    }
+
+    #[test]
+    fn mixed_withdraw_and_announce_roundtrip() {
+        // Withdrawals and announcements in one message (RFC 4271 allows
+        // both blocks to be non-empty) must land in their own fields.
+        let m = sample_update(false);
+        let dec = Bgp4mpMessage::decode(m.encode(), m.subtype()).unwrap();
+        let BgpMessage::Update(u) = &dec.message else {
+            panic!("not an update");
+        };
+        assert_eq!(u.withdrawn, vec![NlriPrefix::new(0x0B000000, 8).unwrap()]);
+        assert_eq!(u.announced.len(), 2);
+    }
+
+    #[test]
+    fn truncated_withdrawn_block_is_a_typed_error() {
+        let m = withdrawal_only(
+            false,
+            vec![
+                NlriPrefix::new(0x0A000000, 8).unwrap(),
+                NlriPrefix::new(0xC0A80000, 16).unwrap(),
+            ],
+        );
+        let enc = m.encode();
+        // Chop the message anywhere inside the withdrawn block: every cut
+        // must produce a typed error, never a panic or a bogus Ok.
+        // 2-byte-AS layout: 16 header + 16 marker + 2 len + 1 type = 35
+        // bytes before the withdrawn length field.
+        for cut in 20..enc.len() {
+            let res = Bgp4mpMessage::decode(enc.slice(0..cut), m.subtype());
+            assert!(res.is_err(), "cut at {cut} decoded successfully");
+        }
+    }
+
+    #[test]
+    fn withdrawn_length_pointing_past_body_is_truncation() {
+        let m = withdrawal_only(false, vec![NlriPrefix::new(0x0A000000, 8).unwrap()]);
+        let mut enc = m.encode().to_vec();
+        // The withdrawn-routes length field sits right after the 19-byte
+        // BGP header, which follows the 16-byte BGP4MP header.
+        let wd_len_at = 16 + 19;
+        enc[wd_len_at] = 0xFF;
+        enc[wd_len_at + 1] = 0xFF;
+        assert!(matches!(
+            Bgp4mpMessage::decode(Bytes::from(enc), m.subtype()),
+            Err(MrtError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn withdrawn_block_cut_mid_prefix_is_typed() {
+        // A block length that splits a packed prefix: the inner prefix
+        // decoder must surface truncation, not read into the attributes.
+        let m = withdrawal_only(false, vec![NlriPrefix::new(0xC0A80000, 16).unwrap()]);
+        let mut enc = m.encode().to_vec();
+        let wd_len_at = 16 + 19;
+        // Shrink the declared block from 3 bytes (len byte + 2 octets) to
+        // 2, cutting the prefix bits short.
+        assert_eq!(enc[wd_len_at + 1], 3);
+        enc[wd_len_at + 1] = 2;
+        assert!(matches!(
+            Bgp4mpMessage::decode(Bytes::from(enc), m.subtype()),
+            Err(MrtError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -98,6 +98,54 @@ fn corpus() -> Vec<MrtRecord> {
                 }),
             }),
         },
+        // Withdrawal-only update: empty attribute block, no announced
+        // NLRI — the wire shape of a route's final withdrawal, which
+        // drives the withdrawn-block length arithmetic on its own.
+        MrtRecord {
+            timestamp: 9,
+            body: MrtBody::Bgp4mp(Bgp4mpMessage {
+                peer_asn: 3356,
+                local_asn: 65000,
+                interface: 0,
+                peer_ip: 5,
+                local_ip: 6,
+                as4: false,
+                message: BgpMessage::Update(BgpUpdate {
+                    withdrawn: vec![
+                        NlriPrefix::new(0xC633_6400, 24).unwrap(),
+                        NlriPrefix::new(0x0A00_0000, 8).unwrap(),
+                    ],
+                    attributes: vec![],
+                    announced: vec![],
+                }),
+            }),
+        },
+        // Withdrawal-heavy AS4 update with mixed packed widths (0..=4
+        // octets per prefix) plus a simultaneous announcement.
+        MrtRecord {
+            timestamp: 10,
+            body: MrtBody::Bgp4mp(Bgp4mpMessage {
+                peer_asn: 196_608,
+                local_asn: 65000,
+                interface: 0,
+                peer_ip: 7,
+                local_ip: 8,
+                as4: true,
+                message: BgpMessage::Update(BgpUpdate {
+                    withdrawn: vec![
+                        NlriPrefix::new(0, 0).unwrap(),
+                        NlriPrefix::new(0x8000_0000, 1).unwrap(),
+                        NlriPrefix::new(0xC0A8_0000, 16).unwrap(),
+                        NlriPrefix::new(0xC0A8_0101, 32).unwrap(),
+                    ],
+                    attributes: vec![
+                        PathAttribute::Origin(0),
+                        PathAttribute::AsPath(vec![AsPathSegment::sequence(vec![196_608, 7018])]),
+                    ],
+                    announced: vec![NlriPrefix::new(0x0B0B_0000, 16).unwrap()],
+                }),
+            }),
+        },
     ]
 }
 

@@ -43,6 +43,7 @@ pub mod config;
 pub mod hierarchy;
 pub mod mrt_io;
 pub mod observe;
+pub mod perturb;
 pub mod policies;
 pub mod routers;
 pub mod updates;
@@ -56,6 +57,10 @@ pub mod prelude {
     };
     pub use crate::observe::{
         collect_observations, ObservationPoint, RouteObservation, SyntheticInternet,
+    };
+    pub use crate::perturb::{
+        perturb_observations, perturb_observations_in_block, transition_stream, Perturbation,
+        PerturbationConfig,
     };
     pub use crate::policies::{
         apply_gao_policies, inject_weird_policies, WeirdKind, WeirdPolicyRecord, LP_CUSTOMER,

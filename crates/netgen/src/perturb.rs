@@ -1,0 +1,665 @@
+//! Seeded routing perturbations and before/after update streams.
+//!
+//! The streaming pipeline (`quasar-stream`) needs deterministic ground
+//! truth: an update file whose final state is known exactly, so the
+//! incrementally-maintained model can be compared against a from-scratch
+//! retrain. This module produces that ground truth from one synthetic
+//! Internet:
+//!
+//! * [`perturb_observations`] derives an "after" observation set from a
+//!   "before" set by applying a seeded mix of the routing events the
+//!   paper's data contains — path shifts (a feed switches to an
+//!   alternative route after a link flap), prefix re-homings (a prefix
+//!   moves to a different origin AS), and new announcements;
+//! * [`transition_stream`] renders the before→after difference as a valid
+//!   MRT archive: the before-RIB as a TABLE_DUMP_V2 dump plus one BGP4MP
+//!   UPDATE per changed `(feed, prefix)` route, timestamp-ordered.
+//!
+//! Replaying the stream through [`crate::updates::reconstruct_stable`]
+//! (or the live pipeline) recovers exactly the after set.
+//!
+//! Perturbations can be restricted to **graph-preserving** ones: path
+//! shifts that neither add nor remove any AS-graph edge and keep every
+//! prefix's origin. Those exercise the incremental trainer's fast path
+//! (only the touched prefixes retrain); re-homings and new announcements
+//! deliberately change the origin map and exercise its full-retrain
+//! fallback.
+
+use crate::observe::{ObservationPoint, RouteObservation};
+use crate::updates::UpdateStreamConfig;
+use quasar_bgpsim::aspath::AsPath;
+use quasar_bgpsim::types::{Asn, Prefix};
+use quasar_mrt::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How many of each routing event to attempt (each is best-effort: an
+/// event that would violate the configured invariants is skipped).
+#[derive(Debug, Clone, Copy)]
+pub struct PerturbationConfig {
+    /// Feeds that switch to an alternative path for one prefix.
+    pub path_shifts: usize,
+    /// Prefixes that move to a different origin AS.
+    pub rehomings: usize,
+    /// Brand-new prefixes announced by existing origins.
+    pub new_prefixes: usize,
+    /// Restrict to events that provably keep the AS graph and the
+    /// prefix→origin map unchanged (the incremental trainer's fast
+    /// path). Forces `rehomings` and `new_prefixes` to zero.
+    pub graph_preserving: bool,
+}
+
+impl Default for PerturbationConfig {
+    fn default() -> Self {
+        PerturbationConfig {
+            path_shifts: 8,
+            rehomings: 2,
+            new_prefixes: 2,
+            graph_preserving: false,
+        }
+    }
+}
+
+impl PerturbationConfig {
+    /// A config applying only graph-preserving path shifts — the after
+    /// set has the same AS graph and origins, so the incremental trainer
+    /// retrains nothing but the shifted prefixes.
+    pub fn graph_preserving(path_shifts: usize) -> Self {
+        PerturbationConfig {
+            path_shifts,
+            rehomings: 0,
+            new_prefixes: 0,
+            graph_preserving: true,
+        }
+    }
+}
+
+/// What [`perturb_observations`] did, with the after set and the exact
+/// ground truth the delta detector must recover.
+#[derive(Debug, Clone)]
+pub struct Perturbation {
+    /// The perturbed observation set, sorted by (prefix, point).
+    pub after: Vec<RouteObservation>,
+    /// Applied path shifts: `(feed, prefix)` routes now on a new path.
+    pub shifted: Vec<(u32, Prefix)>,
+    /// Applied re-homings: `(prefix, old origin, new origin)`.
+    pub rehomed: Vec<(Prefix, Asn, Asn)>,
+    /// Newly announced prefixes with their origin.
+    pub added: Vec<(Prefix, Asn)>,
+    /// Every prefix whose observed routes differ from before, ascending.
+    pub dirty_prefixes: Vec<Prefix>,
+}
+
+/// Undirected edge key.
+fn edge_key(a: Asn, b: Asn) -> (Asn, Asn) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Multiset of AS-graph edges over an observation set.
+fn edge_counts(obs: &BTreeMap<(u32, Prefix), AsPath>) -> BTreeMap<(Asn, Asn), usize> {
+    let mut counts: BTreeMap<(Asn, Asn), usize> = BTreeMap::new();
+    for path in obs.values() {
+        for (a, b) in path.edges() {
+            *counts.entry(edge_key(a, b)).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Applies a seeded mix of routing events to `before` and returns the
+/// perturbed set plus ground truth about what changed. Deterministic in
+/// `seed`. Events that would violate the config's invariants (or find no
+/// viable candidate) are skipped, so the returned ground truth — not the
+/// requested counts — is authoritative.
+pub fn perturb_observations(
+    points: &[ObservationPoint],
+    before: &[RouteObservation],
+    cfg: &PerturbationConfig,
+    seed: u64,
+) -> Perturbation {
+    perturb_at(points, before, cfg, seed, None)
+}
+
+/// Like [`perturb_observations`], but path shifts are drawn only from a
+/// contiguous block of the ascending prefix list: `block = (start, len)`
+/// over the distinct-prefix index space. A contiguous dirty block maps to
+/// a contiguous run of refinement domains, which is how the stream bench
+/// measures the incremental speedup at a bounded dirty fraction.
+pub fn perturb_observations_in_block(
+    points: &[ObservationPoint],
+    before: &[RouteObservation],
+    cfg: &PerturbationConfig,
+    seed: u64,
+    block: (usize, usize),
+) -> Perturbation {
+    perturb_at(points, before, cfg, seed, Some(block))
+}
+
+fn perturb_at(
+    points: &[ObservationPoint],
+    before: &[RouteObservation],
+    cfg: &PerturbationConfig,
+    seed: u64,
+    block: Option<(usize, usize)>,
+) -> Perturbation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let point_as: BTreeMap<u32, Asn> = points.iter().map(|p| (p.id, p.observer_as())).collect();
+
+    // Working state: (feed, prefix) -> path.
+    let mut state: BTreeMap<(u32, Prefix), AsPath> = before
+        .iter()
+        .map(|o| ((o.point, o.prefix), o.as_path.clone()))
+        .collect();
+    let mut counts = edge_counts(&state);
+    let prefix_list: Vec<Prefix> = {
+        let set: BTreeSet<Prefix> = state.keys().map(|(_, p)| *p).collect();
+        set.into_iter().collect()
+    };
+    let eligible: BTreeSet<Prefix> = match block {
+        Some((start, len)) => prefix_list.iter().skip(start).take(len).copied().collect(),
+        None => prefix_list.iter().copied().collect(),
+    };
+
+    let mut shifted: Vec<(u32, Prefix)> = Vec::new();
+    let mut dirty: BTreeSet<Prefix> = BTreeSet::new();
+
+    // --- Path shifts -----------------------------------------------------
+    // A feed abandons its current path for `prefix` and re-learns the
+    // route over a different first hop — the observable effect of a link
+    // flap or a policy change upstream. The new path is spliced from
+    // another feed's path for the same prefix (so it ends at the same
+    // origin), re-headed with this feed's observer AS; it is only applied
+    // if the splice edge already exists in the graph, and — in
+    // graph-preserving mode — if dropping the old path leaves every one
+    // of its edges covered elsewhere.
+    let mut shift_candidates: Vec<(u32, Prefix)> = state
+        .keys()
+        .filter(|(_, p)| eligible.contains(p))
+        .copied()
+        .collect();
+    shift_candidates.shuffle(&mut rng);
+    for (feed, prefix) in shift_candidates {
+        if shifted.len() >= cfg.path_shifts {
+            break;
+        }
+        let Some(observer) = point_as.get(&feed).copied() else {
+            continue;
+        };
+        let old = state[&(feed, prefix)].clone();
+        // Donor tails for the same prefix from other feeds.
+        let mut donors: Vec<AsPath> = state
+            .iter()
+            .filter(|((f, p), _)| *p == prefix && *f != feed)
+            .map(|(_, path)| path.clone())
+            .collect();
+        donors.shuffle(&mut rng);
+        let Some(new_path) = donors.iter().find_map(|donor| {
+            let tail: Vec<Asn> = donor.iter().skip(1).collect();
+            let candidate = if donor.head() == Some(observer) {
+                donor.clone()
+            } else {
+                let first = *tail.first()?;
+                if counts.get(&edge_key(observer, first)).copied().unwrap_or(0) == 0 {
+                    return None; // splice edge would be new
+                }
+                let mut asns = Vec::with_capacity(tail.len() + 1);
+                asns.push(observer);
+                asns.extend(tail.iter().copied());
+                AsPath::new(asns)
+            };
+            if candidate == old || candidate.has_loop() {
+                return None;
+            }
+            if cfg.graph_preserving {
+                // Dropping `old` must not remove any graph edge: every
+                // edge needs a second user or coverage by the candidate.
+                let candidate_edges: BTreeSet<(Asn, Asn)> =
+                    candidate.edges().map(|(a, b)| edge_key(a, b)).collect();
+                let safe = old.edges().all(|(a, b)| {
+                    let k = edge_key(a, b);
+                    counts.get(&k).copied().unwrap_or(0) >= 2 || candidate_edges.contains(&k)
+                });
+                if !safe {
+                    return None;
+                }
+            }
+            Some(candidate)
+        }) else {
+            continue;
+        };
+        for (a, b) in old.edges() {
+            if let Some(c) = counts.get_mut(&edge_key(a, b)) {
+                *c = c.saturating_sub(1);
+            }
+        }
+        for (a, b) in new_path.edges() {
+            *counts.entry(edge_key(a, b)).or_insert(0) += 1;
+        }
+        state.insert((feed, prefix), new_path);
+        shifted.push((feed, prefix));
+        dirty.insert(prefix);
+    }
+
+    // --- Prefix re-homings ----------------------------------------------
+    // `prefix` moves from its origin to a donor origin: every feed that
+    // reaches the donor's home prefix now reaches `prefix` over the same
+    // path, and feeds that cannot reach the donor withdraw it.
+    let mut rehomed: Vec<(Prefix, Asn, Asn)> = Vec::new();
+    if !cfg.graph_preserving && cfg.rehomings > 0 {
+        let origin_of: BTreeMap<Prefix, Asn> = state
+            .iter()
+            .filter_map(|((_, p), path)| path.origin().map(|o| (*p, o)))
+            .collect();
+        let mut candidates: Vec<Prefix> = prefix_list
+            .iter()
+            .filter(|p| eligible.contains(p) && !dirty.contains(p))
+            .copied()
+            .collect();
+        candidates.shuffle(&mut rng);
+        for prefix in candidates {
+            if rehomed.len() >= cfg.rehomings {
+                break;
+            }
+            let Some(&old_origin) = origin_of.get(&prefix) else {
+                continue;
+            };
+            // Donor: a different prefix with a different origin.
+            let Some((&donor_prefix, &new_origin)) = origin_of
+                .iter()
+                .find(|(dp, o)| **dp != prefix && **o != old_origin && !dirty.contains(dp))
+            else {
+                continue;
+            };
+            let donor_routes: Vec<(u32, AsPath)> = state
+                .iter()
+                .filter(|((_, p), _)| *p == donor_prefix)
+                .map(|((f, _), path)| (*f, path.clone()))
+                .collect();
+            if donor_routes.is_empty() {
+                continue;
+            }
+            state.retain(|(_, p), _| *p != prefix);
+            for (feed, path) in donor_routes {
+                state.insert((feed, prefix), path);
+            }
+            rehomed.push((prefix, old_origin, new_origin));
+            dirty.insert(prefix);
+        }
+    }
+
+    // --- New announcements ----------------------------------------------
+    // An existing origin announces an additional prefix, visible over the
+    // same paths as its home prefix.
+    let mut added: Vec<(Prefix, Asn)> = Vec::new();
+    if !cfg.graph_preserving && cfg.new_prefixes > 0 {
+        let taken: BTreeSet<Prefix> = state.keys().map(|(_, p)| *p).collect();
+        let mut origins: Vec<(Prefix, Asn)> = {
+            let set: BTreeSet<(Prefix, Asn)> = state
+                .iter()
+                .filter_map(|((_, p), path)| path.origin().map(|o| (*p, o)))
+                .collect();
+            set.into_iter().collect()
+        };
+        origins.shuffle(&mut rng);
+        for (home, origin) in origins {
+            if added.len() >= cfg.new_prefixes {
+                break;
+            }
+            let Some(new_prefix) = (0u8..64).find_map(|n| {
+                let p = Prefix::for_origin_nth(origin, n);
+                (!taken.contains(&p) && !added.iter().any(|(a, _)| *a == p)).then_some(p)
+            }) else {
+                continue;
+            };
+            let home_routes: Vec<(u32, AsPath)> = state
+                .iter()
+                .filter(|((_, p), _)| *p == home)
+                .map(|((f, _), path)| (*f, path.clone()))
+                .collect();
+            for (feed, path) in home_routes {
+                state.insert((feed, new_prefix), path);
+            }
+            added.push((new_prefix, origin));
+            dirty.insert(new_prefix);
+        }
+    }
+
+    let after: Vec<RouteObservation> = state
+        .into_iter()
+        .map(|((point, prefix), as_path)| RouteObservation {
+            point,
+            observer_as: point_as.get(&point).copied().unwrap_or(Asn::RESERVED),
+            prefix,
+            as_path,
+        })
+        .collect();
+    Perturbation {
+        after,
+        shifted,
+        rehomed,
+        added,
+        dirty_prefixes: dirty.into_iter().collect(),
+    }
+}
+
+fn path_attrs(path: &AsPath, next_hop: u32) -> Vec<PathAttribute> {
+    vec![
+        PathAttribute::Origin(0),
+        PathAttribute::AsPath(vec![AsPathSegment::sequence(
+            path.iter().map(|a| a.0).collect(),
+        )]),
+        PathAttribute::NextHop(next_hop),
+    ]
+}
+
+/// Renders the before→after transition as an MRT archive: the peer table
+/// and the *before* RIB at `cfg.dump_time`, then one BGP4MP UPDATE per
+/// changed `(feed, prefix)` route — withdrawals for routes that vanish,
+/// announcements for routes that appear or change — at seeded timestamps
+/// inside the stable window (so
+/// [`reconstruct_stable`](crate::updates::reconstruct_stable) at
+/// `cfg.snapshot_time` recovers exactly the after set). Records are
+/// timestamp-ordered after the dump.
+pub fn transition_stream(
+    points: &[ObservationPoint],
+    before: &[RouteObservation],
+    after: &[RouteObservation],
+    cfg: &UpdateStreamConfig,
+    seed: u64,
+) -> Vec<MrtRecord> {
+    assert!(
+        cfg.dump_time < cfg.snapshot_time,
+        "dump must precede snapshot"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut records = Vec::new();
+
+    records.push(MrtRecord {
+        timestamp: cfg.dump_time,
+        body: MrtBody::PeerIndexTable(PeerIndexTable {
+            collector_id: 0x7F000001,
+            view_name: "quasar-transition".into(),
+            peers: points
+                .iter()
+                .map(|p| PeerEntry {
+                    bgp_id: p.router.0,
+                    address: PeerAddress::V4(p.router.0),
+                    asn: p.observer_as().0,
+                    as4: true,
+                })
+                .collect(),
+        }),
+    });
+
+    // The before-RIB, grouped by prefix.
+    let index: BTreeMap<u32, u16> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.id, i as u16))
+        .collect();
+    let mut by_prefix: BTreeMap<Prefix, Vec<&RouteObservation>> = BTreeMap::new();
+    for o in before {
+        by_prefix.entry(o.prefix).or_default().push(o);
+    }
+    for (seq, (prefix, group)) in by_prefix.iter().enumerate() {
+        records.push(MrtRecord {
+            timestamp: cfg.dump_time,
+            body: MrtBody::RibIpv4Unicast(RibIpv4Unicast {
+                sequence: seq as u32,
+                prefix: NlriPrefix::new(prefix.base, prefix.len).expect("valid prefix"),
+                entries: group
+                    .iter()
+                    .map(|o| RibEntry {
+                        peer_index: index[&o.point],
+                        originated_time: cfg.dump_time,
+                        attributes: path_attrs(&o.as_path, o.point),
+                    })
+                    .collect(),
+            }),
+        });
+    }
+
+    // The diff, one update per changed route, inside the stable window.
+    let before_map: BTreeMap<(u32, Prefix), &AsPath> = before
+        .iter()
+        .map(|o| ((o.point, o.prefix), &o.as_path))
+        .collect();
+    let after_map: BTreeMap<(u32, Prefix), &RouteObservation> =
+        after.iter().map(|o| ((o.point, o.prefix), o)).collect();
+    let cutoff = cfg.snapshot_time.saturating_sub(cfg.stability_window);
+    assert!(cfg.dump_time + 1 < cutoff, "no room inside stable window");
+    let point_by_id: BTreeMap<u32, &ObservationPoint> = points.iter().map(|p| (p.id, p)).collect();
+    let mut updates: Vec<MrtRecord> = Vec::new();
+    let push_update = |rng: &mut StdRng, feed: u32, update: BgpUpdate, out: &mut Vec<MrtRecord>| {
+        let Some(p) = point_by_id.get(&feed) else {
+            return;
+        };
+        out.push(MrtRecord {
+            timestamp: rng.gen_range(cfg.dump_time + 1..cutoff),
+            body: MrtBody::Bgp4mp(Bgp4mpMessage {
+                peer_asn: p.observer_as().0,
+                local_asn: 65_000,
+                interface: 0,
+                peer_ip: p.router.0,
+                local_ip: 0x7F000001,
+                as4: true,
+                message: BgpMessage::Update(update),
+            }),
+        });
+    };
+    for &(feed, prefix) in before_map.keys() {
+        if after_map.contains_key(&(feed, prefix)) {
+            continue;
+        }
+        let nlri = NlriPrefix::new(prefix.base, prefix.len).expect("valid prefix");
+        push_update(
+            &mut rng,
+            feed,
+            BgpUpdate {
+                withdrawn: vec![nlri],
+                attributes: Vec::new(),
+                announced: Vec::new(),
+            },
+            &mut updates,
+        );
+    }
+    for (&(feed, prefix), o) in &after_map {
+        if before_map.get(&(feed, prefix)) == Some(&&o.as_path) {
+            continue; // unchanged
+        }
+        let nlri = NlriPrefix::new(prefix.base, prefix.len).expect("valid prefix");
+        push_update(
+            &mut rng,
+            feed,
+            BgpUpdate {
+                withdrawn: Vec::new(),
+                attributes: path_attrs(&o.as_path, o.point),
+                announced: vec![nlri],
+            },
+            &mut updates,
+        );
+    }
+    updates.sort_by_key(|r| r.timestamp);
+    records.extend(updates);
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetGenConfig;
+    use crate::observe::SyntheticInternet;
+    use crate::updates::reconstruct_stable;
+
+    fn sorted_keys(obs: &[RouteObservation]) -> Vec<(u32, Prefix, String)> {
+        let mut v: Vec<_> = obs
+            .iter()
+            .map(|o| (o.point, o.prefix, o.as_path.to_string()))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    fn graph_and_origins(
+        obs: &[RouteObservation],
+    ) -> (BTreeSet<(Asn, Asn)>, BTreeMap<Prefix, Asn>) {
+        let mut edges = BTreeSet::new();
+        let mut origins = BTreeMap::new();
+        for o in obs {
+            for (a, b) in o.as_path.edges() {
+                edges.insert(edge_key(a, b));
+            }
+            if let Some(or) = o.as_path.origin() {
+                origins.insert(o.prefix, or);
+            }
+        }
+        (edges, origins)
+    }
+
+    #[test]
+    fn graph_preserving_shifts_keep_graph_and_origins() {
+        let net = SyntheticInternet::generate(NetGenConfig::tiny(41));
+        let cfg = PerturbationConfig::graph_preserving(6);
+        let p = perturb_observations(&net.observation_points, &net.observations, &cfg, 7);
+        assert!(!p.shifted.is_empty(), "no shift candidates found at all");
+        assert!(p.rehomed.is_empty() && p.added.is_empty());
+        let (e0, o0) = graph_and_origins(&net.observations);
+        let (e1, o1) = graph_and_origins(&p.after);
+        assert_eq!(e0, e1, "AS graph must be unchanged");
+        assert_eq!(o0, o1, "origin map must be unchanged");
+        assert_eq!(
+            p.dirty_prefixes,
+            p.shifted
+                .iter()
+                .map(|(_, pfx)| *pfx)
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn full_perturbation_changes_what_it_claims() {
+        let net = SyntheticInternet::generate(NetGenConfig::tiny(42));
+        let cfg = PerturbationConfig::default();
+        let p = perturb_observations(&net.observation_points, &net.observations, &cfg, 8);
+        assert!(!p.dirty_prefixes.is_empty());
+        let before_prefixes: BTreeSet<Prefix> = net.observations.iter().map(|o| o.prefix).collect();
+        for (added, _) in &p.added {
+            assert!(!before_prefixes.contains(added));
+            assert!(p.after.iter().any(|o| o.prefix == *added));
+        }
+        for (prefix, old, new) in &p.rehomed {
+            assert_ne!(old, new);
+            for o in p.after.iter().filter(|o| o.prefix == *prefix) {
+                assert_eq!(o.as_path.origin(), Some(*new));
+            }
+        }
+        // Untouched prefixes are bit-identical.
+        let dirty: BTreeSet<Prefix> = p.dirty_prefixes.iter().copied().collect();
+        let clean_before: Vec<_> = net
+            .observations
+            .iter()
+            .filter(|o| !dirty.contains(&o.prefix))
+            .cloned()
+            .collect();
+        let clean_after: Vec<_> = p
+            .after
+            .iter()
+            .filter(|o| !dirty.contains(&o.prefix))
+            .cloned()
+            .collect();
+        assert_eq!(sorted_keys(&clean_before), sorted_keys(&clean_after));
+    }
+
+    #[test]
+    fn transition_stream_replays_to_the_after_set() {
+        let net = SyntheticInternet::generate(NetGenConfig::tiny(43));
+        let pcfg = PerturbationConfig::default();
+        let p = perturb_observations(&net.observation_points, &net.observations, &pcfg, 9);
+        let ucfg = UpdateStreamConfig::default();
+        let recs = transition_stream(
+            &net.observation_points,
+            &net.observations,
+            &p.after,
+            &ucfg,
+            10,
+        );
+        let (_, obs) = reconstruct_stable(&recs, ucfg.snapshot_time, ucfg.stability_window);
+        assert_eq!(sorted_keys(&obs), sorted_keys(&p.after));
+    }
+
+    #[test]
+    fn transition_stream_round_trips_through_bytes() {
+        let net = SyntheticInternet::generate(NetGenConfig::tiny(44));
+        let pcfg = PerturbationConfig::graph_preserving(4);
+        let p = perturb_observations(&net.observation_points, &net.observations, &pcfg, 11);
+        let ucfg = UpdateStreamConfig::default();
+        let recs = transition_stream(
+            &net.observation_points,
+            &net.observations,
+            &p.after,
+            &ucfg,
+            12,
+        );
+        let mut w = MrtWriter::new(Vec::new());
+        for r in &recs {
+            w.write_record(r).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let back = MrtReader::new(&bytes[..]).read_all().unwrap();
+        assert_eq!(back, recs);
+        // The stream must contain real withdrawals whenever a route
+        // vanished (re-homings withdraw from non-donor feeds).
+        let after_keys: BTreeSet<(u32, Prefix)> =
+            p.after.iter().map(|o| (o.point, o.prefix)).collect();
+        let vanished = net
+            .observations
+            .iter()
+            .any(|o| !after_keys.contains(&(o.point, o.prefix)));
+        if vanished {
+            let has_withdraw = recs.iter().any(|r| {
+                matches!(
+                    &r.body,
+                    MrtBody::Bgp4mp(m) if matches!(
+                        &m.message,
+                        BgpMessage::Update(u) if !u.withdrawn.is_empty()
+                    )
+                )
+            });
+            assert!(has_withdraw);
+        }
+    }
+
+    #[test]
+    fn block_perturbation_stays_inside_the_block() {
+        let net = SyntheticInternet::generate(NetGenConfig::tiny(45));
+        let all: BTreeSet<Prefix> = net.observations.iter().map(|o| o.prefix).collect();
+        let prefixes: Vec<Prefix> = all.into_iter().collect();
+        let block = (2usize, 5usize);
+        let allowed: BTreeSet<Prefix> = prefixes
+            .iter()
+            .skip(block.0)
+            .take(block.1)
+            .copied()
+            .collect();
+        let cfg = PerturbationConfig::graph_preserving(100);
+        let p = perturb_observations_in_block(
+            &net.observation_points,
+            &net.observations,
+            &cfg,
+            13,
+            block,
+        );
+        for d in &p.dirty_prefixes {
+            assert!(allowed.contains(d), "{d} escaped the block");
+        }
+    }
+}

@@ -45,11 +45,14 @@ pub mod session;
 /// Commonly used names.
 pub mod prelude {
     pub use crate::cache::{CacheSnapshot, SteadyStateCache};
-    pub use crate::metrics::{LatencySnapshot, MetricsSnapshot, RequestKind, ServeMetrics};
+    pub use crate::metrics::{
+        LatencySnapshot, MetricsSnapshot, RequestKind, ServeMetrics, StreamStatusReport,
+        StreamWindowReport,
+    };
     pub use crate::protocol::{
         diff_reply, explain_reply, predict_reply, stats_reply, ChangeSpec, DiffReply, ErrorReply,
         ExplainReply, ImpactEntry, PredictReply, Request, Response, RouterBest, ShutdownReply,
-        StatsReply,
+        StatsReply, StreamReportReply,
     };
     pub use crate::server::{serve, ServeConfig, ServerState};
     pub use crate::session::{scenario_key, Session, SessionStore};

@@ -29,12 +29,15 @@ pub enum RequestKind {
     Reload,
     /// `shutdown` requests.
     Shutdown,
+    /// `stream_report` requests (a streaming pipeline publishing its
+    /// per-window progress).
+    StreamReport,
     /// Malformed or failed requests (answered with an error response).
     Error,
 }
 
 impl RequestKind {
-    const ALL: [RequestKind; 8] = [
+    const ALL: [RequestKind; 9] = [
         RequestKind::Predict,
         RequestKind::Diff,
         RequestKind::Explain,
@@ -42,6 +45,7 @@ impl RequestKind {
         RequestKind::Metrics,
         RequestKind::Reload,
         RequestKind::Shutdown,
+        RequestKind::StreamReport,
         RequestKind::Error,
     ];
 
@@ -55,6 +59,7 @@ impl RequestKind {
             RequestKind::Metrics => "metrics",
             RequestKind::Reload => "reload",
             RequestKind::Shutdown => "shutdown",
+            RequestKind::StreamReport => "stream_report",
             RequestKind::Error => "error",
         }
     }
@@ -68,7 +73,8 @@ impl RequestKind {
             RequestKind::Metrics => 4,
             RequestKind::Reload => 5,
             RequestKind::Shutdown => 6,
-            RequestKind::Error => 7,
+            RequestKind::StreamReport => 7,
+            RequestKind::Error => 8,
         }
     }
 }
@@ -152,10 +158,61 @@ pub struct LatencySnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+/// One streamed window's worth of pipeline progress, as reported by a
+/// `quasar stream` process through the `stream_report` request.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamWindowReport {
+    /// Window sequence number (0-based, monotonically increasing).
+    pub seq: u64,
+    /// BGP UPDATE messages parsed in this window.
+    pub updates: u64,
+    /// Announced (prefix, feed) route changes applied.
+    pub announcements: u64,
+    /// Withdrawn (prefix, feed) routes applied.
+    pub withdrawals: u64,
+    /// Prefixes whose observed-path set actually changed.
+    pub dirty_prefixes: u64,
+    /// Training mode chosen for this window: `"initial"`,
+    /// `"incremental"`, `"incremental_replay"` or `"full_retrain"`.
+    pub mode: String,
+    /// Wall-clock time spent re-refining the model (ms).
+    pub refine_ms: u64,
+    /// Wall-clock time from window close to the serve swap taking
+    /// effect (ms); `0` when no swap was attempted.
+    pub swap_ms: u64,
+    /// Updates parsed per second of window wall-clock.
+    pub updates_per_sec: f64,
+}
+
+/// Cumulative status of a streaming ingestion pipeline, pushed to the
+/// server so operators can read it back through the `metrics` request.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamStatusReport {
+    /// Windows processed so far.
+    pub windows: u64,
+    /// BGP UPDATE messages parsed across all windows.
+    pub updates_total: u64,
+    /// Dirty prefixes accumulated across all windows.
+    pub dirty_prefixes_total: u64,
+    /// Model epochs successfully swapped into the server.
+    pub swaps: u64,
+    /// Epoch swaps the server rejected (the old model kept serving).
+    pub swaps_rejected: u64,
+    /// Windows trained on the incremental fast path.
+    pub incremental_windows: u64,
+    /// Windows that fell back to a full retrain.
+    pub full_retrain_windows: u64,
+    /// Whether the update source is exhausted (replay finished or the
+    /// follow-mode tail went idle past its timeout).
+    pub source_done: bool,
+    /// The most recently completed window, if any.
+    pub last_window: Option<StreamWindowReport>,
+}
+
 /// All server counters.
 #[derive(Default)]
 pub struct ServeMetrics {
-    per_kind: [LatencyHistogram; 8],
+    per_kind: [LatencyHistogram; 9],
     connections: AtomicU64,
     panics_caught: AtomicU64,
     shed: AtomicU64,
@@ -248,6 +305,7 @@ impl ServeMetrics {
         base_cache: CacheSnapshot,
         overlay_cache: CacheSnapshot,
         active_sessions: usize,
+        stream: Option<StreamStatusReport>,
     ) -> MetricsSnapshot {
         MetricsSnapshot {
             requests: RequestKind::ALL
@@ -263,6 +321,7 @@ impl ServeMetrics {
             base_cache,
             overlay_cache,
             active_sessions,
+            stream,
         }
     }
 }
@@ -271,7 +330,8 @@ impl ServeMetrics {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Per-request-type latency histograms (`predict`, `diff`, `explain`,
-    /// `stats`, `metrics`, `reload`, `shutdown`, `error`).
+    /// `stats`, `metrics`, `reload`, `shutdown`, `stream_report`,
+    /// `error`).
     pub requests: Vec<(String, LatencySnapshot)>,
     /// Connections accepted since startup.
     pub connections: u64,
@@ -295,6 +355,10 @@ pub struct MetricsSnapshot {
     pub overlay_cache: CacheSnapshot,
     /// Resident what-if sessions.
     pub active_sessions: usize,
+    /// Latest streaming-pipeline status, if a `quasar stream` process has
+    /// reported one (absent on servers that never received a report).
+    #[serde(default)]
+    pub stream: Option<StreamStatusReport>,
 }
 
 impl MetricsSnapshot {
@@ -343,13 +407,69 @@ mod tests {
         m.record(RequestKind::Predict, 43);
         m.record(RequestKind::Diff, 1_000_000);
         m.connection_opened();
-        let s = m.snapshot(CacheSnapshot::default(), CacheSnapshot::default(), 3);
-        assert_eq!(s.requests.len(), 8);
+        let s = m.snapshot(CacheSnapshot::default(), CacheSnapshot::default(), 3, None);
+        assert_eq!(s.requests.len(), 9);
         assert_eq!(s.for_kind("predict").unwrap().count, 2);
         assert_eq!(s.for_kind("diff").unwrap().count, 1);
         assert_eq!(s.for_kind("explain").unwrap().count, 0);
+        assert_eq!(s.for_kind("stream_report").unwrap().count, 0);
         assert_eq!(s.connections, 1);
         assert_eq!(s.active_sessions, 3);
+        assert!(s.stream.is_none());
+    }
+
+    #[test]
+    fn stream_status_rides_along_in_the_snapshot() {
+        let m = ServeMetrics::new();
+        m.record(RequestKind::StreamReport, 17);
+        let report = StreamStatusReport {
+            windows: 3,
+            updates_total: 120,
+            dirty_prefixes_total: 14,
+            swaps: 3,
+            swaps_rejected: 1,
+            incremental_windows: 2,
+            full_retrain_windows: 1,
+            source_done: false,
+            last_window: Some(StreamWindowReport {
+                seq: 2,
+                updates: 40,
+                announcements: 30,
+                withdrawals: 10,
+                dirty_prefixes: 5,
+                mode: "incremental".into(),
+                refine_ms: 250,
+                swap_ms: 12,
+                updates_per_sec: 160.0,
+            }),
+        };
+        let s = m.snapshot(
+            CacheSnapshot::default(),
+            CacheSnapshot::default(),
+            0,
+            Some(report.clone()),
+        );
+        assert_eq!(s.for_kind("stream_report").unwrap().count, 1);
+        assert_eq!(s.stream, Some(report));
+        // The snapshot (stream field included) survives the wire format,
+        // and a pre-streaming snapshot without the field still parses.
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        let old = serde_json::to_string(&m.snapshot(
+            CacheSnapshot::default(),
+            CacheSnapshot::default(),
+            0,
+            None,
+        ))
+        .unwrap();
+        // A snapshot from a server predating streaming has no `stream`
+        // key at all; `#[serde(default)]` must cover both shapes.
+        let without_field = old.replace(",\"stream\":null", "");
+        for json in [old, without_field] {
+            let parsed: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+            assert!(parsed.stream.is_none(), "{json}");
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ use quasar_core::whatif::{Change, Impact, RoutingDiff};
 use serde::content::{field, ContentError};
 use serde::{Content, Deserialize, Serialize};
 
-use crate::metrics::{MetricsSnapshot, RequestKind};
+use crate::metrics::{MetricsSnapshot, RequestKind, StreamStatusReport};
 
 // ---------------------------------------------------------------------------
 // Requests
@@ -75,6 +75,12 @@ pub enum Request {
         /// Filesystem path of the model artifact to load.
         path: String,
     },
+    /// A streaming pipeline publishing its cumulative per-window status
+    /// so operators can read it back through `metrics`.
+    StreamReport {
+        /// The pipeline's cumulative status.
+        report: StreamStatusReport,
+    },
     /// Graceful shutdown: drain in-flight work, then exit.
     Shutdown,
 }
@@ -89,6 +95,7 @@ impl Request {
             Request::Stats => RequestKind::Stats,
             Request::Metrics => RequestKind::Metrics,
             Request::Reload { .. } => RequestKind::Reload,
+            Request::StreamReport { .. } => RequestKind::StreamReport,
             Request::Shutdown => RequestKind::Shutdown,
         }
     }
@@ -283,6 +290,15 @@ pub struct ReloadReply {
     pub quasi_routers: usize,
 }
 
+/// Answer to a `stream_report` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamReportReply {
+    /// Always true: the report is now the one served under `metrics`.
+    pub accepted: bool,
+    /// Windows the accepted report covers (echo of `report.windows`).
+    pub windows: u64,
+}
+
 /// Load-shed reply: the pending-connection queue was full, so the server
 /// answered immediately and closed the connection instead of queueing it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -325,6 +341,8 @@ pub enum Response {
     Metrics(MetricsSnapshot),
     /// Answer to a successful `reload`.
     Reload(ReloadReply),
+    /// Answer to `stream_report`.
+    StreamReport(StreamReportReply),
     /// Answer to `shutdown`.
     Shutdown(ShutdownReply),
     /// Load-shed answer sent when the pending-connection queue is full.
@@ -594,6 +612,11 @@ impl Serialize for Request {
             Request::Reload { path } => {
                 tagged("type", "reload", vec![(key("path"), path.to_content())])
             }
+            Request::StreamReport { report } => tagged(
+                "type",
+                "stream_report",
+                vec![(key("report"), report.to_content())],
+            ),
             Request::Shutdown => tagged("type", "shutdown", vec![]),
         }
     }
@@ -620,6 +643,9 @@ impl<'de> Deserialize<'de> for Request {
             "reload" => Ok(Request::Reload {
                 path: req_field(c, "path")?,
             }),
+            "stream_report" => Ok(Request::StreamReport {
+                report: req_field(c, "report")?,
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ContentError::msg(format!("unknown request type `{other}`"))),
         }
@@ -635,6 +661,7 @@ impl Response {
             Response::Stats(_) => "stats",
             Response::Metrics(_) => "metrics",
             Response::Reload(_) => "reload",
+            Response::StreamReport(_) => "stream_report",
             Response::Shutdown(_) => "shutdown",
             Response::Overloaded(_) => "overloaded",
             Response::DeadlineExceeded(_) => "deadline_exceeded",
@@ -652,6 +679,7 @@ impl Serialize for Response {
             Response::Stats(r) => r.to_content(),
             Response::Metrics(r) => r.to_content(),
             Response::Reload(r) => r.to_content(),
+            Response::StreamReport(r) => r.to_content(),
             Response::Shutdown(r) => r.to_content(),
             Response::Overloaded(r) => r.to_content(),
             Response::DeadlineExceeded(r) => r.to_content(),
@@ -674,6 +702,7 @@ impl<'de> Deserialize<'de> for Response {
             "stats" => Ok(Response::Stats(StatsReply::from_content(c)?)),
             "metrics" => Ok(Response::Metrics(MetricsSnapshot::from_content(c)?)),
             "reload" => Ok(Response::Reload(ReloadReply::from_content(c)?)),
+            "stream_report" => Ok(Response::StreamReport(StreamReportReply::from_content(c)?)),
             "shutdown" => Ok(Response::Shutdown(ShutdownReply::from_content(c)?)),
             "overloaded" => Ok(Response::Overloaded(OverloadedReply::from_content(c)?)),
             "deadline_exceeded" => Ok(Response::DeadlineExceeded(
@@ -724,6 +753,29 @@ mod tests {
             Request::Metrics,
             Request::Reload {
                 path: "/tmp/model.json".into(),
+            },
+            Request::StreamReport {
+                report: StreamStatusReport {
+                    windows: 2,
+                    updates_total: 64,
+                    dirty_prefixes_total: 9,
+                    swaps: 2,
+                    swaps_rejected: 0,
+                    incremental_windows: 1,
+                    full_retrain_windows: 1,
+                    source_done: true,
+                    last_window: Some(crate::metrics::StreamWindowReport {
+                        seq: 1,
+                        updates: 32,
+                        announcements: 20,
+                        withdrawals: 12,
+                        dirty_prefixes: 4,
+                        mode: "full_retrain".into(),
+                        refine_ms: 480,
+                        swap_ms: 9,
+                        updates_per_sec: 66.7,
+                    }),
+                },
             },
             Request::Shutdown,
         ];
@@ -782,6 +834,7 @@ mod tests {
             r#"{"type":"diff"}"#,                            // missing changes
             r#"{"type":"diff","changes":[{"action":"x"}]}"#, // unknown action
             r#"{"type":"reload"}"#,                          // missing path
+            r#"{"type":"stream_report"}"#,                   // missing report
             "[]",
         ] {
             assert!(serde_json::from_str::<Request>(bad).is_err(), "{bad}");
@@ -837,6 +890,10 @@ mod tests {
                 swapped: true,
                 prefixes: 12,
                 quasi_routers: 40,
+            }),
+            Response::StreamReport(StreamReportReply {
+                accepted: true,
+                windows: 7,
             }),
             Response::Shutdown(ShutdownReply { draining: true }),
             Response::Overloaded(OverloadedReply { retry_after_ms: 50 }),

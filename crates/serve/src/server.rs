@@ -16,10 +16,10 @@
 //! closes its stream, and exits — no thread or port is leaked.
 
 use crate::cache::SteadyStateCache;
-use crate::metrics::{RequestKind, ServeMetrics};
+use crate::metrics::{RequestKind, ServeMetrics, StreamStatusReport};
 use crate::protocol::{
     diff_reply, explain_reply, predict_reply, stats_reply, DeadlineExceededReply, OverloadedReply,
-    ReloadReply, Request, Response, ShutdownReply,
+    ReloadReply, Request, Response, ShutdownReply, StreamReportReply,
 };
 use crate::session::SessionStore;
 use quasar_bgpsim::aspath::AsPath;
@@ -118,6 +118,10 @@ pub struct ServerState {
     config: ServeConfig,
     epoch: parking_lot::RwLock<Arc<ModelEpoch>>,
     metrics: ServeMetrics,
+    /// Latest status pushed by a `stream_report` request; served back
+    /// under `metrics`. A plain mutex — touched once per window, never
+    /// on the query hot path.
+    stream_report: parking_lot::Mutex<Option<StreamStatusReport>>,
     shutdown: AtomicBool,
 }
 
@@ -128,6 +132,7 @@ impl ServerState {
             config,
             epoch: parking_lot::RwLock::new(Arc::new(ModelEpoch::new(model, config.max_sessions))),
             metrics: ServeMetrics::new(),
+            stream_report: parking_lot::Mutex::new(None),
             shutdown: AtomicBool::new(false),
         }
     }
@@ -245,8 +250,17 @@ impl ServerState {
                 epoch.base_cache.snapshot(),
                 epoch.sessions.overlay_snapshot(),
                 epoch.sessions.len(),
+                self.stream_report.lock().clone(),
             )),
             Request::Reload { path } => self.do_reload(path),
+            Request::StreamReport { report } => {
+                let windows = report.windows;
+                *self.stream_report.lock() = Some(report.clone());
+                Response::StreamReport(StreamReportReply {
+                    accepted: true,
+                    windows,
+                })
+            }
             Request::Shutdown => {
                 self.request_shutdown();
                 Response::Shutdown(ShutdownReply { draining: true })
@@ -797,6 +811,56 @@ mod tests {
         };
         assert!(sd.draining);
         assert!(s.shutting_down());
+    }
+
+    #[test]
+    fn stream_report_is_stored_and_served_back() {
+        let s = state();
+        // No report yet: metrics carries no stream status.
+        let Response::Metrics(m) = s.handle_line(r#"{"type":"metrics"}"#) else {
+            panic!("expected metrics reply");
+        };
+        assert!(m.stream.is_none());
+        let report = StreamStatusReport {
+            windows: 5,
+            updates_total: 200,
+            dirty_prefixes_total: 31,
+            swaps: 4,
+            swaps_rejected: 1,
+            incremental_windows: 4,
+            full_retrain_windows: 1,
+            source_done: false,
+            last_window: None,
+        };
+        let req = serde_json::to_string(&Request::StreamReport {
+            report: report.clone(),
+        })
+        .unwrap();
+        let Response::StreamReport(reply) = s.handle_line(&req) else {
+            panic!("expected stream_report reply");
+        };
+        assert!(reply.accepted);
+        assert_eq!(reply.windows, 5);
+        let Response::Metrics(m) = s.handle_line(r#"{"type":"metrics"}"#) else {
+            panic!("expected metrics reply");
+        };
+        assert_eq!(m.stream, Some(report));
+        assert_eq!(m.for_kind("stream_report").unwrap().count, 1);
+        // A newer report replaces the old one wholesale.
+        let newer = StreamStatusReport {
+            windows: 6,
+            source_done: true,
+            ..m.stream.unwrap()
+        };
+        let req = serde_json::to_string(&Request::StreamReport {
+            report: newer.clone(),
+        })
+        .unwrap();
+        assert!(matches!(s.handle_line(&req), Response::StreamReport(_)));
+        let Response::Metrics(m) = s.handle_line(r#"{"type":"metrics"}"#) else {
+            panic!("expected metrics reply");
+        };
+        assert_eq!(m.stream, Some(newer));
     }
 
     /// Full TCP round trip: spawn the server on an ephemeral port, talk

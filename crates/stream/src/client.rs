@@ -1,0 +1,205 @@
+//! One-shot client for the `quasar-serve` control plane.
+//!
+//! The pipeline talks to the server twice per window at most: a `reload`
+//! to swap the freshly persisted epoch in, and a `stream_report` to
+//! publish cumulative progress. Both are one connection, one request
+//! line, one reply line — a streaming pipeline has no business holding a
+//! long-lived connection open across refinement runs that may take
+//! seconds, and a fresh connect per window means a server restart between
+//! windows heals itself.
+//!
+//! The crucial distinction lives in [`SwapOutcome`]: a reload *rejection*
+//! (the server validated the artifact and kept the old model) is a normal
+//! outcome the pipeline records and continues past, while a *transport*
+//! failure is a [`StreamError`] for the caller to handle.
+
+use crate::StreamError;
+use quasar_serve::metrics::{MetricsSnapshot, StreamStatusReport};
+use quasar_serve::protocol::{ReloadReply, Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+
+/// What a `reload` request did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwapOutcome {
+    /// The new epoch is serving.
+    Swapped(ReloadReply),
+    /// The server validated the artifact, rejected it, and kept the old
+    /// model serving (or shed the request under overload).
+    Rejected(String),
+}
+
+/// A one-shot TCP client for a `quasar-serve` instance.
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    addr: String,
+}
+
+impl ServeClient {
+    /// A client for the server at `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        ServeClient { addr: addr.into() }
+    }
+
+    /// The server address this client targets.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Sends one request, reads one reply, closes the connection.
+    fn exchange(&self, request: &Request) -> Result<Response, StreamError> {
+        let json = serde_json::to_string(request)
+            .map_err(|e| StreamError::Serve(format!("cannot encode request: {e}")))?;
+        let mut stream = TcpStream::connect(&self.addr)
+            .map_err(|e| StreamError::Serve(format!("cannot connect to {}: {e}", self.addr)))?;
+        stream
+            .write_all(format!("{json}\n").as_bytes())
+            .map_err(|e| StreamError::Serve(format!("cannot send to {}: {e}", self.addr)))?;
+        let mut reply = String::new();
+        BufReader::new(stream)
+            .read_line(&mut reply)
+            .map_err(|e| StreamError::Serve(format!("cannot read reply: {e}")))?;
+        if reply.trim().is_empty() {
+            return Err(StreamError::Serve(format!(
+                "{} closed the connection without replying",
+                self.addr
+            )));
+        }
+        serde_json::from_str(reply.trim())
+            .map_err(|e| StreamError::Serve(format!("unparseable reply: {e}")))
+    }
+
+    /// Asks the server to hot-swap in the model artifact at `path`.
+    ///
+    /// The swap is all-or-nothing on the server side; a rejected epoch
+    /// comes back as [`SwapOutcome::Rejected`] with the old model still
+    /// serving.
+    pub fn reload(&self, path: &Path) -> Result<SwapOutcome, StreamError> {
+        let request = Request::Reload {
+            path: path.display().to_string(),
+        };
+        match self.exchange(&request)? {
+            Response::Reload(r) => Ok(SwapOutcome::Swapped(r)),
+            Response::Error(e) => Ok(SwapOutcome::Rejected(e.message)),
+            Response::Overloaded(o) => Ok(SwapOutcome::Rejected(format!(
+                "server overloaded (retry after {} ms)",
+                o.retry_after_ms
+            ))),
+            other => Err(StreamError::Serve(format!(
+                "unexpected reply to reload: {other:?}"
+            ))),
+        }
+    }
+
+    /// Publishes the pipeline's cumulative status; returns whether the
+    /// server accepted it (a refusal is not a transport error).
+    pub fn report(&self, report: &StreamStatusReport) -> Result<bool, StreamError> {
+        let request = Request::StreamReport {
+            report: report.clone(),
+        };
+        match self.exchange(&request)? {
+            Response::StreamReport(r) => Ok(r.accepted),
+            Response::Error(_) | Response::Overloaded(_) => Ok(false),
+            other => Err(StreamError::Serve(format!(
+                "unexpected reply to stream_report: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot (which carries the last
+    /// accepted stream status — this is what `quasar stream-stats` prints).
+    pub fn metrics(&self) -> Result<MetricsSnapshot, StreamError> {
+        match self.exchange(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(m),
+            Response::Error(e) => Err(StreamError::Serve(format!(
+                "metrics request failed: {}",
+                e.message
+            ))),
+            other => Err(StreamError::Serve(format!(
+                "unexpected reply to metrics: {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasar_serve::protocol::ErrorReply;
+    use std::net::TcpListener;
+    use std::thread;
+
+    /// A single-shot fake server: accepts one connection, asserts the
+    /// request tag, replies with a canned response.
+    fn canned(reply: Response, expect_tag: &'static str) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut line = String::new();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            reader.read_line(&mut line).unwrap();
+            assert!(
+                line.contains(&format!("\"type\":\"{expect_tag}\"")),
+                "request line: {line}"
+            );
+            let mut stream = stream;
+            let json = serde_json::to_string(&reply).unwrap();
+            stream.write_all(format!("{json}\n").as_bytes()).unwrap();
+        });
+        addr
+    }
+
+    #[test]
+    fn reload_distinguishes_swap_from_rejection() {
+        let reply = ReloadReply {
+            swapped: true,
+            prefixes: 12,
+            quasi_routers: 34,
+        };
+        let addr = canned(Response::Reload(reply), "reload");
+        let outcome = ServeClient::new(addr)
+            .reload(Path::new("/tmp/model"))
+            .unwrap();
+        assert_eq!(outcome, SwapOutcome::Swapped(reply));
+
+        let addr = canned(
+            Response::Error(ErrorReply {
+                message: "reload rejected; keeping current model".into(),
+            }),
+            "reload",
+        );
+        let outcome = ServeClient::new(addr)
+            .reload(Path::new("/tmp/model"))
+            .unwrap();
+        assert!(matches!(outcome, SwapOutcome::Rejected(m) if m.contains("rejected")));
+    }
+
+    #[test]
+    fn transport_failure_is_an_error_not_a_rejection() {
+        // Nothing listens on this address (bound then dropped).
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let err = ServeClient::new(addr).reload(Path::new("/tmp/model"));
+        assert!(matches!(err, Err(StreamError::Serve(_))), "{err:?}");
+    }
+
+    #[test]
+    fn report_returns_acceptance() {
+        let addr = canned(
+            Response::StreamReport(quasar_serve::protocol::StreamReportReply {
+                accepted: true,
+                windows: 3,
+            }),
+            "stream_report",
+        );
+        let status = StreamStatusReport {
+            windows: 3,
+            ..StreamStatusReport::default()
+        };
+        assert!(ServeClient::new(addr).report(&status).unwrap());
+    }
+}

@@ -1,0 +1,553 @@
+//! The streaming pipeline: ingest → delta → incremental refine → swap.
+//!
+//! [`Pipeline::run_file`] owns the whole loop. An ingest thread reads the
+//! update source (once, or tailing it in follow mode), decodes frames
+//! through [`TailDecoder`], batches them with
+//! [`Windower`], and hands finished windows over
+//! a **bounded** channel — when refinement falls behind, the channel fills
+//! and the reader stalls instead of buffering updates without bound.
+//!
+//! Each window then goes through [`Pipeline::process_window`]:
+//!
+//! 1. apply the records to the live [`PathState`], extracting the exact
+//!    dirty-prefix set — an all-clean window with a warm trainer skips
+//!    everything below (`mode = "no_change"`);
+//! 2. retrain through [`IncrementalTrainer`], which reuses cached domain
+//!    deltas for untouched domains yet produces a model byte-identical to
+//!    a from-scratch retrain;
+//! 3. persist the epoch with the *same* artifact recipe as `quasar train`
+//!    (MED generalization → JSON → `save_artifact`), so a streamed epoch
+//!    and an offline retrain of the same path set are interchangeable
+//!    files; the trainer cache is saved **after** the artifact, so a crash
+//!    between the two leaves a servable artifact and a cache that merely
+//!    redoes one window's work on resume;
+//! 4. push the epoch into `quasar-serve` via the validated atomic reload:
+//!    a rejection is recorded and the old model keeps serving — the
+//!    pipeline never stops because one epoch failed validation.
+//!
+//! Failpoints (testkit builds): `stream.ingest` faults the reader,
+//! `stream.window` faults window processing, `stream.reload` forces the
+//! swap down the rejection path.
+
+use crate::client::{ServeClient, SwapOutcome};
+use crate::delta::PathState;
+use crate::ingest::{TailDecoder, UpdateWindow, Windower};
+use crate::StreamError;
+use quasar_core::incremental::{self, IncrementalTrainer, TrainMode};
+use quasar_core::persist;
+use quasar_core::refine::RefineConfig;
+use quasar_serve::metrics::{StreamStatusReport, StreamWindowReport};
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::Read;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Streaming pipeline knobs.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// The MRT update source (BGP4MP updates, optionally preceded by a
+    /// PEER_INDEX_TABLE and a RIB dump for the starting state).
+    pub updates: PathBuf,
+    /// Where each epoch artifact is written (atomically replaced per
+    /// window; the path handed to the server's `reload`).
+    pub model_out: PathBuf,
+    /// Trainer-cache directory for crash-safe resume. `None` keeps the
+    /// cache in memory only.
+    pub state_dir: Option<PathBuf>,
+    /// `host:port` of a running `quasar-serve` to push epochs into.
+    /// `None` trains and persists without serving.
+    pub serve_addr: Option<String>,
+    /// Window span in **record time** seconds (windowing is a pure
+    /// function of the update stream, never of wall-clock arrival).
+    pub window_secs: u32,
+    /// Hard cap on BGP4MP updates per window.
+    pub max_window_updates: usize,
+    /// Keep tailing the file for appended records after EOF.
+    pub follow: bool,
+    /// Follow mode: how often to poll for appended bytes (ms).
+    pub poll_ms: u64,
+    /// Follow mode: end the stream after this long with no new bytes (ms).
+    pub idle_timeout_ms: u64,
+    /// Worker threads for refinement (`0` = all cores). The trained model
+    /// is byte-identical regardless.
+    pub threads: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            updates: PathBuf::from("updates.mrt"),
+            model_out: PathBuf::from("stream-model.quasar"),
+            state_dir: None,
+            serve_addr: None,
+            window_secs: 1,
+            max_window_updates: 10_000,
+            follow: false,
+            poll_ms: 50,
+            idle_timeout_ms: 2_000,
+            threads: 0,
+        }
+    }
+}
+
+/// The final report of one [`Pipeline::run_file`] replay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamRunReport {
+    /// Every processed window, in order.
+    pub windows: Vec<StreamWindowReport>,
+    /// The cumulative status (what `stream_report` last pushed).
+    pub status: StreamStatusReport,
+    /// Why the source ended early, if it did (truncated tail, undecodable
+    /// frame, injected ingest fault). Windows processed before the fault
+    /// are all in `windows` — the pipeline degrades, it does not discard.
+    pub source_error: Option<String>,
+}
+
+/// What the ingest thread hands the trainer.
+enum Feed {
+    Window(UpdateWindow),
+    Fault(String),
+}
+
+/// The streaming pipeline (delta state + incremental trainer + swap
+/// client), usable window-by-window or over a whole file.
+pub struct Pipeline {
+    cfg: StreamConfig,
+    refine_cfg: RefineConfig,
+    state: PathState,
+    trainer: IncrementalTrainer,
+    client: Option<ServeClient>,
+    status: StreamStatusReport,
+    window_reports: Vec<StreamWindowReport>,
+}
+
+fn mode_str(mode: &TrainMode) -> &'static str {
+    match mode {
+        TrainMode::Initial => "initial",
+        TrainMode::FullRetrain { .. } => "full_retrain",
+        TrainMode::Incremental {
+            repair_replayed: true,
+        } => "incremental_replay",
+        TrainMode::Incremental {
+            repair_replayed: false,
+        } => "incremental",
+    }
+}
+
+impl Pipeline {
+    /// Builds a pipeline, resuming the trainer cache from
+    /// `cfg.state_dir` when one is there (a missing cache is a fresh
+    /// start, not an error — a corrupt one is surfaced).
+    pub fn new(cfg: StreamConfig) -> Result<Self, StreamError> {
+        let refine_cfg = RefineConfig {
+            threads: cfg.threads,
+            ..RefineConfig::default()
+        };
+        let trainer = match &cfg.state_dir {
+            Some(dir) => incremental::load_or_new(dir, &refine_cfg)?,
+            None => IncrementalTrainer::new(),
+        };
+        let client = cfg.serve_addr.clone().map(ServeClient::new);
+        Ok(Pipeline {
+            cfg,
+            refine_cfg,
+            state: PathState::new(),
+            trainer,
+            client,
+            status: StreamStatusReport::default(),
+            window_reports: Vec::new(),
+        })
+    }
+
+    /// The cumulative status so far.
+    pub fn status(&self) -> &StreamStatusReport {
+        &self.status
+    }
+
+    /// The live observed-path state.
+    pub fn state(&self) -> &PathState {
+        &self.state
+    }
+
+    /// Trainer epochs completed (0 before the first training run).
+    pub fn epoch(&self) -> u64 {
+        self.trainer.epoch()
+    }
+
+    /// Processes one window end-to-end: apply deltas, retrain if anything
+    /// dirtied, persist the epoch, swap it into the server.
+    pub fn process_window(
+        &mut self,
+        window: &UpdateWindow,
+    ) -> Result<StreamWindowReport, StreamError> {
+        let started = Instant::now();
+        // Failpoint: fault window processing before any state mutates, so
+        // a resume replays the window cleanly.
+        #[cfg(feature = "testkit")]
+        if quasar_bgpsim::fail::inject("stream.window") {
+            return Err(StreamError::Io(std::io::Error::other(
+                "injected fault (failpoint stream.window)",
+            )));
+        }
+        let applied = self.state.apply(&window.records);
+        let mut refine_ms = 0u64;
+        let mut swap_ms = 0u64;
+        let mode: String = if applied.dirty.is_empty() && self.trainer.has_cache() {
+            // Nothing the model depends on changed: the dataset is
+            // literally identical to the one the cache was trained on.
+            "no_change".into()
+        } else {
+            let dataset = self.state.dataset();
+            let t0 = Instant::now();
+            let (mut model, report) = self.trainer.train(&dataset, &self.refine_cfg)?;
+            refine_ms = t0.elapsed().as_millis() as u64;
+            // Mirror `quasar train` exactly so a streamed epoch is
+            // byte-identical to an offline retrain of the same path set.
+            model.generalize_med_preferences();
+            let json = model
+                .to_json()
+                .map_err(|e| StreamError::Encode(e.to_string()))?;
+            persist::save_artifact(&self.cfg.model_out, persist::KIND_MODEL, json.as_bytes())?;
+            // Artifact first, cache second: a crash between the two
+            // leaves a servable epoch plus a cache that merely redoes
+            // this window on resume.
+            if let Some(dir) = &self.cfg.state_dir {
+                self.trainer.save(dir)?;
+            }
+            if let Some(client) = &self.client {
+                let t1 = Instant::now();
+                #[cfg(feature = "testkit")]
+                let injected_rejection = quasar_bgpsim::fail::inject("stream.reload");
+                #[cfg(not(feature = "testkit"))]
+                let injected_rejection = false;
+                let outcome = if injected_rejection {
+                    SwapOutcome::Rejected("injected rejection (failpoint stream.reload)".into())
+                } else {
+                    client.reload(&self.cfg.model_out)?
+                };
+                swap_ms = t1.elapsed().as_millis().max(1) as u64;
+                match outcome {
+                    SwapOutcome::Swapped(_) => self.status.swaps += 1,
+                    SwapOutcome::Rejected(msg) => {
+                        self.status.swaps_rejected += 1;
+                        eprintln!(
+                            "window {}: epoch rejected, previous model keeps serving: {msg}",
+                            window.seq
+                        );
+                    }
+                }
+            }
+            mode_str(&report.mode).into()
+        };
+        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+        let report = StreamWindowReport {
+            seq: window.seq,
+            updates: applied.updates,
+            announcements: applied.announcements,
+            withdrawals: applied.withdrawals,
+            dirty_prefixes: applied.dirty.len() as u64,
+            mode: mode.clone(),
+            refine_ms,
+            swap_ms,
+            updates_per_sec: applied.updates as f64 / elapsed,
+        };
+        self.status.windows += 1;
+        self.status.updates_total += applied.updates;
+        self.status.dirty_prefixes_total += report.dirty_prefixes;
+        match mode.as_str() {
+            "incremental" | "incremental_replay" => self.status.incremental_windows += 1,
+            "initial" | "full_retrain" => self.status.full_retrain_windows += 1,
+            _ => {}
+        }
+        self.status.last_window = Some(report.clone());
+        self.publish_status();
+        self.window_reports.push(report.clone());
+        Ok(report)
+    }
+
+    /// Pushes the cumulative status to the server, best-effort: progress
+    /// reporting must never take the pipeline down.
+    fn publish_status(&self) {
+        if let Some(client) = &self.client {
+            if let Err(e) = client.report(&self.status) {
+                eprintln!("cannot publish stream report: {e}");
+            }
+        }
+    }
+
+    /// Replays (or in follow mode, tails) `cfg.updates` to completion.
+    ///
+    /// Source-side trouble — a truncated tail, an undecodable frame, an
+    /// injected ingest fault — ends the stream *gracefully*: every window
+    /// completed before the fault is processed and reported, and the
+    /// cause lands in [`StreamRunReport::source_error`]. Only
+    /// trainer/persist/transport failures abort with an error.
+    pub fn run_file(&mut self) -> Result<StreamRunReport, StreamError> {
+        let (tx, rx) = mpsc::sync_channel::<Feed>(2);
+        let cfg = self.cfg.clone();
+        let mut source_error: Option<String> = None;
+        let mut process_error: Option<StreamError> = None;
+        std::thread::scope(|s| {
+            s.spawn(move || ingest_source(&cfg, tx));
+            for feed in rx {
+                match feed {
+                    Feed::Window(w) => {
+                        if let Err(e) = self.process_window(&w) {
+                            process_error = Some(e);
+                            // Dropping the receiver (via break) unblocks a
+                            // sender stalled on the bounded channel.
+                            break;
+                        }
+                    }
+                    Feed::Fault(msg) => {
+                        eprintln!("update source ended: {msg}");
+                        source_error = Some(msg);
+                    }
+                }
+            }
+        });
+        if let Some(e) = process_error {
+            return Err(e);
+        }
+        self.status.source_done = true;
+        self.publish_status();
+        Ok(StreamRunReport {
+            windows: self.window_reports.clone(),
+            status: self.status.clone(),
+            source_error,
+        })
+    }
+}
+
+/// The ingest thread: read → decode → window → send. All sends are
+/// best-effort; a dropped receiver means the trainer side ended first and
+/// the reader just exits.
+fn ingest_source(cfg: &StreamConfig, tx: mpsc::SyncSender<Feed>) {
+    let mut file = match File::open(&cfg.updates) {
+        Ok(f) => f,
+        Err(e) => {
+            let _ = tx.send(Feed::Fault(format!(
+                "cannot open {}: {e}",
+                cfg.updates.display()
+            )));
+            return;
+        }
+    };
+    let mut decoder = TailDecoder::new();
+    let mut windower = Windower::new(cfg.window_secs, cfg.max_window_updates);
+    let poll = Duration::from_millis(cfg.poll_ms.max(1));
+    let idle_limit = Duration::from_millis(cfg.idle_timeout_ms);
+    let mut idle = Duration::ZERO;
+    let mut buf = [0u8; 8192];
+    loop {
+        #[cfg(feature = "testkit")]
+        if quasar_bgpsim::fail::inject("stream.ingest") {
+            let _ = tx.send(Feed::Fault(
+                "injected fault (failpoint stream.ingest)".into(),
+            ));
+            return;
+        }
+        match file.read(&mut buf) {
+            Ok(0) => {
+                // EOF *now*; in follow mode the file may still grow.
+                if !cfg.follow || idle >= idle_limit {
+                    break;
+                }
+                std::thread::sleep(poll);
+                idle += poll;
+            }
+            Ok(n) => {
+                idle = Duration::ZERO;
+                decoder.push(&buf[..n]);
+                loop {
+                    match decoder.next_record() {
+                        Ok(Some(record)) => {
+                            if let Some(w) = windower.push(record) {
+                                if tx.send(Feed::Window(w)).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            let _ = tx.send(Feed::Fault(format!("undecodable MRT frame: {e}")));
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                let _ = tx.send(Feed::Fault(format!(
+                    "cannot read {}: {e}",
+                    cfg.updates.display()
+                )));
+                return;
+            }
+        }
+    }
+    // Complete records before a truncated tail still form valid windows.
+    if let Some(w) = windower.flush() {
+        let _ = tx.send(Feed::Window(w));
+    }
+    if decoder.pending() > 0 {
+        let _ = tx.send(Feed::Fault(format!(
+            "source truncated mid-record ({} bytes dangling)",
+            decoder.pending()
+        )));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasar_core::model::AsRoutingModel;
+    use quasar_core::refine::refine;
+    use quasar_mrt::prelude::*;
+    use quasar_netgen::prelude::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("quasar-stream-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_archive(path: &PathBuf, records: &[MrtRecord]) {
+        let mut w = MrtWriter::new(Vec::new());
+        for r in records {
+            w.write_record(r).unwrap();
+        }
+        std::fs::write(path, w.finish().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn replaying_an_archive_trains_and_persists_epochs() {
+        let dir = temp_dir("replay");
+        let net = SyntheticInternet::generate(NetGenConfig::tiny(51));
+        let cfg = UpdateStreamConfig {
+            flap_fraction: 0.3,
+            withdraw_fraction: 0.5,
+            ..UpdateStreamConfig::default()
+        };
+        let records = generate_update_stream(&net.observation_points, &net.observations, &cfg, 3);
+        let updates = dir.join("updates.mrt");
+        write_archive(&updates, &records);
+
+        let model_out = dir.join("model.quasar");
+        let mut pipeline = Pipeline::new(StreamConfig {
+            updates,
+            model_out: model_out.clone(),
+            window_secs: 3_600,
+            threads: 1,
+            ..StreamConfig::default()
+        })
+        .unwrap();
+        let report = pipeline.run_file().unwrap();
+
+        assert!(report.source_error.is_none(), "{report:?}");
+        assert!(report.status.windows >= 2, "dump + update windows");
+        assert_eq!(report.windows[0].mode, "initial");
+        assert_eq!(report.status.swaps, 0, "no server attached");
+        assert!(report.status.source_done);
+
+        // The final artifact must be byte-identical to an offline retrain
+        // of the final path set — the streamed epoch and `quasar train`
+        // are interchangeable files.
+        let streamed = std::fs::read(&model_out).unwrap();
+        let dataset = pipeline.state().dataset();
+        let rc = RefineConfig {
+            threads: 1,
+            ..RefineConfig::default()
+        };
+        let mut model = AsRoutingModel::initial(&dataset.as_graph(), &dataset.prefixes());
+        refine(&mut model, &dataset, &rc).unwrap();
+        model.generalize_med_preferences();
+        let offline = model.to_json().unwrap();
+        let offline_path = dir.join("offline.quasar");
+        persist::save_artifact(&offline_path, persist::KIND_MODEL, offline.as_bytes()).unwrap();
+        assert_eq!(streamed, std::fs::read(&offline_path).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_windows_skip_training_entirely() {
+        let dir = temp_dir("noop");
+        let net = SyntheticInternet::generate(NetGenConfig::tiny(52));
+        let cfg = UpdateStreamConfig {
+            flap_fraction: 0.0,
+            ..UpdateStreamConfig::default()
+        };
+        let records = generate_update_stream(&net.observation_points, &net.observations, &cfg, 4);
+        let mut pipeline = Pipeline::new(StreamConfig {
+            updates: dir.join("unused.mrt"),
+            model_out: dir.join("model.quasar"),
+            threads: 1,
+            ..StreamConfig::default()
+        })
+        .unwrap();
+
+        // Window 1: the whole dump → initial training.
+        let first = pipeline
+            .process_window(&UpdateWindow {
+                seq: 0,
+                opened: records[0].timestamp,
+                closed: records[records.len() - 1].timestamp,
+                records: records.clone(),
+            })
+            .unwrap();
+        assert_eq!(first.mode, "initial");
+        assert!(first.refine_ms > 0 || first.dirty_prefixes > 0);
+
+        // Window 2: replay the RIB verbatim — every announcement is a
+        // no-op, so nothing is dirty and training is skipped outright.
+        let second = pipeline
+            .process_window(&UpdateWindow {
+                seq: 1,
+                opened: 0,
+                closed: 0,
+                records,
+            })
+            .unwrap();
+        assert_eq!(second.mode, "no_change");
+        assert_eq!(second.dirty_prefixes, 0);
+        assert_eq!(second.refine_ms, 0);
+        assert_eq!(pipeline.status().windows, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_source_degrades_gracefully() {
+        let dir = temp_dir("trunc");
+        let net = SyntheticInternet::generate(NetGenConfig::tiny(53));
+        let cfg = UpdateStreamConfig::default();
+        let records = generate_update_stream(&net.observation_points, &net.observations, &cfg, 5);
+        let mut w = MrtWriter::new(Vec::new());
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        let mut bytes = w.finish().unwrap();
+        // Chop the archive mid-record.
+        let n = bytes.len();
+        bytes.truncate(n - 7);
+        let updates = dir.join("updates.mrt");
+        std::fs::write(&updates, &bytes).unwrap();
+
+        let mut pipeline = Pipeline::new(StreamConfig {
+            updates,
+            model_out: dir.join("model.quasar"),
+            window_secs: 1_000_000, // one big window: all complete records
+            threads: 1,
+            ..StreamConfig::default()
+        })
+        .unwrap();
+        let report = pipeline.run_file().unwrap();
+        let err = report.source_error.expect("truncation reported");
+        assert!(err.contains("truncated"), "{err}");
+        // Everything before the dangling tail still trained.
+        assert!(report.status.windows >= 1);
+        assert!(pipeline.epoch() >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -32,6 +32,7 @@
 pub mod chaos;
 pub mod defects;
 pub mod diff;
+pub mod streamfx;
 pub mod workload;
 
 #[cfg(feature = "testkit")]
@@ -42,6 +43,10 @@ pub mod prelude {
     pub use crate::chaos::{ChaosConfig, ChaosStats, Proxy};
     pub use crate::defects::DefectClass;
     pub use crate::diff::{diff_json, first_divergence, states_differential, Divergence};
+    pub use crate::streamfx::{
+        archive_bytes, dataset_of, full_retrain_artifact, scratch_dir, transition_scenario,
+        write_archive, StreamScenario,
+    };
     pub use crate::workload::{tiny_trained, toy_model, toy_requests, TrainedFixture};
     #[cfg(feature = "testkit")]
     pub use quasar_bgpsim::fail;

@@ -47,6 +47,21 @@
 //!   query     ADDR JSON [JSON...]
 //!             send newline-delimited JSON requests to a running server;
 //!             `overloaded` replies are retried with jittered backoff
+//!   stream    --updates FILE --model OUT [--serve ADDR] [--window-ms N]
+//!             [--max-window N] [--follow] [--idle-ms N] [--state DIR]
+//!             [--threads N]
+//!             replay (or with --follow, tail) an MRT BGP4MP update file:
+//!             each window of updates is applied to the live path set,
+//!             only the dirtied prefixes are re-refined, the epoch is
+//!             persisted to OUT, and (with --serve) hot-swapped into a
+//!             running server through its validated atomic reload. The
+//!             final per-window report is printed as one JSON line.
+//!             --window-ms is record time, rounded up to whole seconds,
+//!             so windowing is a pure function of the stream. --state
+//!             persists the trainer cache for crash-safe resume.
+//!   stream-stats ADDR
+//!             print the streaming status a pipeline last pushed to the
+//!             server at ADDR (one JSON line; fails if none arrived yet)
 //!   lint      MODEL.json [--json] [--deny warn|error]
 //!             static audit of a persisted model: typed, severity-ranked
 //!             diagnostics (rule ids QL0001-QL0009) with no simulation.
@@ -82,6 +97,8 @@ fn main() {
         "whatif" => cmd_whatif(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "query" => cmd_query(&args[1..]),
+        "stream" => cmd_stream(&args[1..]),
+        "stream-stats" => cmd_stream_stats(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         other => usage(&format!("unknown subcommand {other}")),
     }
@@ -101,6 +118,8 @@ fn usage(msg: &str) -> ! {
          \x20      quasar predict --model MODEL.json --prefix P --observer N [--path A,B,C]\n\
          \x20      quasar serve MODEL.json [--listen ADDR] [--workers N] [--max-sessions N] [--max-pending N] [--deadline-ms MS]\n\
          \x20      quasar query ADDR JSON [JSON...]\n\
+         \x20      quasar stream --updates FILE --model OUT [--serve ADDR] [--window-ms N] [--max-window N] [--follow] [--idle-ms N] [--state DIR] [--threads N]\n\
+         \x20      quasar stream-stats ADDR\n\
          \x20      quasar lint MODEL.json [--json] [--deny warn|error]"
     );
     exit(2)
@@ -764,6 +783,55 @@ fn splitmix64(state: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+fn cmd_stream(args: &[String]) {
+    use quasar::stream::prelude::*;
+    let updates = flag(args, "--updates").unwrap_or_else(|| usage("stream requires --updates"));
+    let model_out = flag(args, "--model").unwrap_or_else(|| usage("stream requires --model"));
+    let window_ms: u64 = parsed_flag(args, "--window-ms").unwrap_or(1_000);
+    let cfg = StreamConfig {
+        updates: updates.into(),
+        model_out: model_out.into(),
+        state_dir: flag(args, "--state").map(Into::into),
+        serve_addr: flag(args, "--serve"),
+        // Record timestamps have one-second resolution, so sub-second
+        // requests round up to the smallest honest window.
+        window_secs: window_ms.div_ceil(1_000).max(1).min(u64::from(u32::MAX)) as u32,
+        max_window_updates: parsed_flag(args, "--max-window").unwrap_or(10_000),
+        follow: args.iter().any(|a| a == "--follow"),
+        idle_timeout_ms: parsed_flag(args, "--idle-ms").unwrap_or(2_000),
+        threads: parsed_flag(args, "--threads").unwrap_or(0),
+        ..StreamConfig::default()
+    };
+    let mut pipeline = Pipeline::new(cfg).unwrap_or_else(|e| die(e));
+    let report = pipeline.run_file().unwrap_or_else(|e| die(e));
+    let json =
+        serde_json::to_string(&report).unwrap_or_else(|e| die(format!("cannot serialize: {e}")));
+    print_line(&json);
+    // A source-side fault (truncated tail, undecodable frame) degraded
+    // gracefully — every prior window was served — but scripts must see
+    // that the stream did not run to completion.
+    if report.source_error.is_some() {
+        exit(1);
+    }
+}
+
+fn cmd_stream_stats(args: &[String]) {
+    let Some(addr) = positional(args) else {
+        usage("stream-stats requires ADDR")
+    };
+    let metrics = quasar::stream::client::ServeClient::new(addr)
+        .metrics()
+        .unwrap_or_else(|e| die(e));
+    match metrics.stream {
+        Some(status) => {
+            let json = serde_json::to_string(&status)
+                .unwrap_or_else(|e| die(format!("cannot serialize: {e}")));
+            print_line(&json);
+        }
+        None => die("no streaming pipeline has reported to this server yet"),
+    }
 }
 
 fn cmd_query(args: &[String]) {

@@ -17,6 +17,8 @@
 //! * [`diversity`] — the §3 route-diversity analyses,
 //! * [`serve`] — concurrent what-if/prediction query server with a
 //!   per-prefix steady-state cache,
+//! * [`stream`] — live BGP update ingestion: windowed delta detection,
+//!   incremental retraining, zero-downtime epoch swaps into [`serve`],
 //! * [`lint`] — static analyzer for trained models: typed, severity-ranked
 //!   diagnostics (QL0001–QL0009) with no simulation.
 //!
@@ -32,6 +34,7 @@ pub use quasar_lint as lint;
 pub use quasar_mrt as mrt;
 pub use quasar_netgen as netgen;
 pub use quasar_serve as serve;
+pub use quasar_stream as stream;
 pub use quasar_topology as topology;
 
 use quasar_core::observed::{Dataset, ObservedRoute};
