@@ -1,35 +1,56 @@
-//! `bench_serve` — measures `quasar-serve` query throughput over real TCP
-//! and records the result as JSON.
+//! `bench_serve` — measures sharded `quasar-serve` query throughput over
+//! real TCP with real client *processes*, and records the result as JSON.
 //!
 //! Usage:
 //!   `bench_serve [--scale tiny|small|medium|large] [--seed N] [--out FILE]
 //!                [--warm-iters N]`
 //!
-//! For each client-thread count (1, 4, 8) the tool starts a fresh
-//! in-process server on an ephemeral port and drives it through two
-//! phases:
+//! The old single-server, threads-only harness had a contention blind
+//! spot: client threads share one allocator, one scheduler arena, and
+//! one runtime with the in-process server, so server-side lock
+//! contention could hide behind client-side noise. This harness drives
+//! each cell of a `shards × client_procs` matrix ({1, 2, 4} shards ×
+//! {1, 4} client processes) against a fresh in-process sharded server:
 //!
-//! * **cold** — every prefix predicted exactly once (each request pays a
-//!   full steady-state simulation and populates the per-prefix cache),
+//! * **cold** — every prefix predicted exactly once across the client
+//!   fleet (each request pays a full steady-state simulation),
 //! * **warm** — `--warm-iters` further passes over the same prefixes
-//!   (each request is answered from the cache).
+//!   (every request is answered from the owning shard's cache).
 //!
-//! Client-side latencies give qps / p50 / p99 per phase; the headline
-//! `warm_speedup` (mean cold / mean warm latency on the single-client
-//! run) must be ≥ 10x — the acceptance bar for the steady-state cache.
-//! The default output file is `BENCH_serve.json`.
+//! Each client process is this same binary re-executed in a hidden
+//! `--client-worker` mode: it takes a strided slice of the request
+//! file, drives it over one TCP connection, and prints its latencies as
+//! JSON on stdout.
+//!
+//! After the measured phases, every cell answers the full request list
+//! once more over a single connection; the FNV-1a hash of those reply
+//! bytes is recorded per cell, and the record's `deterministic` flag
+//! demands every cell — every shard count, every process count — hashed
+//! identically. The headline `warm_speedup` (mean cold / mean warm
+//! latency in the 1-shard, 1-process cell) must be ≥ 10x — the same
+//! acceptance bar as before. The default output file is
+//! `BENCH_serve.json`.
 
 use quasar_bench::{train_model, Context, EnvInfo, Scale};
 use quasar_core::prelude::*;
 use quasar_serve::protocol::Request;
-use quasar_serve::server::{serve, ServeConfig, ServerState};
+use quasar_serve::server::{serve, ServeConfig};
+use quasar_serve::shard::ShardedState;
 use serde::Serialize;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::process::{Command, Stdio};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One phase's client-side measurement.
+/// Shard counts benchmarked (each gets a fresh server per process count).
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Client process counts driven against each shard count.
+const CLIENT_PROCS: [usize; 2] = [1, 4];
+
+/// One phase's client-side measurement, aggregated over all client
+/// processes.
 #[derive(Debug, Serialize)]
 struct Phase {
     requests: usize,
@@ -40,12 +61,17 @@ struct Phase {
     p99_us: f64,
 }
 
-/// One client-thread count's cold/warm pair.
+/// One (shard count, client process count) cell.
 #[derive(Debug, Serialize)]
-struct Run {
-    client_threads: usize,
+struct Cell {
+    shards: usize,
+    client_procs: usize,
     cold: Phase,
     warm: Phase,
+    /// FNV-1a over the canonical reply bytes for the full request list,
+    /// answered after the measured phases. Identical across every cell
+    /// iff sharding and client parallelism never change an answer.
+    replies_fnv: String,
 }
 
 /// The whole benchmark record.
@@ -59,8 +85,10 @@ struct Record {
     observers: usize,
     server_workers: usize,
     warm_iters: usize,
-    runs: Vec<Run>,
-    /// Mean cold / mean warm latency with a single client.
+    matrix: Vec<Cell>,
+    /// Every cell produced byte-identical canonical replies.
+    deterministic: bool,
+    /// Mean cold / mean warm latency in the (1 shard, 1 process) cell.
     warm_speedup: f64,
 }
 
@@ -88,7 +116,7 @@ fn phase_stats(mut latencies_us: Vec<f64>, wall_secs: f64) -> Phase {
 
 /// Sends each request in lockstep over one connection, returning the
 /// per-request latencies in microseconds.
-fn drive(addr: std::net::SocketAddr, requests: &[String]) -> Vec<f64> {
+fn drive(addr: SocketAddr, requests: &[String]) -> Vec<f64> {
     let stream = TcpStream::connect(addr).expect("connect to bench server");
     stream.set_nodelay(true).expect("disable Nagle");
     let mut writer = stream.try_clone().expect("clone stream");
@@ -113,31 +141,102 @@ fn drive(addr: std::net::SocketAddr, requests: &[String]) -> Vec<f64> {
     latencies
 }
 
-/// Runs one phase: `threads` clients, each with its own request slice.
-fn run_phase(addr: std::net::SocketAddr, per_client: Vec<Vec<String>>) -> Phase {
+/// FNV-1a over the reply bytes for `requests`, one connection, in order.
+fn replies_fnv(addr: SocketAddr, requests: &[String]) -> String {
+    let stream = TcpStream::connect(addr).expect("connect for determinism probe");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut reply = String::new();
+    for req in requests {
+        writer
+            .write_all(format!("{req}\n").as_bytes())
+            .expect("send probe request");
+        reply.clear();
+        reader.read_line(&mut reply).expect("read probe reply");
+        for &b in reply.as_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{hash:016x}")
+}
+
+/// The hidden per-process client: drives the `--offset`/`--stride`
+/// slice of the request file over one connection and prints the
+/// latencies (microseconds) as a JSON array on stdout.
+fn client_worker(args: &[String]) -> ! {
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| {
+                eprintln!("bench_serve --client-worker: missing {name}");
+                std::process::exit(2)
+            })
+    };
+    let addr: SocketAddr = flag("--addr").parse().unwrap_or_else(|e| {
+        eprintln!("bench_serve --client-worker: bad --addr: {e}");
+        std::process::exit(2)
+    });
+    let stride: usize = flag("--stride").parse().unwrap_or(1);
+    let offset: usize = flag("--offset").parse().unwrap_or(0);
+    let text = std::fs::read_to_string(flag("--requests")).unwrap_or_else(|e| {
+        eprintln!("bench_serve --client-worker: cannot read request file: {e}");
+        std::process::exit(2)
+    });
+    let mine: Vec<String> = text
+        .lines()
+        .enumerate()
+        .filter(|(i, _)| i % stride.max(1) == offset)
+        .map(|(_, l)| l.to_string())
+        .collect();
+    let latencies = drive(addr, &mine);
+    println!(
+        "{}",
+        serde_json::to_string(&latencies).expect("latencies serialize")
+    );
+    std::process::exit(0)
+}
+
+/// Runs one phase with `procs` real client processes, each re-executing
+/// this binary against its strided slice of `request_file`.
+fn run_phase(addr: SocketAddr, request_file: &std::path::Path, procs: usize) -> Phase {
+    let exe = std::env::current_exe().expect("own executable path");
     let t0 = Instant::now();
-    let handles: Vec<_> = per_client
-        .into_iter()
-        .map(|reqs| std::thread::spawn(move || drive(addr, &reqs)))
+    let children: Vec<_> = (0..procs)
+        .map(|offset| {
+            Command::new(&exe)
+                .arg("--client-worker")
+                .args(["--addr", &addr.to_string()])
+                .args(["--requests", &request_file.display().to_string()])
+                .args(["--stride", &procs.to_string()])
+                .args(["--offset", &offset.to_string()])
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn client process")
+        })
         .collect();
     let mut latencies = Vec::new();
-    for h in handles {
-        latencies.extend(h.join().expect("client thread"));
+    for child in children {
+        let out = child.wait_with_output().expect("client process exit");
+        assert!(
+            out.status.success(),
+            "client process failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("client stdout is UTF-8");
+        let slice: Vec<f64> = serde_json::from_str(stdout.trim()).expect("client latencies");
+        latencies.extend(slice);
     }
     phase_stats(latencies, t0.elapsed().as_secs_f64())
 }
 
-/// Splits `requests` round-robin into `threads` slices.
-fn partition(requests: &[String], threads: usize) -> Vec<Vec<String>> {
-    let mut out = vec![Vec::new(); threads];
-    for (i, r) in requests.iter().enumerate() {
-        out[i % threads].push(r.clone());
-    }
-    out
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--client-worker") {
+        client_worker(&args);
+    }
     let flag = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -188,60 +287,84 @@ fn main() {
             serde_json::to_string(&req).expect("request serializes")
         })
         .collect();
+    let mut warm_requests = Vec::with_capacity(cold_requests.len() * warm_iters);
+    for _ in 0..warm_iters {
+        warm_requests.extend(cold_requests.iter().cloned());
+    }
+
+    // Request files the client processes read their slices from.
+    let scratch = std::env::temp_dir().join(format!("quasar-bench-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let cold_file = scratch.join("cold.reqs");
+    let warm_file = scratch.join("warm.reqs");
+    std::fs::write(&cold_file, cold_requests.join("\n")).expect("write cold requests");
+    std::fs::write(&warm_file, warm_requests.join("\n")).expect("write warm requests");
 
     let server_workers = std::thread::available_parallelism()
         .map(|n| n.get().min(8))
         .unwrap_or(4);
-    let mut runs = Vec::new();
+    let mut matrix = Vec::new();
     let mut warm_speedup = 0.0;
-    for &client_threads in &[1usize, 4, 8] {
-        // Fresh server per thread count so the cold phase is really cold.
-        let state = Arc::new(ServerState::new(
-            model.clone(),
-            ServeConfig {
-                workers: server_workers,
-                ..ServeConfig::default()
-            },
-        ));
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
-        let addr = listener.local_addr().expect("local addr");
-        let server = {
-            let state = Arc::clone(&state);
-            std::thread::spawn(move || serve(state, listener))
-        };
+    for &shards in &SHARD_COUNTS {
+        for &client_procs in &CLIENT_PROCS {
+            // Fresh fleet per cell so the cold phase is really cold.
+            let state = Arc::new(ShardedState::new(
+                model.clone(),
+                ServeConfig {
+                    workers: server_workers,
+                    ..ServeConfig::default()
+                },
+                shards,
+            ));
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+            let addr = listener.local_addr().expect("local addr");
+            let server = {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || serve(state, listener))
+            };
 
-        let cold = run_phase(addr, partition(&cold_requests, client_threads));
-        let mut warm_requests = Vec::with_capacity(cold_requests.len() * warm_iters);
-        for _ in 0..warm_iters {
-            warm_requests.extend(cold_requests.iter().cloned());
+            let cold = run_phase(addr, &cold_file, client_procs);
+            let warm = run_phase(addr, &warm_file, client_procs);
+            let fnv = replies_fnv(addr, &cold_requests);
+
+            // Cache sanity: across the fleet, every prefix simulated
+            // exactly once, on its owning shard.
+            let misses: u64 = (0..state.shards())
+                .map(|i| state.epoch_of(i).base_cache.snapshot().misses)
+                .sum();
+            assert_eq!(
+                misses,
+                prefixes.len() as u64,
+                "every prefix simulated exactly once across the fleet"
+            );
+            eprintln!(
+                "# {shards} shard(s) x {client_procs} proc(s): cold {:.0} qps (p99 {:.0}us), \
+                 warm {:.0} qps (p99 {:.0}us)",
+                cold.qps, cold.p99_us, warm.qps, warm.p99_us
+            );
+            if shards == 1 && client_procs == 1 {
+                warm_speedup = cold.mean_us / warm.mean_us.max(1e-9);
+            }
+
+            drive(addr, &[r#"{"type":"shutdown"}"#.to_string()]);
+            server
+                .join()
+                .expect("server thread")
+                .expect("server drained cleanly");
+            matrix.push(Cell {
+                shards,
+                client_procs,
+                cold,
+                warm,
+                replies_fnv: fnv,
+            });
         }
-        let warm = run_phase(addr, partition(&warm_requests, client_threads));
-
-        let snap = state.epoch().base_cache.snapshot();
-        assert_eq!(
-            snap.misses,
-            prefixes.len() as u64,
-            "every prefix simulated exactly once"
-        );
-        eprintln!(
-            "# {client_threads} client(s): cold {:.0} qps (p99 {:.0}us), warm {:.0} qps (p99 {:.0}us)",
-            cold.qps, cold.p99_us, warm.qps, warm.p99_us
-        );
-        if client_threads == 1 {
-            warm_speedup = cold.mean_us / warm.mean_us.max(1e-9);
-        }
-
-        drive(addr, &[r#"{"type":"shutdown"}"#.to_string()]);
-        server
-            .join()
-            .expect("server thread")
-            .expect("server drained cleanly");
-        runs.push(Run {
-            client_threads,
-            cold,
-            warm,
-        });
     }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let deterministic = matrix
+        .iter()
+        .all(|c| c.replies_fnv == matrix[0].replies_fnv);
 
     let record = Record {
         scale: scale_name,
@@ -251,7 +374,8 @@ fn main() {
         observers: observers.len(),
         server_workers,
         warm_iters,
-        runs,
+        matrix,
+        deterministic,
         warm_speedup,
     };
     let json = serde_json::to_string_pretty(&record).expect("record serializes");
@@ -259,7 +383,11 @@ fn main() {
         eprintln!("cannot write {out}: {e}");
         std::process::exit(1)
     });
-    println!("wrote {out} (warm speedup {warm_speedup:.1}x)");
+    println!("wrote {out} (warm speedup {warm_speedup:.1}x, deterministic: {deterministic})");
+    if !deterministic {
+        eprintln!("FAIL: canonical replies differ across matrix cells");
+        std::process::exit(1)
+    }
     if warm_speedup < 10.0 {
         eprintln!("FAIL: warm cache speedup {warm_speedup:.1}x below the 10x acceptance bar");
         std::process::exit(1)

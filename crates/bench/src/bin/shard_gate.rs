@@ -1,0 +1,178 @@
+//! `shard_gate` — CI gate over a freshly produced `BENCH_serve.json`.
+//!
+//! Usage:
+//!   `shard_gate --fresh FILE [--baseline FILE] [--min-ratio 1.0]
+//!               [--client-procs 4]`
+//!
+//! Checks, in order:
+//!
+//! 1. **Per-cell determinism** — the record's `deterministic` flag must
+//!    be true: every `shards × client_procs` cell hashed byte-identical
+//!    canonical replies. Always enforced; sharding that changes an
+//!    answer is a correctness bug, not a performance trade.
+//! 2. **Warm-cache bar** — the recorded `warm_speedup` must be ≥ 10x,
+//!    the serving tier's standing acceptance bar. Always enforced.
+//! 3. **Shard scaling smoke** — at `--client-procs` (default 4) client
+//!    processes, the 2-shard warm qps must be at least `--min-ratio`
+//!    (default 1.0) times the 1-shard warm qps: adding a shard must not
+//!    cost throughput under a saturating client fleet. Only enforced
+//!    when the fresh run's host had at least 4 cores; below that the
+//!    shards contend for the same cores and the gate prints a loud SKIP
+//!    and exits 0 (the other checks still apply).
+//!
+//! `--baseline` (when given) is parsed under the same schema as a drift
+//! guard — a committed baseline the fresh schema can no longer read is
+//! a failure — but its numbers are not compared: absolute qps is not
+//! portable across hosts.
+//!
+//! Exit status 0 = pass (or justified skip), 1 = any check failed,
+//! 2 = usage / unreadable input.
+
+use serde::Deserialize;
+
+/// The subset of `bench_serve`'s record the gate reads. Unknown fields
+/// are ignored so the gate tolerates schema growth.
+#[derive(Debug, Deserialize)]
+struct Record {
+    env: Env,
+    matrix: Vec<Cell>,
+    deterministic: bool,
+    warm_speedup: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct Env {
+    cores: usize,
+}
+
+#[derive(Debug, Deserialize)]
+struct Cell {
+    shards: usize,
+    client_procs: usize,
+    warm: Phase,
+    replies_fnv: String,
+}
+
+#[derive(Debug, Deserialize)]
+struct Phase {
+    qps: f64,
+}
+
+fn load(path: &str) -> Record {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("shard_gate: cannot read {path}: {e}");
+        std::process::exit(2)
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("shard_gate: cannot parse {path}: {e}");
+        std::process::exit(2)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let fresh_path = flag("--fresh").unwrap_or_else(|| {
+        eprintln!(
+            "usage: shard_gate --fresh FILE [--baseline FILE] [--min-ratio 1.0] \
+             [--client-procs 4]"
+        );
+        std::process::exit(2)
+    });
+    let min_ratio: f64 = flag("--min-ratio")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let gated_procs: usize = flag("--client-procs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    let fresh = load(&fresh_path);
+    let mut failed = false;
+
+    // 1. Per-cell determinism — non-negotiable at every matrix cell.
+    if !fresh.deterministic {
+        let hashes: Vec<String> = fresh
+            .matrix
+            .iter()
+            .map(|c| format!("{}x{} -> {}", c.shards, c.client_procs, c.replies_fnv))
+            .collect();
+        eprintln!("FAIL: canonical replies differ across cells: {hashes:?}");
+        failed = true;
+    } else {
+        println!(
+            "ok: canonical replies byte-identical across all {} cells",
+            fresh.matrix.len()
+        );
+    }
+
+    // 2. The steady-state cache bar carried over from the old harness.
+    if fresh.warm_speedup < 10.0 {
+        eprintln!(
+            "FAIL: warm cache speedup {:.1}x below the 10x bar",
+            fresh.warm_speedup
+        );
+        failed = true;
+    } else {
+        println!("ok: warm cache speedup {:.1}x >= 10x", fresh.warm_speedup);
+    }
+
+    // 3. Shard scaling smoke — only meaningful with real cores to spend.
+    if fresh.env.cores < 4 {
+        println!(
+            "SKIP: host has {} core(s) (<4) — shards contend for the same cores \
+             here, so a scaling bar is not physically meaningful; skipping the \
+             shard scaling check. Run this gate on a multi-core host to enforce it.",
+            fresh.env.cores
+        );
+    } else {
+        let warm_qps = |shards: usize| {
+            fresh
+                .matrix
+                .iter()
+                .find(|c| c.shards == shards && c.client_procs == gated_procs)
+                .map(|c| c.warm.qps)
+        };
+        match (warm_qps(1), warm_qps(2)) {
+            (Some(q1), Some(q2)) => {
+                let ratio = q2 / q1.max(1e-9);
+                if ratio < min_ratio {
+                    eprintln!(
+                        "FAIL: 2-shard warm qps {q2:.0} is {ratio:.2}x of 1-shard \
+                         {q1:.0} at {gated_procs} client procs (bar {min_ratio:.2}x)"
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "ok: 2-shard warm qps {q2:.0} >= {min_ratio:.2}x of 1-shard \
+                         {q1:.0} at {gated_procs} client procs ({ratio:.2}x)"
+                    );
+                }
+            }
+            _ => {
+                eprintln!(
+                    "FAIL: fresh matrix lacks (shards=1|2, client_procs={gated_procs}) cells"
+                );
+                failed = true;
+            }
+        }
+    }
+
+    // Schema drift guard on the committed baseline, numbers uncompared.
+    if let Some(baseline_path) = flag("--baseline") {
+        let baseline = load(&baseline_path);
+        println!(
+            "ok: baseline {baseline_path} parses under the current schema \
+             ({} cells)",
+            baseline.matrix.len()
+        );
+    }
+
+    if failed {
+        std::process::exit(1)
+    }
+    println!("shard_gate: all applicable checks passed");
+}

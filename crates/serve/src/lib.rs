@@ -28,7 +28,12 @@
 //!   tallies;
 //! * [`server`] — the TCP listener, crossbeam worker pool, and request
 //!   dispatch ([`server::ServerState`] is usable without sockets, which
-//!   is how the property tests drive it).
+//!   is how the property tests drive it);
+//! * [`shard`] — the prefix-sharded dispatcher: N shards, each with a
+//!   private epoch and caches over a contiguous slice of the prefix
+//!   space, with a coordinated all-or-nothing epoch swap. Byte-identical
+//!   to the single-epoch server by construction (and by the testkit's
+//!   sharding differential suite).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,19 +46,21 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod shard;
 
 /// Commonly used names.
 pub mod prelude {
     pub use crate::cache::{CacheSnapshot, SteadyStateCache};
     pub use crate::metrics::{
-        LatencySnapshot, MetricsSnapshot, RequestKind, ServeMetrics, StreamStatusReport,
-        StreamWindowReport,
+        LatencySnapshot, MetricsSnapshot, RequestKind, ServeMetrics, ShardSnapshot,
+        StreamStatusReport, StreamWindowReport,
     };
     pub use crate::protocol::{
         diff_reply, explain_reply, predict_reply, stats_reply, ChangeSpec, DiffReply, ErrorReply,
         ExplainReply, ImpactEntry, PredictReply, Request, Response, RouterBest, ShutdownReply,
         StatsReply, StreamReportReply,
     };
-    pub use crate::server::{serve, ServeConfig, ServerState};
+    pub use crate::server::{serve, ServeConfig, ServeHandler, ServerState};
     pub use crate::session::{scenario_key, Session, SessionStore};
+    pub use crate::shard::{ShardMap, ShardedState};
 }

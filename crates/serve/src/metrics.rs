@@ -322,8 +322,40 @@ impl ServeMetrics {
             overlay_cache,
             active_sessions,
             stream,
+            generation: 0,
+            shards: None,
         }
     }
+}
+
+/// Per-shard counters as served in the `metrics` reply of a sharded
+/// server. Each shard owns a contiguous slice of the prefix space with
+/// its own epoch and caches, so these are genuinely independent tallies,
+/// not a partition of the totals recomputed after the fact.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// Shard index (0-based, ascending prefix ranges).
+    pub shard: usize,
+    /// Prefixes of the current model owned by this shard's slice.
+    pub prefixes: usize,
+    /// Requests dispatched to this shard.
+    pub requests: u64,
+    /// Requests answered with an `error` reply by this shard.
+    pub errors: u64,
+    /// Dispatch panics caught and contained on this shard (each failed
+    /// one request for this slice; other shards kept serving).
+    pub panics_caught: u64,
+    /// Requests on this shard answered with `deadline_exceeded`.
+    pub deadline_exceeded: u64,
+    /// Swap generation of this shard's epoch. Outside of an in-flight
+    /// coordinated swap, all shards report the same value.
+    pub generation: u64,
+    /// This shard's private steady-state cache counters.
+    pub base_cache: CacheSnapshot,
+    /// This shard's aggregated overlay-cache counters.
+    pub overlay_cache: CacheSnapshot,
+    /// What-if sessions resident on this shard.
+    pub active_sessions: usize,
 }
 
 /// The `metrics` response payload.
@@ -359,6 +391,17 @@ pub struct MetricsSnapshot {
     /// reported one (absent on servers that never received a report).
     #[serde(default)]
     pub stream: Option<StreamStatusReport>,
+    /// Swap generation of the serving epoch (0 at process start, +1 per
+    /// successful reload). On a sharded server this is the fleet-wide
+    /// generation — one value across all shards, by construction of the
+    /// coordinated swap.
+    #[serde(default)]
+    pub generation: u64,
+    /// Per-shard counters on a sharded server; `None` on the
+    /// single-epoch server (and on snapshots from servers predating
+    /// sharding).
+    #[serde(default)]
+    pub shards: Option<Vec<ShardSnapshot>>,
 }
 
 impl MetricsSnapshot {

@@ -288,6 +288,11 @@ pub struct ReloadReply {
     pub prefixes: usize,
     /// Quasi-routers in the new model.
     pub quasi_routers: usize,
+    /// Swap generation now serving (0 at process start, +1 per
+    /// successful reload; a sharded fleet reports one generation across
+    /// all shards).
+    #[serde(default)]
+    pub generation: u64,
 }
 
 /// Answer to a `stream_report` request.
@@ -337,8 +342,9 @@ pub enum Response {
     Explain(ExplainReply),
     /// Answer to `stats`.
     Stats(StatsReply),
-    /// Answer to `metrics`.
-    Metrics(MetricsSnapshot),
+    /// Answer to `metrics` (boxed: the per-shard table makes this the
+    /// by-far largest variant, and replies are built once per request).
+    Metrics(Box<MetricsSnapshot>),
     /// Answer to a successful `reload`.
     Reload(ReloadReply),
     /// Answer to `stream_report`.
@@ -700,7 +706,9 @@ impl<'de> Deserialize<'de> for Response {
             "diff" => Ok(Response::Diff(DiffReply::from_content(c)?)),
             "explain" => Ok(Response::Explain(ExplainReply::from_content(c)?)),
             "stats" => Ok(Response::Stats(StatsReply::from_content(c)?)),
-            "metrics" => Ok(Response::Metrics(MetricsSnapshot::from_content(c)?)),
+            "metrics" => Ok(Response::Metrics(Box::new(MetricsSnapshot::from_content(
+                c,
+            )?))),
             "reload" => Ok(Response::Reload(ReloadReply::from_content(c)?)),
             "stream_report" => Ok(Response::StreamReport(StreamReportReply::from_content(c)?)),
             "shutdown" => Ok(Response::Shutdown(ShutdownReply::from_content(c)?)),
@@ -890,6 +898,7 @@ mod tests {
                 swapped: true,
                 prefixes: 12,
                 quasi_routers: 40,
+                generation: 3,
             }),
             Response::StreamReport(StreamReportReply {
                 accepted: true,

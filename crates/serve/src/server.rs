@@ -14,12 +14,22 @@
 //! `shutdown` request flips one flag, after which the acceptor stops
 //! taking connections and every worker finishes its in-flight request,
 //! closes its stream, and exits — no thread or port is leaked.
+//!
+//! The accept loop, worker pool, and connection handler are generic over
+//! [`ServeHandler`]: the single-epoch [`ServerState`] here and the
+//! prefix-sharded [`crate::shard::ShardedState`] plug into the same
+//! front end, so everything from load shedding to panic containment is
+//! written (and tested) once. Request-level dispatch against one epoch
+//! lives in free functions (`predict_on`, `explain_on`, `diff_on`)
+//! shared by both servers — the sharding differential suite exists to
+//! prove the dispatcher composition of those functions is byte-identical
+//! to the single-epoch composition.
 
 use crate::cache::SteadyStateCache;
 use crate::metrics::{RequestKind, ServeMetrics, StreamStatusReport};
 use crate::protocol::{
-    diff_reply, explain_reply, predict_reply, stats_reply, DeadlineExceededReply, OverloadedReply,
-    ReloadReply, Request, Response, ShutdownReply, StreamReportReply,
+    diff_reply, explain_reply, predict_reply, stats_reply, ChangeSpec, DeadlineExceededReply,
+    OverloadedReply, ReloadReply, Request, Response, ShutdownReply, StreamReportReply,
 };
 use crate::session::SessionStore;
 use quasar_bgpsim::aspath::AsPath;
@@ -92,24 +102,60 @@ impl Default for ServeConfig {
 /// that are only valid for exactly that model. A `reload` swaps the whole
 /// epoch, so a cache entry can never outlive the model it was computed
 /// from; requests in flight keep the `Arc` of the epoch they started on.
+///
+/// The model itself sits behind its own `Arc` so a sharded server can
+/// share one loaded model across N epochs whose *caches* stay private
+/// per shard.
 pub struct ModelEpoch {
-    /// The served model.
-    pub model: AsRoutingModel,
+    /// The served model (shared between shards on a sharded server; each
+    /// shard wraps it in its own epoch with private caches).
+    pub model: Arc<AsRoutingModel>,
     /// Per-prefix steady-state cache for `model`.
     pub base_cache: SteadyStateCache,
     /// What-if session store (overlays on `model`).
     pub sessions: SessionStore,
+    /// Swap generation: `0` for the process-start epoch, incremented by
+    /// one on every successful reload. On a sharded server every shard
+    /// publishes the same generation outside a swap — a torn generation
+    /// is exactly the state the coordinated two-phase swap exists to
+    /// make unobservable.
+    pub generation: u64,
 }
 
 impl ModelEpoch {
-    /// Wraps a model with fresh (cold) caches.
+    /// Wraps a model with fresh (cold) caches at generation 0.
     pub fn new(model: AsRoutingModel, max_sessions: usize) -> Self {
+        Self::shared(Arc::new(model), max_sessions, 0)
+    }
+
+    /// Wraps an already-shared model with fresh private caches at an
+    /// explicit swap generation.
+    pub fn shared(model: Arc<AsRoutingModel>, max_sessions: usize, generation: u64) -> Self {
         ModelEpoch {
             model,
             base_cache: SteadyStateCache::new(),
             sessions: SessionStore::with_capacity(max_sessions),
+            generation,
         }
     }
+}
+
+/// What the TCP front end ([`serve`]) needs from a request handler: the
+/// single-epoch [`ServerState`] and the prefix-sharded
+/// [`crate::shard::ShardedState`] both implement it, so one accept loop,
+/// worker pool, and connection handler serve either.
+pub trait ServeHandler: Send + Sync {
+    /// Parses one request line, dispatches it, records metrics, and
+    /// returns the reply.
+    fn handle_line(&self, line: &str) -> Response;
+    /// The server configuration.
+    fn config(&self) -> &ServeConfig;
+    /// The front-end metrics (connections, sheds, caught panics).
+    fn metrics(&self) -> &ServeMetrics;
+    /// True once a `shutdown` request has been accepted.
+    fn shutting_down(&self) -> bool;
+    /// Flips the shutdown flag (idempotent).
+    fn request_shutdown(&self);
 }
 
 /// Everything the workers share: the current model epoch, the metrics,
@@ -144,11 +190,6 @@ impl ServerState {
         Arc::clone(&self.epoch.read())
     }
 
-    /// Publishes a new epoch atomically (used by `reload`).
-    fn swap_epoch(&self, next: ModelEpoch) {
-        *self.epoch.write() = Arc::new(next);
-    }
-
     /// The server configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
@@ -167,6 +208,14 @@ impl ServerState {
     /// Flips the shutdown flag (idempotent).
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Simulates every model prefix into the base cache so the first
+    /// real query after the listener opens is a cache hit. Returns the
+    /// number of prefixes warmed.
+    pub fn prewarm(&self) -> usize {
+        let epoch = self.epoch();
+        prewarm_epoch(&epoch, |_| true)
     }
 
     /// Parses one request line, dispatches it, and records latency
@@ -232,7 +281,7 @@ impl ServerState {
                 prefix,
                 observer,
                 observed_path,
-            } => self.do_predict(
+            } => predict_on(
                 &epoch,
                 prefix,
                 *observer,
@@ -240,18 +289,30 @@ impl ServerState {
                 deadline,
             ),
             Request::Diff { changes, prefixes } => {
-                self.do_diff(&epoch, changes, prefixes.as_deref(), deadline)
+                let changes = match parse_changes(changes) {
+                    Ok(c) => c,
+                    Err(e) => return e,
+                };
+                let targets = match resolve_targets(&epoch, prefixes.as_deref()) {
+                    Ok(t) => t,
+                    Err(e) => return e,
+                };
+                diff_on(&epoch, &changes, &targets, deadline)
             }
             Request::Explain { prefix, observer } => {
-                self.do_explain(&epoch, prefix, *observer, deadline)
+                explain_on(&epoch, prefix, *observer, deadline)
             }
             Request::Stats => Response::Stats(stats_reply(&epoch.model)),
-            Request::Metrics => Response::Metrics(self.metrics.snapshot(
-                epoch.base_cache.snapshot(),
-                epoch.sessions.overlay_snapshot(),
-                epoch.sessions.len(),
-                self.stream_report.lock().clone(),
-            )),
+            Request::Metrics => {
+                let mut snap = self.metrics.snapshot(
+                    epoch.base_cache.snapshot(),
+                    epoch.sessions.overlay_snapshot(),
+                    epoch.sessions.len(),
+                    self.stream_report.lock().clone(),
+                );
+                snap.generation = epoch.generation;
+                Response::Metrics(Box::new(snap))
+            }
             Request::Reload { path } => self.do_reload(path),
             Request::StreamReport { report } => {
                 let windows = report.windows;
@@ -268,211 +329,278 @@ impl ServerState {
         }
     }
 
-    /// Parses and validates a (prefix, observer) query pair.
-    // The Err is the ready-to-send error reply, produced at most once per
-    // request — its size does not matter on this path.
-    #[allow(clippy::result_large_err)]
-    fn lookup(epoch: &ModelEpoch, prefix: &str, observer: u32) -> Result<(Prefix, Asn), Response> {
-        let prefix: Prefix = prefix.parse().map_err(Response::error)?;
-        if !epoch.model.prefixes().contains_key(&prefix) {
-            return Err(Response::error(format!("unknown prefix `{prefix}`")));
-        }
-        let observer = Asn(observer);
-        if epoch.model.quasi_routers_of(observer).is_empty() {
-            return Err(Response::error(format!("unknown AS `{}`", observer.0)));
-        }
-        Ok((prefix, observer))
-    }
-
-    fn do_predict(
-        &self,
-        epoch: &ModelEpoch,
-        prefix: &str,
-        observer: u32,
-        observed: Option<&[u32]>,
-        deadline: Option<&Deadline>,
-    ) -> Response {
-        let (prefix, observer) = match Self::lookup(epoch, prefix, observer) {
-            Ok(pair) => pair,
-            Err(e) => return e,
-        };
-        let result = match epoch.base_cache.get_or_simulate(&epoch.model, prefix) {
-            Ok(r) => r,
-            Err(e) => return Response::error(format!("simulation failed: {e}")),
-        };
-        if let Some(resp) = deadline.and_then(Deadline::exceeded) {
-            return resp;
-        }
-        let routers = epoch.model.quasi_routers_of(observer);
-        let observed = observed.map(AsPath::from_u32s);
-        Response::Predict(predict_reply(
-            &result,
-            &routers,
-            prefix,
-            observer,
-            observed.as_ref(),
-        ))
-    }
-
-    fn do_explain(
-        &self,
-        epoch: &ModelEpoch,
-        prefix: &str,
-        observer: u32,
-        deadline: Option<&Deadline>,
-    ) -> Response {
-        let (prefix, observer) = match Self::lookup(epoch, prefix, observer) {
-            Ok(pair) => pair,
-            Err(e) => return e,
-        };
-        let result = match epoch.base_cache.get_or_simulate(&epoch.model, prefix) {
-            Ok(r) => r,
-            Err(e) => return Response::error(format!("simulation failed: {e}")),
-        };
-        if let Some(resp) = deadline.and_then(Deadline::exceeded) {
-            return resp;
-        }
-        let routers = epoch.model.quasi_routers_of(observer);
-        Response::Explain(explain_reply(&result, &routers, prefix, observer))
-    }
-
-    fn do_diff(
-        &self,
-        epoch: &ModelEpoch,
-        specs: &[crate::protocol::ChangeSpec],
-        prefixes: Option<&[String]>,
-        deadline: Option<&Deadline>,
-    ) -> Response {
-        if specs.is_empty() {
-            return Response::error("a diff request needs at least one change");
-        }
-        let mut changes: Vec<Change> = Vec::with_capacity(specs.len());
-        for s in specs {
-            match s.to_change() {
-                Ok(c) => changes.push(c),
-                Err(e) => return Response::error(e),
-            }
-        }
-        let targets: Vec<Prefix> = match prefixes {
-            None => epoch.model.prefixes().keys().copied().collect(),
-            Some(list) => {
-                let mut out = Vec::with_capacity(list.len());
-                for p in list {
-                    match Self::lookup_prefix(epoch, p) {
-                        Ok(p) => out.push(p),
-                        Err(e) => return e,
-                    }
-                }
-                out.sort();
-                out.dedup();
-                out
-            }
-        };
-        let session = epoch.sessions.get_or_create(&epoch.model, &changes);
-        let mut diff = RoutingDiff::default();
-        for prefix in targets {
-            // The deadline is checked between prefixes — a whole-model
-            // diff is the one request whose work grows with the model,
-            // so this is where a bounded reply matters most.
-            if let Some(resp) = deadline.and_then(Deadline::exceeded) {
-                return resp;
-            }
-            let before = match epoch.base_cache.get_or_simulate(&epoch.model, prefix) {
-                Ok(r) => r,
-                Err(e) => return Response::error(format!("simulation failed: {e}")),
-            };
-            let after = match session.simulate(prefix) {
-                Ok(r) => Some(r),
-                Err(SimError::Divergence { .. }) => None,
-                Err(e) => return Response::error(format!("scenario simulation failed: {e}")),
-            };
-            diff.record_prefix(prefix, &before, after.as_deref());
-        }
-        Response::Diff(diff_reply(session.key(), changes.len(), &diff))
-    }
-
-    // See `lookup` on the Err size.
-    #[allow(clippy::result_large_err)]
-    fn lookup_prefix(epoch: &ModelEpoch, prefix: &str) -> Result<Prefix, Response> {
-        let prefix: Prefix = prefix.parse().map_err(Response::error)?;
-        if !epoch.model.prefixes().contains_key(&prefix) {
-            return Err(Response::error(format!("unknown prefix `{prefix}`")));
-        }
-        Ok(prefix)
-    }
-
     /// Loads and validates the model at `path` on a separate thread, then
     /// atomically swaps it in as a fresh epoch. Any failure — unreadable
     /// file, corrupt artifact, a model that cannot simulate its first
     /// prefix, even a panic during validation — leaves the current epoch
     /// serving untouched and comes back as an `error` reply.
     fn do_reload(&self, path: &str) -> Response {
-        let path = path.to_string();
-        let loaded = std::thread::spawn(move || -> Result<AsRoutingModel, String> {
-            #[cfg(feature = "testkit")]
-            if quasar_bgpsim::fail::inject("serve.reload") {
-                return Err("injected fault (failpoint serve.reload)".to_string());
-            }
-            let model = quasar_core::persist::load_model(&path).map_err(|e| match e.hint() {
-                Some(h) => format!("{e} ({h})"),
-                None => e.to_string(),
-            })?;
-            // Static audit before the (costlier) simulation probe:
-            // Error-level findings veto the swap outright — the previous
-            // epoch keeps serving.
-            let report = quasar_lint::audit(&model);
-            if report.denies(quasar_lint::Severity::Error) {
-                return Err(format!(
-                    "model failed static audit: {}",
-                    report.error_summary()
-                ));
-            }
-            // Semantic probe: a structurally valid model that cannot
-            // simulate is as useless as a corrupt one.
-            if let Some((&prefix, _)) = model.prefixes().iter().next() {
-                model
-                    .simulate(prefix)
-                    .map_err(|e| format!("model failed validation probe on {prefix}: {e}"))?;
-            }
-            Ok(model)
-        })
-        .join();
-        match loaded {
-            Ok(Ok(model)) => {
+        match validate_off_thread(path) {
+            Ok(model) => {
                 let stats = model.stats();
                 let prefixes = model.prefixes().len();
-                self.swap_epoch(ModelEpoch::new(model, self.config.max_sessions));
+                let generation = {
+                    let mut guard = self.epoch.write();
+                    let generation = guard.generation + 1;
+                    *guard = Arc::new(ModelEpoch::shared(
+                        Arc::new(model),
+                        self.config.max_sessions,
+                        generation,
+                    ));
+                    generation
+                };
                 self.metrics.reload_ok();
                 Response::Reload(ReloadReply {
                     swapped: true,
                     prefixes,
                     quasi_routers: stats.quasi_routers,
+                    generation,
                 })
             }
-            Ok(Err(msg)) => {
+            Err(msg) => {
                 self.metrics.reload_failed();
                 Response::error(format!("reload rejected; keeping current model: {msg}"))
-            }
-            Err(_) => {
-                self.metrics.reload_failed();
-                Response::error(
-                    "reload rejected; keeping current model: validation thread panicked",
-                )
             }
         }
     }
 }
 
+impl ServeHandler for ServerState {
+    fn handle_line(&self, line: &str) -> Response {
+        ServerState::handle_line(self, line)
+    }
+    fn config(&self) -> &ServeConfig {
+        ServerState::config(self)
+    }
+    fn metrics(&self) -> &ServeMetrics {
+        ServerState::metrics(self)
+    }
+    fn shutting_down(&self) -> bool {
+        ServerState::shutting_down(self)
+    }
+    fn request_shutdown(&self) {
+        ServerState::request_shutdown(self)
+    }
+}
+
+/// Parses and validates a (prefix, observer) query pair.
+// The Err is the ready-to-send error reply, produced at most once per
+// request — its size does not matter on this path.
+#[allow(clippy::result_large_err)]
+fn lookup(epoch: &ModelEpoch, prefix: &str, observer: u32) -> Result<(Prefix, Asn), Response> {
+    let prefix: Prefix = prefix.parse().map_err(Response::error)?;
+    if !epoch.model.prefixes().contains_key(&prefix) {
+        return Err(Response::error(format!("unknown prefix `{prefix}`")));
+    }
+    let observer = Asn(observer);
+    if epoch.model.quasi_routers_of(observer).is_empty() {
+        return Err(Response::error(format!("unknown AS `{}`", observer.0)));
+    }
+    Ok((prefix, observer))
+}
+
+// See `lookup` on the Err size.
+#[allow(clippy::result_large_err)]
+pub(crate) fn lookup_prefix(epoch: &ModelEpoch, prefix: &str) -> Result<Prefix, Response> {
+    let prefix: Prefix = prefix.parse().map_err(Response::error)?;
+    if !epoch.model.prefixes().contains_key(&prefix) {
+        return Err(Response::error(format!("unknown prefix `{prefix}`")));
+    }
+    Ok(prefix)
+}
+
+/// Answers a `predict` request against one pinned epoch.
+pub(crate) fn predict_on(
+    epoch: &ModelEpoch,
+    prefix: &str,
+    observer: u32,
+    observed: Option<&[u32]>,
+    deadline: Option<&Deadline>,
+) -> Response {
+    let (prefix, observer) = match lookup(epoch, prefix, observer) {
+        Ok(pair) => pair,
+        Err(e) => return e,
+    };
+    let result = match epoch.base_cache.get_or_simulate(&epoch.model, prefix) {
+        Ok(r) => r,
+        Err(e) => return Response::error(format!("simulation failed: {e}")),
+    };
+    if let Some(resp) = deadline.and_then(Deadline::exceeded) {
+        return resp;
+    }
+    let routers = epoch.model.quasi_routers_of(observer);
+    let observed = observed.map(AsPath::from_u32s);
+    Response::Predict(predict_reply(
+        &result,
+        &routers,
+        prefix,
+        observer,
+        observed.as_ref(),
+    ))
+}
+
+/// Answers an `explain` request against one pinned epoch.
+pub(crate) fn explain_on(
+    epoch: &ModelEpoch,
+    prefix: &str,
+    observer: u32,
+    deadline: Option<&Deadline>,
+) -> Response {
+    let (prefix, observer) = match lookup(epoch, prefix, observer) {
+        Ok(pair) => pair,
+        Err(e) => return e,
+    };
+    let result = match epoch.base_cache.get_or_simulate(&epoch.model, prefix) {
+        Ok(r) => r,
+        Err(e) => return Response::error(format!("simulation failed: {e}")),
+    };
+    if let Some(resp) = deadline.and_then(Deadline::exceeded) {
+        return resp;
+    }
+    let routers = epoch.model.quasi_routers_of(observer);
+    Response::Explain(explain_reply(&result, &routers, prefix, observer))
+}
+
+/// Validates and converts the wire-level change specs of a `diff`
+/// request, first error wins.
+#[allow(clippy::result_large_err)]
+pub(crate) fn parse_changes(specs: &[ChangeSpec]) -> Result<Vec<Change>, Response> {
+    if specs.is_empty() {
+        return Err(Response::error("a diff request needs at least one change"));
+    }
+    let mut changes: Vec<Change> = Vec::with_capacity(specs.len());
+    for s in specs {
+        match s.to_change() {
+            Ok(c) => changes.push(c),
+            Err(e) => return Err(Response::error(e)),
+        }
+    }
+    Ok(changes)
+}
+
+/// Resolves a `diff` request's target set: every model prefix when the
+/// request names none, otherwise the named prefixes validated in the
+/// order given (first error wins), then sorted and deduplicated.
+#[allow(clippy::result_large_err)]
+pub(crate) fn resolve_targets(
+    epoch: &ModelEpoch,
+    prefixes: Option<&[String]>,
+) -> Result<Vec<Prefix>, Response> {
+    match prefixes {
+        None => Ok(epoch.model.prefixes().keys().copied().collect()),
+        Some(list) => {
+            let mut out = Vec::with_capacity(list.len());
+            for p in list {
+                out.push(lookup_prefix(epoch, p)?);
+            }
+            out.sort();
+            out.dedup();
+            Ok(out)
+        }
+    }
+}
+
+/// Runs a validated `diff` over sorted targets against one pinned epoch.
+/// The caller guarantees `targets` is sorted — the reply's impact list
+/// comes out in exactly that order, which is what lets a sharded
+/// dispatcher concatenate per-shard replies deterministically.
+pub(crate) fn diff_on(
+    epoch: &ModelEpoch,
+    changes: &[Change],
+    targets: &[Prefix],
+    deadline: Option<&Deadline>,
+) -> Response {
+    let session = epoch.sessions.get_or_create(&epoch.model, changes);
+    let mut diff = RoutingDiff::default();
+    for &prefix in targets {
+        // The deadline is checked between prefixes — a whole-model
+        // diff is the one request whose work grows with the model,
+        // so this is where a bounded reply matters most.
+        if let Some(resp) = deadline.and_then(Deadline::exceeded) {
+            return resp;
+        }
+        let before = match epoch.base_cache.get_or_simulate(&epoch.model, prefix) {
+            Ok(r) => r,
+            Err(e) => return Response::error(format!("simulation failed: {e}")),
+        };
+        let after = match session.simulate(prefix) {
+            Ok(r) => Some(r),
+            Err(SimError::Divergence { .. }) => None,
+            Err(e) => return Response::error(format!("scenario simulation failed: {e}")),
+        };
+        diff.record_prefix(prefix, &before, after.as_deref());
+    }
+    Response::Diff(diff_reply(session.key(), changes.len(), &diff))
+}
+
+/// Simulates every model prefix matching `owns` into the epoch's base
+/// cache; returns how many were warmed. Simulation failures are left for
+/// the first real query to report — prewarming is best-effort by design.
+pub(crate) fn prewarm_epoch(epoch: &ModelEpoch, owns: impl Fn(Prefix) -> bool) -> usize {
+    let mut warmed = 0;
+    for (&prefix, _) in epoch.model.prefixes().iter() {
+        if owns(prefix) {
+            let _ = epoch.base_cache.get_or_simulate(&epoch.model, prefix);
+            warmed += 1;
+        }
+    }
+    warmed
+}
+
+/// Loads and validates a candidate model: artifact decode, static audit
+/// at `--deny error` severity, and a semantic probe simulating the first
+/// prefix. This is the shared phase-0 of both the single-epoch reload
+/// and the sharded two-phase swap.
+pub(crate) fn validate_candidate(path: &str) -> Result<AsRoutingModel, String> {
+    #[cfg(feature = "testkit")]
+    if quasar_bgpsim::fail::inject("serve.reload") {
+        return Err("injected fault (failpoint serve.reload)".to_string());
+    }
+    let model = quasar_core::persist::load_model(path).map_err(|e| match e.hint() {
+        Some(h) => format!("{e} ({h})"),
+        None => e.to_string(),
+    })?;
+    // Static audit before the (costlier) simulation probe:
+    // Error-level findings veto the swap outright — the previous
+    // epoch keeps serving.
+    let report = quasar_lint::audit(&model);
+    if report.denies(quasar_lint::Severity::Error) {
+        return Err(format!(
+            "model failed static audit: {}",
+            report.error_summary()
+        ));
+    }
+    // Semantic probe: a structurally valid model that cannot
+    // simulate is as useless as a corrupt one.
+    if let Some((&prefix, _)) = model.prefixes().iter().next() {
+        model
+            .simulate(prefix)
+            .map_err(|e| format!("model failed validation probe on {prefix}: {e}"))?;
+    }
+    Ok(model)
+}
+
+/// Runs [`validate_candidate`] on a separate thread so even a panic
+/// during validation cannot take the serving thread down; a panic comes
+/// back as an ordinary rejection message.
+pub(crate) fn validate_off_thread(path: &str) -> Result<AsRoutingModel, String> {
+    let path = path.to_string();
+    match std::thread::spawn(move || validate_candidate(&path)).join() {
+        Ok(result) => result,
+        Err(_) => Err("validation thread panicked".to_string()),
+    }
+}
+
 /// A per-request compute budget, measured from the moment the request
-/// line reached [`ServerState::handle_line`].
-struct Deadline {
-    start: Instant,
-    limit: Duration,
+/// line reached the server's `handle_line`.
+pub(crate) struct Deadline {
+    pub(crate) start: Instant,
+    pub(crate) limit: Duration,
 }
 
 impl Deadline {
     /// The `deadline_exceeded` reply if the budget is spent, else `None`.
-    fn exceeded(&self) -> Option<Response> {
+    pub(crate) fn exceeded(&self) -> Option<Response> {
         let elapsed = self.start.elapsed();
         if elapsed > self.limit {
             Some(Response::DeadlineExceeded(DeadlineExceededReply {
@@ -488,15 +616,15 @@ impl Deadline {
 /// Serves requests on `listener` until a `shutdown` request arrives,
 /// then drains in-flight work and returns. The listener is bound by the
 /// caller so an ephemeral port can be printed before serving starts.
-pub fn serve(state: Arc<ServerState>, listener: TcpListener) -> io::Result<()> {
+pub fn serve<H: ServeHandler>(state: Arc<H>, listener: TcpListener) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     let queue: Mutex<VecDeque<TcpStream>> = Mutex::new(VecDeque::new());
     let available = Condvar::new();
     let accept_error: Mutex<Option<io::Error>> = Mutex::new(None);
 
     crossbeam::thread::scope(|scope| {
-        for _ in 0..state.config.workers.max(1) {
-            scope.spawn(|_| worker_loop(&state, &queue, &available));
+        for _ in 0..state.config().workers.max(1) {
+            scope.spawn(|_| worker_loop(&*state, &queue, &available));
         }
 
         // Accept loop: non-blocking so the shutdown flag is observed
@@ -512,18 +640,18 @@ pub fn serve(state: Arc<ServerState>, listener: TcpListener) -> io::Result<()> {
             match listener.accept() {
                 Ok((stream, _addr)) => {
                     let mut guard = lock_recovering(&queue);
-                    if guard.len() >= state.config.max_pending.max(1) {
+                    if guard.len() >= state.config().max_pending.max(1) {
                         // Load shedding: beyond the bounded queue the peer
                         // gets one typed reply and a closed connection —
                         // bounded memory and an honest answer instead of
                         // unbounded queueing. The write is best-effort: a
                         // peer that already gave up loses nothing.
                         drop(guard);
-                        state.metrics.connection_shed();
+                        state.metrics().connection_shed();
                         shed_connection(stream);
                         continue;
                     }
-                    state.metrics.connection_opened();
+                    state.metrics().connection_opened();
                     guard.push_back(stream);
                     drop(guard);
                     available.notify_one();
@@ -570,7 +698,11 @@ fn shed_connection(mut stream: TcpStream) {
 }
 
 /// One worker: pull connections off the queue until shutdown, then exit.
-fn worker_loop(state: &ServerState, queue: &Mutex<VecDeque<TcpStream>>, available: &Condvar) {
+fn worker_loop<H: ServeHandler>(
+    state: &H,
+    queue: &Mutex<VecDeque<TcpStream>>,
+    available: &Condvar,
+) {
     let mut guard = lock_recovering(queue);
     loop {
         if let Some(stream) = guard.pop_front() {
@@ -587,7 +719,7 @@ fn worker_loop(state: &ServerState, queue: &Mutex<VecDeque<TcpStream>>, availabl
             let outcome =
                 std::panic::catch_unwind(AssertUnwindSafe(|| handle_connection(state, stream)));
             if outcome.is_err() {
-                state.metrics.panic_caught();
+                state.metrics().panic_caught();
             }
             guard = lock_recovering(queue);
             continue;
@@ -605,7 +737,7 @@ fn worker_loop(state: &ServerState, queue: &Mutex<VecDeque<TcpStream>>, availabl
 /// Reads newline-delimited requests off one connection and answers each
 /// with one JSON line, until the client closes (EOF) or the server
 /// drains for shutdown.
-fn handle_connection(state: &ServerState, mut stream: TcpStream) -> io::Result<()> {
+fn handle_connection<H: ServeHandler>(state: &H, mut stream: TcpStream) -> io::Result<()> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     // Replies are single small writes in a request/response lockstep;
     // leaving Nagle on would stall each one behind the peer's delayed
@@ -654,7 +786,7 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream) -> io::Result<(
                     // One bounded error reply, then close: the peer is
                     // either malicious or broken, and buffering more of
                     // its newline-free stream helps neither of us.
-                    state.metrics.record(RequestKind::Error, 0);
+                    state.metrics().record(RequestKind::Error, 0);
                     let mut out = serde_json::to_string(&Response::error(format!(
                         "request line exceeds {MAX_REQUEST_LINE} bytes without a newline"
                     )))
@@ -719,6 +851,19 @@ mod tests {
         assert_eq!(first, second);
         assert_eq!(s.epoch().base_cache.hits(), 1);
         assert_eq!(s.metrics().count(RequestKind::Predict), 2);
+    }
+
+    #[test]
+    fn prewarm_fills_the_base_cache_before_any_request() {
+        let s = state();
+        assert_eq!(s.prewarm(), 2);
+        assert_eq!(s.epoch().base_cache.misses(), 2);
+        let p = Prefix::for_origin(Asn(3)).to_string();
+        let line = format!(r#"{{"type":"predict","prefix":"{p}","observer":1}}"#);
+        assert!(matches!(s.handle_line(&line), Response::Predict(_)));
+        // The prewarmed entry serves the first query as a hit.
+        assert_eq!(s.epoch().base_cache.hits(), 1);
+        assert_eq!(s.epoch().base_cache.misses(), 2);
     }
 
     #[test]
@@ -805,6 +950,8 @@ mod tests {
             panic!("expected metrics reply");
         };
         assert_eq!(m.for_kind("stats").unwrap().count, 1);
+        assert_eq!(m.generation, 0);
+        assert!(m.shards.is_none());
         assert!(!s.shutting_down());
         let Response::Shutdown(sd) = s.handle_line(r#"{"type":"shutdown"}"#) else {
             panic!("expected shutdown reply");

@@ -111,7 +111,7 @@ impl ServeClient {
     /// accepted stream status — this is what `quasar stream-stats` prints).
     pub fn metrics(&self) -> Result<MetricsSnapshot, StreamError> {
         match self.exchange(&Request::Metrics)? {
-            Response::Metrics(m) => Ok(m),
+            Response::Metrics(m) => Ok(*m),
             Response::Error(e) => Err(StreamError::Serve(format!(
                 "metrics request failed: {}",
                 e.message
@@ -157,6 +157,7 @@ mod tests {
             swapped: true,
             prefixes: 12,
             quasi_routers: 34,
+            generation: 2,
         };
         let addr = canned(Response::Reload(reply), "reload");
         let outcome = ServeClient::new(addr)

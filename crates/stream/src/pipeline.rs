@@ -121,6 +121,10 @@ pub struct Pipeline {
     client: Option<ServeClient>,
     status: StreamStatusReport,
     window_reports: Vec<StreamWindowReport>,
+    /// Swap generation reported by the server on the last accepted
+    /// reload (0 until the first swap). Against a sharded server this is
+    /// the fleet-wide generation of the coordinated swap.
+    last_generation: u64,
 }
 
 fn mode_str(mode: &TrainMode) -> &'static str {
@@ -158,12 +162,19 @@ impl Pipeline {
             client,
             status: StreamStatusReport::default(),
             window_reports: Vec::new(),
+            last_generation: 0,
         })
     }
 
     /// The cumulative status so far.
     pub fn status(&self) -> &StreamStatusReport {
         &self.status
+    }
+
+    /// The server's swap generation after the last accepted reload
+    /// (0 before the first swap).
+    pub fn generation(&self) -> u64 {
+        self.last_generation
     }
 
     /// The live observed-path state.
@@ -229,7 +240,10 @@ impl Pipeline {
                 };
                 swap_ms = t1.elapsed().as_millis().max(1) as u64;
                 match outcome {
-                    SwapOutcome::Swapped(_) => self.status.swaps += 1,
+                    SwapOutcome::Swapped(r) => {
+                        self.status.swaps += 1;
+                        self.last_generation = r.generation;
+                    }
                     SwapOutcome::Rejected(msg) => {
                         self.status.swaps_rejected += 1;
                         eprintln!(

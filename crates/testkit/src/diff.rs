@@ -7,10 +7,13 @@
 //!
 //! - sequential vs parallel refinement ([`refine_differential`]),
 //! - a live server vs a fresh one-shot dispatch ([`served_vs_oneshot`]),
+//! - a sharded server vs a fresh one-shot dispatch
+//!   ([`sharded_vs_oneshot`]),
 //! - a JSON-round-tripped model vs the in-memory original
 //!   ([`roundtrip_differential`]),
-//! - any two [`ServerState`]s answering the same request mix
-//!   ([`states_differential`]).
+//! - any two [`ServeHandler`]s answering the same request mix
+//!   ([`states_differential`] — a plain [`ServerState`] and a
+//!   [`ShardedState`] compare directly).
 //!
 //! Everything reduces to [`first_divergence`] over the vendored serde
 //! [`Content`] tree, which `serde_json::parse` produces for any JSON
@@ -19,7 +22,8 @@
 use quasar_core::model::AsRoutingModel;
 use quasar_core::observed::Dataset;
 use quasar_core::refine::{refine, RefineConfig};
-use quasar_serve::server::{serve, ServeConfig, ServerState};
+use quasar_serve::server::{serve, ServeConfig, ServeHandler, ServerState};
+use quasar_serve::shard::ShardedState;
 use serde::Content;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -218,12 +222,15 @@ fn root_err(msg: String) -> Divergence {
     }
 }
 
-/// Sends each request line through both states' dispatch path and
+/// Sends each request line through both handlers' dispatch path and
 /// demands byte-identical reply lines. Stops at the first divergence.
-pub fn states_differential(
+/// The two sides may be different handler types — comparing a plain
+/// [`ServerState`] against a [`ShardedState`] is the sharding
+/// differential suite's whole job.
+pub fn states_differential<L: ServeHandler, R: ServeHandler>(
     context: &str,
-    left: &ServerState,
-    right: &ServerState,
+    left: &L,
+    right: &R,
     requests: &[String],
 ) -> Result<(), Divergence> {
     for req in requests {
@@ -238,7 +245,7 @@ pub fn states_differential(
 
 /// The exact reply line a server would write for `req` (without the
 /// trailing newline).
-pub fn reply_line(state: &ServerState, req: &str) -> String {
+pub fn reply_line<H: ServeHandler>(state: &H, req: &str) -> String {
     serde_json::to_string(&state.handle_line(req))
         .unwrap_or_else(|_| r#"{"type":"error","message":"serialization failed"}"#.to_string())
 }
@@ -274,6 +281,40 @@ pub fn served_vs_oneshot(model: &AsRoutingModel, requests: &[String]) -> Result<
             ..ServeConfig::default()
         },
     ));
+    serve_vs_oneshot("served vs one-shot", state, model, requests)
+}
+
+/// [`served_vs_oneshot`] for a prefix-sharded server: runs a real
+/// `serve()` over a [`ShardedState`] with `shards` shards and demands
+/// every TCP reply is byte-identical to a fresh single-epoch one-shot
+/// dispatch — sharding must never change an answer, only who computes
+/// it.
+pub fn sharded_vs_oneshot(
+    model: &AsRoutingModel,
+    shards: usize,
+    requests: &[String],
+) -> Result<(), Divergence> {
+    let state = Arc::new(ShardedState::new(
+        model.clone(),
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        shards,
+    ));
+    let context = format!("sharded({shards}) vs one-shot");
+    serve_vs_oneshot(&context, state, model, requests)
+}
+
+/// Shared body: serve `state` on a real socket, send every request over
+/// TCP, compare each reply byte-for-byte with a fresh one-shot
+/// single-epoch dispatch.
+fn serve_vs_oneshot<H: ServeHandler + 'static>(
+    context: &str,
+    state: Arc<H>,
+    model: &AsRoutingModel,
+    requests: &[String],
+) -> Result<(), Divergence> {
     let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| root_err(e.to_string()))?;
     let addr = listener.local_addr().map_err(|e| root_err(e.to_string()))?;
     let server = {
@@ -292,11 +333,7 @@ pub fn served_vs_oneshot(model: &AsRoutingModel, requests: &[String]) -> Result<
             }
         };
         let direct = reply_line(&oneshot, req);
-        if let Some(d) = diff_json(
-            &format!("served vs one-shot — request {req}"),
-            &served,
-            &direct,
-        ) {
+        if let Some(d) = diff_json(&format!("{context} — request {req}"), &served, &direct) {
             result = Err(d);
             break;
         }

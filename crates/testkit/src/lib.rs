@@ -42,12 +42,17 @@ pub use quasar_bgpsim::fail;
 pub mod prelude {
     pub use crate::chaos::{ChaosConfig, ChaosStats, Proxy};
     pub use crate::defects::DefectClass;
-    pub use crate::diff::{diff_json, first_divergence, states_differential, Divergence};
+    pub use crate::diff::{
+        diff_json, first_divergence, reply_line, sharded_vs_oneshot, states_differential,
+        Divergence,
+    };
     pub use crate::streamfx::{
         archive_bytes, dataset_of, full_retrain_artifact, scratch_dir, transition_scenario,
         write_archive, StreamScenario,
     };
-    pub use crate::workload::{tiny_trained, toy_model, toy_requests, TrainedFixture};
+    pub use crate::workload::{
+        model_requests, tiny_trained, toy_model, toy_observers, toy_requests, TrainedFixture,
+    };
     #[cfg(feature = "testkit")]
     pub use quasar_bgpsim::fail;
 }

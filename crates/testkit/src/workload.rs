@@ -71,6 +71,84 @@ pub fn toy_requests() -> Vec<String> {
     reqs
 }
 
+/// A deterministic request mix exercising every protocol verb against an
+/// arbitrary trained model — the sharding differential suite's workload.
+///
+/// Covers one predict per (prefix, cycled observer), explains over the
+/// first few prefixes, `stats`, a whole-model diff (no `prefixes` field,
+/// so the server resolves every prefix and a sharded server must fan the
+/// work out and merge), restricted diffs whose explicit prefix lists are
+/// deliberately *unsorted and duplicated* (the reply must still come
+/// back in ascending deduplicated prefix order), an explicit empty
+/// prefix list, and the canonical error cases: unknown prefix, unknown
+/// observer, empty change list, bad prefix syntax, and a non-JSON line.
+/// Every reply — including the errors — is a pure function of the
+/// model, so two servers given this mix must answer byte-identically.
+pub fn model_requests(model: &AsRoutingModel, observers: &[u32]) -> Vec<String> {
+    let prefixes: Vec<String> = model.prefixes().keys().map(|p| p.to_string()).collect();
+    let origins: Vec<u32> = model.prefixes().values().map(|a| a.0).collect();
+    let mut reqs = Vec::new();
+    if prefixes.is_empty() || observers.is_empty() {
+        return reqs;
+    }
+
+    for (i, prefix) in prefixes.iter().enumerate() {
+        let observer = observers[i % observers.len()];
+        reqs.push(format!(
+            r#"{{"type":"predict","prefix":"{prefix}","observer":{observer}}}"#
+        ));
+    }
+    for prefix in prefixes.iter().take(3) {
+        let observer = observers[observers.len() - 1];
+        reqs.push(format!(
+            r#"{{"type":"explain","prefix":"{prefix}","observer":{observer}}}"#
+        ));
+    }
+    reqs.push(r#"{"type":"stats"}"#.to_string());
+
+    // What-if diffs between ASes guaranteed to exist (prefix origins).
+    let a = origins[0];
+    let b = origins[origins.len() - 1];
+    let depeer = format!(r#"{{"action":"depeer","a":{a},"b":{b}}}"#);
+    // Whole-model: the server resolves every prefix itself.
+    reqs.push(format!(r#"{{"type":"diff","changes":[{depeer}]}}"#));
+    // Restricted, with the prefix list reversed AND the (sorted-order)
+    // first prefix repeated at the end: the reply must nevertheless be
+    // in ascending deduplicated prefix order.
+    let mut unsorted: Vec<String> = prefixes.iter().rev().cloned().collect();
+    unsorted.push(prefixes[0].clone());
+    let list = unsorted
+        .iter()
+        .map(|p| format!("\"{p}\""))
+        .collect::<Vec<_>>()
+        .join(",");
+    reqs.push(format!(
+        r#"{{"type":"diff","changes":[{depeer}],"prefixes":[{list}]}}"#
+    ));
+    reqs.push(format!(
+        r#"{{"type":"diff","changes":[{{"action":"add_peering","a":{a},"b":{b}}}],"prefixes":["{}"]}}"#,
+        prefixes[0]
+    ));
+    // Explicit empty prefix list: legal, diffs nothing, still opens a
+    // session.
+    reqs.push(format!(
+        r#"{{"type":"diff","changes":[{depeer}],"prefixes":[]}}"#
+    ));
+
+    // Error cases — replies must be byte-identical too.
+    reqs.push(r#"{"type":"predict","prefix":"198.51.100.0/24","observer":1}"#.to_string());
+    reqs.push(format!(
+        r#"{{"type":"predict","prefix":"{}","observer":4000000000}}"#,
+        prefixes[0]
+    ));
+    reqs.push(r#"{"type":"diff","changes":[]}"#.to_string());
+    reqs.push(format!(
+        r#"{{"type":"diff","changes":[{depeer}],"prefixes":["not-a-prefix"]}}"#
+    ));
+    reqs.push("this is not json".to_string());
+    reqs
+}
+
 /// A synthetic internet refined into a model, plus the datasets that
 /// produced it — the fixture for refinement-level differential tests.
 pub struct TrainedFixture {
@@ -129,6 +207,29 @@ mod tests {
             );
         }
         assert_eq!(toy_requests(), toy_requests());
+    }
+
+    #[test]
+    fn model_requests_cover_success_and_error_paths() {
+        let model = toy_model();
+        let reqs = model_requests(&model, &toy_observers());
+        assert_eq!(reqs, model_requests(&model, &toy_observers()));
+        let state = quasar_serve::server::ServerState::new(
+            model,
+            quasar_serve::server::ServeConfig::default(),
+        );
+        let replies: Vec<String> = reqs
+            .iter()
+            .map(|r| crate::diff::reply_line(&state, r))
+            .collect();
+        assert!(
+            replies.iter().any(|r| !r.contains(r#""type":"error""#)),
+            "mix must include successful requests"
+        );
+        assert!(
+            replies.iter().any(|r| r.contains(r#""type":"error""#)),
+            "mix must include error-reply requests"
+        );
     }
 
     #[test]

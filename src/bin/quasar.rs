@@ -39,11 +39,14 @@
 //!             one-shot route prediction from a persisted model, printed
 //!             as one JSON line — byte-identical to the server's answer
 //!   serve     MODEL.json [--listen ADDR] [--workers N] [--max-sessions N]
-//!             [--max-pending N] [--deadline-ms MS]
+//!             [--max-pending N] [--deadline-ms MS] [--shards N] [--prewarm]
 //!             long-running query server (see `quasar-serve` crate docs);
 //!             --max-pending bounds the accept queue (excess connections
 //!             are shed with an `overloaded` reply), --deadline-ms caps
-//!             per-request compute time (0 = unlimited)
+//!             per-request compute time (0 = unlimited), --shards N runs
+//!             the prefix-sharded dispatcher (0 = one shard per core),
+//!             --prewarm simulates every prefix into the cache(s) before
+//!             the listener starts answering
 //!   query     ADDR JSON [JSON...]
 //!             send newline-delimited JSON requests to a running server;
 //!             `overloaded` replies are retried with jittered backoff
@@ -116,7 +119,7 @@ fn usage(msg: &str) -> ! {
          \x20      quasar whatif FILE --depeer A:B [--model MODEL.json]\n\
          \x20      quasar whatif --json --model MODEL.json [--depeer A:B] [--add-peering A:B] [--filter ASN:NEIGHBOR:PREFIX]\n\
          \x20      quasar predict --model MODEL.json --prefix P --observer N [--path A,B,C]\n\
-         \x20      quasar serve MODEL.json [--listen ADDR] [--workers N] [--max-sessions N] [--max-pending N] [--deadline-ms MS]\n\
+         \x20      quasar serve MODEL.json [--listen ADDR] [--workers N] [--max-sessions N] [--max-pending N] [--deadline-ms MS] [--shards N] [--prewarm]\n\
          \x20      quasar query ADDR JSON [JSON...]\n\
          \x20      quasar stream --updates FILE --model OUT [--serve ADDR] [--window-ms N] [--max-window N] [--follow] [--idle-ms N] [--state DIR] [--threads N]\n\
          \x20      quasar stream-stats ADDR\n\
@@ -697,6 +700,19 @@ fn cmd_serve(args: &[String]) {
     if let Some(d) = parsed_flag::<u64>(args, "--deadline-ms") {
         config.deadline_ms = d;
     }
+    // --shards N selects the prefix-sharded dispatcher (0 = one shard
+    // per core); without the flag the single-epoch server runs, as
+    // before. Replies are byte-identical either way.
+    let shards = parsed_flag::<usize>(args, "--shards").map(|n| {
+        if n == 0 {
+            std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(4)
+        } else {
+            n
+        }
+    });
+    let prewarm = args.iter().any(|a| a == "--prewarm");
     let model = load_model(&model_path);
     let stats = model.stats();
     let listener = TcpListener::bind(&listen)
@@ -709,14 +725,37 @@ fn cmd_serve(args: &[String]) {
     println!("quasar-serve listening on {addr}");
     std::io::stdout().flush().ok();
     eprintln!(
-        "serving {} prefixes over {} ASes ({} quasi-routers) with {} worker(s)",
+        "serving {} prefixes over {} ASes ({} quasi-routers) with {} worker(s){}",
         model.prefixes().len(),
         stats.ases,
         stats.quasi_routers,
-        config.workers
+        config.workers,
+        match shards {
+            Some(n) => format!(" across {n} shard(s)"),
+            None => String::new(),
+        }
     );
-    let state = Arc::new(ServerState::new(model, config));
-    if let Err(e) = quasar::serve::server::serve(state, listener) {
+    let result = match shards {
+        Some(n) => {
+            let state = Arc::new(quasar::serve::shard::ShardedState::new(model, config, n));
+            if prewarm {
+                // Warm before serving so the first client hits a full
+                // cache; the listener is bound but not yet accepting.
+                let warmed = state.prewarm();
+                eprintln!("prewarmed {warmed} prefix(es) across {} shard(s)", n);
+            }
+            quasar::serve::server::serve(state, listener)
+        }
+        None => {
+            let state = Arc::new(ServerState::new(model, config));
+            if prewarm {
+                let warmed = state.prewarm();
+                eprintln!("prewarmed {warmed} prefix(es)");
+            }
+            quasar::serve::server::serve(state, listener)
+        }
+    };
+    if let Err(e) = result {
         die(format!("serve failed: {e}"));
     }
     eprintln!("quasar-serve drained, exiting");
