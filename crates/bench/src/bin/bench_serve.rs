@@ -28,8 +28,14 @@
 //! demands every cell — every shard count, every process count — hashed
 //! identically. The headline `warm_speedup` (mean cold / mean warm
 //! latency in the 1-shard, 1-process cell) must be ≥ 10x — the same
-//! acceptance bar as before. The default output file is
-//! `BENCH_serve.json`.
+//! acceptance bar as before.
+//!
+//! After the matrix, a **self-healing drill** quarantines one shard of a
+//! live 4-shard fleet through the same hook the strike counter uses,
+//! times the background rebuild to reinstatement (`shard_rebuild_mttr_ms`),
+//! and re-hashes the canonical replies: `recovery_deterministic` demands
+//! the recovered fleet answers the exact pre-quarantine bytes. The
+//! default output file is `BENCH_serve.json`.
 
 use quasar_bench::{train_model, Context, EnvInfo, Scale};
 use quasar_core::prelude::*;
@@ -90,6 +96,13 @@ struct Record {
     deterministic: bool,
     /// Mean cold / mean warm latency in the (1 shard, 1 process) cell.
     warm_speedup: f64,
+    /// Wall-clock ms from quarantining one shard of a live 4-shard
+    /// fleet to its background rebuild reinstating it (mean time to
+    /// recovery of the self-healing path).
+    shard_rebuild_mttr_ms: f64,
+    /// The recovered fleet's canonical replies hashed identically to
+    /// the pre-quarantine (and matrix-wide) hash.
+    recovery_deterministic: bool,
 }
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -366,6 +379,48 @@ fn main() {
         .iter()
         .all(|c| c.replies_fnv == matrix[0].replies_fnv);
 
+    // Self-healing drill: quarantine one shard of a live 4-shard fleet
+    // (the same hook the panic strike counter fires), time the
+    // background rebuild to reinstatement, and demand the recovered
+    // fleet answers the exact pre-quarantine bytes.
+    eprintln!("# quarantining shard 0 of a live 4-shard fleet ...");
+    let state = Arc::new(ShardedState::new(
+        model.clone(),
+        ServeConfig {
+            workers: server_workers,
+            ..ServeConfig::default()
+        },
+        4,
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let server = {
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || serve(state, listener))
+    };
+    let fnv_before = replies_fnv(addr, &cold_requests);
+    let t0 = Instant::now();
+    assert!(state.quarantine_shard(0), "the drill shard must be healthy");
+    while state.shard_state(0) != "healthy" {
+        assert!(
+            t0.elapsed().as_secs() < 60,
+            "shard rebuild did not reinstate within 60s"
+        );
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    let shard_rebuild_mttr_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let fnv_after = replies_fnv(addr, &cold_requests);
+    let recovery_deterministic = fnv_after == fnv_before && fnv_before == matrix[0].replies_fnv;
+    eprintln!(
+        "# shard rebuild MTTR {shard_rebuild_mttr_ms:.1}ms, \
+         replies after recovery deterministic: {recovery_deterministic}"
+    );
+    drive(addr, &[r#"{"type":"shutdown"}"#.to_string()]);
+    server
+        .join()
+        .expect("server thread")
+        .expect("server drained cleanly");
+
     let record = Record {
         scale: scale_name,
         seed,
@@ -377,6 +432,8 @@ fn main() {
         matrix,
         deterministic,
         warm_speedup,
+        shard_rebuild_mttr_ms,
+        recovery_deterministic,
     };
     let json = serde_json::to_string_pretty(&record).expect("record serializes");
     quasar_core::persist::atomic_write_bytes(&out, json.as_bytes()).unwrap_or_else(|e| {
@@ -390,6 +447,10 @@ fn main() {
     }
     if warm_speedup < 10.0 {
         eprintln!("FAIL: warm cache speedup {warm_speedup:.1}x below the 10x acceptance bar");
+        std::process::exit(1)
+    }
+    if !recovery_deterministic {
+        eprintln!("FAIL: replies changed after the quarantine/rebuild drill");
         std::process::exit(1)
     }
 }

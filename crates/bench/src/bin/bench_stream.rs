@@ -29,6 +29,14 @@
 //!   prefixes, so an incremental retrain touching only those domains must
 //!   decisively beat redoing everything).
 //!
+//! After the scale runs, a **recovery drill** replays the tiny scenario
+//! window by window, kills the server after the first swap, restarts it
+//! cold before the last window, and records what the outage cost: the
+//! wall-clock ms the circuit breaker spent on failed swap attempts
+//! (`retry_overhead_ms`), the outage/catch-up counters, and whether the
+//! post-outage epoch is byte-identical to the offline retrain
+//! (`post_outage_deterministic` — gated).
+//!
 //! The default output file is `BENCH_stream.json`.
 
 use quasar_bench::{Context, EnvInfo, Scale};
@@ -39,6 +47,7 @@ use quasar_core::refine::{refine, RefineConfig};
 use quasar_mrt::prelude::*;
 use quasar_netgen::prelude::*;
 use quasar_serve::server::{serve, ServeConfig, ServerState};
+use quasar_stream::ingest::{UpdateWindow, Windower};
 use quasar_stream::pipeline::{Pipeline, StreamConfig};
 use serde::Serialize;
 use std::io::{BufRead, BufReader, Write};
@@ -71,6 +80,23 @@ struct Run {
     speedup: f64,
 }
 
+/// The serve-outage drill's measurement (tiny scale).
+#[derive(Debug, Serialize)]
+struct RecoveryDrill {
+    windows: u64,
+    /// Closed→open breaker transitions observed (must be exactly 1).
+    serve_outages: u64,
+    /// Swaps that landed while the breaker was open (must be exactly 1).
+    catch_up_swaps: u64,
+    /// Wall ms spent on failed swap attempts and half-open probes
+    /// across the outage windows — what riding out the outage cost on
+    /// top of training.
+    retry_overhead_ms: u64,
+    /// The post-outage epoch is byte-identical to the offline
+    /// from-scratch retrain of the same path set.
+    post_outage_deterministic: bool,
+}
+
 /// The whole benchmark record.
 #[derive(Debug, Serialize)]
 struct Record {
@@ -82,6 +108,8 @@ struct Record {
     runs: Vec<Run>,
     /// Speedup on the largest scale measured — the gated headline.
     headline_speedup: f64,
+    /// The serve-outage recovery drill.
+    recovery: RecoveryDrill,
 }
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -308,6 +336,151 @@ fn bench_scale(scale: Scale, seed: u64, window_secs: u32, seed_model_json: &str)
     }
 }
 
+/// Binds `addr`, retrying briefly: the killed server's connections may
+/// hold the port in TIME_WAIT for a moment.
+fn rebind(addr: std::net::SocketAddr) -> TcpListener {
+    let t0 = Instant::now();
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(l) => return l,
+            Err(e) if t0.elapsed().as_secs() < 10 => {
+                let _ = e;
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            Err(e) => panic!("cannot rebind {addr}: {e}"),
+        }
+    }
+}
+
+/// The serve-outage drill: replay the tiny transition window by window,
+/// kill the server after the first swap, restart it cold before the
+/// last window, and measure what riding out the outage cost.
+fn recovery_drill(seed: u64, seed_model_json: &str) -> RecoveryDrill {
+    let dir = scratch_dir("recovery");
+    let ctx = Context::build(Scale::Tiny, seed);
+    let points = &ctx.internet.observation_points;
+    let before = &ctx.internet.observations;
+    let perturbation = perturb_observations(
+        points,
+        before,
+        &PerturbationConfig::graph_preserving(5),
+        seed ^ 0xFA11,
+    );
+    let records = transition_stream(
+        points,
+        before,
+        &perturbation.after,
+        &UpdateStreamConfig::default(),
+        seed ^ 0x5EED,
+    );
+    // The uninterrupted ground truth: the offline retrain of the final
+    // path set, byte for byte.
+    let baseline = dir.join("full.quasar");
+    full_retrain(&dataset_of(&perturbation.after), &baseline);
+    let want = std::fs::read(&baseline).expect("baseline bytes");
+
+    let mut windower = Windower::new(1_800, 10_000);
+    let mut windows: Vec<UpdateWindow> = records
+        .iter()
+        .filter_map(|r| windower.push(r.clone()))
+        .collect();
+    windows.extend(windower.flush());
+    assert!(
+        windows.len() >= 3,
+        "the drill needs pre-outage, outage and recovery windows ({} windows)",
+        windows.len()
+    );
+
+    let seed_artifact = dir.join("seed.quasar");
+    persist::save_artifact(
+        &seed_artifact,
+        persist::KIND_MODEL,
+        seed_model_json.as_bytes(),
+    )
+    .expect("persist seed model");
+    let boot = || {
+        Arc::new(ServerState::new(
+            load_model(&seed_artifact).expect("seed model"),
+            ServeConfig::default(),
+        ))
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let state = boot();
+    let server = std::thread::spawn(move || serve(state, listener));
+
+    let model_out = dir.join("model.quasar");
+    let mut pipeline = Pipeline::new(StreamConfig {
+        updates: dir.join("unused.mrt"),
+        model_out: model_out.clone(),
+        window_secs: 1_800,
+        threads: 1,
+        serve_addr: Some(addr.to_string()),
+        ..StreamConfig::default()
+    })
+    .expect("pipeline");
+
+    // First window swaps into the live server, then the server dies.
+    pipeline.process_window(&windows[0]).expect("window 0");
+    assert_eq!(pipeline.status().swaps, 1, "first epoch must swap");
+    request(addr, r#"{"type":"shutdown"}"#);
+    server
+        .join()
+        .expect("server thread")
+        .expect("server drained cleanly");
+
+    // Outage windows: training continues; swap_ms on persisted windows
+    // is exactly the time burnt on the failed retry schedule and the
+    // breaker's half-open probes.
+    let last = windows.len() - 1;
+    let mut retry_overhead_ms = 0u64;
+    for w in &windows[1..last] {
+        let r = pipeline.process_window(w).expect("outage window");
+        retry_overhead_ms += r.swap_ms;
+    }
+    assert_eq!(
+        pipeline.status().serve_outages,
+        1,
+        "one outage, counted once: {:?}",
+        pipeline.status()
+    );
+
+    // Cold restart on the same address; the next window catches up.
+    let listener = rebind(addr);
+    let state = boot();
+    let server = std::thread::spawn(move || serve(state, listener));
+    pipeline
+        .process_window(&windows[last])
+        .expect("recovery window");
+    assert_eq!(
+        pipeline.status().catch_up_swaps,
+        1,
+        "recovery must land as a catch-up swap: {:?}",
+        pipeline.status()
+    );
+    request(addr, r#"{"type":"shutdown"}"#);
+    server
+        .join()
+        .expect("server thread")
+        .expect("server drained cleanly");
+
+    let post_outage_deterministic = std::fs::read(&model_out).expect("streamed artifact") == want;
+    let drill = RecoveryDrill {
+        windows: pipeline.status().windows,
+        serve_outages: pipeline.status().serve_outages,
+        catch_up_swaps: pipeline.status().catch_up_swaps,
+        retry_overhead_ms,
+        post_outage_deterministic,
+    };
+    eprintln!(
+        "# recovery drill: {} windows, retry overhead {}ms, post-outage \
+         deterministic: {}",
+        drill.windows, drill.retry_overhead_ms, drill.post_outage_deterministic
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    drill
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| {
@@ -352,6 +525,9 @@ fn main() {
         .collect();
     let headline_speedup = runs.last().map(|r| r.speedup).unwrap_or(0.0);
 
+    eprintln!("# running the serve-outage recovery drill (tiny scale) ...");
+    let recovery = recovery_drill(seed, &seed_model_json);
+
     let record = Record {
         seed,
         env: EnvInfo::probe(),
@@ -359,6 +535,7 @@ fn main() {
         speedup_gate: SPEEDUP_GATE,
         runs,
         headline_speedup,
+        recovery,
     };
     let json = serde_json::to_string_pretty(&record).expect("record serializes");
     quasar_core::persist::atomic_write_bytes(&out, json.as_bytes()).unwrap_or_else(|e| {
@@ -370,6 +547,10 @@ fn main() {
         eprintln!(
             "FAIL: incremental speedup {headline_speedup:.1}x below the {SPEEDUP_GATE:.0}x acceptance bar"
         );
+        std::process::exit(1)
+    }
+    if !record.recovery.post_outage_deterministic {
+        eprintln!("FAIL: the post-outage epoch diverged from the offline retrain");
         std::process::exit(1)
     }
 }

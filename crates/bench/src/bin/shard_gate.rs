@@ -12,7 +12,13 @@
 //!    answer is a correctness bug, not a performance trade.
 //! 2. **Warm-cache bar** — the recorded `warm_speedup` must be ≥ 10x,
 //!    the serving tier's standing acceptance bar. Always enforced.
-//! 3. **Shard scaling smoke** — at `--client-procs` (default 4) client
+//! 3. **Self-healing drill** — when the record carries
+//!    `recovery_deterministic` (records produced since the quarantine
+//!    drill landed), it must be true: a shard that went through
+//!    quarantine → rebuild → reinstate must answer the exact
+//!    pre-quarantine bytes. The drill's `shard_rebuild_mttr_ms` is
+//!    reported but not gated (wall-clock recovery is host-dependent).
+//! 4. **Shard scaling smoke** — at `--client-procs` (default 4) client
 //!    processes, the 2-shard warm qps must be at least `--min-ratio`
 //!    (default 1.0) times the 1-shard warm qps: adding a shard must not
 //!    cost throughput under a saturating client fleet. Only enforced
@@ -38,6 +44,12 @@ struct Record {
     matrix: Vec<Cell>,
     deterministic: bool,
     warm_speedup: f64,
+    /// Self-healing drill numbers; optional so baselines recorded
+    /// before the drill existed still parse.
+    #[serde(default)]
+    shard_rebuild_mttr_ms: Option<f64>,
+    #[serde(default)]
+    recovery_deterministic: Option<bool>,
 }
 
 #[derive(Debug, Deserialize)]
@@ -120,7 +132,23 @@ fn main() {
         println!("ok: warm cache speedup {:.1}x >= 10x", fresh.warm_speedup);
     }
 
-    // 3. Shard scaling smoke — only meaningful with real cores to spend.
+    // 3. Self-healing drill — a recovered shard answering different
+    // bytes is a correctness bug; the MTTR itself is recorded, not
+    // gated (wall-clock recovery time is not portable across hosts).
+    match fresh.recovery_deterministic {
+        Some(true) => println!(
+            "ok: replies byte-identical after quarantine/rebuild \
+             (MTTR {:.1}ms)",
+            fresh.shard_rebuild_mttr_ms.unwrap_or(0.0)
+        ),
+        Some(false) => {
+            eprintln!("FAIL: replies changed after the quarantine/rebuild drill");
+            failed = true;
+        }
+        None => println!("note: record predates the self-healing drill; skipping"),
+    }
+
+    // 4. Shard scaling smoke — only meaningful with real cores to spend.
     if fresh.env.cores < 4 {
         println!(
             "SKIP: host has {} core(s) (<4) — shards contend for the same cores \

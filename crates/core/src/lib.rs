@@ -57,6 +57,7 @@
 
 pub mod atoms;
 pub mod audit;
+pub mod backoff;
 pub mod baseline;
 pub mod diagnostics;
 pub mod incremental;
@@ -72,6 +73,7 @@ pub mod whatif;
 /// Commonly used names.
 pub mod prelude {
     pub use crate::atoms::{refine_with_atoms, PolicyAtoms};
+    pub use crate::backoff::{splitmix64, Backoff};
     pub use crate::baseline::{relationship_model, shortest_path_model, table2_row, Table2Row};
     pub use crate::diagnostics::{diagnose, MismatchDiagnostics};
     pub use crate::incremental::{IncrementalReport, IncrementalTrainer, TrainMode};

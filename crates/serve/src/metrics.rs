@@ -32,12 +32,14 @@ pub enum RequestKind {
     /// `stream_report` requests (a streaming pipeline publishing its
     /// per-window progress).
     StreamReport,
+    /// `health` (readiness) requests.
+    Health,
     /// Malformed or failed requests (answered with an error response).
     Error,
 }
 
 impl RequestKind {
-    const ALL: [RequestKind; 9] = [
+    const ALL: [RequestKind; 10] = [
         RequestKind::Predict,
         RequestKind::Diff,
         RequestKind::Explain,
@@ -46,6 +48,7 @@ impl RequestKind {
         RequestKind::Reload,
         RequestKind::Shutdown,
         RequestKind::StreamReport,
+        RequestKind::Health,
         RequestKind::Error,
     ];
 
@@ -60,6 +63,7 @@ impl RequestKind {
             RequestKind::Reload => "reload",
             RequestKind::Shutdown => "shutdown",
             RequestKind::StreamReport => "stream_report",
+            RequestKind::Health => "health",
             RequestKind::Error => "error",
         }
     }
@@ -74,7 +78,8 @@ impl RequestKind {
             RequestKind::Reload => 5,
             RequestKind::Shutdown => 6,
             RequestKind::StreamReport => 7,
-            RequestKind::Error => 8,
+            RequestKind::Health => 8,
+            RequestKind::Error => 9,
         }
     }
 }
@@ -205,6 +210,20 @@ pub struct StreamStatusReport {
     /// Whether the update source is exhausted (replay finished or the
     /// follow-mode tail went idle past its timeout).
     pub source_done: bool,
+    /// Serve-tier outages the pipeline rode out: windows whose swap (or
+    /// status publication) hit a transport failure while the pipeline
+    /// kept training and persisting epochs locally.
+    #[serde(default)]
+    pub serve_outages: u64,
+    /// Swaps that healed an outage: the first successful reload after
+    /// one or more transport failures, pushing only the newest persisted
+    /// epoch (so the served model matches an uninterrupted run).
+    #[serde(default)]
+    pub catch_up_swaps: u64,
+    /// Transient ingest faults retried successfully (reads that failed
+    /// with a retryable error and then recovered in follow mode).
+    #[serde(default)]
+    pub ingest_retries: u64,
     /// The most recently completed window, if any.
     pub last_window: Option<StreamWindowReport>,
 }
@@ -212,13 +231,16 @@ pub struct StreamStatusReport {
 /// All server counters.
 #[derive(Default)]
 pub struct ServeMetrics {
-    per_kind: [LatencyHistogram; 9],
+    per_kind: [LatencyHistogram; 10],
     connections: AtomicU64,
     panics_caught: AtomicU64,
     shed: AtomicU64,
     deadline_exceeded: AtomicU64,
     reloads: AtomicU64,
     reload_failures: AtomicU64,
+    quarantines: AtomicU64,
+    rebuilds: AtomicU64,
+    rebuild_failures: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -294,6 +316,36 @@ impl ServeMetrics {
         self.reload_failures.load(Ordering::Relaxed)
     }
 
+    /// Records one shard crossing its panic threshold into quarantine.
+    pub fn shard_quarantined(&self) {
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Shards quarantined so far.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines.load(Ordering::Relaxed)
+    }
+
+    /// Records one quarantined shard rebuilt and reinstated.
+    pub fn shard_rebuilt(&self) {
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Shard rebuilds completed so far.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Records one failed rebuild (the shard stays quarantined).
+    pub fn shard_rebuild_failed(&self) {
+        self.rebuild_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Failed shard rebuilds so far.
+    pub fn rebuild_failures(&self) -> u64 {
+        self.rebuild_failures.load(Ordering::Relaxed)
+    }
+
     /// Requests served of one kind.
     pub fn count(&self, kind: RequestKind) -> u64 {
         self.per_kind[kind.index()].snapshot().count
@@ -324,6 +376,9 @@ impl ServeMetrics {
             stream,
             generation: 0,
             shards: None,
+            quarantines: self.quarantines(),
+            rebuilds: self.rebuilds(),
+            rebuild_failures: self.rebuild_failures(),
         }
     }
 }
@@ -356,6 +411,18 @@ pub struct ShardSnapshot {
     pub overlay_cache: CacheSnapshot,
     /// What-if sessions resident on this shard.
     pub active_sessions: usize,
+    /// Self-healing state of this shard: `"healthy"`, `"quarantined"`
+    /// (panic threshold tripped, slice answering typed `degraded`
+    /// replies), or `"rebuilding"` (a background worker is building its
+    /// replacement epoch). Empty on snapshots from servers predating
+    /// quarantine.
+    #[serde(default)]
+    pub state: String,
+    /// Panics on this shard since it was last (re)instated — the count
+    /// the quarantine threshold is compared against, unlike the
+    /// cumulative `panics_caught`.
+    #[serde(default)]
+    pub strikes: u64,
 }
 
 /// The `metrics` response payload.
@@ -363,7 +430,7 @@ pub struct ShardSnapshot {
 pub struct MetricsSnapshot {
     /// Per-request-type latency histograms (`predict`, `diff`, `explain`,
     /// `stats`, `metrics`, `reload`, `shutdown`, `stream_report`,
-    /// `error`).
+    /// `health`, `error`).
     pub requests: Vec<(String, LatencySnapshot)>,
     /// Connections accepted since startup.
     pub connections: u64,
@@ -402,6 +469,15 @@ pub struct MetricsSnapshot {
     /// sharding).
     #[serde(default)]
     pub shards: Option<Vec<ShardSnapshot>>,
+    /// Shards quarantined since startup (panic threshold trips).
+    #[serde(default)]
+    pub quarantines: u64,
+    /// Quarantined shards rebuilt and reinstated since startup.
+    #[serde(default)]
+    pub rebuilds: u64,
+    /// Shard rebuilds that failed, leaving the shard quarantined.
+    #[serde(default)]
+    pub rebuild_failures: u64,
 }
 
 impl MetricsSnapshot {
@@ -451,11 +527,12 @@ mod tests {
         m.record(RequestKind::Diff, 1_000_000);
         m.connection_opened();
         let s = m.snapshot(CacheSnapshot::default(), CacheSnapshot::default(), 3, None);
-        assert_eq!(s.requests.len(), 9);
+        assert_eq!(s.requests.len(), 10);
         assert_eq!(s.for_kind("predict").unwrap().count, 2);
         assert_eq!(s.for_kind("diff").unwrap().count, 1);
         assert_eq!(s.for_kind("explain").unwrap().count, 0);
         assert_eq!(s.for_kind("stream_report").unwrap().count, 0);
+        assert_eq!(s.for_kind("health").unwrap().count, 0);
         assert_eq!(s.connections, 1);
         assert_eq!(s.active_sessions, 3);
         assert!(s.stream.is_none());
@@ -474,6 +551,9 @@ mod tests {
             incremental_windows: 2,
             full_retrain_windows: 1,
             source_done: false,
+            serve_outages: 1,
+            catch_up_swaps: 1,
+            ingest_retries: 0,
             last_window: Some(StreamWindowReport {
                 seq: 2,
                 updates: 40,

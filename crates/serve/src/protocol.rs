@@ -81,6 +81,9 @@ pub enum Request {
         /// The pipeline's cumulative status.
         report: StreamStatusReport,
     },
+    /// Readiness probe: fleet and per-shard self-healing state plus the
+    /// stream heartbeat, cheap enough to poll from scripts.
+    Health,
     /// Graceful shutdown: drain in-flight work, then exit.
     Shutdown,
 }
@@ -96,6 +99,7 @@ impl Request {
             Request::Metrics => RequestKind::Metrics,
             Request::Reload { .. } => RequestKind::Reload,
             Request::StreamReport { .. } => RequestKind::StreamReport,
+            Request::Health => RequestKind::Health,
             Request::Shutdown => RequestKind::Shutdown,
         }
     }
@@ -304,6 +308,81 @@ pub struct StreamReportReply {
     pub windows: u64,
 }
 
+/// Self-healing state of one shard, as reported in a `health` reply.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// Shard index (0-based, ascending prefix ranges).
+    pub shard: usize,
+    /// `"healthy"`, `"quarantined"` or `"rebuilding"`.
+    pub state: String,
+    /// Swap generation of this shard's serving epoch.
+    pub generation: u64,
+    /// Dispatch panics caught on this shard since startup.
+    pub panics: u64,
+    /// Panics since the shard was last (re)instated — what the
+    /// quarantine threshold compares against.
+    pub strikes: u64,
+}
+
+/// Streaming-pipeline heartbeat, as reported in a `health` reply of a
+/// server that has received at least one `stream_report`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamHealth {
+    /// Windows the pipeline has processed.
+    pub windows: u64,
+    /// Epochs successfully swapped in.
+    pub swaps: u64,
+    /// Swaps the server rejected.
+    pub swaps_rejected: u64,
+    /// Serve-tier outages the pipeline rode out.
+    pub serve_outages: u64,
+    /// Swaps that healed an outage by pushing the newest epoch.
+    pub catch_up_swaps: u64,
+    /// Whether the update source is exhausted.
+    pub source_done: bool,
+    /// Milliseconds since the report was received — the staleness (lag)
+    /// of this heartbeat, not of the data inside it.
+    pub report_age_ms: u64,
+}
+
+/// Answer to a `health` request.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HealthReply {
+    /// `"healthy"` when every shard serves its slice; `"degraded"` while
+    /// any shard is quarantined or rebuilding.
+    pub status: String,
+    /// Fleet-wide swap generation.
+    pub generation: u64,
+    /// Dispatch panics caught since startup.
+    pub panics_caught: u64,
+    /// Shards quarantined since startup.
+    pub quarantines: u64,
+    /// Quarantined shards rebuilt and reinstated since startup.
+    pub rebuilds: u64,
+    /// Shard rebuilds that failed, leaving the shard quarantined.
+    pub rebuild_failures: u64,
+    /// Per-shard self-healing state; `None` on a single-epoch server.
+    #[serde(default)]
+    pub shards: Option<Vec<ShardHealth>>,
+    /// Stream heartbeat; `None` until a pipeline reports in.
+    #[serde(default)]
+    pub stream: Option<StreamHealth>,
+}
+
+/// Typed reply for a request routed to a quarantined or rebuilding
+/// shard: only that slice of the prefix space is degraded, every other
+/// shard keeps answering byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradedReply {
+    /// The degraded shard.
+    pub shard: usize,
+    /// `"quarantined"` or `"rebuilding"`.
+    pub state: String,
+    /// Suggested client backoff before retrying this slice (the
+    /// background rebuild may have reinstated the shard by then).
+    pub retry_after_ms: u64,
+}
+
 /// Load-shed reply: the pending-connection queue was full, so the server
 /// answered immediately and closed the connection instead of queueing it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -349,10 +428,15 @@ pub enum Response {
     Reload(ReloadReply),
     /// Answer to `stream_report`.
     StreamReport(StreamReportReply),
+    /// Answer to `health`.
+    Health(HealthReply),
     /// Answer to `shutdown`.
     Shutdown(ShutdownReply),
     /// Load-shed answer sent when the pending-connection queue is full.
     Overloaded(OverloadedReply),
+    /// The request's slice of the prefix space is quarantined or
+    /// rebuilding; other slices keep serving.
+    Degraded(DegradedReply),
     /// The request blew the per-request compute deadline.
     DeadlineExceeded(DeadlineExceededReply),
     /// Error answer.
@@ -623,6 +707,7 @@ impl Serialize for Request {
                 "stream_report",
                 vec![(key("report"), report.to_content())],
             ),
+            Request::Health => tagged("type", "health", vec![]),
             Request::Shutdown => tagged("type", "shutdown", vec![]),
         }
     }
@@ -652,6 +737,7 @@ impl<'de> Deserialize<'de> for Request {
             "stream_report" => Ok(Request::StreamReport {
                 report: req_field(c, "report")?,
             }),
+            "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ContentError::msg(format!("unknown request type `{other}`"))),
         }
@@ -668,8 +754,10 @@ impl Response {
             Response::Metrics(_) => "metrics",
             Response::Reload(_) => "reload",
             Response::StreamReport(_) => "stream_report",
+            Response::Health(_) => "health",
             Response::Shutdown(_) => "shutdown",
             Response::Overloaded(_) => "overloaded",
+            Response::Degraded(_) => "degraded",
             Response::DeadlineExceeded(_) => "deadline_exceeded",
             Response::Error(_) => "error",
         }
@@ -686,8 +774,10 @@ impl Serialize for Response {
             Response::Metrics(r) => r.to_content(),
             Response::Reload(r) => r.to_content(),
             Response::StreamReport(r) => r.to_content(),
+            Response::Health(r) => r.to_content(),
             Response::Shutdown(r) => r.to_content(),
             Response::Overloaded(r) => r.to_content(),
+            Response::Degraded(r) => r.to_content(),
             Response::DeadlineExceeded(r) => r.to_content(),
             Response::Error(r) => r.to_content(),
         };
@@ -711,8 +801,10 @@ impl<'de> Deserialize<'de> for Response {
             )?))),
             "reload" => Ok(Response::Reload(ReloadReply::from_content(c)?)),
             "stream_report" => Ok(Response::StreamReport(StreamReportReply::from_content(c)?)),
+            "health" => Ok(Response::Health(HealthReply::from_content(c)?)),
             "shutdown" => Ok(Response::Shutdown(ShutdownReply::from_content(c)?)),
             "overloaded" => Ok(Response::Overloaded(OverloadedReply::from_content(c)?)),
+            "degraded" => Ok(Response::Degraded(DegradedReply::from_content(c)?)),
             "deadline_exceeded" => Ok(Response::DeadlineExceeded(
                 DeadlineExceededReply::from_content(c)?,
             )),
@@ -772,6 +864,9 @@ mod tests {
                     incremental_windows: 1,
                     full_retrain_windows: 1,
                     source_done: true,
+                    serve_outages: 1,
+                    catch_up_swaps: 1,
+                    ingest_retries: 2,
                     last_window: Some(crate::metrics::StreamWindowReport {
                         seq: 1,
                         updates: 32,
@@ -785,6 +880,7 @@ mod tests {
                     }),
                 },
             },
+            Request::Health,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -820,6 +916,8 @@ mod tests {
                 observed_path: None,
             }
         );
+        let req: Request = serde_json::from_str(r#"{"type":"health"}"#).unwrap();
+        assert_eq!(req, Request::Health);
         let req: Request = serde_json::from_str(
             r#"{"type":"diff","changes":[{"action":"depeer","a":10,"b":101}]}"#,
         )
@@ -904,8 +1002,46 @@ mod tests {
                 accepted: true,
                 windows: 7,
             }),
+            Response::Health(HealthReply {
+                status: "degraded".into(),
+                generation: 4,
+                panics_caught: 9,
+                quarantines: 1,
+                rebuilds: 0,
+                rebuild_failures: 0,
+                shards: Some(vec![
+                    ShardHealth {
+                        shard: 0,
+                        state: "healthy".into(),
+                        generation: 4,
+                        panics: 0,
+                        strikes: 0,
+                    },
+                    ShardHealth {
+                        shard: 1,
+                        state: "quarantined".into(),
+                        generation: 4,
+                        panics: 9,
+                        strikes: 3,
+                    },
+                ]),
+                stream: Some(StreamHealth {
+                    windows: 12,
+                    swaps: 10,
+                    swaps_rejected: 1,
+                    serve_outages: 1,
+                    catch_up_swaps: 1,
+                    source_done: false,
+                    report_age_ms: 250,
+                }),
+            }),
             Response::Shutdown(ShutdownReply { draining: true }),
             Response::Overloaded(OverloadedReply { retry_after_ms: 50 }),
+            Response::Degraded(DegradedReply {
+                shard: 1,
+                state: "quarantined".into(),
+                retry_after_ms: 100,
+            }),
             Response::DeadlineExceeded(DeadlineExceededReply {
                 deadline_ms: 100,
                 elapsed_ms: 161,

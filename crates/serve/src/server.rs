@@ -29,7 +29,8 @@ use crate::cache::SteadyStateCache;
 use crate::metrics::{RequestKind, ServeMetrics, StreamStatusReport};
 use crate::protocol::{
     diff_reply, explain_reply, predict_reply, stats_reply, ChangeSpec, DeadlineExceededReply,
-    OverloadedReply, ReloadReply, Request, Response, ShutdownReply, StreamReportReply,
+    HealthReply, OverloadedReply, ReloadReply, Request, Response, ShutdownReply, StreamHealth,
+    StreamReportReply,
 };
 use crate::session::SessionStore;
 use quasar_bgpsim::aspath::AsPath;
@@ -82,6 +83,12 @@ pub struct ServeConfig {
     /// longer are answered with `deadline_exceeded`. `0` disables the
     /// deadline.
     pub deadline_ms: u64,
+    /// Panics on one shard (since its last reinstate) before the shard is
+    /// quarantined and rebuilt in the background. `0` disables quarantine:
+    /// every panic is answered per-request and the shard keeps serving.
+    /// Only the sharded server reads this; the single-epoch server has no
+    /// slice to fence off.
+    pub quarantine_threshold: u64,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +101,7 @@ impl Default for ServeConfig {
             max_sessions: 32,
             max_pending: 128,
             deadline_ms: 0,
+            quarantine_threshold: 0,
         }
     }
 }
@@ -164,10 +172,11 @@ pub struct ServerState {
     config: ServeConfig,
     epoch: parking_lot::RwLock<Arc<ModelEpoch>>,
     metrics: ServeMetrics,
-    /// Latest status pushed by a `stream_report` request; served back
-    /// under `metrics`. A plain mutex — touched once per window, never
-    /// on the query hot path.
-    stream_report: parking_lot::Mutex<Option<StreamStatusReport>>,
+    /// Latest status pushed by a `stream_report` request (plus when it
+    /// arrived, so `health` can report its age); served back under
+    /// `metrics` and `health`. A plain mutex — touched once per window,
+    /// never on the query hot path.
+    stream_report: parking_lot::Mutex<Option<(StreamStatusReport, Instant)>>,
     shutdown: AtomicBool,
 }
 
@@ -308,15 +317,29 @@ impl ServerState {
                     epoch.base_cache.snapshot(),
                     epoch.sessions.overlay_snapshot(),
                     epoch.sessions.len(),
-                    self.stream_report.lock().clone(),
+                    self.stream_report.lock().as_ref().map(|(r, _)| r.clone()),
                 );
                 snap.generation = epoch.generation;
                 Response::Metrics(Box::new(snap))
             }
+            Request::Health => {
+                // A single-epoch server has no shard to degrade: if it
+                // answers at all, it is healthy.
+                Response::Health(HealthReply {
+                    status: "healthy".to_string(),
+                    generation: epoch.generation,
+                    panics_caught: self.metrics.panics_caught(),
+                    quarantines: 0,
+                    rebuilds: 0,
+                    rebuild_failures: 0,
+                    shards: None,
+                    stream: stream_health(&self.stream_report),
+                })
+            }
             Request::Reload { path } => self.do_reload(path),
             Request::StreamReport { report } => {
                 let windows = report.windows;
-                *self.stream_report.lock() = Some(report.clone());
+                *self.stream_report.lock() = Some((report.clone(), Instant::now()));
                 Response::StreamReport(StreamReportReply {
                     accepted: true,
                     windows,
@@ -646,9 +669,10 @@ pub fn serve<H: ServeHandler>(state: Arc<H>, listener: TcpListener) -> io::Resul
                         // bounded memory and an honest answer instead of
                         // unbounded queueing. The write is best-effort: a
                         // peer that already gave up loses nothing.
+                        let pending = guard.len();
                         drop(guard);
                         state.metrics().connection_shed();
-                        shed_connection(stream);
+                        shed_connection(stream, pending, state.config().workers);
                         continue;
                     }
                     state.metrics().connection_opened();
@@ -684,17 +708,49 @@ pub fn serve<H: ServeHandler>(state: Arc<H>, listener: TcpListener) -> io::Resul
     }
 }
 
+/// How long a shed peer should wait before retrying, derived from the
+/// pending-queue depth: each worker drains roughly one queued connection
+/// per accept-poll interval, so the advertised delay scales with how deep
+/// the backlog actually is instead of a hardcoded constant. Floored at
+/// 50ms (the historical fixed value, still right for shallow queues) and
+/// capped at 5s so a huge configured queue never tells clients to go away
+/// for minutes.
+pub(crate) fn shed_retry_after_ms(pending: usize, workers: usize) -> u64 {
+    let per_slot = POLL_INTERVAL.as_millis() as u64;
+    let rounds = (pending as u64).div_ceil(workers.max(1) as u64);
+    (rounds * per_slot).clamp(50, 5_000)
+}
+
 /// Answers a shed connection with one `overloaded` JSON line and closes
 /// it. Runs on the acceptor thread, so it must never block on the peer:
 /// a short write timeout bounds even a zero-window client.
-fn shed_connection(mut stream: TcpStream) {
-    let reply = Response::Overloaded(OverloadedReply { retry_after_ms: 50 });
-    let mut out = serde_json::to_string(&reply)
-        .unwrap_or_else(|_| r#"{"type":"overloaded","retry_after_ms":50}"#.to_string());
+fn shed_connection(mut stream: TcpStream, pending: usize, workers: usize) {
+    let retry_after_ms = shed_retry_after_ms(pending, workers);
+    let reply = Response::Overloaded(OverloadedReply { retry_after_ms });
+    let mut out = serde_json::to_string(&reply).unwrap_or_else(|_| {
+        format!(r#"{{"type":"overloaded","retry_after_ms":{retry_after_ms}}}"#)
+    });
     out.push('\n');
     let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
     let _ = stream.write_all(out.as_bytes());
     let _ = stream.flush();
+}
+
+/// Maps the last pushed stream status (if any) into the `health` reply's
+/// stream section, stamping how stale the report is. Shared by the
+/// single-epoch and sharded servers.
+pub(crate) fn stream_health(
+    report: &parking_lot::Mutex<Option<(StreamStatusReport, Instant)>>,
+) -> Option<StreamHealth> {
+    report.lock().as_ref().map(|(r, at)| StreamHealth {
+        windows: r.windows,
+        swaps: r.swaps,
+        swaps_rejected: r.swaps_rejected,
+        serve_outages: r.serve_outages,
+        catch_up_swaps: r.catch_up_swaps,
+        source_done: r.source_done,
+        report_age_ms: at.elapsed().as_millis() as u64,
+    })
 }
 
 /// One worker: pull connections off the queue until shutdown, then exit.
@@ -977,6 +1033,9 @@ mod tests {
             incremental_windows: 4,
             full_retrain_windows: 1,
             source_done: false,
+            serve_outages: 0,
+            catch_up_swaps: 0,
+            ingest_retries: 0,
             last_window: None,
         };
         let req = serde_json::to_string(&Request::StreamReport {
@@ -1008,6 +1067,54 @@ mod tests {
             panic!("expected metrics reply");
         };
         assert_eq!(m.stream, Some(newer));
+    }
+
+    #[test]
+    fn shed_retry_scales_with_queue_depth_and_clamps() {
+        // Shallow queues keep the historical 50ms answer.
+        assert_eq!(shed_retry_after_ms(0, 4), 50);
+        assert_eq!(shed_retry_after_ms(1, 4), 50);
+        assert_eq!(shed_retry_after_ms(8, 4), 50);
+        // Deeper backlogs advertise proportionally longer waits...
+        assert_eq!(shed_retry_after_ms(128, 8), 320);
+        assert!(shed_retry_after_ms(256, 8) > shed_retry_after_ms(128, 8));
+        // ...more workers drain the same backlog faster...
+        assert!(shed_retry_after_ms(128, 16) < shed_retry_after_ms(128, 4));
+        // ...and the cap bounds even absurd queues (with zero workers
+        // treated as one rather than dividing by zero).
+        assert_eq!(shed_retry_after_ms(1_000_000, 1), 5_000);
+        assert_eq!(shed_retry_after_ms(64, 0), shed_retry_after_ms(64, 1));
+    }
+
+    #[test]
+    fn health_reports_a_single_epoch_server_as_healthy() {
+        let s = state();
+        let Response::Health(h) = s.handle_line(r#"{"type":"health"}"#) else {
+            panic!("expected health reply");
+        };
+        assert_eq!(h.status, "healthy");
+        assert_eq!(h.generation, 0);
+        assert_eq!(h.panics_caught, 0);
+        assert!(h.shards.is_none(), "single-epoch server has no shards");
+        assert!(h.stream.is_none(), "no stream report pushed yet");
+        // Push a stream report: health now carries its counters and age.
+        let report = StreamStatusReport {
+            windows: 3,
+            swaps: 2,
+            serve_outages: 1,
+            catch_up_swaps: 1,
+            ..Default::default()
+        };
+        let req = serde_json::to_string(&Request::StreamReport { report }).unwrap();
+        assert!(matches!(s.handle_line(&req), Response::StreamReport(_)));
+        let Response::Health(h) = s.handle_line(r#"{"type":"health"}"#) else {
+            panic!("expected health reply");
+        };
+        let stream = h.stream.expect("stream section after a report");
+        assert_eq!(stream.windows, 3);
+        assert_eq!(stream.serve_outages, 1);
+        assert_eq!(stream.catch_up_swaps, 1);
+        assert!(stream.report_age_ms < 60_000);
     }
 
     /// Full TCP round trip: spawn the server on an ephemeral port, talk

@@ -14,6 +14,18 @@
 
 use quasar_mrt::error::MrtError;
 use quasar_mrt::record::{MrtBody, MrtRecord};
+use std::io;
+
+/// Whether a read error is worth retrying: the kernel interrupting or
+/// timing out a read says nothing about the file, while anything else
+/// (permissions yanked, device gone, unexpected EOF semantics) is a
+/// permanent source fault the pipeline should report, not mask.
+pub fn is_transient_io(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
 
 /// One batch of consecutive MRT records, closed by time span, count, or
 /// end of source.
@@ -268,6 +280,25 @@ mod tests {
         }
         assert_eq!(got, records.len());
         assert!(dec.buf.len() < COMPACT_THRESHOLD + 1024, "buffer compacted");
+    }
+
+    #[test]
+    fn transient_faults_are_distinguished_from_permanent_ones() {
+        for kind in [
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::TimedOut,
+        ] {
+            assert!(is_transient_io(&io::Error::from(kind)), "{kind:?}");
+        }
+        for kind in [
+            io::ErrorKind::NotFound,
+            io::ErrorKind::PermissionDenied,
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::ConnectionReset,
+        ] {
+            assert!(!is_transient_io(&io::Error::from(kind)), "{kind:?}");
+        }
     }
 
     #[test]

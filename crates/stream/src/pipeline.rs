@@ -25,6 +25,23 @@
 //!    a rejection is recorded and the old model keeps serving — the
 //!    pipeline never stops because one epoch failed validation.
 //!
+//! ## Riding out a serve outage
+//!
+//! A *transport* failure on the swap no longer kills the run either: the
+//! pipeline trips a circuit breaker, keeps ingesting, training, and
+//! persisting epochs locally, and probes the server once per window with
+//! a single cheap connection attempt (no retry storm against a dead
+//! port). The artifact at `model_out` always holds the **newest** epoch,
+//! so recovery is one catch-up swap of that file — the served model after
+//! the outage is byte-identical to what an uninterrupted run would serve,
+//! because it is literally the same artifact. Outages and catch-ups are
+//! counted in the status report (`serve_outages`, `catch_up_swaps`).
+//!
+//! Source-side transient I/O faults (EINTR, timeouts) are likewise
+//! retried in follow mode with backoff up to `max_retries`, counted as
+//! `ingest_retries`; a file that shrinks under the tail is reported as
+//! truncation/rotation instead of being misread.
+//!
 //! Failpoints (testkit builds): `stream.ingest` faults the reader,
 //! `stream.window` faults window processing, `stream.reload` forces the
 //! swap down the rejection path.
@@ -73,6 +90,11 @@ pub struct StreamConfig {
     /// Worker threads for refinement (`0` = all cores). The trained model
     /// is byte-identical regardless.
     pub threads: usize,
+    /// Retry budget for transient faults: transport retries per serve
+    /// exchange, transient-read retries on the ingest tail, and catch-up
+    /// swap attempts after the source ends during an outage. `0` fails
+    /// fast everywhere.
+    pub max_retries: u32,
 }
 
 impl Default for StreamConfig {
@@ -88,6 +110,7 @@ impl Default for StreamConfig {
             poll_ms: 50,
             idle_timeout_ms: 2_000,
             threads: 0,
+            max_retries: 3,
         }
     }
 }
@@ -109,6 +132,8 @@ pub struct StreamRunReport {
 enum Feed {
     Window(UpdateWindow),
     Fault(String),
+    /// A transient read fault was retried (counted, not fatal).
+    Retried,
 }
 
 /// The streaming pipeline (delta state + incremental trainer + swap
@@ -125,6 +150,11 @@ pub struct Pipeline {
     /// reload (0 until the first swap). Against a sharded server this is
     /// the fleet-wide generation of the coordinated swap.
     last_generation: u64,
+    /// Circuit breaker: true while the server is unreachable and the
+    /// newest persisted epoch has not been swapped in. While set, the
+    /// pipeline probes with one cheap connection per window instead of
+    /// the full retry schedule, and skips status pushes.
+    swap_pending: bool,
 }
 
 fn mode_str(mode: &TrainMode) -> &'static str {
@@ -153,7 +183,12 @@ impl Pipeline {
             Some(dir) => incremental::load_or_new(dir, &refine_cfg)?,
             None => IncrementalTrainer::new(),
         };
-        let client = cfg.serve_addr.clone().map(ServeClient::new);
+        let client = cfg.serve_addr.clone().map(|addr| {
+            // The seed only decorrelates retry jitter across pipelines;
+            // the process id is plenty and keeps one-process tests
+            // deterministic.
+            ServeClient::new(addr).with_retries(cfg.max_retries, u64::from(std::process::id()))
+        });
         Ok(Pipeline {
             cfg,
             refine_cfg,
@@ -163,6 +198,7 @@ impl Pipeline {
             status: StreamStatusReport::default(),
             window_reports: Vec::new(),
             last_generation: 0,
+            swap_pending: false,
         })
     }
 
@@ -205,6 +241,7 @@ impl Pipeline {
         let applied = self.state.apply(&window.records);
         let mut refine_ms = 0u64;
         let mut swap_ms = 0u64;
+        let mut freshly_persisted = false;
         let mode: String = if applied.dirty.is_empty() && self.trainer.has_cache() {
             // Nothing the model depends on changed: the dataset is
             // literally identical to the one the cache was trained on.
@@ -227,34 +264,18 @@ impl Pipeline {
             if let Some(dir) = &self.cfg.state_dir {
                 self.trainer.save(dir)?;
             }
-            if let Some(client) = &self.client {
-                let t1 = Instant::now();
-                #[cfg(feature = "testkit")]
-                let injected_rejection = quasar_bgpsim::fail::inject("stream.reload");
-                #[cfg(not(feature = "testkit"))]
-                let injected_rejection = false;
-                let outcome = if injected_rejection {
-                    SwapOutcome::Rejected("injected rejection (failpoint stream.reload)".into())
-                } else {
-                    client.reload(&self.cfg.model_out)?
-                };
-                swap_ms = t1.elapsed().as_millis().max(1) as u64;
-                match outcome {
-                    SwapOutcome::Swapped(r) => {
-                        self.status.swaps += 1;
-                        self.last_generation = r.generation;
-                    }
-                    SwapOutcome::Rejected(msg) => {
-                        self.status.swaps_rejected += 1;
-                        eprintln!(
-                            "window {}: epoch rejected, previous model keeps serving: {msg}",
-                            window.seq
-                        );
-                    }
-                }
-            }
+            freshly_persisted = true;
             mode_str(&report.mode).into()
         };
+        // Swap on a fresh epoch, or probe for catch-up while the breaker
+        // is open — even an all-clean window is a chance to recover.
+        if self.client.is_some() && (freshly_persisted || self.swap_pending) {
+            let t1 = Instant::now();
+            self.attempt_swap(window.seq);
+            if freshly_persisted {
+                swap_ms = t1.elapsed().as_millis().max(1) as u64;
+            }
+        }
         let elapsed = started.elapsed().as_secs_f64().max(1e-9);
         let report = StreamWindowReport {
             seq: window.seq,
@@ -281,9 +302,85 @@ impl Pipeline {
         Ok(report)
     }
 
+    /// One attempt to swap the newest persisted artifact into the server.
+    ///
+    /// A transport failure trips (or keeps open) the circuit breaker:
+    /// `swap_pending` stays set, the outage is counted once per
+    /// closed→open transition, and the pipeline carries on training. A
+    /// swap that lands while the breaker was open is a catch-up swap —
+    /// the served model jumps straight to the newest epoch, which is
+    /// exactly what an uninterrupted run would be serving.
+    fn attempt_swap(&mut self, seq: u64) {
+        let Some(client) = &self.client else { return };
+        #[cfg(feature = "testkit")]
+        let injected_rejection = quasar_bgpsim::fail::inject("stream.reload");
+        #[cfg(not(feature = "testkit"))]
+        let injected_rejection = false;
+        let outcome = if injected_rejection {
+            Ok(SwapOutcome::Rejected(
+                "injected rejection (failpoint stream.reload)".into(),
+            ))
+        } else if self.swap_pending {
+            // Half-open probe: one connection attempt, no retry schedule
+            // — a dead server fails this in microseconds.
+            ServeClient::new(client.addr()).reload(&self.cfg.model_out)
+        } else {
+            client.reload(&self.cfg.model_out)
+        };
+        match outcome {
+            Ok(SwapOutcome::Swapped(r)) => {
+                self.status.swaps += 1;
+                self.last_generation = r.generation;
+                if self.swap_pending {
+                    self.status.catch_up_swaps += 1;
+                    self.swap_pending = false;
+                    eprintln!(
+                        "window {seq}: server back, caught up to generation {}",
+                        r.generation
+                    );
+                }
+            }
+            Ok(SwapOutcome::Rejected(msg)) => {
+                // The server saw the artifact and refused it; retrying
+                // the same bytes cannot succeed, so the breaker closes.
+                self.status.swaps_rejected += 1;
+                self.swap_pending = false;
+                eprintln!("window {seq}: epoch rejected, previous model keeps serving: {msg}");
+            }
+            Err(e) => {
+                if !self.swap_pending {
+                    self.status.serve_outages += 1;
+                    eprintln!("window {seq}: server unreachable, training continues locally: {e}");
+                }
+                self.swap_pending = true;
+            }
+        }
+    }
+
+    /// After the source ends with the breaker still open: a bounded
+    /// backoff loop trying to land the final catch-up swap, so a short
+    /// outage straddling end-of-stream still converges. Returns whether
+    /// the newest epoch is serving.
+    fn catch_up(&mut self) -> bool {
+        let mut backoff = quasar_core::backoff::Backoff::new(
+            50,
+            2_000,
+            u64::from(std::process::id()).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        while self.swap_pending && backoff.attempt() < self.cfg.max_retries {
+            std::thread::sleep(backoff.next_delay());
+            self.attempt_swap(self.status.windows);
+        }
+        !self.swap_pending
+    }
+
     /// Pushes the cumulative status to the server, best-effort: progress
-    /// reporting must never take the pipeline down.
+    /// reporting must never take the pipeline down (and while the breaker
+    /// is open there is no point knocking twice per window).
     fn publish_status(&self) {
+        if self.swap_pending {
+            return;
+        }
         if let Some(client) = &self.client {
             if let Err(e) = client.report(&self.status) {
                 eprintln!("cannot publish stream report: {e}");
@@ -319,11 +416,20 @@ impl Pipeline {
                         eprintln!("update source ended: {msg}");
                         source_error = Some(msg);
                     }
+                    Feed::Retried => self.status.ingest_retries += 1,
                 }
             }
         });
         if let Some(e) = process_error {
             return Err(e);
+        }
+        // The breaker may still be open at end-of-stream (outage longer
+        // than the tail); give the final catch-up swap a bounded chance.
+        if self.swap_pending && !self.catch_up() {
+            eprintln!(
+                "server still unreachable after the source ended; newest epoch is persisted at {}",
+                self.cfg.model_out.display()
+            );
         }
         self.status.source_done = true;
         self.publish_status();
@@ -338,6 +444,14 @@ impl Pipeline {
 /// The ingest thread: read → decode → window → send. All sends are
 /// best-effort; a dropped receiver means the trainer side ended first and
 /// the reader just exits.
+///
+/// Fault handling classifies before reacting: a transient read fault
+/// (EINTR, a timeout) in follow mode is retried with backoff up to
+/// `cfg.max_retries` consecutive times and merely counted; a file that
+/// *shrinks* under the tail was truncated or rotated and is reported as
+/// such (re-reading from a stale offset would misframe every record);
+/// everything else is a permanent source fault ending the stream
+/// gracefully.
 fn ingest_source(cfg: &StreamConfig, tx: mpsc::SyncSender<Feed>) {
     let mut file = match File::open(&cfg.updates) {
         Ok(f) => f,
@@ -355,6 +469,14 @@ fn ingest_source(cfg: &StreamConfig, tx: mpsc::SyncSender<Feed>) {
     let idle_limit = Duration::from_millis(cfg.idle_timeout_ms);
     let mut idle = Duration::ZERO;
     let mut buf = [0u8; 8192];
+    // Bytes successfully read so far: the yardstick for detecting a file
+    // that shrank (truncation or rotation-in-place) under a follow tail.
+    let mut read_off: u64 = 0;
+    let mut retry = quasar_core::backoff::Backoff::new(
+        cfg.poll_ms.max(1),
+        cfg.idle_timeout_ms.max(1),
+        read_off ^ 0x696e_6765_7374_2121,
+    );
     loop {
         #[cfg(feature = "testkit")]
         if quasar_bgpsim::fail::inject("stream.ingest") {
@@ -365,7 +487,21 @@ fn ingest_source(cfg: &StreamConfig, tx: mpsc::SyncSender<Feed>) {
         }
         match file.read(&mut buf) {
             Ok(0) => {
-                // EOF *now*; in follow mode the file may still grow.
+                // EOF *now*; in follow mode the file may still grow — or
+                // shrink, which means our offset no longer frames records.
+                if cfg.follow {
+                    if let Ok(meta) = std::fs::metadata(&cfg.updates) {
+                        if meta.len() < read_off {
+                            let _ = tx.send(Feed::Fault(format!(
+                                "{} truncated or rotated under the tail ({} bytes read, file now {})",
+                                cfg.updates.display(),
+                                read_off,
+                                meta.len()
+                            )));
+                            return;
+                        }
+                    }
+                }
                 if !cfg.follow || idle >= idle_limit {
                     break;
                 }
@@ -374,6 +510,8 @@ fn ingest_source(cfg: &StreamConfig, tx: mpsc::SyncSender<Feed>) {
             }
             Ok(n) => {
                 idle = Duration::ZERO;
+                retry.reset();
+                read_off += n as u64;
                 decoder.push(&buf[..n]);
                 loop {
                     match decoder.next_record() {
@@ -391,6 +529,16 @@ fn ingest_source(cfg: &StreamConfig, tx: mpsc::SyncSender<Feed>) {
                         }
                     }
                 }
+            }
+            Err(e)
+                if cfg.follow
+                    && crate::ingest::is_transient_io(&e)
+                    && retry.attempt() < cfg.max_retries =>
+            {
+                if tx.send(Feed::Retried).is_err() {
+                    return;
+                }
+                std::thread::sleep(retry.next_delay());
             }
             Err(e) => {
                 let _ = tx.send(Feed::Fault(format!(
@@ -528,6 +676,141 @@ mod tests {
         assert_eq!(second.dirty_prefixes, 0);
         assert_eq!(second.refine_ms, 0);
         assert_eq!(pipeline.status().windows, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_outage_trips_the_breaker_and_training_continues() {
+        let dir = temp_dir("outage");
+        let net = SyntheticInternet::generate(NetGenConfig::tiny(54));
+        let cfg = UpdateStreamConfig::default();
+        let records = generate_update_stream(&net.observation_points, &net.observations, &cfg, 3);
+        // Nothing listens on this address (bound then dropped).
+        let dead_addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let model_out = dir.join("model.quasar");
+        let mut pipeline = Pipeline::new(StreamConfig {
+            updates: dir.join("unused.mrt"),
+            model_out: model_out.clone(),
+            serve_addr: Some(dead_addr),
+            threads: 1,
+            max_retries: 0, // fail fast: the breaker, not the retries
+            ..StreamConfig::default()
+        })
+        .unwrap();
+        let mid = records.len() / 2;
+        for (seq, chunk) in [&records[..mid], &records[mid..]].iter().enumerate() {
+            let report = pipeline
+                .process_window(&UpdateWindow {
+                    seq: seq as u64,
+                    opened: chunk.first().map(|r| r.timestamp).unwrap_or(0),
+                    closed: chunk.last().map(|r| r.timestamp).unwrap_or(0),
+                    records: chunk.to_vec(),
+                })
+                .expect("an unreachable server must not kill the window");
+            assert_ne!(report.mode, "no_change");
+        }
+        // One outage (counted at the closed→open transition, not per
+        // window), zero swaps, and the newest epoch persisted anyway.
+        assert_eq!(pipeline.status().serve_outages, 1);
+        assert_eq!(pipeline.status().swaps, 0);
+        assert_eq!(pipeline.status().windows, 2);
+        assert!(model_out.exists(), "epochs persist through the outage");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_lands_a_catch_up_swap() {
+        use quasar_serve::protocol::{ReloadReply, Request, Response, StreamReportReply};
+        use std::io::{BufRead, BufReader, Write};
+
+        let dir = temp_dir("catchup");
+        let net = SyntheticInternet::generate(NetGenConfig::tiny(55));
+        let cfg = UpdateStreamConfig {
+            // A flap-free stream replays as a no-op, so the second window
+            // below is all-clean and exercises the pure-probe path.
+            flap_fraction: 0.0,
+            ..UpdateStreamConfig::default()
+        };
+        let records = generate_update_stream(&net.observation_points, &net.observations, &cfg, 3);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener); // server is "down" for the first window
+
+        let mut pipeline = Pipeline::new(StreamConfig {
+            updates: dir.join("unused.mrt"),
+            model_out: dir.join("model.quasar"),
+            serve_addr: Some(addr.clone()),
+            threads: 1,
+            max_retries: 0,
+            ..StreamConfig::default()
+        })
+        .unwrap();
+        pipeline
+            .process_window(&UpdateWindow {
+                seq: 0,
+                opened: records[0].timestamp,
+                closed: records[records.len() - 1].timestamp,
+                records: records.clone(),
+            })
+            .unwrap();
+        assert_eq!(pipeline.status().serve_outages, 1);
+
+        // The server comes back on the same address: a minimal fake that
+        // answers reloads and reports.
+        let listener = std::net::TcpListener::bind(&addr).unwrap();
+        // Exactly two exchanges follow: the catch-up reload, then the
+        // status publish once the breaker closes.
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    return;
+                };
+                let mut line = String::new();
+                if BufReader::new(stream.try_clone().unwrap())
+                    .read_line(&mut line)
+                    .is_err()
+                {
+                    continue;
+                }
+                let reply = match serde_json::from_str::<Request>(line.trim()) {
+                    Ok(Request::Reload { .. }) => Response::Reload(ReloadReply {
+                        swapped: true,
+                        prefixes: 1,
+                        quasi_routers: 1,
+                        generation: 1,
+                    }),
+                    Ok(Request::StreamReport { report }) => {
+                        Response::StreamReport(StreamReportReply {
+                            accepted: true,
+                            windows: report.windows,
+                        })
+                    }
+                    _ => return,
+                };
+                let json = serde_json::to_string(&reply).unwrap();
+                let _ = stream.write_all(format!("{json}\n").as_bytes());
+            }
+        });
+
+        // An all-clean window (same records replayed) is still a recovery
+        // probe: the breaker half-opens and the catch-up swap lands.
+        let report = pipeline
+            .process_window(&UpdateWindow {
+                seq: 1,
+                opened: 0,
+                closed: 0,
+                records,
+            })
+            .unwrap();
+        assert_eq!(report.mode, "no_change");
+        assert_eq!(pipeline.status().catch_up_swaps, 1);
+        assert_eq!(pipeline.status().swaps, 1);
+        assert_eq!(pipeline.generation(), 1);
+        drop(pipeline);
+        server.join().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -39,20 +39,29 @@
 //!             one-shot route prediction from a persisted model, printed
 //!             as one JSON line — byte-identical to the server's answer
 //!   serve     MODEL.json [--listen ADDR] [--workers N] [--max-sessions N]
-//!             [--max-pending N] [--deadline-ms MS] [--shards N] [--prewarm]
+//!             [--max-pending N] [--deadline-ms MS] [--shards N]
+//!             [--quarantine-after N] [--prewarm]
 //!             long-running query server (see `quasar-serve` crate docs);
 //!             --max-pending bounds the accept queue (excess connections
 //!             are shed with an `overloaded` reply), --deadline-ms caps
 //!             per-request compute time (0 = unlimited), --shards N runs
 //!             the prefix-sharded dispatcher (0 = one shard per core),
-//!             --prewarm simulates every prefix into the cache(s) before
-//!             the listener starts answering
+//!             --quarantine-after N quarantines and rebuilds a shard after
+//!             N panics (0 = disabled; needs --shards), --prewarm
+//!             simulates every prefix into the cache(s) before the
+//!             listener starts answering
 //!   query     ADDR JSON [JSON...]
 //!             send newline-delimited JSON requests to a running server;
 //!             `overloaded` replies are retried with jittered backoff
+//!   health    ADDR
+//!             readiness probe: print the server's health reply (fleet +
+//!             per-shard self-healing state, stream heartbeat) as one
+//!             JSON line. Exit 0 when healthy, 1 when degraded, 2 on
+//!             usage errors, 3 when the server is unreachable — made for
+//!             wait-until-ready loops and orchestrator probes
 //!   stream    --updates FILE --model OUT [--serve ADDR] [--window-ms N]
 //!             [--max-window N] [--follow] [--idle-ms N] [--state DIR]
-//!             [--threads N]
+//!             [--threads N] [--max-retries N]
 //!             replay (or with --follow, tail) an MRT BGP4MP update file:
 //!             each window of updates is applied to the live path set,
 //!             only the dirtied prefixes are re-refined, the epoch is
@@ -62,6 +71,10 @@
 //!             --window-ms is record time, rounded up to whole seconds,
 //!             so windowing is a pure function of the stream. --state
 //!             persists the trainer cache for crash-safe resume.
+//!             --max-retries bounds transient-fault retries (serve
+//!             transport, ingest reads); a serve outage beyond that trips
+//!             the circuit breaker: training continues locally and the
+//!             newest epoch is swapped in on recovery.
 //!   stream-stats ADDR
 //!             print the streaming status a pipeline last pushed to the
 //!             server at ADDR (one JSON line; fails if none arrived yet)
@@ -100,6 +113,7 @@ fn main() {
         "whatif" => cmd_whatif(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "query" => cmd_query(&args[1..]),
+        "health" => cmd_health(&args[1..]),
         "stream" => cmd_stream(&args[1..]),
         "stream-stats" => cmd_stream_stats(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
@@ -119,9 +133,10 @@ fn usage(msg: &str) -> ! {
          \x20      quasar whatif FILE --depeer A:B [--model MODEL.json]\n\
          \x20      quasar whatif --json --model MODEL.json [--depeer A:B] [--add-peering A:B] [--filter ASN:NEIGHBOR:PREFIX]\n\
          \x20      quasar predict --model MODEL.json --prefix P --observer N [--path A,B,C]\n\
-         \x20      quasar serve MODEL.json [--listen ADDR] [--workers N] [--max-sessions N] [--max-pending N] [--deadline-ms MS] [--shards N] [--prewarm]\n\
+         \x20      quasar serve MODEL.json [--listen ADDR] [--workers N] [--max-sessions N] [--max-pending N] [--deadline-ms MS] [--shards N] [--quarantine-after N] [--prewarm]\n\
          \x20      quasar query ADDR JSON [JSON...]\n\
-         \x20      quasar stream --updates FILE --model OUT [--serve ADDR] [--window-ms N] [--max-window N] [--follow] [--idle-ms N] [--state DIR] [--threads N]\n\
+         \x20      quasar health ADDR\n\
+         \x20      quasar stream --updates FILE --model OUT [--serve ADDR] [--window-ms N] [--max-window N] [--follow] [--idle-ms N] [--state DIR] [--threads N] [--max-retries N]\n\
          \x20      quasar stream-stats ADDR\n\
          \x20      quasar lint MODEL.json [--json] [--deny warn|error]"
     );
@@ -700,6 +715,9 @@ fn cmd_serve(args: &[String]) {
     if let Some(d) = parsed_flag::<u64>(args, "--deadline-ms") {
         config.deadline_ms = d;
     }
+    if let Some(q) = parsed_flag::<u64>(args, "--quarantine-after") {
+        config.quarantine_threshold = q;
+    }
     // --shards N selects the prefix-sharded dispatcher (0 = one shard
     // per core); without the flag the single-epoch server runs, as
     // before. Replies are byte-identical either way.
@@ -712,6 +730,9 @@ fn cmd_serve(args: &[String]) {
             n
         }
     });
+    if config.quarantine_threshold > 0 && shards.is_none() {
+        eprintln!("note: --quarantine-after only takes effect with --shards");
+    }
     let prewarm = args.iter().any(|a| a == "--prewarm");
     let model = load_model(&model_path);
     let stats = model.stats();
@@ -814,16 +835,6 @@ impl QueryClient {
 /// retried before the last reply is surfaced to the caller.
 const QUERY_MAX_RETRIES: u32 = 5;
 
-/// One step of SplitMix64 — enough randomness to de-synchronize the
-/// backoff of concurrent clients without a vendored RNG dependency.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 fn cmd_stream(args: &[String]) {
     use quasar::stream::prelude::*;
     let updates = flag(args, "--updates").unwrap_or_else(|| usage("stream requires --updates"));
@@ -841,6 +852,7 @@ fn cmd_stream(args: &[String]) {
         follow: args.iter().any(|a| a == "--follow"),
         idle_timeout_ms: parsed_flag(args, "--idle-ms").unwrap_or(2_000),
         threads: parsed_flag(args, "--threads").unwrap_or(0),
+        max_retries: parsed_flag(args, "--max-retries").unwrap_or(3),
         ..StreamConfig::default()
     };
     let mut pipeline = Pipeline::new(cfg).unwrap_or_else(|e| die(e));
@@ -873,6 +885,29 @@ fn cmd_stream_stats(args: &[String]) {
     }
 }
 
+fn cmd_health(args: &[String]) {
+    let Some(addr) = positional(args) else {
+        usage("health requires ADDR")
+    };
+    // Readiness-probe exit codes: 0 healthy, 1 degraded (reachable but a
+    // shard is quarantined or rebuilding), 3 unreachable. Orchestrators
+    // route on the code; humans read the JSON line.
+    match quasar::stream::client::ServeClient::new(addr).health() {
+        Ok(health) => {
+            let json = serde_json::to_string(&health)
+                .unwrap_or_else(|e| die(format!("cannot serialize: {e}")));
+            print_line(&json);
+            if health.status != "healthy" {
+                exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(3);
+        }
+    }
+}
+
 fn cmd_query(args: &[String]) {
     let (addr, lines) = match args.split_first() {
         Some((a, rest)) if !rest.is_empty() && !a.starts_with("--") => (a, rest),
@@ -880,8 +915,14 @@ fn cmd_query(args: &[String]) {
     };
     let mut client = QueryClient::new(addr);
     // Seeded per process so parallel clients retrying against the same
-    // overloaded server spread out instead of stampeding in lockstep.
-    let mut jitter = u64::from(std::process::id()) ^ 0x5155_4153_4152_3121;
+    // overloaded server spread out instead of stampeding in lockstep:
+    // 10ms doubling per attempt with up to +50% jitter, the workspace's
+    // shared backoff policy.
+    let mut backoff = quasar::model::backoff::Backoff::new(
+        10,
+        10_000,
+        u64::from(std::process::id()) ^ 0x5155_4153_4152_3121,
+    );
     let mut failed = false;
     for line in lines {
         // Validate locally first: a typo should produce a parse error
@@ -890,22 +931,25 @@ fn cmd_query(args: &[String]) {
             .unwrap_or_else(|e| die(format!("bad request `{line}`: {e}")));
         let json = serde_json::to_string(&req)
             .unwrap_or_else(|e| die(format!("cannot serialize request: {e}")));
-        let mut attempt = 0u32;
+        // Each request starts its schedule over; the jitter stream keeps
+        // advancing so retries never re-correlate.
+        backoff.reset();
         let reply = loop {
             let reply = client.exchange(&json).unwrap_or_else(|e| die(e));
             let overloaded = matches!(serde_json::from_str(&reply), Ok(Response::Overloaded(_)));
-            if !overloaded || attempt >= QUERY_MAX_RETRIES {
+            if !overloaded || backoff.attempt() >= QUERY_MAX_RETRIES {
                 break reply;
             }
-            // Jittered exponential backoff: 10ms, 20ms, ... doubling per
-            // attempt, each with up to +50% random jitter. A deadline-
-            // exceeded reply is NOT retried — the request itself is too
-            // expensive, and retrying would re-burn the server's budget.
-            attempt += 1;
-            let base = 10u64 << (attempt - 1);
-            let sleep_ms = base + splitmix64(&mut jitter) % (base / 2 + 1);
-            eprintln!("server overloaded; retry {attempt}/{QUERY_MAX_RETRIES} in {sleep_ms}ms");
-            std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
+            // A deadline-exceeded reply is NOT retried — the request
+            // itself is too expensive, and retrying would re-burn the
+            // server's budget.
+            let delay = backoff.next_delay();
+            eprintln!(
+                "server overloaded; retry {}/{QUERY_MAX_RETRIES} in {}ms",
+                backoff.attempt(),
+                delay.as_millis()
+            );
+            std::thread::sleep(delay);
         };
         print_line(&reply);
         // An error reply, or an overload that outlived every retry, means
