@@ -166,6 +166,7 @@ pub fn evaluate(model: &AsRoutingModel, dataset: &Dataset) -> Evaluation {
     crossbeam::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|_| loop {
+                // sast: relaxed-ok work-claim ticket; results are published through the channel/join, only claim uniqueness matters
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= by_prefix.len() {
                     break;

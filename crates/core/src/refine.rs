@@ -1006,9 +1006,11 @@ pub(crate) fn run_domains(
             s.spawn(move |_| {
                 let mut scratch = SimScratch::new();
                 loop {
+                    // sast: relaxed-ok advisory stop flag; a stale read costs one extra work unit, results stay channel-ordered
                     if abort.load(Ordering::Relaxed) {
                         break;
                     }
+                    // sast: relaxed-ok work-claim ticket; results are published through the channel/join, only claim uniqueness matters
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= work.len() {
                         break;
@@ -1021,6 +1023,7 @@ pub(crate) fn run_domains(
                     // down, an armed error aborts the run.
                     #[cfg(feature = "testkit")]
                     if quasar_bgpsim::fail::inject("refine.round") {
+                        // sast: relaxed-ok advisory stop flag; a stale read costs one extra work unit, results stay channel-ordered
                         abort.store(true, Ordering::Relaxed);
                         let _ = tx.send((
                             id,
@@ -1032,6 +1035,7 @@ pub(crate) fn run_domains(
                     }
                     let result = refine_domain(model, id, slice, cfg, &mut scratch);
                     if result.is_err() {
+                        // sast: relaxed-ok advisory stop flag; a stale read costs one extra work unit, results stay channel-ordered
                         abort.store(true, Ordering::Relaxed);
                     }
                     if tx.send((id, result)).is_err() {
@@ -1061,6 +1065,7 @@ pub(crate) fn run_domains(
                             if first_err.is_none() {
                                 first_err = Some(e);
                             }
+                            // sast: relaxed-ok advisory stop flag; a stale read costs one extra work unit, results stay channel-ordered
                             abort.store(true, Ordering::Relaxed);
                         }
                     }
@@ -1071,6 +1076,7 @@ pub(crate) fn run_domains(
                     if first_err.is_none() {
                         first_err = Some(RefineError::Sim(e));
                     }
+                    // sast: relaxed-ok advisory stop flag; a stale read costs one extra work unit, results stay channel-ordered
                     abort.store(true, Ordering::Relaxed);
                 }
                 Err(_) => break,
@@ -1964,6 +1970,7 @@ fn simulate_batch(
             s.spawn(|_| {
                 let mut scratch = SimScratch::new();
                 loop {
+                    // sast: relaxed-ok work-claim ticket; results are published through the channel/join, only claim uniqueness matters
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= prefixes.len() {
                         break;

@@ -1,0 +1,8 @@
+//! The rule implementations. Each module exposes a `check` that pushes
+//! [`crate::Diagnostic`]s; `lib.rs` owns suppression and sorting.
+
+pub mod atomics;
+pub mod failpoints;
+pub mod forbidden;
+pub mod lock_order;
+pub mod protocol;

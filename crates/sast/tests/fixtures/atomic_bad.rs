@@ -1,0 +1,10 @@
+//! SEEDED VIOLATION — QS0002 atomic-ordering audit.
+//!
+//! `flag` is not an allowlisted metrics counter and the `Relaxed` load
+//! carries no `// sast: relaxed-ok <reason>` justification.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn peek(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::Relaxed)
+}

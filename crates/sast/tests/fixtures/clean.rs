@@ -1,0 +1,32 @@
+//! A clean file: every rule must stay silent. Doubles as lexer torture —
+//! raw strings with hashes, nested generics, raw identifiers — plus a
+//! correct ascending lock acquisition and an allowlisted counter load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn nested(map: &std::collections::HashMap<String, Vec<Option<Box<[u8; 4]>>>>) -> usize {
+    map.len()
+}
+
+pub fn raw_text() -> &'static str {
+    r##"a "raw" string with # and // sast: decoys inside"##
+}
+
+pub fn r#match(r#type: u32) -> u32 {
+    r#type + 1
+}
+
+pub fn counted(requests: &AtomicU64) -> u64 {
+    requests.load(Ordering::Relaxed)
+}
+
+struct S;
+
+impl S {
+    fn ordered(&self) {
+        let a = self.map.lock().unwrap();
+        let b = self.inner.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+}

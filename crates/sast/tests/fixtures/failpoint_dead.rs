@@ -1,0 +1,8 @@
+//! SEEDED VIOLATION — QS0003 failpoint registry (dead site).
+//!
+//! `fixture.io` is injected here but nothing in the fixture set ever
+//! arms it with `fail::set` — dead instrumentation.
+
+pub fn risky() -> bool {
+    fail::inject("fixture.io")
+}

@@ -1,0 +1,8 @@
+//! SEEDED VIOLATION — QS0003 failpoint registry (misspelled ref).
+//!
+//! Arms `fixture.oi` — a transposition of the real `fixture.io` site —
+//! so the fault this test believes it injects never happens.
+
+fn drill() {
+    fail::set("fixture.oi", "always:error");
+}

@@ -1,0 +1,5 @@
+//! SEEDED VIOLATION — QS0005: `process::exit` in library code.
+
+pub fn bail() {
+    std::process::exit(2);
+}

@@ -1,0 +1,5 @@
+//! SEEDED VIOLATION — QS0006: `println!` in a library crate.
+
+pub fn shout() {
+    println!("library crates must not own stdout");
+}

@@ -1,0 +1,5 @@
+//! SEEDED VIOLATION — QS0007: `unsafe` in library code.
+
+pub fn sketchy(p: *const u8) -> u8 {
+    unsafe { *p }
+}

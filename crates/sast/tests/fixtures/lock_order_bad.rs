@@ -1,0 +1,27 @@
+//! SEEDED VIOLATIONS — QS0001 lock-order discipline.
+//!
+//! This file is never compiled or scanned by the workspace walk
+//! (`fixtures/` directories are skipped); the fixture suite feeds it to
+//! the analyzer and expects exactly QS0001 to fire, twice.
+
+struct Shard;
+
+impl Shard {
+    /// Descending: `inner` (rank 50) is held while `map` (rank 30) is
+    /// acquired — the reverse of the declared ascending order.
+    fn descending(&self) {
+        let big = self.inner.lock().unwrap();
+        let small = self.map.lock().unwrap();
+        drop(small);
+        drop(big);
+    }
+
+    /// An undeclared lock class nested under a held guard: the rank
+    /// table cannot prove it acyclic, so the nesting itself is an error.
+    fn undeclared(&self) {
+        let held = self.map.lock().unwrap();
+        let rogue = self.mystery.lock().unwrap();
+        drop(rogue);
+        drop(held);
+    }
+}

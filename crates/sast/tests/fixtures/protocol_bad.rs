@@ -1,0 +1,40 @@
+//! SEEDED VIOLATION — QS0004 protocol exhaustiveness.
+//!
+//! `Request::Pong` is declared but the loop never closes: no dispatch
+//! arm handles it, no `Response::Pong` exists, and `Request::kind()`
+//! never maps it onto a metrics bucket — three QS0004 errors.
+
+pub enum Request {
+    Ping,
+    Pong,
+}
+
+pub enum Response {
+    Ping,
+}
+
+pub enum RequestKind {
+    Ping,
+}
+
+impl Request {
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            Request::Ping => RequestKind::Ping,
+            _ => RequestKind::Ping,
+        }
+    }
+}
+
+pub fn dispatch(req: &Request) -> Response {
+    match req {
+        Request::Ping => Response::Ping,
+        _ => unreachable_reply(),
+    }
+}
+
+fn render(r: &Response) -> &'static str {
+    match r {
+        Response::Ping => "ping",
+    }
+}

@@ -1,0 +1,20 @@
+//! Suppression syntax coverage. A justified `relaxed-ok` and a generic
+//! `allow QS0005` silence their findings entirely; a *bare* `relaxed-ok`
+//! (no reason) downgrades to a warning instead of passing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn justified(flag: &AtomicU64) -> u64 {
+    // sast: relaxed-ok advisory snapshot; a stale read only delays logging
+    flag.load(Ordering::Relaxed)
+}
+
+pub fn bare(flag: &AtomicU64) -> u64 {
+    // sast: relaxed-ok
+    flag.load(Ordering::Relaxed)
+}
+
+pub fn overridden() {
+    // sast: allow QS0005 fixture exercises the generic suppression path
+    std::process::exit(3);
+}

@@ -683,6 +683,7 @@ impl ShardedState {
                     overlay_cache: epoch.sessions.overlay_snapshot(),
                     active_sessions: epoch.sessions.len(),
                     state: state_name(shard.state.load(Ordering::Acquire)).to_string(),
+                    // sast: relaxed-ok display-only snapshot; quarantine decisions use the AcqRel fetch_add result
                     strikes: shard.strikes.load(Ordering::Relaxed),
                 })
                 .collect(),
@@ -706,6 +707,7 @@ impl ShardedState {
                 state: state_name(shard.state.load(Ordering::Acquire)).to_string(),
                 generation: epoch.generation,
                 panics: shard.panics.load(Ordering::Relaxed),
+                // sast: relaxed-ok display-only snapshot; quarantine decisions use the AcqRel fetch_add result
                 strikes: shard.strikes.load(Ordering::Relaxed),
             })
             .collect();

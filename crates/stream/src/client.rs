@@ -65,6 +65,7 @@ impl Clone for ServeClient {
         ServeClient {
             addr: self.addr.clone(),
             max_retries: self.max_retries,
+            // sast: relaxed-ok jitter seed fork; only stream divergence matters, not ordering
             seed: AtomicU64::new(self.seed.load(Ordering::Relaxed)),
         }
     }
@@ -128,6 +129,7 @@ impl ServeClient {
     fn exchange(&self, request: &Request) -> Result<Response, StreamError> {
         let json = serde_json::to_string(request)
             .map_err(|e| StreamError::Serve(format!("cannot encode request: {e}")))?;
+        // sast: relaxed-ok backoff jitter draw; uniqueness per attempt is all that is needed
         let mut seed = self.seed.fetch_add(1, Ordering::Relaxed);
         let mut backoff = Backoff::new(RETRY_BASE_MS, RETRY_CAP_MS, splitmix64(&mut seed));
         loop {

@@ -1,52 +1,23 @@
 #!/usr/bin/env bash
-# Source-level lint gate: greps for patterns the workspace bans outright.
-# Runs in CI next to clippy; exits nonzero with file:line locations when a
-# pattern appears where it is forbidden.
+# Source-level lint gate, kept as the historical entry point but now a
+# thin wrapper over the in-repo static analyzer:
 #
 #   bash scripts/forbidden_patterns.sh
 #
-# Banned patterns:
-#   1. `process::exit` outside `src/bin/` trees — library code must return
-#      errors; only CLI frontends may terminate the process.
-#   2. `println!` in library crates (`crates/*/src`, excluding their
-#      `src/bin/` trees) — libraries report through return values or, for
-#      audit hooks, `eprintln!`; stdout belongs to the binaries.
-#   3. `unsafe` outside the bench counting allocator
-#      (crates/bench/src/bin/bench_refine.rs) — every other crate carries
-#      `#![forbid(unsafe_code)]`; this keeps the grep honest even if an
-#      attribute is dropped.
-set -uo pipefail
+# runs `quasar sast --deny error`, which subsumes the old grep rules
+# (QS0005 process::exit, QS0006 println! in library crates, QS0007
+# unsafe) with token-accurate spans — comments and string literals no
+# longer false-positive — and adds the concurrency/protocol rules
+# QS0001–QS0004. See crates/sast and DESIGN.md §16 for the catalogue.
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
-fail=0
-
-report() { # <label> <matches>
-    if [ -n "$2" ]; then
-        echo "forbidden pattern: $1" >&2
-        echo "$2" >&2
-        fail=1
-    fi
-}
-
-src_files() { # rust sources in lib trees: crates/*/src and src, minus src/bin
-    find crates/*/src src -name '*.rs' -not -path '*src/bin/*'
-}
-
-report "process::exit outside src/bin" \
-    "$(src_files | xargs grep -n 'process::exit' 2>/dev/null)"
-
-# `(^|[^e])println!` keeps eprintln! (allowed for diagnostics) out of the net.
-report "println! in library crates (stdout belongs to binaries)" \
-    "$(find crates/*/src -name '*.rs' -not -path '*src/bin/*' |
-        xargs grep -nE '(^|[^e])println!' 2>/dev/null)"
-
-report "unsafe outside the bench counting allocator" \
-    "$(find crates/*/src src -name '*.rs' \
-        -not -path 'crates/bench/src/bin/bench_refine.rs' |
-        xargs grep -n 'unsafe' 2>/dev/null | grep -v 'forbid(unsafe_code)')"
-
-if [ "$fail" -ne 0 ]; then
-    echo "forbidden_patterns: FAIL" >&2
-    exit 1
+# Prefer an already-built binary (CI builds release first); fall back to
+# cargo run so the script works standalone.
+if [ -x target/release/quasar ]; then
+    exec target/release/quasar sast --deny error
+elif [ -x target/debug/quasar ]; then
+    exec target/debug/quasar sast --deny error
+else
+    exec cargo run --quiet --bin quasar -- sast --deny error
 fi
-echo "forbidden_patterns: ok"

@@ -84,6 +84,12 @@
 //!             Exit 0 when no finding reaches the --deny threshold
 //!             (default error), 1 on findings at/above it or a load
 //!             failure, 2 on usage errors — suitable as a CI gate
+//!   sast      [--root DIR] [--json] [--deny warn|error]
+//!             static audit of the workspace's own Rust sources: lock
+//!             acquisition order, atomic-ordering justifications,
+//!             failpoint-registry consistency, protocol exhaustiveness,
+//!             forbidden patterns (rule ids QS0001-QS0007), each with a
+//!             file:line:col span. Same exit-code contract as `lint`
 
 use quasar::bgpsim::types::Asn;
 use quasar::diversity::prelude::*;
@@ -117,6 +123,7 @@ fn main() {
         "stream" => cmd_stream(&args[1..]),
         "stream-stats" => cmd_stream_stats(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
+        "sast" => cmd_sast(&args[1..]),
         other => usage(&format!("unknown subcommand {other}")),
     }
 }
@@ -138,7 +145,8 @@ fn usage(msg: &str) -> ! {
          \x20      quasar health ADDR\n\
          \x20      quasar stream --updates FILE --model OUT [--serve ADDR] [--window-ms N] [--max-window N] [--follow] [--idle-ms N] [--state DIR] [--threads N] [--max-retries N]\n\
          \x20      quasar stream-stats ADDR\n\
-         \x20      quasar lint MODEL.json [--json] [--deny warn|error]"
+         \x20      quasar lint MODEL.json [--json] [--deny warn|error]\n\
+         \x20      quasar sast [--root DIR] [--json] [--deny warn|error]"
     );
     exit(2)
 }
@@ -391,6 +399,27 @@ fn cmd_lint(args: &[String]) {
             .to_json()
             .unwrap_or_else(|e| die(format!("cannot serialize report: {e}")));
         println!("{line}");
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.denies(deny) {
+        exit(1)
+    }
+}
+
+fn cmd_sast(args: &[String]) {
+    let root = flag(args, "--root").unwrap_or_else(|| ".".to_string());
+    let as_json = args.iter().any(|a| a == "--json");
+    let deny = match flag(args, "--deny").as_deref() {
+        None => quasar_sast::Severity::Error,
+        Some("info") => usage("--deny info would reject every informational note; use warn"),
+        Some(s) => quasar_sast::Severity::parse(s)
+            .unwrap_or_else(|| usage(&format!("bad --deny `{s}`, want warn|error"))),
+    };
+    let report = quasar_sast::analyze_workspace(std::path::Path::new(&root))
+        .unwrap_or_else(|e| die(format!("cannot scan {root}: {e}")));
+    if as_json {
+        println!("{}", report.to_json());
     } else {
         print!("{}", report.render_text());
     }
